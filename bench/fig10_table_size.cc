@@ -1,0 +1,44 @@
+// Figure 10(a) (Section 8.4.3): execution time vs table size, 1K-1M
+// tuples (the 1K point mimics a sample-based deployment). d=3, ratio 0.3.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace acquire {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t max_rows = EnvRows(100000);
+  printf("Figure 10(a): varying table size (up to %zu rows, d=3, ratio=0.3, "
+         "COUNT)\n\n", max_rows);
+  TablePrinter time_table(
+      {"rows", "ACQUIRE_ms", "TopK_ms", "TQGen_ms", "BinSearch_ms"});
+
+  for (size_t rows : {size_t{1000}, size_t{10000}, size_t{100000},
+                      size_t{1000000}}) {
+    if (rows > max_rows) break;
+    Catalog catalog = MakeLineitemCatalog(rows);
+    RatioTask rt = MakeLineitemTask(catalog, /*d=*/3, /*ratio=*/0.3);
+    AcquireOptions acq_options;
+    acq_options.delta = 0.05;
+    MethodMetrics acq = RunAcquireMethod(rt.task, acq_options);
+    MethodMetrics topk = RunTopKMethod(rt.task);
+    MethodMetrics tqgen = RunTqGenMethod(rt.task);
+    MethodMetrics binsearch = RunBinSearchMethod(rt.task);
+    time_table.AddRow({std::to_string(rows), Ms(acq.time_ms),
+                       Ms(topk.time_ms), Ms(tqgen.time_ms),
+                       Ms(binsearch.time_ms)});
+  }
+  time_table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace acquire
+
+int main() {
+  acquire::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 10(b)/(c) (Section 8.4.5): ACQUIRE's sensitivity to its own
+// thresholds. (b) refinement threshold gamma 2-12 — smaller gamma means a
+// finer grid and more explored queries; (c) cardinality (aggregate error)
+// threshold delta 1e-4 - 1e-1 — stricter deltas force deeper search and
+// repartitioning.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace acquire {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t rows = EnvRows(100000);
+  printf("Figure 10(b)/(c): ACQUIRE parameter studies (rows=%zu, d=3, "
+         "ratio=0.5, COUNT)\n\n", rows);
+  Catalog catalog = MakeLineitemCatalog(rows);
+  RatioTask rt = MakeLineitemTask(catalog, /*d=*/3, /*ratio=*/0.5);
+
+  printf("--- Figure 10(b): execution time vs refinement threshold gamma "
+         "(delta=0.01) ---\n");
+  TablePrinter gamma_table(
+      {"gamma", "ACQUIRE_ms", "cell_queries", "err", "score"});
+  for (double gamma : {4.0, 6.0, 8.0, 10.0, 12.0}) {
+    AcquireOptions options;
+    options.gamma = gamma;
+    options.delta = 0.01;
+    MethodMetrics m = RunAcquireMethod(rt.task, options);
+    gamma_table.AddRow({StringFormat("%.0f", gamma), Ms(m.time_ms),
+                        std::to_string(m.queries), Err(m.error),
+                        Score(m.qscore)});
+  }
+  gamma_table.Print();
+
+  printf("\n--- Figure 10(c): execution time vs cardinality threshold delta "
+         "(gamma=10) ---\n");
+  TablePrinter delta_table(
+      {"delta", "ACQUIRE_ms", "cell_queries", "err", "score"});
+  for (double delta : {0.0001, 0.001, 0.01, 0.1}) {
+    AcquireOptions options;
+    options.delta = delta;
+    options.repartition_iters = 24;  // strict deltas need deep bisection
+    MethodMetrics m = RunAcquireMethod(rt.task, options);
+    delta_table.AddRow({StringFormat("%g", delta), Ms(m.time_ms),
+                        std::to_string(m.queries), Err(m.error),
+                        Score(m.qscore)});
+  }
+  delta_table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace acquire
+
+int main() {
+  acquire::bench::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 8 (Section 8.4.1): ACQUIRE vs Top-k vs TQGen vs BinSearch while
+// the aggregate ratio Aactual/Aexp varies over 0.1-0.9.
+//   (a) execution time    (b) relative aggregate error    (c) refinement
+// Setup follows the paper: COUNT constraint, 3 flexible predicates,
+// delta = 0.05. Default table size 100K rows (ACQ_BENCH_FULL=1 -> 1M).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace acquire {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t rows = EnvRows(100000);
+  const double ratios[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+  printf("Figure 8: varying aggregate ratio (rows=%zu, d=3, COUNT, "
+         "delta=0.05)\n\n", rows);
+  Catalog catalog = MakeLineitemCatalog(rows);
+
+  TablePrinter time_table(
+      {"ratio", "ACQUIRE_ms", "TopK_ms", "TQGen_ms", "BinSearch_ms"});
+  TablePrinter err_table({"ratio", "ACQUIRE_err", "TQGen_err",
+                          "BinSearch_err_min", "BinSearch_err_max"});
+  TablePrinter score_table(
+      {"ratio", "ACQUIRE_score", "TopK_score", "TQGen_score",
+       "BinSearch_score"});
+
+  for (double ratio : ratios) {
+    RatioTask rt = MakeLineitemTask(catalog, /*d=*/3, ratio);
+    AcquireOptions acq_options;
+    acq_options.delta = 0.05;
+    MethodMetrics acq = RunAcquireMethod(rt.task, acq_options);
+    MethodMetrics topk = RunTopKMethod(rt.task);
+    MethodMetrics tqgen = RunTqGenMethod(rt.task);
+    BinSearchSpread binsearch = RunBinSearchOrders(rt.task);
+
+    std::string r = StringFormat("%.1f", ratio);
+    time_table.AddRow({r, Ms(acq.time_ms), Ms(topk.time_ms),
+                       Ms(tqgen.time_ms), Ms(binsearch.median_time_ms)});
+    err_table.AddRow({r, Err(acq.error), Err(tqgen.error),
+                      Err(binsearch.min_error), Err(binsearch.max_error)});
+    score_table.AddRow({r, Score(acq.qscore), Score(topk.qscore),
+                        Score(tqgen.qscore), Score(binsearch.max_qscore)});
+  }
+
+  printf("--- Figure 8(a): execution time (ms) ---\n");
+  time_table.Print();
+  printf("\n--- Figure 8(b): relative aggregate error (Top-k excluded: its "
+         "error is 0 by definition) ---\n");
+  err_table.Print();
+  printf("\n--- Figure 8(c): refinement score (L1 QScore) ---\n");
+  score_table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace acquire
+
+int main() {
+  acquire::bench::Run();
+  return 0;
+}

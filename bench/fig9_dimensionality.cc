@@ -1,0 +1,71 @@
+// Figure 9 (Section 8.4.2): varying the number of refinable predicates
+// (1-5) at aggregate ratio 0.3. ACQUIRE's time grows roughly linearly;
+// TQGen's number of executed queries — and hence its time — grows
+// exponentially in d. Default 50K rows so TQGen's d=5 lattice finishes in
+// reasonable time (ACQ_BENCH_FULL=1 -> 1M, be prepared to wait on TQGen).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace acquire {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t rows = EnvRows(50000);
+  printf("Figure 9: varying number of predicates (rows=%zu, ratio=0.3, "
+         "COUNT, delta=0.05)\n\n", rows);
+  Catalog catalog = MakeLineitemCatalog(rows);
+
+  TablePrinter time_table({"d", "ACQUIRE_ms", "TopK_ms", "TQGen_ms",
+                           "BinSearch_ms", "TQGen_queries"});
+  TablePrinter err_table({"d", "ACQUIRE_err", "TQGen_err",
+                          "BinSearch_err_min", "BinSearch_err_max"});
+  TablePrinter score_table(
+      {"d", "ACQUIRE_score", "TopK_score", "TQGen_score", "BinSearch_score"});
+
+  for (size_t d = 1; d <= 5; ++d) {
+    RatioTask rt = MakeLineitemTask(catalog, d, /*ratio=*/0.3);
+    AcquireOptions acq_options;
+    acq_options.delta = 0.05;
+    // A 3.3x COUNT increase over uniform data needs ~120 PScore units of
+    // total refinement regardless of d, so the BFS hit layer sits at
+    // ~120/step. gamma = 25 keeps the layer index (and the grid volume,
+    // which is combinatorial in d) tractable across the whole sweep while
+    // preserving Theorem 1's gamma-proximity guarantee at that threshold.
+    acq_options.gamma = 25.0;
+    MethodMetrics acq = RunAcquireMethod(rt.task, acq_options);
+    MethodMetrics topk = RunTopKMethod(rt.task);
+    TqGenOptions tq_options;
+    tq_options.max_iterations = d >= 4 ? 2 : 4;  // keep d=5 tractable
+    MethodMetrics tqgen = RunTqGenMethod(rt.task, tq_options);
+    BinSearchSpread binsearch =
+        RunBinSearchOrders(rt.task, d == 1 ? 1 : 4);
+
+    std::string ds = std::to_string(d);
+    time_table.AddRow({ds, Ms(acq.time_ms), Ms(topk.time_ms),
+                       Ms(tqgen.time_ms), Ms(binsearch.median_time_ms),
+                       std::to_string(tqgen.queries)});
+    err_table.AddRow({ds, Err(acq.error), Err(tqgen.error),
+                      Err(binsearch.min_error), Err(binsearch.max_error)});
+    score_table.AddRow({ds, Score(acq.qscore), Score(topk.qscore),
+                        Score(tqgen.qscore), Score(binsearch.max_qscore)});
+  }
+
+  printf("--- Figure 9(a): execution time (ms) ---\n");
+  time_table.Print();
+  printf("\n--- Figure 9(b): relative aggregate error ---\n");
+  err_table.Print();
+  printf("\n--- Figure 9(c): refinement score ---\n");
+  score_table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace acquire
+
+int main() {
+  acquire::bench::Run();
+  return 0;
+}

@@ -1,0 +1,332 @@
+// Interactive ACQ shell: the paper's "desired user experience" (Section 1)
+// as a REPL. Type an Aggregation Constrained Query and get back runnable
+// refined SQL alternatives; the engine decides between returning the
+// original query, expanding it, or contracting it (Figure 2).
+//
+//   ./build/examples/acq_shell            # interactive
+//   echo "...sql..." | ./build/examples/acq_shell
+//
+// Commands:
+//   \gen tpch <rows>              generate the TPC-H subset tables
+//   \gen users <rows>             generate the users table
+//   \gen patients <rows>          generate the patients table
+//   \load <table> <file> <schema> load a CSV (schema: name:type,...)
+//   \save <table> <file>          write a table to CSV
+//   \savedb / \loaddb <dir>       persist / restore the whole catalog
+//   \tables                       list tables
+//   \show <table> [n]             print the first n rows (default 5)
+//   \explain <sql>                show the planned task and grid geometry
+//   \report [i]                   per-predicate change report of answer i
+//   \materialize <i> <file>       execute answer i, write its tuples
+//   \set gamma|delta <value>      tune ACQUIRE's thresholds
+//   \help                         this text
+//   \quit                         exit
+// Anything else is parsed as ACQ SQL (CONSTRAINT / NOREFINE).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/processor.h"
+#include "core/report.h"
+#include "exec/materialize.h"
+#include "sql/binder.h"
+#include "sql/explain.h"
+#include "sql/printer.h"
+#include "storage/csv.h"
+#include "storage/persistence.h"
+#include "workload/tpch_gen.h"
+#include "workload/users_gen.h"
+
+using namespace acquire;  // NOLINT — brevity in example code
+
+namespace {
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Field> fields;
+  for (const std::string& part : Split(spec, ',')) {
+    std::vector<std::string> kv = Split(part, ':');
+    if (kv.size() != 2) {
+      return Status::InvalidArgument("bad schema field: " + part);
+    }
+    std::string name(Trim(kv[0]));
+    std::string type = ToLower(Trim(kv[1]));
+    DataType dt;
+    if (type == "int" || type == "int64") {
+      dt = DataType::kInt64;
+    } else if (type == "double" || type == "float" || type == "real") {
+      dt = DataType::kDouble;
+    } else if (type == "string" || type == "text") {
+      dt = DataType::kString;
+    } else {
+      return Status::InvalidArgument("unknown type: " + type);
+    }
+    fields.push_back({name, dt, ""});
+  }
+  return Schema(std::move(fields));
+}
+
+class Shell {
+ public:
+  int Run() {
+    printf("ACQUIRE shell — type \\help for commands.\n");
+    std::string line;
+    std::string statement;
+    while (ReadLine(&line)) {
+      std::string_view trimmed = Trim(line);
+      if (trimmed.empty()) continue;
+      if (trimmed[0] == '\\') {
+        if (!HandleCommand(std::string(trimmed))) return 0;
+        continue;
+      }
+      // SQL statements may span lines; a terminating ';' submits.
+      statement += line;
+      statement += ' ';
+      if (trimmed.back() != ';') continue;
+      RunSql(statement);
+      statement.clear();
+    }
+    if (!Trim(statement).empty()) RunSql(statement);
+    return 0;
+  }
+
+ private:
+  bool ReadLine(std::string* line) {
+    if (interactive_) printf("acq> ");
+    return static_cast<bool>(std::getline(std::cin, *line));
+  }
+
+  void Report(const Status& status) {
+    if (!status.ok()) printf("error: %s\n", status.ToString().c_str());
+  }
+
+  // Returns false to quit.
+  bool HandleCommand(const std::string& command) {
+    std::istringstream in(command);
+    std::string name;
+    in >> name;
+    if (name == "\\quit" || name == "\\q") return false;
+    if (name == "\\help") {
+      printf("\\gen tpch|users|patients <rows>, \\load <t> <f> <schema>, "
+             "\\save <t> <f>, \\savedb <dir>, \\loaddb <dir>, \\tables, "
+             "\\show <t> [n], \\explain <sql>, \\set gamma|delta <v>, "
+             "\\quit\n");
+      return true;
+    }
+    if (name == "\\report") {
+      size_t index = 1;
+      in >> index;
+      if (last_task_ == nullptr || last_result_.queries.empty()) {
+        printf("no previous ACQ result\n");
+        return true;
+      }
+      if (index < 1 || index > last_result_.queries.size()) {
+        printf("answer index out of range (1..%zu)\n",
+               last_result_.queries.size());
+        return true;
+      }
+      printf("%s", RefinementReport(*last_task_,
+                                    last_result_.queries[index - 1])
+                       .c_str());
+      return true;
+    }
+    if (name == "\\materialize") {
+      size_t index = 1;
+      std::string file;
+      in >> index >> file;
+      if (last_task_ == nullptr || last_result_.queries.empty()) {
+        printf("no previous ACQ result\n");
+        return true;
+      }
+      if (index < 1 || index > last_result_.queries.size() || file.empty()) {
+        printf("usage: \\materialize <answer#> <file.csv>\n");
+        return true;
+      }
+      auto tuples = MaterializeRefinedQuery(
+          *last_task_, last_result_.queries[index - 1].pscores);
+      if (!tuples.ok()) {
+        Report(tuples.status());
+        return true;
+      }
+      Report(WriteCsv(**tuples, file));
+      printf("wrote %zu tuples to %s\n", (*tuples)->num_rows(), file.c_str());
+      return true;
+    }
+    if (name == "\\explain") {
+      std::string sql;
+      std::getline(in, sql);
+      Binder binder(&catalog_);
+      auto task = binder.PlanSql(sql);
+      if (!task.ok()) {
+        Report(task.status());
+        return true;
+      }
+      printf("%s", ExplainTask(*task, options_).c_str());
+      return true;
+    }
+    if (name == "\\savedb") {
+      std::string dir;
+      in >> dir;
+      Report(SaveCatalog(catalog_, dir));
+      return true;
+    }
+    if (name == "\\loaddb") {
+      std::string dir;
+      in >> dir;
+      Report(LoadCatalog(dir, &catalog_));
+      return true;
+    }
+    if (name == "\\gen") {
+      std::string kind;
+      size_t rows = 0;
+      in >> kind >> rows;
+      if (rows == 0) rows = 10000;
+      if (kind == "tpch") {
+        TpchOptions options;
+        options.lineitems = rows;
+        options.suppliers = std::max<size_t>(100, rows / 200);
+        options.parts = std::max<size_t>(200, rows / 100);
+        Report(GenerateTpch(options, &catalog_));
+      } else if (kind == "users") {
+        UsersOptions options;
+        options.users = rows;
+        Report(GenerateUsers(options, &catalog_));
+      } else if (kind == "patients") {
+        PatientsOptions options;
+        options.patients = rows;
+        Report(GeneratePatients(options, &catalog_));
+      } else {
+        printf("unknown generator: %s\n", kind.c_str());
+      }
+      return true;
+    }
+    if (name == "\\load") {
+      std::string table, file, schema_spec;
+      in >> table >> file >> schema_spec;
+      auto schema = ParseSchemaSpec(schema_spec);
+      if (!schema.ok()) {
+        Report(schema.status());
+        return true;
+      }
+      auto loaded = ReadCsv(file, table, *schema);
+      if (!loaded.ok()) {
+        Report(loaded.status());
+        return true;
+      }
+      catalog_.PutTable(*loaded);
+      printf("loaded %zu rows into %s\n", (*loaded)->num_rows(),
+             table.c_str());
+      return true;
+    }
+    if (name == "\\save") {
+      std::string table, file;
+      in >> table >> file;
+      auto t = catalog_.GetTable(table);
+      if (!t.ok()) {
+        Report(t.status());
+        return true;
+      }
+      Report(WriteCsv(**t, file));
+      return true;
+    }
+    if (name == "\\tables") {
+      for (const std::string& t : catalog_.TableNames()) {
+        auto table = catalog_.GetTable(t);
+        printf("  %s (%zu rows) %s\n", t.c_str(), (*table)->num_rows(),
+               (*table)->schema().ToString().c_str());
+      }
+      return true;
+    }
+    if (name == "\\show") {
+      std::string table;
+      size_t n = 5;
+      in >> table >> n;
+      auto t = catalog_.GetTable(table);
+      if (!t.ok()) {
+        Report(t.status());
+        return true;
+      }
+      printf("%s", (*t)->ToString(n == 0 ? 5 : n).c_str());
+      return true;
+    }
+    if (name == "\\set") {
+      std::string key;
+      double value = 0.0;
+      in >> key >> value;
+      if (key == "gamma" && value > 0) {
+        options_.gamma = value;
+      } else if (key == "delta" && value >= 0) {
+        options_.delta = value;
+      } else {
+        printf("usage: \\set gamma|delta <value>\n");
+        return true;
+      }
+      printf("gamma=%.3f delta=%.4f\n", options_.gamma, options_.delta);
+      return true;
+    }
+    printf("unknown command %s (try \\help)\n", name.c_str());
+    return true;
+  }
+
+  void RunSql(const std::string& sql) {
+    Binder binder(&catalog_);
+    auto task = binder.PlanSql(sql);
+    if (!task.ok()) {
+      Report(task.status());
+      return;
+    }
+    last_task_ = std::make_shared<AcqTask>(std::move(task).value());
+    CachedEvaluationLayer layer(last_task_.get());
+    auto outcome = ProcessAcq(*last_task_, &layer, options_);
+    if (!outcome.ok()) {
+      Report(outcome.status());
+      return;
+    }
+    printf("original aggregate: %g (target %s %g) -> %s\n",
+           outcome->original_aggregate,
+           ConstraintOpToString(last_task_->constraint.op),
+           last_task_->constraint.target,
+           AcqModeToString(outcome->mode));
+    const AcquireResult& result = outcome->result;
+    if (!result.satisfied) {
+      printf("constraint not reachable; closest:\n  %s\n",
+             result.best.ToString().c_str());
+      return;
+    }
+    const AcqTask& display_task = outcome->mode == AcqMode::kContracted
+                                      ? *outcome->contraction_task
+                                      : *last_task_;
+    if (outcome->mode == AcqMode::kContracted) {
+      // \report / \materialize address the contraction task's dims.
+      last_task_ = outcome->contraction_task;
+    }
+    last_result_ = result;
+    size_t shown = 0;
+    for (const RefinedQuery& q : result.queries) {
+      printf("-- aggregate=%g refinement=%.2f error=%.4f\n%s\n", q.aggregate,
+             q.qscore, q.error, RenderRefinedSql(display_task, q).c_str());
+      if (++shown == 5) break;
+    }
+    printf("(%zu answers, %llu refined queries examined, %.1f ms)\n",
+           result.queries.size(),
+           static_cast<unsigned long long>(result.queries_explored),
+           result.elapsed_ms);
+  }
+
+  Catalog catalog_;
+  AcquireOptions options_;
+  std::shared_ptr<AcqTask> last_task_;
+  AcquireResult last_result_;
+  bool interactive_ = isatty(fileno(stdin)) != 0;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Run();
+}

@@ -1,0 +1,24 @@
+#ifndef ACQUIRE_BASELINES_BASELINE_RESULT_H_
+#define ACQUIRE_BASELINES_BASELINE_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+/// Common outcome record for the compared techniques of Section 8.2.
+struct BaselineResult {
+  bool satisfied = false;
+  double aggregate = 0.0;        // Aactual of the produced refined query
+  double error = 0.0;            // Err_A
+  std::vector<double> pscores;   // refinement vector of the produced query
+  double qscore = 0.0;           // refinement score under the chosen norm
+  uint64_t queries_executed = 0; // full query executions issued
+  double elapsed_ms = 0.0;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_BASELINES_BASELINE_RESULT_H_

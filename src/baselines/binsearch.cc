@@ -1,0 +1,101 @@
+#include "baselines/binsearch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace acquire {
+
+Result<BaselineResult> RunBinSearch(const AcqTask& task,
+                                    EvaluationLayer* layer, const Norm& norm,
+                                    const BinSearchOptions& options) {
+  if (layer == nullptr || &layer->task() != &task) {
+    return Status::InvalidArgument(
+        "evaluation layer must wrap the same AcqTask");
+  }
+  Stopwatch sw;
+  ACQ_RETURN_IF_ERROR(layer->Prepare());
+  layer->ResetStats();
+
+  const size_t d = task.d();
+  std::vector<size_t> order = options.order;
+  if (order.empty()) {
+    order.resize(d);
+    for (size_t i = 0; i < d; ++i) order[i] = i;
+  }
+  if (order.size() != d) {
+    return Status::InvalidArgument("order must permute all dimensions");
+  }
+
+  const Constraint& constraint = task.constraint;
+  std::vector<double> pscores(d, 0.0);
+
+  auto evaluate = [&](double* err) -> Result<double> {
+    ACQ_ASSIGN_OR_RETURN(double value, layer->EvaluateQueryValue(pscores));
+    *err = DefaultAggregateError(constraint, value);
+    return value;
+  };
+
+  double err = 0.0;
+  ACQ_ASSIGN_OR_RETURN(double value, evaluate(&err));
+  double best_err = err;
+  std::vector<double> best_pscores = pscores;
+  double best_value = value;
+
+  for (size_t dim : order) {
+    if (err <= options.delta) break;
+    double cap = task.dims[dim]->MaxPScore();
+    if (std::isinf(cap)) cap = 100.0;
+
+    // Does fully refining this predicate reach the target?
+    pscores[dim] = cap;
+    double err_at_cap = 0.0;
+    ACQ_ASSIGN_OR_RETURN(double value_at_cap, evaluate(&err_at_cap));
+    if (value_at_cap < constraint.target * (1.0 - options.delta)) {
+      // Still undershooting: keep the predicate fully refined and move on.
+      err = err_at_cap;
+      value = value_at_cap;
+      if (err < best_err) {
+        best_err = err;
+        best_pscores = pscores;
+        best_value = value;
+      }
+      continue;
+    }
+
+    // The answer lies within this predicate: bisect its refinement.
+    double lo = 0.0;
+    double hi = cap;
+    for (int probe = 0; probe < options.max_probes_per_dim; ++probe) {
+      pscores[dim] = 0.5 * (lo + hi);
+      ACQ_ASSIGN_OR_RETURN(value, evaluate(&err));
+      if (err < best_err) {
+        best_err = err;
+        best_pscores = pscores;
+        best_value = value;
+      }
+      if (err <= options.delta) break;
+      if (value < constraint.target) {
+        lo = pscores[dim];
+      } else {
+        hi = pscores[dim];
+      }
+    }
+    break;  // after bisecting one predicate the search is as close as it gets
+  }
+
+  BaselineResult result;
+  result.pscores = best_pscores;
+  result.aggregate = best_value;
+  result.error = best_err;
+  result.satisfied = best_err <= options.delta;
+  std::vector<double> weights(d);
+  for (size_t j = 0; j < d; ++j) weights[j] = task.dims[j]->weight();
+  result.qscore = norm.QScore(best_pscores, weights);
+  result.queries_executed = layer->stats().queries;
+  result.elapsed_ms = sw.ElapsedMillis();
+  return result;
+}
+
+}  // namespace acquire

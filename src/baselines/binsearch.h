@@ -1,0 +1,33 @@
+#ifndef ACQUIRE_BASELINES_BINSEARCH_H_
+#define ACQUIRE_BASELINES_BINSEARCH_H_
+
+#include <vector>
+
+#include "baselines/baseline_result.h"
+#include "core/error_fn.h"
+#include "core/norms.h"
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+/// The BinSearch technique of [11] as extended in Section 8.2: refine one
+/// predicate at a time, in a fixed order, binary-searching that predicate's
+/// bound until the aggregate target is met or the predicate is exhausted
+/// (then move to the next predicate). Every probe is a full query
+/// execution against the evaluation layer.
+struct BinSearchOptions {
+  double delta = 0.05;
+  int max_probes_per_dim = 20;
+  /// Refinement order over the task's dimensions; empty = natural order.
+  /// The paper's key observation (Figures 8b, 9b) is that results are
+  /// extremely sensitive to this order.
+  std::vector<size_t> order;
+};
+
+Result<BaselineResult> RunBinSearch(const AcqTask& task,
+                                    EvaluationLayer* layer, const Norm& norm,
+                                    const BinSearchOptions& options = {});
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_BASELINES_BINSEARCH_H_

@@ -1,0 +1,70 @@
+#include "baselines/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+Result<BaselineResult> RunTopK(const AcqTask& task, const Norm& norm) {
+  if (task.agg.kind != AggregateKind::kCount) {
+    return Status::Unsupported(
+        "Top-k handles COUNT constraints only (Section 8.2)");
+  }
+  Stopwatch sw;
+  const size_t n = task.relation->num_rows();
+  const size_t d = task.d();
+  const size_t k = static_cast<size_t>(std::llround(task.constraint.target));
+
+  // Score every tuple (the ORDER BY pass).
+  std::vector<std::pair<double, uint32_t>> ranked;
+  ranked.reserve(n);
+  std::vector<double> needed(d);
+  std::vector<std::vector<double>> all_needed(n, std::vector<double>(d));
+  for (size_t row = 0; row < n; ++row) {
+    ComputeNeeded(task, row, &needed);
+    double total = 0.0;
+    for (double v : needed) total += v;  // L1, matching the SQL expression
+    all_needed[row] = needed;
+    if (std::isfinite(total)) {
+      ranked.emplace_back(total, static_cast<uint32_t>(row));
+    }
+  }
+
+  BaselineResult result;
+  result.queries_executed = 1;  // the single LIMIT query
+  if (ranked.size() < k) {
+    // Not enough reachable tuples: the refined query is the whole space.
+    result.satisfied = false;
+    result.aggregate = static_cast<double>(ranked.size());
+    result.error = (task.constraint.target - result.aggregate) /
+                   task.constraint.target;
+  } else {
+    std::nth_element(ranked.begin(),
+                     ranked.begin() + static_cast<ptrdiff_t>(k ? k - 1 : 0),
+                     ranked.end());
+    result.satisfied = true;
+    result.aggregate = static_cast<double>(k);
+    result.error = 0.0;
+  }
+
+  // Tightest enclosing refined query over the selected tuples.
+  size_t selected = std::min(k, ranked.size());
+  result.pscores.assign(d, 0.0);
+  for (size_t i = 0; i < selected; ++i) {
+    const std::vector<double>& nv = all_needed[ranked[i].second];
+    for (size_t j = 0; j < d; ++j) {
+      result.pscores[j] = std::max(result.pscores[j], nv[j]);
+    }
+  }
+  std::vector<double> weights(d);
+  for (size_t j = 0; j < d; ++j) weights[j] = task.dims[j]->weight();
+  result.qscore = norm.QScore(result.pscores, weights);
+  result.elapsed_ms = sw.ElapsedMillis();
+  return result;
+}
+
+}  // namespace acquire

@@ -1,0 +1,23 @@
+#ifndef ACQUIRE_BASELINES_TOPK_H_
+#define ACQUIRE_BASELINES_TOPK_H_
+
+#include "baselines/baseline_result.h"
+#include "core/norms.h"
+#include "exec/acq_task.h"
+
+namespace acquire {
+
+/// The Top-k extension of Section 8.2: rank every tuple by its total
+/// refinement distance (the CASE-WHEN ORDER BY expression, an L1 sum of
+/// per-predicate normalized overshoots) and take the Aexp closest.
+///
+/// Only COUNT constraints translate to Top-k, exactly as the paper notes.
+/// The reported refinement vector is the per-dimension maximum distance
+/// among the selected tuples — the tightest refined query that would admit
+/// all of them — and `aggregate` is k, so `error` is 0 by construction
+/// (Top-k is therefore excluded from the error plots, as in Figure 8b).
+Result<BaselineResult> RunTopK(const AcqTask& task, const Norm& norm);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_BASELINES_TOPK_H_

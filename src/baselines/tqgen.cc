@@ -1,0 +1,96 @@
+#include "baselines/tqgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace acquire {
+
+Result<BaselineResult> RunTqGen(const AcqTask& task, EvaluationLayer* layer,
+                                const Norm& norm,
+                                const TqGenOptions& options) {
+  if (layer == nullptr || &layer->task() != &task) {
+    return Status::InvalidArgument(
+        "evaluation layer must wrap the same AcqTask");
+  }
+  if (options.partitions_per_dim < 2) {
+    return Status::InvalidArgument("TQGen needs at least 2 partitions");
+  }
+  Stopwatch sw;
+  ACQ_RETURN_IF_ERROR(layer->Prepare());
+  layer->ResetStats();
+
+  const size_t d = task.d();
+  const int k = options.partitions_per_dim;
+  const Constraint& constraint = task.constraint;
+
+  std::vector<double> lo(d, 0.0);
+  std::vector<double> hi(d);
+  for (size_t i = 0; i < d; ++i) {
+    double cap = task.dims[i]->MaxPScore();
+    hi[i] = std::isinf(cap) ? 100.0 : cap;
+  }
+
+  std::vector<double> best_pscores(d, 0.0);
+  double best_err = std::numeric_limits<double>::infinity();
+  double best_value = 0.0;
+
+  std::vector<int> ticks(d, 0);
+  std::vector<double> candidate(d);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Evaluate the full k^d candidate lattice over the current region.
+    std::fill(ticks.begin(), ticks.end(), 0);
+    std::vector<double> iter_best_pscores;
+    double iter_best_err = std::numeric_limits<double>::infinity();
+    double iter_best_value = 0.0;
+    for (;;) {
+      for (size_t i = 0; i < d; ++i) {
+        candidate[i] =
+            lo[i] + (hi[i] - lo[i]) * ticks[i] / static_cast<double>(k - 1);
+      }
+      ACQ_ASSIGN_OR_RETURN(double value, layer->EvaluateQueryValue(candidate));
+      double err = DefaultAggregateError(constraint, value);
+      if (err < iter_best_err) {
+        iter_best_err = err;
+        iter_best_value = value;
+        iter_best_pscores = candidate;
+      }
+      // Advance the lattice odometer.
+      size_t pos = 0;
+      while (pos < d && ++ticks[pos] == k) {
+        ticks[pos] = 0;
+        ++pos;
+      }
+      if (pos == d) break;
+    }
+
+    if (iter_best_err < best_err) {
+      best_err = iter_best_err;
+      best_value = iter_best_value;
+      best_pscores = iter_best_pscores;
+    }
+    if (best_err <= options.delta) break;
+
+    // Zoom the region to one lattice spacing around the iteration's best.
+    for (size_t i = 0; i < d; ++i) {
+      double spacing = (hi[i] - lo[i]) / static_cast<double>(k - 1);
+      lo[i] = std::max(0.0, iter_best_pscores[i] - spacing);
+      hi[i] = iter_best_pscores[i] + spacing;
+    }
+  }
+
+  BaselineResult result;
+  result.pscores = best_pscores;
+  result.aggregate = best_value;
+  result.error = best_err;
+  result.satisfied = best_err <= options.delta;
+  std::vector<double> weights(d);
+  for (size_t j = 0; j < d; ++j) weights[j] = task.dims[j]->weight();
+  result.qscore = norm.QScore(best_pscores, weights);
+  result.queries_executed = layer->stats().queries;
+  result.elapsed_ms = sw.ElapsedMillis();
+  return result;
+}
+
+}  // namespace acquire

@@ -1,0 +1,34 @@
+#ifndef ACQUIRE_BASELINES_TQGEN_H_
+#define ACQUIRE_BASELINES_TQGEN_H_
+
+#include "baselines/baseline_result.h"
+#include "core/error_fn.h"
+#include "core/norms.h"
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+/// TQGen [11] (Mishra, Koudas, Zuzarte, SIGMOD'08) adapted to the ACQ
+/// setting, as in Section 8.2: targeted query generation by iterative
+/// domain partitioning. Each iteration lays a k^d lattice of candidate
+/// refined queries over the current search region, executes *every*
+/// candidate in full, then zooms the region around the best candidate.
+///
+/// The defining cost properties the comparison relies on — candidates per
+/// iteration exponential in d, and one full query execution per candidate
+/// with no result sharing — follow [11]; the paper does not restate [11]'s
+/// exact parameter values, so the defaults below (5 partitions, 6
+/// iterations) are documented substitutes of the same magnitude.
+struct TqGenOptions {
+  int partitions_per_dim = 5;
+  int max_iterations = 6;
+  double delta = 0.05;
+};
+
+Result<BaselineResult> RunTqGen(const AcqTask& task, EvaluationLayer* layer,
+                                const Norm& norm,
+                                const TqGenOptions& options = {});
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_BASELINES_TQGEN_H_

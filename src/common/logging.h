@@ -1,0 +1,57 @@
+#ifndef ACQUIRE_COMMON_LOGGING_H_
+#define ACQUIRE_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace acquire {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarning so
+/// library users and benchmarks stay quiet unless they opt in.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink flushed (and for kFatal, aborting) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define ACQ_LOG(level)                                             \
+  ::acquire::internal_logging::LogMessage(::acquire::LogLevel::k##level, \
+                                          __FILE__, __LINE__)
+
+/// Invariant check that survives NDEBUG builds: logs and aborts on failure.
+#define ACQ_CHECK(cond)                                        \
+  if (!(cond))                                                 \
+  ACQ_LOG(Fatal) << "Check failed: " #cond " "
+
+#define ACQ_DCHECK(cond) assert(cond)
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_COMMON_LOGGING_H_

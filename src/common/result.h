@@ -1,0 +1,92 @@
+#ifndef ACQUIRE_COMMON_RESULT_H_
+#define ACQUIRE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace acquire {
+
+/// Holds either a value of type T or an error Status. The library's
+/// exception-free analogue of absl::StatusOr / arrow::Result.
+///
+/// Usage:
+///   Result<Table> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status so `return value;` and
+  /// `return Status::...(...)` both work in functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result<T> cannot hold an OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// OK status if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates errors: evaluates `expr` (a Status) and returns it from the
+/// enclosing function when not OK.
+#define ACQ_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::acquire::Status _acq_status = (expr);        \
+    if (!_acq_status.ok()) return _acq_status;     \
+  } while (false)
+
+#define ACQ_CONCAT_IMPL(a, b) a##b
+#define ACQ_CONCAT(a, b) ACQ_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error or assigning the
+/// value to `lhs` (which may include a declaration).
+#define ACQ_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  ACQ_ASSIGN_OR_RETURN_IMPL(ACQ_CONCAT(_acq_result_, __LINE__), lhs, \
+                            rexpr)
+
+#define ACQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_COMMON_RESULT_H_

@@ -1,0 +1,136 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace acquire {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+Result<double> ParseNumberWithSuffix(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::ParseError("empty number");
+  double multiplier = 1.0;
+  char last = s.back();
+  switch (std::toupper(static_cast<unsigned char>(last))) {
+    case 'K':
+      multiplier = 1e3;
+      s.remove_suffix(1);
+      break;
+    case 'M':
+      multiplier = 1e6;
+      s.remove_suffix(1);
+      break;
+    case 'B':
+      multiplier = 1e9;
+      s.remove_suffix(1);
+      break;
+    default:
+      break;
+  }
+  ACQ_ASSIGN_OR_RETURN(double base, ParseDouble(s));
+  return base * multiplier;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::ParseError("empty integer");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::ParseError("integer out of range: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::ParseError("invalid integer: " + buf);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::ParseError("empty double");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) return Status::ParseError("double out of range: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::ParseError("invalid double: " + buf);
+  }
+  return v;
+}
+
+std::string StringFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace acquire

@@ -1,0 +1,35 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace acquire {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), theta);
+    cdf_[k - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::Probability(uint64_t k) const {
+  assert(k >= 1 && k <= n_);
+  double prev = (k == 1) ? 0.0 : cdf_[k - 2];
+  return cdf_[k - 1] - prev;
+}
+
+}  // namespace acquire

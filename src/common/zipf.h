@@ -1,0 +1,40 @@
+#ifndef ACQUIRE_COMMON_ZIPF_H_
+#define ACQUIRE_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace acquire {
+
+/// Samples ranks 1..n with P(k) proportional to 1/k^theta.
+///
+/// The paper's skewed datasets (Section 8.4.4) use the Chaudhuri-Narasayya
+/// TPC-D skew generator with Z = 1; this class is the in-repo equivalent
+/// knob. theta = 0 degenerates to the uniform distribution. Uses the
+/// precomputed-CDF + binary search method, which is exact and fast enough
+/// for the domain sizes the benchmarks use.
+class ZipfDistribution {
+ public:
+  /// Requires n >= 1 and theta >= 0.
+  ZipfDistribution(uint64_t n, double theta);
+
+  /// Draws a rank in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// P(rank == k) for k in [1, n].
+  double Probability(uint64_t k) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_COMMON_ZIPF_H_

@@ -1,0 +1,249 @@
+#include "core/acquire.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "common/stopwatch.h"
+
+namespace acquire {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+RefinedQuery MakeGridAnswer(const RefinedSpace& space, const GridCoord& coord,
+                            double aggregate, double error) {
+  RefinedQuery q;
+  q.coord = coord;
+  q.pscores = space.CoordPScores(coord);
+  q.qscore = space.QScoreOf(coord);
+  q.aggregate = aggregate;
+  q.error = error;
+  q.description = space.Describe(coord);
+  return q;
+}
+
+RefinedQuery MakeOffGridAnswer(const RefinedSpace& space,
+                               const std::vector<double>& pscores,
+                               double aggregate, double error) {
+  RefinedQuery q;
+  q.pscores = pscores;
+  q.qscore = space.QScoreOfPScores(pscores);
+  q.aggregate = aggregate;
+  q.error = error;
+  q.description = space.DescribePScores(pscores);
+  return q;
+}
+
+// Repartitioning of an overshooting cell (Section 6): the previous grid
+// layer undershot and this one jumped past an equality target, so the
+// answer lies inside the cell. Diagonal bisection between the cell's lower
+// and upper corners, `b` full-query probes.
+Result<std::optional<RefinedQuery>> RepartitionCell(
+    const RefinedSpace& space, EvaluationLayer* layer, const GridCoord& coord,
+    const ErrorFn& error_fn, const AcquireOptions& options) {
+  const size_t d = coord.size();
+  std::vector<double> lo(d), hi(d);
+  for (size_t i = 0; i < d; ++i) {
+    hi[i] = static_cast<double>(coord[i]) * space.step();
+    lo[i] = coord[i] > 0 ? hi[i] - space.step() : 0.0;
+  }
+  const Constraint& constraint = space.task().constraint;
+  std::optional<RefinedQuery> best;
+  std::vector<double> mid(d);
+  for (int iter = 0; iter < options.repartition_iters; ++iter) {
+    for (size_t i = 0; i < d; ++i) mid[i] = 0.5 * (lo[i] + hi[i]);
+    ACQ_ASSIGN_OR_RETURN(double value, layer->EvaluateQueryValue(mid));
+    double err = error_fn(constraint, value);
+    if (!best.has_value() || err < best->error) {
+      best = MakeOffGridAnswer(space, mid, value, err);
+    }
+    if (err <= options.delta) break;
+    if (value < constraint.target) {
+      lo = mid;  // undershoots: move toward the cell's upper corner
+    } else {
+      hi = mid;
+    }
+  }
+  if (best.has_value() && best->error <= options.delta) return best;
+  return std::optional<RefinedQuery>();
+}
+
+std::unique_ptr<QueryGenerator> MakeGenerator(const RefinedSpace& space,
+                                              const AcquireOptions& options) {
+  SearchOrder order = options.order;
+  if (order == SearchOrder::kAuto) {
+    order = options.norm.kind() == NormKind::kLInf ? SearchOrder::kShell
+                                                   : SearchOrder::kBfs;
+  }
+  switch (order) {
+    case SearchOrder::kShell:
+      return std::make_unique<ShellGenerator>(&space);
+    case SearchOrder::kBestFirst:
+      return std::make_unique<BestFirstGenerator>(&space);
+    case SearchOrder::kAuto:
+    case SearchOrder::kBfs:
+      break;
+  }
+  return std::make_unique<BfsGenerator>(&space);
+}
+
+}  // namespace
+
+Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
+                                 const AcquireOptions& options) {
+  if (task.d() == 0) {
+    return Status::InvalidArgument("task has no refinable predicates");
+  }
+  if (layer == nullptr || &layer->task() != &task) {
+    return Status::InvalidArgument(
+        "evaluation layer must wrap the same AcqTask");
+  }
+  if (options.gamma <= 0.0) {
+    return Status::InvalidArgument("gamma must be positive");
+  }
+  if (options.delta < 0.0) {
+    return Status::InvalidArgument("delta must be non-negative");
+  }
+
+  Stopwatch sw;
+  const ErrorFn error_fn =
+      options.error_fn ? options.error_fn : ErrorFn(DefaultAggregateError);
+  RefinedSpace space(&task, options.gamma, options.norm);
+  ACQ_RETURN_IF_ERROR(layer->Prepare());
+  layer->ResetStats();
+
+  std::unique_ptr<QueryGenerator> generator = MakeGenerator(space, options);
+  // Per-layer divergence detection only makes sense when the generator
+  // emits discrete layers; best-first scores are (nearly) unique per coord.
+  SearchOrder effective_order = options.order;
+  if (effective_order == SearchOrder::kAuto) {
+    effective_order = options.norm.kind() == NormKind::kLInf
+                          ? SearchOrder::kShell
+                          : SearchOrder::kBfs;
+  }
+  const bool discrete_layers = effective_order != SearchOrder::kBestFirst;
+  Explorer explorer(&space, layer);
+  AcquireResult result;
+
+  // Algorithm 4's minRefLayer, in generator-score units. Once a hit occurs,
+  // the rest of its layer is examined and the search stops — or, with
+  // collect_within_gamma, continues for another gamma's worth of layers.
+  double stop_score = kInf;
+  // The extra score budget gamma buys: for BFS/shell each layer adds one
+  // grid step to the L1 refinement, so gamma ~= d layers; for best-first the
+  // score *is* the QScore.
+  const double gamma_bonus =
+      options.order == SearchOrder::kBestFirst
+          ? options.gamma
+          : options.gamma / space.step();
+
+  // Divergence detection across completed layers (see AcquireOptions).
+  double last_score = 0.0;
+  double layer_min_error = kInf;
+  double prev_layer_min_error = kInf;
+  int worse_layers = 0;
+
+  // Best-so-far (materialized lazily at the end).
+  GridCoord best_coord;
+  double best_error = kInf;
+  double best_aggregate = 0.0;
+  bool best_is_offgrid = false;
+  RefinedQuery best_offgrid;
+  uint64_t stall = 0;  // queries since the best error last improved
+
+  GridCoord coord;
+  while (generator->Next(&coord)) {
+    const double score = generator->CurrentScore();
+    if (score > stop_score) break;
+
+    if (discrete_layers && score != last_score) {
+      // A layer completed; update the divergence counter while no hit yet.
+      if (stop_score == kInf) {
+        if (layer_min_error > prev_layer_min_error) {
+          ++worse_layers;
+        } else if (layer_min_error < prev_layer_min_error) {
+          worse_layers = 0;
+        }
+        if (worse_layers >= options.divergence_patience) break;
+      }
+      prev_layer_min_error = layer_min_error;
+      layer_min_error = kInf;
+      last_score = score;
+    }
+
+    double aggregate;
+    if (options.use_incremental) {
+      ACQ_ASSIGN_OR_RETURN(aggregate, explorer.ComputeAggregate(coord));
+    } else {
+      // Ablation: full re-execution of the refined query.
+      ACQ_ASSIGN_OR_RETURN(AggregateOps::State state,
+                           layer->EvaluateBox(space.QueryBox(coord)));
+      aggregate = task.agg.ops->Final(state);
+    }
+    ++result.queries_explored;
+    const double err = error_fn(task.constraint, aggregate);
+    layer_min_error = std::min(layer_min_error, err);
+
+    if (err < best_error) {
+      best_error = err;
+      best_coord = coord;
+      best_aggregate = aggregate;
+      best_is_offgrid = false;
+      stall = 0;
+    } else if (++stall > options.stall_limit && stop_score == kInf) {
+      break;
+    }
+
+    if (err <= options.delta) {
+      result.queries.push_back(MakeGridAnswer(space, coord, aggregate, err));
+      if (stop_score == kInf) {
+        stop_score =
+            options.collect_within_gamma ? score + gamma_bonus : score;
+      }
+    } else if (options.repartition_iters > 0 &&
+               OvershootsBeyondDelta(task.constraint, aggregate,
+                                     options.delta)) {
+      ACQ_ASSIGN_OR_RETURN(
+          std::optional<RefinedQuery> repartitioned,
+          RepartitionCell(space, layer, coord, error_fn, options));
+      if (repartitioned.has_value()) {
+        if (repartitioned->error < best_error) {
+          best_error = repartitioned->error;
+          best_offgrid = *repartitioned;
+          best_is_offgrid = true;
+        }
+        result.queries.push_back(*std::move(repartitioned));
+        if (stop_score == kInf) {
+          stop_score =
+              options.collect_within_gamma ? score + gamma_bonus : score;
+        }
+      }
+    }
+
+    if (result.queries_explored >= options.max_explored) break;
+  }
+
+  result.satisfied = !result.queries.empty();
+  if (best_is_offgrid) {
+    result.best = best_offgrid;
+  } else if (!best_coord.empty() || result.queries_explored > 0) {
+    result.best =
+        MakeGridAnswer(space, best_coord.empty() ? GridCoord(task.d(), 0)
+                                                 : best_coord,
+                       best_aggregate, best_error);
+  }
+  std::sort(result.queries.begin(), result.queries.end(),
+            [](const RefinedQuery& a, const RefinedQuery& b) {
+              return a.qscore < b.qscore;
+            });
+  result.cell_queries = explorer.cell_queries();
+  result.exec_stats = layer->stats();
+  result.elapsed_ms = sw.ElapsedMillis();
+  return result;
+}
+
+}  // namespace acquire

@@ -1,0 +1,102 @@
+#ifndef ACQUIRE_CORE_ACQUIRE_H_
+#define ACQUIRE_CORE_ACQUIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error_fn.h"
+#include "core/expand.h"
+#include "core/explore.h"
+#include "core/norms.h"
+#include "core/refined_query.h"
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+/// Which Expand-phase generator drives the search.
+enum class SearchOrder {
+  kAuto,       // shells for the L-infinity norm, BFS otherwise (the paper)
+  kBfs,        // Algorithm 1
+  kShell,      // Algorithm 2
+  kBestFirst,  // exact-QScore priority order (ablation; not in the paper)
+};
+
+/// Tunables of Algorithm 4 plus the extensions of Section 7.
+struct AcquireOptions {
+  /// Refinement threshold gamma (Definition 1b): answers are guaranteed
+  /// within gamma of the optimal QScore; grid step = gamma / d (Theorem 1).
+  double gamma = 10.0;
+
+  /// Aggregate error threshold delta (Definition 1a).
+  double delta = 0.05;
+
+  /// Norm for QScore (Eq. 3); dimension weights come from the task's dims.
+  Norm norm = Norm::L1();
+
+  SearchOrder order = SearchOrder::kAuto;
+
+  /// Repartitioning depth b for cells that overshoot an equality constraint
+  /// (Section 6); 0 disables repartitioning.
+  int repartition_iters = 8;
+
+  /// Keep exploring past the first hit layer and return every answer whose
+  /// QScore is within gamma of the best (Definition 1b's full answer set);
+  /// off by default, matching Algorithm 4, which stops with the hit layer.
+  bool collect_within_gamma = false;
+
+  /// Incremental Aggregate Computation on/off (ablation). When off, every
+  /// grid query is fully re-executed against the evaluation layer.
+  bool use_incremental = true;
+
+  /// Hard cap on investigated grid queries (safety valve).
+  uint64_t max_explored = 2'000'000;
+
+  /// After this many consecutive completed layers whose best error got
+  /// strictly worse, the search concludes the aggregate is diverging from
+  /// the target (e.g. the origin already overshot an equality constraint)
+  /// and stops. Needed because UDAs make monotonicity unknowable in
+  /// general. Applies to the discrete-layer generators (BFS, shell).
+  int divergence_patience = 3;
+
+  /// Hard stall guard for every search order: stop when this many grid
+  /// queries in a row failed to improve the best error seen so far.
+  uint64_t stall_limit = 100000;
+
+  /// Aggregate error function; DefaultAggregateError when unset.
+  ErrorFn error_fn;
+};
+
+/// Outcome of one ACQUIRE run.
+struct AcquireResult {
+  /// Refined queries meeting the constraint within delta, sorted by QScore.
+  /// Per Algorithm 4 these are all hits in the first layer containing one
+  /// (plus any repartitioned answers), or the full within-gamma set when
+  /// collect_within_gamma is on.
+  std::vector<RefinedQuery> queries;
+
+  /// False when the space was exhausted (or a stopping rule fired) without
+  /// reaching the constraint; `best` then carries the closest query found.
+  bool satisfied = false;
+
+  /// Closest query found overall (minimum error, ties by QScore).
+  RefinedQuery best;
+
+  uint64_t queries_explored = 0;  // grid queries investigated
+  uint64_t cell_queries = 0;      // cell sub-queries actually executed
+  EvaluationLayer::ExecStats exec_stats;  // evaluation-layer counters
+  double elapsed_ms = 0.0;
+};
+
+/// Runs ACQUIRE (Algorithm 4) for `task` against `layer`.
+///
+/// The evaluation layer is modular (Section 3): pass a
+/// DirectEvaluationLayer to model per-query DBMS execution, a
+/// CachedEvaluationLayer for the materialized-distances variant, or a
+/// GridIndexEvaluationLayer (Section 7.4) for O(1) cell queries. The layer
+/// must wrap the same task.
+Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
+                                 const AcquireOptions& options = {});
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_ACQUIRE_H_

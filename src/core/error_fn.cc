@@ -1,0 +1,25 @@
+#include "core/error_fn.h"
+
+#include <cmath>
+
+namespace acquire {
+
+double DefaultAggregateError(const Constraint& constraint, double actual) {
+  const double target = constraint.target;
+  switch (constraint.op) {
+    case ConstraintOp::kEq:
+      return std::fabs(target - actual) / target;
+    case ConstraintOp::kGe:
+    case ConstraintOp::kGt:
+      return actual >= target ? 0.0 : (target - actual) / target;
+  }
+  return 0.0;
+}
+
+bool OvershootsBeyondDelta(const Constraint& constraint, double actual,
+                           double delta) {
+  if (constraint.op != ConstraintOp::kEq) return false;
+  return actual > constraint.target * (1.0 + delta);
+}
+
+}  // namespace acquire

@@ -1,0 +1,31 @@
+#ifndef ACQUIRE_CORE_ERROR_FN_H_
+#define ACQUIRE_CORE_ERROR_FN_H_
+
+#include <functional>
+
+#include "exec/aggregate.h"
+
+namespace acquire {
+
+/// Aggregate error function Err_A (Section 2.5): maps the actual aggregate
+/// value of a refined query to a non-negative error against the constraint.
+/// The driver accepts any user-supplied function; DefaultAggregateError is
+/// the paper's sensible default.
+using ErrorFn = std::function<double(const Constraint&, double actual)>;
+
+/// Section 2.5 defaults:
+///  * "=": relative error |Aexp - Aactual| / Aexp (Eq. 4);
+///  * ">=" / ">": one-sided hinge — 0 once the constraint holds, otherwise
+///    the relative shortfall (Aexp - Aactual) / Aexp.
+double DefaultAggregateError(const Constraint& constraint, double actual);
+
+/// True when the refined query's value overshoots an equality constraint by
+/// more than delta, i.e. the grid step jumped across the target and the
+/// cell should be repartitioned (Section 6). Inequality constraints never
+/// overshoot (hinge error).
+bool OvershootsBeyondDelta(const Constraint& constraint, double actual,
+                           double delta);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_ERROR_FN_H_

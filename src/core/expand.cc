@@ -1,0 +1,122 @@
+#include "core/expand.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace acquire {
+
+namespace {
+double CoordSum(const GridCoord& c) {
+  return std::accumulate(c.begin(), c.end(), 0.0);
+}
+}  // namespace
+
+BfsGenerator::BfsGenerator(const RefinedSpace* space) : space_(space) {
+  GridCoord origin(space_->d(), 0);
+  seen_.insert(origin);
+  queue_.push_back(std::move(origin));
+}
+
+bool BfsGenerator::Next(GridCoord* out) {
+  if (queue_.empty()) return false;
+  GridCoord cur = std::move(queue_.front());
+  queue_.pop_front();
+  for (size_t i = 0; i < cur.size(); ++i) {
+    if (cur[i] >= space_->MaxLevel(i)) continue;
+    GridCoord next = cur;
+    ++next[i];
+    if (seen_.insert(next).second) queue_.push_back(std::move(next));
+  }
+  score_ = CoordSum(cur);
+  *out = std::move(cur);
+  return true;
+}
+
+ShellGenerator::ShellGenerator(const RefinedSpace* space) : space_(space) {
+  current_.resize(space_->d(), 0);
+  for (size_t i = 0; i < space_->d(); ++i) {
+    max_shell_ = std::max(max_shell_, space_->MaxLevel(i));
+  }
+}
+
+bool ShellGenerator::Next(GridCoord* out) {
+  const size_t d = space_->d();
+  if (k_ == 0) {
+    if (!shell0_done_) {
+      shell0_done_ = true;
+      *out = GridCoord(d, 0);
+      return true;
+    }
+    k_ = 1;
+    pinned_ = 0;
+    odometer_live_ = false;
+  }
+
+  while (k_ <= max_shell_) {
+    if (!odometer_live_) {
+      // Find the next dimension that can be pinned at k.
+      while (pinned_ < d && space_->MaxLevel(pinned_) < k_) ++pinned_;
+      if (pinned_ >= d) {
+        ++k_;
+        pinned_ = 0;
+        continue;
+      }
+      for (size_t j = 0; j < d; ++j) current_[j] = 0;
+      current_[pinned_] = k_;
+      odometer_live_ = true;
+      *out = current_;
+      return true;
+    }
+    // Advance the odometer over the free dimensions (last varies fastest).
+    bool advanced = false;
+    for (size_t rj = d; rj-- > 0;) {
+      if (rj == pinned_) continue;
+      // Dimensions before the pinned one stay below k so each coordinate is
+      // enumerated exactly once (under its first k-valued dimension).
+      int32_t limit = std::min(rj < pinned_ ? k_ - 1 : k_,
+                               space_->MaxLevel(rj));
+      if (current_[rj] < limit) {
+        ++current_[rj];
+        for (size_t m = rj + 1; m < d; ++m) {
+          if (m != pinned_) current_[m] = 0;
+        }
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) {
+      *out = current_;
+      return true;
+    }
+    odometer_live_ = false;
+    ++pinned_;
+  }
+  return false;
+}
+
+BestFirstGenerator::BestFirstGenerator(const RefinedSpace* space)
+    : space_(space) {
+  GridCoord origin(space_->d(), 0);
+  seen_.insert(origin);
+  heap_.push(Entry{0.0, std::move(origin)});
+}
+
+bool BestFirstGenerator::Next(GridCoord* out) {
+  if (heap_.empty()) return false;
+  Entry top = heap_.top();
+  heap_.pop();
+  for (size_t i = 0; i < top.coord.size(); ++i) {
+    if (top.coord[i] >= space_->MaxLevel(i)) continue;
+    GridCoord next = top.coord;
+    ++next[i];
+    if (seen_.insert(next).second) {
+      double q = space_->QScoreOf(next);
+      heap_.push(Entry{q, std::move(next)});
+    }
+  }
+  score_ = top.qscore;
+  *out = std::move(top.coord);
+  return true;
+}
+
+}  // namespace acquire

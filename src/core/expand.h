@@ -1,0 +1,96 @@
+#ifndef ACQUIRE_CORE_EXPAND_H_
+#define ACQUIRE_CORE_EXPAND_H_
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/refined_space.h"
+
+namespace acquire {
+
+/// The Expand phase (Section 4): produces grid queries in nondecreasing
+/// refinement order. Implementations guarantee Theorem 2's property — every
+/// query of score k is produced before any query of score > k — which the
+/// driver uses to stop as soon as the layer containing the first hit is
+/// exhausted.
+class QueryGenerator {
+ public:
+  virtual ~QueryGenerator() = default;
+
+  /// Produces the next grid query; false once the space is exhausted.
+  virtual bool Next(GridCoord* out) = 0;
+
+  /// Monotone nondecreasing score of the coordinate last returned by
+  /// Next(): the BFS/shell layer index, or the exact QScore for the
+  /// best-first generator.
+  virtual double CurrentScore() const = 0;
+};
+
+/// Algorithm 1: breadth-first search over the refined-space grid graph.
+/// Layers are sets of constant coordinate sum; for the (default) L1 norm a
+/// layer is exactly an equi-QScore plane.
+class BfsGenerator final : public QueryGenerator {
+ public:
+  explicit BfsGenerator(const RefinedSpace* space);
+
+  bool Next(GridCoord* out) override;
+  double CurrentScore() const override { return score_; }
+
+ private:
+  const RefinedSpace* space_;
+  std::deque<GridCoord> queue_;
+  std::unordered_set<GridCoord, GridCoordHash> seen_;
+  double score_ = 0.0;
+};
+
+/// Algorithm 2: explicit enumeration of the L-shaped equi-L∞ shells
+/// max_i(u_i) = k, in increasing k. Within a shell, coordinates are grouped
+/// by the first dimension pinned at k and enumerated lexicographically.
+class ShellGenerator final : public QueryGenerator {
+ public:
+  explicit ShellGenerator(const RefinedSpace* space);
+
+  bool Next(GridCoord* out) override;
+  double CurrentScore() const override { return static_cast<double>(k_); }
+
+ private:
+  const RefinedSpace* space_;
+  int32_t k_ = 0;        // current shell
+  size_t pinned_ = 0;    // dimension fixed at k
+  GridCoord current_;    // odometer over the free dimensions
+  bool shell0_done_ = false;
+  bool odometer_live_ = false;
+  int32_t max_shell_ = 0;
+};
+
+/// Best-first variant (an ablation, not in the paper): pops coordinates in
+/// exact QScore order using a priority queue. For non-L1 norms this visits
+/// strictly fewer queries than BFS before the first hit, at the cost of a
+/// heap.
+class BestFirstGenerator final : public QueryGenerator {
+ public:
+  explicit BestFirstGenerator(const RefinedSpace* space);
+
+  bool Next(GridCoord* out) override;
+  double CurrentScore() const override { return score_; }
+
+ private:
+  struct Entry {
+    double qscore;
+    GridCoord coord;
+    bool operator>(const Entry& other) const { return qscore > other.qscore; }
+  };
+
+  const RefinedSpace* space_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<GridCoord, GridCoordHash> seen_;
+  double score_ = 0.0;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_EXPAND_H_

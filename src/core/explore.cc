@@ -1,0 +1,58 @@
+#include "core/explore.h"
+
+namespace acquire {
+
+Result<double> Explorer::ComputeAggregate(const GridCoord& coord) {
+  ACQ_RETURN_IF_ERROR(EnsureComputed(coord));
+  const AggregateStore::SubAggregates* states = store_.Find(coord);
+  const AggregateOps& ops = *space_->task().agg.ops;
+  // O_{d+1} is the whole refined query (Eq. 8).
+  return ops.Final(states->back());
+}
+
+Status Explorer::EnsureComputed(const GridCoord& coord) {
+  if (store_.Find(coord) != nullptr) return Status::OK();
+  const size_t d = space_->d();
+  const AggregateOps& ops = *space_->task().agg.ops;
+
+  std::vector<GridCoord> stack{coord};
+  GridCoord prev;
+  while (!stack.empty()) {
+    const GridCoord cur = stack.back();
+    if (store_.Find(cur) != nullptr) {
+      stack.pop_back();
+      continue;
+    }
+    // Every predecessor cur - e_j must be available first.
+    bool missing = false;
+    for (size_t j = 0; j < d; ++j) {
+      if (cur[j] == 0) continue;
+      prev = cur;
+      --prev[j];
+      if (store_.Find(prev) == nullptr) {
+        stack.push_back(prev);
+        missing = true;
+      }
+    }
+    if (missing) continue;
+
+    // Algorithm 3. states[0] = the cell sub-query, executed for real;
+    // states[i] = O_{i+1} via Eq. 17.
+    AggregateStore::SubAggregates states(d + 1);
+    ACQ_ASSIGN_OR_RETURN(states[0], layer_->EvaluateBox(space_->CellBox(cur)));
+    ++cell_queries_;
+    for (size_t i = 1; i <= d; ++i) {
+      states[i] = states[i - 1];
+      if (cur[i - 1] == 0) continue;  // O_i(u - e_{i-1}) is empty
+      prev = cur;
+      --prev[i - 1];
+      const AggregateStore::SubAggregates* prev_states = store_.Find(prev);
+      ops.Merge(&states[i], (*prev_states)[i]);
+    }
+    store_.Put(cur, std::move(states));
+    stack.pop_back();
+  }
+  return Status::OK();
+}
+
+}  // namespace acquire

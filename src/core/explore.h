@@ -1,0 +1,79 @@
+#ifndef ACQUIRE_CORE_EXPLORE_H_
+#define ACQUIRE_CORE_EXPLORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/refined_space.h"
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+/// Stores, per investigated grid query, the aggregate states of its d+1
+/// sub-queries O_1..O_{d+1} (cell, pillar, wall, ..., block; Eqs. 5-8).
+/// Only aggregate states are retained, never result tuples, exactly as in
+/// Section 5.1.1.
+class AggregateStore {
+ public:
+  /// d+1 states, index j holding sub-query O_{j+1}.
+  using SubAggregates = std::vector<AggregateOps::State>;
+
+  void Put(const GridCoord& coord, SubAggregates states) {
+    map_.emplace(coord, std::move(states));
+  }
+
+  /// nullptr when the coordinate has not been investigated.
+  const SubAggregates* Find(const GridCoord& coord) const {
+    auto it = map_.find(coord);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<GridCoord, SubAggregates, GridCoordHash> map_;
+};
+
+/// The Explore phase (Section 5): Incremental Aggregate Computation.
+///
+/// For each grid query only the cell sub-query O_1 is executed against the
+/// evaluation layer; the remaining sub-aggregates follow from the
+/// recurrence O_i(u) = O_{i-1}(u) + O_i(u - e_{i-1}) (Eq. 17) in d
+/// constant-time merges, so a query is executed at most once no matter how
+/// many refined queries contain it.
+///
+/// Algorithm 3 assumes predecessors were investigated first; BFS order
+/// guarantees that (Theorem 3), but shell and best-first orders can request
+/// a coordinate before one of its in-shell predecessors, so missing
+/// predecessors are filled on demand (memoized, still at most one cell
+/// execution per coordinate).
+class Explorer {
+ public:
+  Explorer(const RefinedSpace* space, EvaluationLayer* layer)
+      : space_(space), layer_(layer) {}
+
+  Explorer(const Explorer&) = delete;
+  Explorer& operator=(const Explorer&) = delete;
+
+  /// Final aggregate value of grid query `coord` (Algorithm 3).
+  Result<double> ComputeAggregate(const GridCoord& coord);
+
+  /// Number of cell queries actually executed (== store().size()).
+  uint64_t cell_queries() const { return cell_queries_; }
+
+  const AggregateStore& store() const { return store_; }
+
+ private:
+  /// Ensures store_ holds the sub-aggregates of `coord` (iterative
+  /// dependency-stack fill).
+  Status EnsureComputed(const GridCoord& coord);
+
+  const RefinedSpace* space_;
+  EvaluationLayer* layer_;
+  AggregateStore store_;
+  uint64_t cell_queries_ = 0;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_EXPLORE_H_

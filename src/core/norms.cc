@@ -1,0 +1,57 @@
+#include "core/norms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+double Norm::QScore(const std::vector<double>& pscores,
+                    const std::vector<double>& weights) const {
+  assert(weights.empty() || weights.size() == pscores.size());
+  auto weighted = [&](size_t i) {
+    double w = weights.empty() ? 1.0 : weights[i];
+    return w * std::fabs(pscores[i]);
+  };
+  switch (kind_) {
+    case NormKind::kL1: {
+      double sum = 0.0;
+      for (size_t i = 0; i < pscores.size(); ++i) sum += weighted(i);
+      return sum;
+    }
+    case NormKind::kL2:
+    case NormKind::kLp: {
+      double sum = 0.0;
+      for (size_t i = 0; i < pscores.size(); ++i) {
+        sum += std::pow(weighted(i), p_);
+      }
+      return std::pow(sum, 1.0 / p_);
+    }
+    case NormKind::kLInf: {
+      double mx = 0.0;
+      for (size_t i = 0; i < pscores.size(); ++i) {
+        mx = std::max(mx, weighted(i));
+      }
+      return mx;
+    }
+  }
+  return 0.0;
+}
+
+std::string Norm::ToString() const {
+  switch (kind_) {
+    case NormKind::kL1:
+      return "L1";
+    case NormKind::kL2:
+      return "L2";
+    case NormKind::kLp:
+      return StringFormat("L%g", p_);
+    case NormKind::kLInf:
+      return "Linf";
+  }
+  return "?";
+}
+
+}  // namespace acquire

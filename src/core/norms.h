@@ -1,0 +1,41 @@
+#ifndef ACQUIRE_CORE_NORMS_H_
+#define ACQUIRE_CORE_NORMS_H_
+
+#include <string>
+#include <vector>
+
+namespace acquire {
+
+/// Weighted vector p-norms used to fold a predicate refinement vector
+/// PScore(Q, Q') into the scalar QScore(Q, Q') (Eq. 3 and Section 7.1's
+/// LWp preference weights). All are monotone in every component, the
+/// property the Expand phase relies on (Theorem 3).
+enum class NormKind { kL1, kL2, kLp, kLInf };
+
+class Norm {
+ public:
+  static Norm L1() { return Norm(NormKind::kL1, 1.0); }
+  static Norm L2() { return Norm(NormKind::kL2, 2.0); }
+  static Norm Lp(double p) { return Norm(NormKind::kLp, p); }
+  static Norm LInf() { return Norm(NormKind::kLInf, 0.0); }
+
+  NormKind kind() const { return kind_; }
+  double p() const { return p_; }
+
+  /// QScore of a refinement vector. `weights` may be empty (all 1.0) or
+  /// one weight per component.
+  double QScore(const std::vector<double>& pscores,
+                const std::vector<double>& weights = {}) const;
+
+  std::string ToString() const;
+
+ private:
+  Norm(NormKind kind, double p) : kind_(kind), p_(p) {}
+
+  NormKind kind_;
+  double p_;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_NORMS_H_

@@ -1,0 +1,75 @@
+#include "core/processor.h"
+
+#include <vector>
+
+#include "core/refined_space.h"
+
+namespace acquire {
+
+const char* AcqModeToString(AcqMode mode) {
+  switch (mode) {
+    case AcqMode::kOriginalSatisfies:
+      return "original-satisfies";
+    case AcqMode::kExpanded:
+      return "expanded";
+    case AcqMode::kContracted:
+      return "contracted";
+  }
+  return "?";
+}
+
+Result<AcqOutcome> ProcessAcq(const AcqTask& task, EvaluationLayer* layer,
+                              const AcquireOptions& options) {
+  if (layer == nullptr || &layer->task() != &task) {
+    return Status::InvalidArgument(
+        "evaluation layer must wrap the same AcqTask");
+  }
+  const ErrorFn error_fn =
+      options.error_fn ? options.error_fn : ErrorFn(DefaultAggregateError);
+
+  // --- Step 1 (Figure 2): estimate Aactual of the original query. ---
+  AcqOutcome outcome;
+  std::vector<double> origin(task.d(), 0.0);
+  ACQ_ASSIGN_OR_RETURN(outcome.original_aggregate,
+                       layer->EvaluateQueryValue(origin));
+  double origin_error = error_fn(task.constraint, outcome.original_aggregate);
+
+  if (origin_error <= options.delta) {
+    outcome.mode = AcqMode::kOriginalSatisfies;
+    RefinedSpace space(&task, options.gamma, options.norm);
+    RefinedQuery q;
+    q.coord = GridCoord(task.d(), 0);
+    q.pscores = origin;
+    q.qscore = 0.0;
+    q.aggregate = outcome.original_aggregate;
+    q.error = origin_error;
+    q.description = space.Describe(q.coord);
+    outcome.result.satisfied = true;
+    outcome.result.queries = {q};
+    outcome.result.best = std::move(q);
+    outcome.result.queries_explored = 1;
+    return outcome;
+  }
+
+  if (OvershootsBeyondDelta(task.constraint, outcome.original_aggregate,
+                            options.delta)) {
+    // --- Too many results: contraction mode (Section 7.2). ---
+    outcome.mode = AcqMode::kContracted;
+    ACQ_ASSIGN_OR_RETURN(AcqTask contraction, MakeContractionTask(task));
+    outcome.contraction_task =
+        std::make_shared<AcqTask>(std::move(contraction));
+    CachedEvaluationLayer contraction_layer(outcome.contraction_task.get());
+    ACQ_ASSIGN_OR_RETURN(
+        outcome.result,
+        RunAcquireContract(*outcome.contraction_task, &contraction_layer,
+                           options));
+    return outcome;
+  }
+
+  // --- Too few results: expansion (Algorithm 4). ---
+  outcome.mode = AcqMode::kExpanded;
+  ACQ_ASSIGN_OR_RETURN(outcome.result, RunAcquire(task, layer, options));
+  return outcome;
+}
+
+}  // namespace acquire

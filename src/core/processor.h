@@ -1,0 +1,43 @@
+#ifndef ACQUIRE_CORE_PROCESSOR_H_
+#define ACQUIRE_CORE_PROCESSOR_H_
+
+#include <memory>
+
+#include "core/acquire.h"
+#include "core/contract.h"
+
+namespace acquire {
+
+/// How ProcessAcq resolved an ACQ (Figure 2's control flow).
+enum class AcqMode {
+  kOriginalSatisfies,  // step 1: Aactual already within delta of Aexp
+  kExpanded,           // undershoot: ACQUIRE expansion (Algorithm 4)
+  kContracted,         // overshoot of an equality target: Section 7.2
+};
+
+const char* AcqModeToString(AcqMode mode);
+
+struct AcqOutcome {
+  AcqMode mode = AcqMode::kOriginalSatisfies;
+  /// Aactual of the original (unrefined) query, measured in step 1.
+  double original_aggregate = 0.0;
+  /// Search outcome. For kOriginalSatisfies it holds the original query as
+  /// the single (zero-refinement) answer.
+  AcquireResult result;
+  /// Set when mode == kContracted: the transformed task whose dimensions
+  /// the result's coordinates refer to (needed e.g. to materialize).
+  std::shared_ptr<AcqTask> contraction_task;
+};
+
+/// The system front door (Figure 2): estimate the original query's
+/// aggregate value; if it already meets the constraint within
+/// options.delta, return it; if it undershoots, run ACQUIRE expansion on
+/// `layer`; if it overshoots an equality target, build the contraction
+/// task (Section 7.2) and search contractions instead (over an internally
+/// constructed cached layer, since `layer` wraps the expansion task).
+Result<AcqOutcome> ProcessAcq(const AcqTask& task, EvaluationLayer* layer,
+                              const AcquireOptions& options = {});
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_PROCESSOR_H_

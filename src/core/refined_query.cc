@@ -1,0 +1,12 @@
+#include "core/refined_query.h"
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+std::string RefinedQuery::ToString() const {
+  return StringFormat("QScore=%.3f agg=%g err=%.4f :: %s", qscore, aggregate,
+                      error, description.c_str());
+}
+
+}  // namespace acquire

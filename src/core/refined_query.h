@@ -1,0 +1,30 @@
+#ifndef ACQUIRE_CORE_REFINED_QUERY_H_
+#define ACQUIRE_CORE_REFINED_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+/// One alternative refined query recommended to the user: the refinement
+/// vector, its QScore, the aggregate it attains, and a rendered WHERE
+/// clause.
+struct RefinedQuery {
+  /// Grid position; empty for off-grid answers found by repartitioning.
+  GridCoord coord;
+  /// Per-dimension PScores (Eq. 2's predicate refinement vector).
+  std::vector<double> pscores;
+  double qscore = 0.0;
+  double aggregate = 0.0;  // Aactual of this refined query
+  double error = 0.0;      // Err_A against the constraint
+  /// Refined predicate conjunction, e.g. "s_acctbal <= 2612.5 AND ...".
+  std::string description;
+
+  std::string ToString() const;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_REFINED_QUERY_H_

@@ -1,0 +1,65 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+std::string RefinementReport(const AcqTask& task, const RefinedQuery& query) {
+  std::string out;
+  size_t width = 0;
+  std::vector<std::string> befores;
+  befores.reserve(task.d());
+  for (const RefinementDimPtr& dim : task.dims) {
+    befores.push_back(dim->label());
+    width = std::max(width, befores.back().size());
+  }
+  for (size_t i = 0; i < task.d() && i < query.pscores.size(); ++i) {
+    double pscore = query.pscores[i];
+    std::string after;
+    if (pscore <= 0.0) {
+      after = "(unchanged)";
+    } else {
+      after = StringFormat("%s   (+%.3g%% of range)",
+                           task.dims[i]->DescribeAt(pscore).c_str(), pscore);
+    }
+    out += StringFormat("  %-*s  ->  %s\n", static_cast<int>(width),
+                        befores[i].c_str(), after.c_str());
+  }
+  for (const std::string& fixed : task.fixed_predicate_labels) {
+    out += StringFormat("  %-*s  ->  (NOREFINE)\n", static_cast<int>(width),
+                        fixed.c_str());
+  }
+  out += StringFormat("  aggregate %s: %g  (error %.4f, QScore %.3f)\n",
+                      task.agg.ToString().c_str(), query.aggregate,
+                      query.error, query.qscore);
+  return out;
+}
+
+std::vector<RefinedQuery> ParetoFilter(std::vector<RefinedQuery> queries) {
+  auto dominates = [](const RefinedQuery& a, const RefinedQuery& b) {
+    if (a.pscores.size() != b.pscores.size()) return false;
+    bool strictly_less = false;
+    for (size_t i = 0; i < a.pscores.size(); ++i) {
+      if (a.pscores[i] > b.pscores[i] + 1e-12) return false;
+      if (a.pscores[i] < b.pscores[i] - 1e-12) strictly_less = true;
+    }
+    return strictly_less;
+  };
+  std::vector<RefinedQuery> frontier;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < queries.size() && !dominated; ++j) {
+      dominated = j != i && dominates(queries[j], queries[i]);
+    }
+    if (!dominated) frontier.push_back(std::move(queries[i]));
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const RefinedQuery& a, const RefinedQuery& b) {
+              return a.qscore < b.qscore;
+            });
+  return frontier;
+}
+
+}  // namespace acquire

@@ -1,0 +1,33 @@
+#ifndef ACQUIRE_CORE_REPORT_H_
+#define ACQUIRE_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/acquire.h"
+#include "exec/acq_task.h"
+
+namespace acquire {
+
+/// Human-readable per-predicate change report for one recommended refined
+/// query — the "what exactly did you change about my query?" view the
+/// paper's user experience calls for:
+///
+///   s_acctbal < 2000        ->  s_acctbal <= 4097.22   (+105% of range)
+///   p_retailprice < 1000    ->  (unchanged)
+///
+/// Unchanged dimensions are annotated rather than dropped so the user sees
+/// the whole query.
+std::string RefinementReport(const AcqTask& task, const RefinedQuery& query);
+
+/// Filters `queries` down to the Pareto-optimal set under per-dimension
+/// refinement-vector dominance: a query is dropped when another refines
+/// every predicate at most as much and at least one strictly less. With
+/// several same-QScore answers (the common case: Algorithm 4 returns the
+/// whole hit layer), this is the set the user actually wants to choose
+/// from — every surviving answer represents a distinct trade-off.
+std::vector<RefinedQuery> ParetoFilter(std::vector<RefinedQuery> queries);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_REPORT_H_

@@ -1,0 +1,17 @@
+#include "exec/acq_task.h"
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+std::string AcqTask::ToString() const {
+  std::vector<std::string> preds;
+  preds.reserve(dims.size());
+  for (const RefinementDimPtr& dim : dims) preds.push_back(dim->label());
+  return StringFormat(
+      "SELECT * FROM %s CONSTRAINT %s %s WHERE %s", relation->name().c_str(),
+      agg.ToString().c_str(), constraint.ToString().c_str(),
+      Join(preds, " AND ").c_str());
+}
+
+}  // namespace acquire

@@ -1,0 +1,80 @@
+#ifndef ACQUIRE_EXEC_APPROX_EVALUATION_H_
+#define ACQUIRE_EXEC_APPROX_EVALUATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+/// Section 3 notes that the evaluation layer "is modular and can be
+/// replaced with other techniques such as estimation, and/or sampling".
+/// These two layers are those replacements: they answer the same box
+/// queries approximately, trading accuracy for speed, and plug into
+/// RunAcquire unchanged.
+
+/// Bernoulli-sampling layer: evaluates every box over a fixed row sample
+/// and scales extrapolatable aggregates (COUNT, SUM) by 1/rate. AVG is the
+/// sample average (unbiased without scaling); MIN/MAX are the unscaled
+/// sample extrema (biased toward the interior — inherent to sampling).
+/// UDAs are rejected because the layer cannot know how to extrapolate them.
+class SamplingEvaluationLayer final : public EvaluationLayer {
+ public:
+  /// `rate` in (0, 1]; `seed` fixes the sample for reproducibility.
+  SamplingEvaluationLayer(const AcqTask* task, double rate,
+                          uint64_t seed = 1337);
+
+  Status Prepare() override;
+
+  Result<AggregateOps::State> EvaluateBox(
+      const std::vector<PScoreRange>& box) override;
+
+  size_t sample_size() const { return sampled_rows_.size(); }
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  uint64_t seed_;
+  bool prepared_ = false;
+  std::vector<uint32_t> sampled_rows_;
+  std::vector<double> needed_;      // sample_size x d
+  std::vector<double> agg_values_;  // per sampled row
+};
+
+/// Histogram-estimation layer for COUNT constraints: one equi-width
+/// histogram of needed PScores per dimension, combined under the attribute
+/// value independence assumption (the classic System-R style estimator):
+///   COUNT(box) ~= N * prod_i P(needed_i in box_i).
+/// Never touches tuples after Prepare(); each box costs O(d * buckets).
+class HistogramEvaluationLayer final : public EvaluationLayer {
+ public:
+  HistogramEvaluationLayer(const AcqTask* task, size_t buckets_per_dim = 64);
+
+  Status Prepare() override;
+
+  Result<AggregateOps::State> EvaluateBox(
+      const std::vector<PScoreRange>& box) override;
+
+  size_t buckets_per_dim() const { return buckets_; }
+
+ private:
+  /// Estimated fraction of tuples whose needed PScore on `dim` lies in
+  /// `range`, by (partial-)bucket interpolation.
+  double Selectivity(size_t dim, const PScoreRange& range) const;
+
+  size_t buckets_;
+  bool prepared_ = false;
+  size_t total_rows_ = 0;
+  size_t reachable_rows_ = 0;
+  // Per dim: bucket width, counts, and the exact count of needed == 0
+  // (kept out of the buckets — the zero spike dominates real predicates
+  // and would wreck interpolation).
+  std::vector<double> bucket_width_;
+  std::vector<std::vector<double>> counts_;
+  std::vector<double> zero_counts_;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXEC_APPROX_EVALUATION_H_

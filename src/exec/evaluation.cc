@@ -1,0 +1,112 @@
+#include "exec/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+void ComputeNeeded(const AcqTask& task, size_t row, std::vector<double>* out) {
+  out->resize(task.d());
+  for (size_t i = 0; i < task.d(); ++i) {
+    (*out)[i] = task.dims[i]->NeededPScore(*task.relation, row);
+  }
+}
+
+int64_t PScoreLevel(double needed, double step) {
+  if (std::isinf(needed)) return -1;
+  if (needed <= 0.0) return 0;
+  return static_cast<int64_t>(std::ceil(needed / step));
+}
+
+PScoreRange CellRangeForLevel(int64_t level, double step) {
+  if (level <= 0) return PScoreRange{-1.0, 0.0};
+  return PScoreRange{static_cast<double>(level - 1) * step,
+                     static_cast<double>(level) * step};
+}
+
+Result<double> EvaluationLayer::EvaluateQueryValue(
+    const std::vector<double>& pscores) {
+  std::vector<PScoreRange> box(pscores.size());
+  for (size_t i = 0; i < pscores.size(); ++i) {
+    box[i] = PScoreRange{-1.0, pscores[i]};
+  }
+  ACQ_ASSIGN_OR_RETURN(AggregateOps::State state, EvaluateBox(box));
+  return task_->agg.ops->Final(state);
+}
+
+Result<AggregateOps::State> DirectEvaluationLayer::EvaluateBox(
+    const std::vector<PScoreRange>& box) {
+  if (box.size() != task_->d()) {
+    return Status::InvalidArgument(
+        StringFormat("box has %zu ranges, task has %zu dimensions",
+                     box.size(), task_->d()));
+  }
+  ++stats_.queries;
+  const Table& rel = *task_->relation;
+  const AggregateOps& ops = *task_->agg.ops;
+  AggregateOps::State state = ops.Init();
+  const size_t n = rel.num_rows();
+  const size_t d = task_->d();
+  stats_.tuples_scanned += n;
+  for (size_t row = 0; row < n; ++row) {
+    bool admit = true;
+    for (size_t i = 0; i < d; ++i) {
+      double needed = task_->dims[i]->NeededPScore(rel, row);
+      if (!box[i].Admits(needed)) {
+        admit = false;
+        break;
+      }
+    }
+    if (admit) ops.Add(&state, task_->AggValue(row));
+  }
+  return state;
+}
+
+Status CachedEvaluationLayer::Prepare() {
+  if (prepared_) return Status::OK();
+  const size_t n = task_->relation->num_rows();
+  const size_t d = task_->d();
+  needed_.resize(n * d);
+  agg_values_.resize(n);
+  std::vector<double> row_needed;
+  for (size_t row = 0; row < n; ++row) {
+    ComputeNeeded(*task_, row, &row_needed);
+    std::copy(row_needed.begin(), row_needed.end(),
+              needed_.begin() + static_cast<ptrdiff_t>(row * d));
+    agg_values_[row] = task_->AggValue(row);
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+Result<AggregateOps::State> CachedEvaluationLayer::EvaluateBox(
+    const std::vector<PScoreRange>& box) {
+  if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
+  if (box.size() != task_->d()) {
+    return Status::InvalidArgument(
+        StringFormat("box has %zu ranges, task has %zu dimensions",
+                     box.size(), task_->d()));
+  }
+  ++stats_.queries;
+  const AggregateOps& ops = *task_->agg.ops;
+  AggregateOps::State state = ops.Init();
+  const size_t n = agg_values_.size();
+  const size_t d = task_->d();
+  stats_.tuples_scanned += n;
+  for (size_t row = 0; row < n; ++row) {
+    const double* needed = &needed_[row * d];
+    bool admit = true;
+    for (size_t i = 0; i < d; ++i) {
+      if (!box[i].Admits(needed[i])) {
+        admit = false;
+        break;
+      }
+    }
+    if (admit) ops.Add(&state, agg_values_[row]);
+  }
+  return state;
+}
+
+}  // namespace acquire

@@ -1,0 +1,134 @@
+#ifndef ACQUIRE_EXEC_EVALUATION_H_
+#define ACQUIRE_EXEC_EVALUATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/acq_task.h"
+
+namespace acquire {
+
+/// Grid coordinate in the refined space (one refinement level per
+/// dimension; Section 4's grid queries).
+using GridCoord = std::vector<int32_t>;
+
+struct GridCoordHash {
+  size_t operator()(const GridCoord& c) const {
+    // FNV-1a over the raw level values.
+    uint64_t h = 1469598103934665603ULL;
+    for (int32_t v : c) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Half-open-below PScore range on one dimension: admits tuples whose
+/// needed PScore lies in (lo, hi]. lo < 0 means "from 0 inclusive", so
+/// {-1, p} is the full refined predicate at PScore p and
+/// {(u-1)*s, u*s} is grid cell u at step s.
+struct PScoreRange {
+  double lo = -1.0;
+  double hi = 0.0;
+
+  bool Admits(double needed) const { return needed > lo && needed <= hi; }
+};
+
+/// The paper's modular evaluation layer (Section 3): the component that
+/// actually executes (sub-)queries against the data. ACQUIRE, the baselines
+/// and the repartitioner all talk to it through box queries in PScore space.
+///
+/// Implementations:
+///  * DirectEvaluationLayer — recomputes per-tuple refinement distances on
+///    every call; each call models one SQL execution in the paper's
+///    Postgres back end (cost: one full scan of the base relation).
+///  * CachedEvaluationLayer — materializes the tuple x dimension
+///    needed-PScore matrix once in Prepare(); calls still scan all tuples
+///    but skip predicate-function evaluation. Models a DBMS with a
+///    specialized access path.
+///  * GridIndexEvaluationLayer (index/grid_index.h) — Section 7.4's bitmap
+///    grid index: cell-aligned boxes are answered in O(1).
+class EvaluationLayer {
+ public:
+  struct ExecStats {
+    uint64_t queries = 0;         // box queries executed
+    uint64_t tuples_scanned = 0;  // tuples touched while answering them
+  };
+
+  explicit EvaluationLayer(const AcqTask* task) : task_(task) {}
+  virtual ~EvaluationLayer() = default;
+
+  EvaluationLayer(const EvaluationLayer&) = delete;
+  EvaluationLayer& operator=(const EvaluationLayer&) = delete;
+
+  /// One-time setup (no-op for the direct layer).
+  virtual Status Prepare() { return Status::OK(); }
+
+  /// Aggregate state over tuples whose needed-PScore vector lies in `box`
+  /// (one range per dimension, task->d() entries).
+  virtual Result<AggregateOps::State> EvaluateBox(
+      const std::vector<PScoreRange>& box) = 0;
+
+  /// Full refined query at per-dimension PScores `pscores`: box
+  /// (-inf, pscores_i]. Returns the *final* aggregate value.
+  Result<double> EvaluateQueryValue(const std::vector<double>& pscores);
+
+  const AcqTask& task() const { return *task_; }
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats{}; }
+
+ protected:
+  const AcqTask* task_;
+  ExecStats stats_;
+};
+
+/// Scan-per-call layer; see EvaluationLayer docs.
+class DirectEvaluationLayer final : public EvaluationLayer {
+ public:
+  explicit DirectEvaluationLayer(const AcqTask* task)
+      : EvaluationLayer(task) {}
+
+  Result<AggregateOps::State> EvaluateBox(
+      const std::vector<PScoreRange>& box) override;
+};
+
+/// Needed-PScore-matrix layer; see EvaluationLayer docs.
+class CachedEvaluationLayer final : public EvaluationLayer {
+ public:
+  explicit CachedEvaluationLayer(const AcqTask* task)
+      : EvaluationLayer(task) {}
+
+  Status Prepare() override;
+
+  Result<AggregateOps::State> EvaluateBox(
+      const std::vector<PScoreRange>& box) override;
+
+  /// Row-major tuple x dimension matrix of needed PScores; exposed for the
+  /// grid index, which builds on the same materialization.
+  const std::vector<double>& needed_matrix() const { return needed_; }
+
+ private:
+  bool prepared_ = false;
+  std::vector<double> needed_;  // num_rows * d, row-major
+  std::vector<double> agg_values_;  // per-row aggregate input value
+};
+
+/// Computes the needed-PScore vector of `row` under `task` (helper shared
+/// by evaluation layers, baselines and tests).
+void ComputeNeeded(const AcqTask& task, size_t row, std::vector<double>* out);
+
+/// Grid level of a needed PScore at step `step`: level 0 admits exactly the
+/// tuples the original predicate admits (needed == 0); level u > 0 covers
+/// needed in ((u-1)*step, u*step]. Returns -1 for unreachable tuples.
+int64_t PScoreLevel(double needed, double step);
+
+/// The cell box of grid level `level` at step `step` on one dimension
+/// (the inverse of PScoreLevel).
+PScoreRange CellRangeForLevel(int64_t level, double step);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXEC_EVALUATION_H_

@@ -1,0 +1,54 @@
+#include "exec/filter.h"
+
+namespace acquire {
+
+Result<std::vector<uint32_t>> SelectRows(const Table& table,
+                                         const Expr& predicate) {
+  std::vector<uint32_t> rows;
+  for (size_t r = 0, n = table.num_rows(); r < n; ++r) {
+    ACQ_ASSIGN_OR_RETURN(bool keep, predicate.EvalBool(table, r));
+    if (keep) rows.push_back(static_cast<uint32_t>(r));
+  }
+  return rows;
+}
+
+TablePtr GatherRows(const Table& table, const std::vector<uint32_t>& rows,
+                    std::string name) {
+  auto out = std::make_shared<Table>(std::move(name), table.schema());
+  out->ReserveRows(rows.size());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& src = table.column(c);
+    Column& dst = out->mutable_column(c);
+    switch (src.type()) {
+      case DataType::kInt64: {
+        const auto& data = src.int64_data();
+        for (uint32_t r : rows) dst.AppendInt64(data[r]);
+        break;
+      }
+      case DataType::kDouble: {
+        const auto& data = src.double_data();
+        for (uint32_t r : rows) dst.AppendDouble(data[r]);
+        break;
+      }
+      case DataType::kString: {
+        const auto& data = src.string_data();
+        for (uint32_t r : rows) dst.AppendString(data[r]);
+        break;
+      }
+    }
+  }
+  Status s = out->FinalizeAppend();
+  (void)s;  // cannot fail: every column received exactly rows.size() values
+  return out;
+}
+
+Result<TablePtr> FilterTable(const TablePtr& table, const ExprPtr& predicate) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (predicate == nullptr) return table;
+  ACQ_RETURN_IF_ERROR(predicate->Bind(table->schema()));
+  ACQ_ASSIGN_OR_RETURN(std::vector<uint32_t> rows,
+                       SelectRows(*table, *predicate));
+  return GatherRows(*table, rows, table->name());
+}
+
+}  // namespace acquire

@@ -1,0 +1,28 @@
+#ifndef ACQUIRE_EXEC_FILTER_H_
+#define ACQUIRE_EXEC_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace acquire {
+
+/// Row indices of `table` satisfying `predicate` (which must already be
+/// bound to the table's schema).
+Result<std::vector<uint32_t>> SelectRows(const Table& table,
+                                         const Expr& predicate);
+
+/// Materializes the given rows of `table` into a new table named `name`.
+TablePtr GatherRows(const Table& table, const std::vector<uint32_t>& rows,
+                    std::string name);
+
+/// Binds `predicate` to the table's schema and materializes matching rows.
+Result<TablePtr> FilterTable(const TablePtr& table, const ExprPtr& predicate);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXEC_FILTER_H_

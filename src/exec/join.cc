@@ -1,0 +1,226 @@
+#include "exec/join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+TablePtr MaterializeJoinPairs(
+    const Table& left, const Table& right,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    std::string out_name) {
+  Schema joined = Schema::Concat(left.schema(), right.schema());
+  auto out = std::make_shared<Table>(std::move(out_name), joined);
+  out->ReserveRows(pairs.size());
+
+  auto copy_side = [&](const Table& src, size_t col_offset, bool is_left) {
+    for (size_t c = 0; c < src.num_columns(); ++c) {
+      const Column& in = src.column(c);
+      Column& dst = out->mutable_column(col_offset + c);
+      switch (in.type()) {
+        case DataType::kInt64: {
+          const auto& data = in.int64_data();
+          for (const auto& p : pairs)
+            dst.AppendInt64(data[is_left ? p.first : p.second]);
+          break;
+        }
+        case DataType::kDouble: {
+          const auto& data = in.double_data();
+          for (const auto& p : pairs)
+            dst.AppendDouble(data[is_left ? p.first : p.second]);
+          break;
+        }
+        case DataType::kString: {
+          const auto& data = in.string_data();
+          for (const auto& p : pairs)
+            dst.AppendString(data[is_left ? p.first : p.second]);
+          break;
+        }
+      }
+    }
+  };
+  copy_side(left, 0, /*is_left=*/true);
+  copy_side(right, left.num_columns(), /*is_left=*/false);
+  Status s = out->FinalizeAppend();
+  (void)s;  // columns are rectangular by construction
+  return out;
+}
+
+namespace {
+
+// Hash key for join columns; int64 keys hash directly, doubles through
+// their bit pattern (exact equality semantics), strings by content.
+struct JoinKeyExtractor {
+  const Column* column;
+
+  bool is_string() const { return column->type() == DataType::kString; }
+
+  uint64_t NumericKey(size_t row) const {
+    if (column->type() == DataType::kInt64) {
+      return static_cast<uint64_t>(column->int64_data()[row]);
+    }
+    double d = column->double_data()[row];
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+  }
+
+  const std::string& StringKey(size_t row) const {
+    return column->string_data()[row];
+  }
+};
+
+}  // namespace
+
+Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
+                          const std::string& left_column,
+                          const std::string& right_column,
+                          std::string out_name) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("null join input");
+  }
+  ACQ_ASSIGN_OR_RETURN(size_t lcol, left->schema().FieldIndex(left_column));
+  ACQ_ASSIGN_OR_RETURN(size_t rcol, right->schema().FieldIndex(right_column));
+  DataType lt = left->schema().field(lcol).type;
+  DataType rt = right->schema().field(rcol).type;
+  if ((lt == DataType::kString) != (rt == DataType::kString)) {
+    return Status::TypeError(StringFormat(
+        "join key type mismatch: %s vs %s", left_column.c_str(),
+        right_column.c_str()));
+  }
+  if (lt != rt && (lt == DataType::kString || rt == DataType::kString)) {
+    return Status::TypeError("string/non-string join keys");
+  }
+  // Mixed int64/double numeric keys would need widening; require equal types
+  // to keep equality semantics exact.
+  if (lt != rt) {
+    return Status::TypeError(
+        "join keys must have identical types (int64 vs double mismatch)");
+  }
+
+  JoinKeyExtractor lk{&left->column(lcol)};
+  JoinKeyExtractor rk{&right->column(rcol)};
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+
+  if (lk.is_string()) {
+    std::unordered_map<std::string, std::vector<uint32_t>> build;
+    build.reserve(right->num_rows());
+    for (size_t r = 0; r < right->num_rows(); ++r) {
+      build[rk.StringKey(r)].push_back(static_cast<uint32_t>(r));
+    }
+    for (size_t l = 0; l < left->num_rows(); ++l) {
+      auto it = build.find(lk.StringKey(l));
+      if (it == build.end()) continue;
+      for (uint32_t r : it->second) {
+        pairs.emplace_back(static_cast<uint32_t>(l), r);
+      }
+    }
+  } else {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> build;
+    build.reserve(right->num_rows());
+    for (size_t r = 0; r < right->num_rows(); ++r) {
+      build[rk.NumericKey(r)].push_back(static_cast<uint32_t>(r));
+    }
+    for (size_t l = 0; l < left->num_rows(); ++l) {
+      auto it = build.find(lk.NumericKey(l));
+      if (it == build.end()) continue;
+      for (uint32_t r : it->second) {
+        pairs.emplace_back(static_cast<uint32_t>(l), r);
+      }
+    }
+  }
+  return MaterializeJoinPairs(*left, *right, pairs, std::move(out_name));
+}
+
+Result<TablePtr> BandJoin(const TablePtr& left, const TablePtr& right,
+                          const std::string& left_column,
+                          const std::string& right_column, double band,
+                          std::string out_name) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("null join input");
+  }
+  if (band < 0) return Status::InvalidArgument("negative join band");
+  ACQ_ASSIGN_OR_RETURN(size_t lcol, left->schema().FieldIndex(left_column));
+  ACQ_ASSIGN_OR_RETURN(size_t rcol, right->schema().FieldIndex(right_column));
+  if (!IsNumeric(left->schema().field(lcol).type) ||
+      !IsNumeric(right->schema().field(rcol).type)) {
+    return Status::TypeError("band join requires numeric keys");
+  }
+
+  // Sort right rows by key, probe a [v - band, v + band] window per left row.
+  const Column& rc = right->column(rcol);
+  std::vector<std::pair<double, uint32_t>> sorted;
+  sorted.reserve(right->num_rows());
+  for (size_t r = 0; r < right->num_rows(); ++r) {
+    sorted.emplace_back(rc.GetDouble(r), static_cast<uint32_t>(r));
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  const Column& lc = left->column(lcol);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (size_t l = 0; l < left->num_rows(); ++l) {
+    double v = lc.GetDouble(l);
+    auto lo = std::lower_bound(
+        sorted.begin(), sorted.end(), std::make_pair(v - band, uint32_t{0}));
+    for (auto it = lo; it != sorted.end() && it->first <= v + band; ++it) {
+      pairs.emplace_back(static_cast<uint32_t>(l), it->second);
+    }
+  }
+  return MaterializeJoinPairs(*left, *right, pairs, std::move(out_name));
+}
+
+Result<TablePtr> ExprBandJoin(const TablePtr& left, const TablePtr& right,
+                              const ExprPtr& left_function,
+                              const ExprPtr& right_function, double delta_lo,
+                              double delta_hi, std::string out_name) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("null join input");
+  }
+  if (left_function == nullptr || right_function == nullptr) {
+    return Status::InvalidArgument("null join function");
+  }
+  if (delta_lo > delta_hi) {
+    return Status::InvalidArgument("empty join delta interval");
+  }
+  ACQ_RETURN_IF_ERROR(left_function->Bind(left->schema()));
+  ACQ_RETURN_IF_ERROR(right_function->Bind(right->schema()));
+
+  auto evaluate_side = [](const Table& table, const Expr& function) {
+    std::vector<std::pair<double, uint32_t>> values;
+    values.reserve(table.num_rows());
+    for (size_t row = 0; row < table.num_rows(); ++row) {
+      auto value = function.Eval(table, row);
+      if (!value.ok()) continue;
+      auto v = value->AsDouble();
+      if (!v.ok()) continue;
+      values.emplace_back(*v, static_cast<uint32_t>(row));
+    }
+    return values;
+  };
+
+  std::vector<std::pair<double, uint32_t>> left_values =
+      evaluate_side(*left, *left_function);
+  std::vector<std::pair<double, uint32_t>> sorted_right =
+      evaluate_side(*right, *right_function);
+  std::sort(sorted_right.begin(), sorted_right.end());
+
+  // delta = f_left - f_right in [lo, hi]  <=>  f_right in [f1-hi, f1-lo].
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (const auto& [f1, lrow] : left_values) {
+    auto begin = std::lower_bound(
+        sorted_right.begin(), sorted_right.end(),
+        std::make_pair(f1 - delta_hi, uint32_t{0}));
+    for (auto it = begin; it != sorted_right.end() && it->first <= f1 - delta_lo;
+         ++it) {
+      pairs.emplace_back(lrow, it->second);
+    }
+  }
+  return MaterializeJoinPairs(*left, *right, pairs, std::move(out_name));
+}
+
+}  // namespace acquire

@@ -1,0 +1,52 @@
+#ifndef ACQUIRE_EXEC_JOIN_H_
+#define ACQUIRE_EXEC_JOIN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace acquire {
+
+/// Inner equi-join of `left` and `right` on one column pair; hash build on
+/// the smaller input. Output schema is left fields followed by right fields
+/// (qualifiers preserved, so duplicate bare names stay resolvable).
+Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
+                          const std::string& left_column,
+                          const std::string& right_column,
+                          std::string out_name);
+
+/// Band join: emits pairs with |left_column - right_column| <= band.
+/// Implemented as sort on the right input + per-left-row range probe, so it
+/// degrades gracefully as the band widens. band = 0 is an equi-join on
+/// numeric keys. Used to materialize the base relation of refinable join
+/// predicates (Section 2.4), where `band` is the band cap of the JoinDim.
+Result<TablePtr> BandJoin(const TablePtr& left, const TablePtr& right,
+                          const std::string& left_column,
+                          const std::string& right_column, double band,
+                          std::string out_name);
+
+/// Theta/band join over arbitrary numeric predicate functions (Section
+/// 2.4's non-equi joins): emits pairs whose delta
+///   f_left(l) - f_right(r)
+/// lies in [delta_lo, delta_hi] (use +/-infinity for one-sided thetas).
+/// `left_function` / `right_function` are bound against the respective
+/// input schemas; rows where a function fails to evaluate are skipped.
+/// Sort-based: right rows ordered by f_right, one range probe per left row.
+Result<TablePtr> ExprBandJoin(const TablePtr& left, const TablePtr& right,
+                              const ExprPtr& left_function,
+                              const ExprPtr& right_function, double delta_lo,
+                              double delta_hi, std::string out_name);
+
+/// Shared helper: materializes matched (left_row, right_row) pairs into a
+/// table over the concatenated schema.
+TablePtr MaterializeJoinPairs(const Table& left, const Table& right,
+                              const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+                              std::string out_name);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXEC_JOIN_H_

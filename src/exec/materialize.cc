@@ -1,0 +1,34 @@
+#include "exec/materialize.h"
+
+#include "common/string_util.h"
+#include "exec/filter.h"
+
+namespace acquire {
+
+Result<TablePtr> MaterializeRefinedQuery(const AcqTask& task,
+                                         const std::vector<double>& pscores) {
+  if (pscores.size() != task.d()) {
+    return Status::InvalidArgument(
+        StringFormat("refinement vector has %zu entries, task has %zu "
+                     "dimensions", pscores.size(), task.d()));
+  }
+  const Table& rel = *task.relation;
+  std::vector<uint32_t> rows;
+  for (size_t row = 0; row < rel.num_rows(); ++row) {
+    bool admit = true;
+    for (size_t i = 0; i < task.d(); ++i) {
+      if (task.dims[i]->NeededPScore(rel, row) > pscores[i]) {
+        admit = false;
+        break;
+      }
+    }
+    if (admit) rows.push_back(static_cast<uint32_t>(row));
+  }
+  return GatherRows(rel, rows, rel.name() + "_refined");
+}
+
+Result<TablePtr> MaterializeOriginalQuery(const AcqTask& task) {
+  return MaterializeRefinedQuery(task, std::vector<double>(task.d(), 0.0));
+}
+
+}  // namespace acquire

@@ -1,0 +1,24 @@
+#ifndef ACQUIRE_EXEC_MATERIALIZE_H_
+#define ACQUIRE_EXEC_MATERIALIZE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "exec/acq_task.h"
+
+namespace acquire {
+
+/// Materializes the result tuples of a refined query: every base-relation
+/// row whose needed-PScore vector is dominated by `pscores`. This is what
+/// the user runs after picking one of ACQUIRE's recommendations — the
+/// returned table *is* that query's result set (so its aggregate equals the
+/// RefinedQuery's reported Aactual).
+Result<TablePtr> MaterializeRefinedQuery(const AcqTask& task,
+                                         const std::vector<double>& pscores);
+
+/// Convenience overload for the original (unrefined) query.
+Result<TablePtr> MaterializeOriginalQuery(const AcqTask& task);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXEC_MATERIALIZE_H_

@@ -1,0 +1,38 @@
+#ifndef ACQUIRE_EXEC_PARALLEL_EVALUATION_H_
+#define ACQUIRE_EXEC_PARALLEL_EVALUATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+/// Multi-threaded evaluation layer: Prepare() materializes the per-tuple
+/// refinement-distance matrix once (like CachedEvaluationLayer), and every
+/// box query is folded in parallel over row partitions whose partial states
+/// are merged at the end. The merge is correct for exactly the aggregates
+/// ACQUIRE admits — Section 2.6's optimal substructure property is also
+/// what makes the evaluation embarrassingly parallel.
+class ParallelEvaluationLayer final : public EvaluationLayer {
+ public:
+  /// `threads` = 0 uses the hardware concurrency (at least 2).
+  explicit ParallelEvaluationLayer(const AcqTask* task, size_t threads = 0);
+
+  Status Prepare() override;
+
+  Result<AggregateOps::State> EvaluateBox(
+      const std::vector<PScoreRange>& box) override;
+
+  size_t threads() const { return threads_; }
+
+ private:
+  size_t threads_;
+  bool prepared_ = false;
+  std::vector<double> needed_;      // row-major tuple x dim matrix
+  std::vector<double> agg_values_;  // per-row aggregate input
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXEC_PARALLEL_EVALUATION_H_

@@ -1,0 +1,473 @@
+#include "exec/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "exec/filter.h"
+#include "exec/join.h"
+
+namespace acquire {
+
+namespace {
+
+// Lowers a non-refinable SelectPredicateSpec to a filter expression.
+ExprPtr PredicateToExpr(const SelectPredicateSpec& pred) {
+  return Expr::Compare(pred.op, Expr::Column(pred.column),
+                       Expr::Literal(Value(pred.bound)));
+}
+
+// Default band cap for a refinable join: 5% of the joint key span.
+constexpr double kDefaultBandFraction = 0.05;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double JointSpan(const Table& a, size_t ca, const Table& b, size_t cb) {
+  const ColumnStats& sa = a.Stats(ca);
+  const ColumnStats& sb = b.Stats(cb);
+  double lo = std::min(sa.valid ? sa.min : 0.0, sb.valid ? sb.min : 0.0);
+  double hi = std::max(sa.valid ? sa.max : 0.0, sb.valid ? sb.max : 0.0);
+  return std::max(0.0, hi - lo);
+}
+
+// Min/max of a bound numeric function over a table's rows.
+Result<ColumnStats> ExprValueStats(const Table& table, const Expr& function) {
+  ColumnStats stats;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    auto value = function.Eval(table, row);
+    if (!value.ok()) continue;
+    auto v = value->AsDouble();
+    if (!v.ok()) {
+      return Status::TypeError("predicate function is not numeric: " +
+                               function.ToString());
+    }
+    if (!stats.valid) {
+      stats.min = stats.max = *v;
+      stats.valid = true;
+    } else {
+      stats.min = std::min(stats.min, *v);
+      stats.max = std::max(stats.max, *v);
+    }
+  }
+  if (!stats.valid) {
+    return Status::InvalidArgument(
+        "predicate function evaluates on no rows: " + function.ToString());
+  }
+  return stats;
+}
+
+// Base accepted interval of delta = left - right for a theta join op.
+struct DeltaInterval {
+  double lo;
+  double hi;
+};
+
+Result<DeltaInterval> BaseDeltaInterval(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return DeltaInterval{-kInf, 0.0};
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return DeltaInterval{0.0, kInf};
+    case CompareOp::kEq:
+      return DeltaInterval{0.0, 0.0};
+    case CompareOp::kNe:
+      break;
+  }
+  return Status::Unsupported("!= join predicates are not refinable");
+}
+
+// Deferred construction of a refinable non-equi join's dimension(s): the
+// delta function's domain must be measured over the final relation.
+struct PendingExprJoinDim {
+  ExprPtr delta;  // left_function - right_function
+  CompareOp op;
+  double cap;
+  double weight;
+};
+
+}  // namespace
+
+Result<AcqTask> PlanAcqTask(const Catalog& catalog, const QuerySpec& spec) {
+  if (spec.tables.empty()) {
+    return Status::InvalidArgument("query references no tables");
+  }
+
+  // --- Load inputs. ---
+  std::vector<TablePtr> inputs;
+  inputs.reserve(spec.tables.size());
+  for (const std::string& name : spec.tables) {
+    ACQ_ASSIGN_OR_RETURN(TablePtr t, catalog.GetTable(name));
+    inputs.push_back(std::move(t));
+  }
+
+  // --- Collect NOREFINE filters (explicit + non-refinable predicates). ---
+  std::vector<ExprPtr> fixed;
+  for (const SelectPredicateSpec& pred : spec.predicates) {
+    if (!pred.refinable) fixed.push_back(PredicateToExpr(pred));
+  }
+  for (const ExprPredicateSpec& pred : spec.expr_predicates) {
+    if (!pred.refinable) {
+      fixed.push_back(Expr::Compare(pred.op, pred.function,
+                                    Expr::Literal(Value(pred.bound))));
+    }
+  }
+  fixed.insert(fixed.end(), spec.fixed_filters.begin(),
+               spec.fixed_filters.end());
+
+  // Push single-table filters below the joins; everything else is applied
+  // to the joined relation. A filter is pushable when it binds to exactly
+  // one input schema.
+  std::vector<std::vector<ExprPtr>> per_table(inputs.size());
+  std::vector<ExprPtr> post_join;
+  for (const ExprPtr& f : fixed) {
+    int hit = -1;
+    int hits = 0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (f->Bind(inputs[i]->schema()).ok()) {
+        hit = static_cast<int>(i);
+        ++hits;
+      }
+    }
+    if (hits == 1) {
+      per_table[static_cast<size_t>(hit)].push_back(f);
+    } else {
+      post_join.push_back(f);
+    }
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (per_table[i].empty()) continue;
+    ExprPtr conj = per_table[i].size() == 1 ? per_table[i][0]
+                                            : Expr::And(per_table[i]);
+    ACQ_ASSIGN_OR_RETURN(inputs[i], FilterTable(inputs[i], conj));
+  }
+
+  // --- Fold the join tree. ---
+  std::vector<RefinementDimPtr> dims;
+  std::vector<std::string> fixed_join_labels;
+  TablePtr relation = inputs[0];
+  std::vector<bool> joined(inputs.size(), false);
+  joined[0] = true;
+  std::vector<bool> join_used(spec.joins.size(), false);
+  std::vector<bool> expr_join_used(spec.expr_joins.size(), false);
+  std::vector<PendingExprJoinDim> pending_join_dims;
+  size_t joined_count = 1;
+
+  // Folds one non-equi join clause against an unjoined input; returns true
+  // on progress.
+  auto try_expr_join = [&](const ExprJoinClauseSpec& jc,
+                           size_t t) -> Result<bool> {
+    // Orient: one side's function must bind to the current relation, the
+    // other to the candidate table.
+    bool forward = jc.left_function->Bind(relation->schema()).ok() &&
+                   jc.right_function->Bind(inputs[t]->schema()).ok();
+    bool backward = !forward &&
+                    jc.right_function->Bind(relation->schema()).ok() &&
+                    jc.left_function->Bind(inputs[t]->schema()).ok();
+    if (!forward && !backward) return false;
+    const ExprPtr& rel_fn = forward ? jc.left_function : jc.right_function;
+    const ExprPtr& tab_fn = forward ? jc.right_function : jc.left_function;
+
+    ACQ_ASSIGN_OR_RETURN(DeltaInterval base, BaseDeltaInterval(jc.op));
+    double cap = 0.0;
+    if (jc.refinable) {
+      cap = jc.band_cap;
+      if (cap <= 0.0) {
+        ACQ_RETURN_IF_ERROR(rel_fn->Bind(relation->schema()));
+        ACQ_RETURN_IF_ERROR(tab_fn->Bind(inputs[t]->schema()));
+        ACQ_ASSIGN_OR_RETURN(ColumnStats rs, ExprValueStats(*relation, *rel_fn));
+        ACQ_ASSIGN_OR_RETURN(ColumnStats ts, ExprValueStats(*inputs[t], *tab_fn));
+        cap = kDefaultBandFraction * ((rs.max - rs.min) + (ts.max - ts.min));
+        if (cap <= 0.0) cap = 1.0;
+      }
+      if (std::isfinite(base.hi)) base.hi += cap;
+      if (std::isfinite(base.lo)) base.lo -= cap;
+    }
+    // The materialization delta is f_rel - f_tab; when the clause is
+    // oriented backward that is -(left - right), so flip the interval.
+    DeltaInterval mat = base;
+    if (backward) mat = DeltaInterval{-base.hi, -base.lo};
+    ACQ_ASSIGN_OR_RETURN(relation,
+                         ExprBandJoin(relation, inputs[t], rel_fn, tab_fn,
+                                      mat.lo, mat.hi, "join"));
+    if (!jc.refinable) {
+      // The band interval is closed; re-apply the clause exactly so strict
+      // thetas (<, >) drop boundary pairs.
+      ACQ_ASSIGN_OR_RETURN(
+          relation,
+          FilterTable(relation, Expr::Compare(jc.op, jc.left_function,
+                                              jc.right_function)));
+    }
+    if (jc.refinable) {
+      pending_join_dims.push_back(PendingExprJoinDim{
+          Expr::Arith(ArithOp::kSub, jc.left_function, jc.right_function),
+          jc.op, cap, jc.weight});
+    } else {
+      fixed_join_labels.push_back(jc.left_function->ToString() + " " +
+                                  CompareOpToString(jc.op) + " " +
+                                  jc.right_function->ToString());
+    }
+    return true;
+  };
+
+  while (joined_count < inputs.size()) {
+    bool progressed = false;
+    for (size_t j = 0; j < spec.joins.size(); ++j) {
+      if (join_used[j]) continue;
+      const JoinClauseSpec& jc = spec.joins[j];
+      // Orient the clause: one side must bind to the current relation, the
+      // other to a not-yet-joined input.
+      for (size_t t = 0; t < inputs.size(); ++t) {
+        if (joined[t]) continue;
+        std::string rel_col, tab_col;
+        if (relation->schema().TryFieldIndex(jc.left_column).has_value() &&
+            inputs[t]->schema().TryFieldIndex(jc.right_column).has_value()) {
+          rel_col = jc.left_column;
+          tab_col = jc.right_column;
+        } else if (relation->schema().TryFieldIndex(jc.right_column).has_value() &&
+                   inputs[t]->schema().TryFieldIndex(jc.left_column).has_value()) {
+          rel_col = jc.right_column;
+          tab_col = jc.left_column;
+        } else {
+          continue;
+        }
+        if (jc.refinable) {
+          ACQ_ASSIGN_OR_RETURN(size_t rc, relation->schema().FieldIndex(rel_col));
+          ACQ_ASSIGN_OR_RETURN(size_t tc, inputs[t]->schema().FieldIndex(tab_col));
+          double cap = jc.band_cap > 0.0
+                           ? jc.band_cap
+                           : kDefaultBandFraction *
+                                 JointSpan(*relation, rc, *inputs[t], tc);
+          ACQ_ASSIGN_OR_RETURN(
+              relation, BandJoin(relation, inputs[t], rel_col, tab_col, cap,
+                                 "join"));
+          auto dim = std::make_unique<JoinDim>(jc.left_column, jc.right_column,
+                                               cap);
+          dim->set_weight(jc.weight);
+          dims.push_back(std::move(dim));
+        } else {
+          ACQ_ASSIGN_OR_RETURN(
+              relation,
+              HashJoin(relation, inputs[t], rel_col, tab_col, "join"));
+          fixed_join_labels.push_back(jc.left_column + " = " +
+                                      jc.right_column);
+        }
+        joined[t] = true;
+        join_used[j] = true;
+        ++joined_count;
+        progressed = true;
+        break;
+      }
+      if (progressed) break;
+    }
+    if (!progressed) {
+      for (size_t j = 0; j < spec.expr_joins.size() && !progressed; ++j) {
+        if (expr_join_used[j]) continue;
+        for (size_t t = 0; t < inputs.size() && !progressed; ++t) {
+          if (joined[t]) continue;
+          ACQ_ASSIGN_OR_RETURN(bool folded,
+                               try_expr_join(spec.expr_joins[j], t));
+          if (folded) {
+            joined[t] = true;
+            expr_join_used[j] = true;
+            ++joined_count;
+            progressed = true;
+          }
+        }
+      }
+    }
+    if (!progressed) {
+      return Status::InvalidArgument(
+          "join clauses do not connect all tables (cross products are not "
+          "supported)");
+    }
+  }
+
+  // --- Remaining NOREFINE filters over the joined relation. ---
+  if (!post_join.empty()) {
+    ExprPtr conj =
+        post_join.size() == 1 ? post_join[0] : Expr::And(post_join);
+    ACQ_ASSIGN_OR_RETURN(relation, FilterTable(relation, conj));
+  }
+
+  if (relation->num_rows() == 0) {
+    return Status::InvalidArgument(
+        "base relation is empty: the NOREFINE predicates admit no tuples, "
+        "so no refinement can reach the aggregate target");
+  }
+
+  // --- Refinable select predicates become dimensions. ---
+  for (const SelectPredicateSpec& pred : spec.predicates) {
+    if (!pred.refinable) continue;
+    ACQ_ASSIGN_OR_RETURN(size_t idx, relation->schema().FieldIndex(pred.column));
+    const ColumnStats& stats = relation->Stats(idx);
+    if (!stats.valid) {
+      return Status::TypeError("refinable predicate on non-numeric column: " +
+                               pred.column);
+    }
+    auto add_dim = [&](bool is_upper, bool strict) {
+      auto dim = std::make_unique<NumericDim>(pred.column, is_upper,
+                                              pred.bound, strict, stats.min,
+                                              stats.max);
+      dim->set_weight(pred.weight);
+      if (pred.max_refinement.has_value()) {
+        dim->set_max_refinement(*pred.max_refinement);
+      }
+      dims.push_back(std::move(dim));
+    };
+    switch (pred.op) {
+      case CompareOp::kLt:
+        add_dim(/*is_upper=*/true, /*strict=*/true);
+        break;
+      case CompareOp::kLe:
+        add_dim(/*is_upper=*/true, /*strict=*/false);
+        break;
+      case CompareOp::kGt:
+        add_dim(/*is_upper=*/false, /*strict=*/true);
+        break;
+      case CompareOp::kGe:
+        add_dim(/*is_upper=*/false, /*strict=*/false);
+        break;
+      case CompareOp::kEq:
+        // Point interval; refines like the two sides of a range predicate
+        // (Section 2.2's range rewrite applied to a degenerate range).
+        add_dim(/*is_upper=*/true, /*strict=*/false);
+        add_dim(/*is_upper=*/false, /*strict=*/false);
+        break;
+      case CompareOp::kNe:
+        return Status::Unsupported("refinable != predicates are not defined");
+    }
+  }
+
+  // --- Refinable predicate-function (arithmetic) predicates. ---
+  for (const ExprPredicateSpec& pred : spec.expr_predicates) {
+    if (!pred.refinable) continue;
+    ACQ_RETURN_IF_ERROR(pred.function->Bind(relation->schema()));
+    ACQ_ASSIGN_OR_RETURN(ColumnStats stats,
+                         ExprValueStats(*relation, *pred.function));
+    auto add_dim = [&](bool is_upper, bool strict) {
+      auto dim = std::make_unique<ExprDim>(pred.function, is_upper,
+                                           pred.bound, strict, stats.min,
+                                           stats.max);
+      dim->set_weight(pred.weight);
+      if (pred.max_refinement.has_value()) {
+        dim->set_max_refinement(*pred.max_refinement);
+      }
+      dims.push_back(std::move(dim));
+    };
+    switch (pred.op) {
+      case CompareOp::kLt:
+        add_dim(true, true);
+        break;
+      case CompareOp::kLe:
+        add_dim(true, false);
+        break;
+      case CompareOp::kGt:
+        add_dim(false, true);
+        break;
+      case CompareOp::kGe:
+        add_dim(false, false);
+        break;
+      case CompareOp::kEq:
+        add_dim(true, false);
+        add_dim(false, false);
+        break;
+      case CompareOp::kNe:
+        return Status::Unsupported("refinable != predicates are not defined");
+    }
+  }
+
+  // --- Refinable non-equi join dimensions (delta-band semantics). ---
+  for (const PendingExprJoinDim& pending : pending_join_dims) {
+    ACQ_RETURN_IF_ERROR(pending.delta->Bind(relation->schema()));
+    ACQ_ASSIGN_OR_RETURN(ColumnStats stats,
+                         ExprValueStats(*relation, *pending.delta));
+    auto add_dim = [&](bool is_upper, bool strict) {
+      auto dim = std::make_unique<ExprDim>(pending.delta, is_upper, 0.0,
+                                           strict, stats.min, stats.max,
+                                           /*pscore_denominator=*/100.0);
+      dim->set_weight(pending.weight);
+      dim->set_max_refinement(pending.cap);
+      dims.push_back(std::move(dim));
+    };
+    switch (pending.op) {
+      case CompareOp::kLt:
+        add_dim(true, true);
+        break;
+      case CompareOp::kLe:
+        add_dim(true, false);
+        break;
+      case CompareOp::kGt:
+        add_dim(false, true);
+        break;
+      case CompareOp::kGe:
+        add_dim(false, false);
+        break;
+      case CompareOp::kEq:
+        add_dim(true, false);
+        add_dim(false, false);
+        break;
+      case CompareOp::kNe:
+        return Status::Internal("unreachable: != joins rejected earlier");
+    }
+  }
+
+  // --- Refinable categorical predicates (Section 7.3). ---
+  for (const CategoricalPredicateSpec& pred : spec.categorical_predicates) {
+    if (pred.ontology == nullptr) {
+      return Status::InvalidArgument(
+          "categorical predicate needs an ontology: " + pred.column);
+    }
+    auto dim = std::make_unique<CategoricalDim>(
+        pred.column, pred.categories, pred.ontology, pred.pscore_per_rollup);
+    dim->set_weight(pred.weight);
+    dims.push_back(std::move(dim));
+  }
+
+  if (dims.empty()) {
+    return Status::InvalidArgument(
+        "query has no refinable predicates; mark at least one predicate "
+        "without NOREFINE");
+  }
+
+  // --- Bind dimensions, aggregate, constraint. ---
+  for (const RefinementDimPtr& dim : dims) {
+    ACQ_RETURN_IF_ERROR(dim->Bind(relation->schema()));
+  }
+
+  AcqTask task;
+  task.relation = std::move(relation);
+  task.dims = std::move(dims);
+  task.table_names = spec.tables;
+  task.fixed_predicate_labels = std::move(fixed_join_labels);
+  for (const SelectPredicateSpec& pred : spec.predicates) {
+    if (!pred.refinable) {
+      task.fixed_predicate_labels.push_back(PredicateToExpr(pred)->ToString());
+    }
+  }
+  for (const ExprPredicateSpec& pred : spec.expr_predicates) {
+    if (!pred.refinable) {
+      task.fixed_predicate_labels.push_back(
+          pred.function->ToString() + " " + CompareOpToString(pred.op) + " " +
+          Value(pred.bound).ToString());
+    }
+  }
+  for (const ExprPtr& f : spec.fixed_filters) {
+    task.fixed_predicate_labels.push_back(f->ToString());
+  }
+  task.agg.kind = spec.agg_kind;
+  task.agg.column = spec.agg_column;
+  task.agg.uda_name = spec.uda_name;
+  ACQ_RETURN_IF_ERROR(task.agg.Bind(task.relation->schema()));
+  task.constraint.op = spec.constraint_op;
+  task.constraint.target = spec.target;
+  if (task.constraint.target <= 0.0) {
+    return Status::InvalidArgument(
+        "CONSTRAINT target must be a positive number (Section 2.1)");
+  }
+  return task;
+}
+
+}  // namespace acquire

@@ -1,0 +1,115 @@
+#ifndef ACQUIRE_EXEC_PLANNER_H_
+#define ACQUIRE_EXEC_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/acq_task.h"
+#include "expr/expr.h"
+#include "expr/ontology.h"
+#include "storage/catalog.h"
+
+namespace acquire {
+
+/// One WHERE-clause numeric comparison. Refinable predicates become refined
+/// space dimensions; non-refinable ones are fixed filters (NOREFINE).
+struct SelectPredicateSpec {
+  std::string column;
+  CompareOp op = CompareOp::kLt;
+  double bound = 0.0;
+  bool refinable = true;
+  /// Relative importance for weighted norms (Section 7.1); larger weight =
+  /// more reluctant to refine.
+  double weight = 1.0;
+  /// Optional per-predicate refinement cap in PScore units (Section 7.1).
+  std::optional<double> max_refinement;
+};
+
+/// One join clause. Non-refinable joins execute as exact hash joins;
+/// refinable joins become JoinDims over a band-join-materialized relation.
+struct JoinClauseSpec {
+  std::string left_column;
+  std::string right_column;
+  bool refinable = false;
+  /// Widest band a refinable join may reach (MaxPScore of the JoinDim).
+  /// <= 0 picks a default of 5% of the joint key span.
+  double band_cap = 0.0;
+  double weight = 1.0;
+};
+
+/// Refinable predicate over an arbitrary numeric function of one
+/// relation's attributes (Section 2.2's predicate functions):
+/// `function <op> bound`, e.g. "l_quantity * l_extendedprice < 5000".
+struct ExprPredicateSpec {
+  ExprPtr function;
+  CompareOp op = CompareOp::kLt;
+  double bound = 0.0;
+  bool refinable = true;
+  double weight = 1.0;
+  std::optional<double> max_refinement;
+};
+
+/// Non-equi join clause (Section 2.4): `left_function <op> right_function`
+/// with each side a numeric function over one table's attributes, e.g.
+/// "2 * A.x < 3 * B.x". Refinement widens the accepted band of
+/// delta = left - right; the PScore denominator is 100 (join semantics).
+struct ExprJoinClauseSpec {
+  ExprPtr left_function;
+  ExprPtr right_function;
+  CompareOp op = CompareOp::kLt;
+  bool refinable = true;
+  /// Widest delta-band expansion; <= 0 picks 5% of the joint value span.
+  double band_cap = 0.0;
+  double weight = 1.0;
+};
+
+/// Refinable categorical predicate `column IN (categories)` relaxed by
+/// ontology roll-ups (Section 7.3).
+struct CategoricalPredicateSpec {
+  std::string column;
+  std::vector<std::string> categories;
+  /// Not owned; must outlive the planned task.
+  const OntologyTree* ontology = nullptr;
+  double weight = 1.0;
+  /// PScore charged per roll-up step; <= 0 picks 100 / tree height.
+  double pscore_per_rollup = 0.0;
+};
+
+/// Declarative form of an ACQ; the programmatic public API (the SQL binder
+/// lowers parsed queries to this same struct).
+struct QuerySpec {
+  std::vector<std::string> tables;
+  std::vector<JoinClauseSpec> joins;
+  std::vector<ExprJoinClauseSpec> expr_joins;
+  std::vector<SelectPredicateSpec> predicates;
+  std::vector<ExprPredicateSpec> expr_predicates;
+  std::vector<CategoricalPredicateSpec> categorical_predicates;
+  /// Arbitrary NOREFINE filters (IN lists, string equality, ...). Bound by
+  /// the planner; single-table filters are pushed below the joins.
+  std::vector<ExprPtr> fixed_filters;
+
+  AggregateKind agg_kind = AggregateKind::kCount;
+  std::string agg_column;  // empty for COUNT(*)
+  std::string uda_name;    // for agg_kind == kUda
+  ConstraintOp constraint_op = ConstraintOp::kEq;
+  double target = 0.0;  // Aexp
+};
+
+/// Plans `spec` against `catalog` into an executable AcqTask:
+///  1. applies pushed-down NOREFINE filters per table,
+///  2. materializes the join tree (hash joins; band joins for refinable
+///     joins, widened to their band cap),
+///  3. applies remaining multi-table NOREFINE filters,
+///  4. builds one RefinementDim per refinable predicate with domain bounds
+///     taken from the resulting relation's column statistics, and
+///  5. binds the aggregate and constraint.
+///
+/// Refinable equality predicates (x = c) are expanded into an upper and a
+/// lower dimension, mirroring the paper's range-predicate rewrite.
+Result<AcqTask> PlanAcqTask(const Catalog& catalog, const QuerySpec& spec);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXEC_PLANNER_H_

@@ -1,0 +1,25 @@
+#include "expr/custom_metric_dim.h"
+
+#include <cmath>
+
+namespace acquire {
+
+double CustomMetricDim::InverseMetric(double pscore) const {
+  if (pscore <= 0.0) return 0.0;
+  double inner_cap = inner_->MaxPScore();
+  if (std::isinf(inner_cap)) inner_cap = 1e9;  // practical search ceiling
+  if (metric_(inner_cap) <= pscore) return inner_cap;
+  double lo = 0.0;
+  double hi = inner_cap;
+  for (int iter = 0; iter < 64; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (metric_(mid) <= pscore) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace acquire

@@ -1,0 +1,70 @@
+#ifndef ACQUIRE_EXPR_CUSTOM_METRIC_DIM_H_
+#define ACQUIRE_EXPR_CUSTOM_METRIC_DIM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "expr/refinement_dim.h"
+
+namespace acquire {
+
+/// Section 2.3: "while percent refinement is the default predicate
+/// refinement metric used in this work, a user can override the metric with
+/// custom (monotonic) functions without changes to our algorithm."
+///
+/// CustomMetricDim decorates any dimension with a user metric m: the
+/// decorated NeededPScore is m(inner_pscore). The metric must be monotone
+/// nondecreasing with m(0) = 0 — that preserves Theorem 3 (containment
+/// order) and hence every guarantee of the search. DescribeAt inverts the
+/// metric numerically (bisection over the inner scale) so rendered refined
+/// predicates stay exact.
+class CustomMetricDim final : public RefinementDim {
+ public:
+  /// Maps an inner PScore (>= 0) to the user's scale; must be monotone
+  /// nondecreasing and map 0 to 0.
+  using Metric = std::function<double(double)>;
+
+  CustomMetricDim(RefinementDimPtr inner, Metric metric,
+                  std::string metric_name = "custom")
+      : inner_(std::move(inner)),
+        metric_(std::move(metric)),
+        metric_name_(std::move(metric_name)) {}
+
+  Status Bind(const Schema& schema) override { return inner_->Bind(schema); }
+
+  double NeededPScore(const Table& table, size_t row) const override {
+    double inner = inner_->NeededPScore(table, row);
+    if (inner == kUnreachable) return kUnreachable;
+    return metric_(inner);
+  }
+
+  double MaxPScore() const override {
+    double cap = inner_->MaxPScore();
+    if (cap == kUnreachable) return kUnreachable;
+    return metric_(cap);
+  }
+
+  std::string DescribeAt(double pscore) const override {
+    return inner_->DescribeAt(InverseMetric(pscore));
+  }
+
+  std::string label() const override { return inner_->label(); }
+
+  const RefinementDim& inner() const { return *inner_; }
+  const std::string& metric_name() const { return metric_name_; }
+
+  /// Largest inner PScore whose metric value is <= `pscore` (bisection);
+  /// exposed for tests.
+  double InverseMetric(double pscore) const;
+
+ private:
+  RefinementDimPtr inner_;
+  Metric metric_;
+  std::string metric_name_;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXPR_CUSTOM_METRIC_DIM_H_

@@ -1,0 +1,90 @@
+#ifndef ACQUIRE_EXPR_EXPR_H_
+#define ACQUIRE_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace acquire {
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+const char* CompareOpToString(CompareOp op);
+const char* ArithOpToString(ArithOp op);
+
+/// Flips the operand order: a OP b == b Flip(OP) a.
+CompareOp FlipCompareOp(CompareOp op);
+
+/// Boolean/scalar expression tree for NOREFINE filters and general
+/// predicates. Column references are resolved against a schema by Bind();
+/// evaluation then reads the bound column index directly.
+class Expr {
+ public:
+  enum class Kind {
+    kColumn,      // named column reference
+    kLiteral,     // constant Value
+    kCompare,     // child[0] OP child[1]
+    kArith,       // child[0] op child[1]
+    kAnd,         // conjunction over children
+    kOr,          // disjunction over children
+    kNot,         // !child[0]
+    kIn,          // child[0] IN (literals)
+    kBetween,     // literals[0] <= child[0] <= literals[1]
+  };
+
+  /// --- Factory helpers (the public construction API) ---
+  static ExprPtr Column(std::string name);
+  static ExprPtr Literal(Value v);
+  static ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(std::vector<ExprPtr> children);
+  static ExprPtr Or(std::vector<ExprPtr> children);
+  static ExprPtr Not(ExprPtr child);
+  static ExprPtr In(ExprPtr needle, std::vector<Value> haystack);
+  static ExprPtr Between(ExprPtr operand, Value lo, Value hi);
+
+  Kind kind() const { return kind_; }
+  const std::string& column_name() const { return column_name_; }
+  const Value& literal() const { return literal_; }
+  CompareOp compare_op() const { return compare_op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Resolves every column reference in the tree against `schema`.
+  Status Bind(const Schema& schema);
+  bool bound() const;
+
+  /// Evaluates against row `row` of `table` (whose schema must match the
+  /// bound schema). Boolean results are int64 0/1.
+  Result<Value> Eval(const Table& table, size_t row) const;
+
+  /// Convenience: evaluates and coerces to boolean (errors on non-numeric).
+  Result<bool> EvalBool(const Table& table, size_t row) const;
+
+  /// SQL-ish rendering, e.g. "(p_size = 10 AND p_type = 'STEEL')".
+  std::string ToString() const;
+
+ private:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string column_name_;
+  int bound_index_ = -1;
+  Value literal_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  std::vector<ExprPtr> children_;
+  std::vector<Value> values_;  // kIn haystack / kBetween bounds
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXPR_EXPR_H_

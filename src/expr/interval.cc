@@ -1,0 +1,12 @@
+#include "expr/interval.h"
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+std::string Interval::ToString() const {
+  return StringFormat("%c%g, %g%c", lo_open ? '(' : '[', lo, hi,
+                      hi_open ? ')' : ']');
+}
+
+}  // namespace acquire

@@ -1,0 +1,40 @@
+#ifndef ACQUIRE_EXPR_INTERVAL_H_
+#define ACQUIRE_EXPR_INTERVAL_H_
+
+#include <string>
+
+namespace acquire {
+
+/// A (possibly half-open) numeric interval. Predicate intervals P_I from
+/// Section 2.2 of the paper: the set of acceptable values for a predicate
+/// function.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool lo_open = false;
+  bool hi_open = false;
+
+  static Interval Closed(double lo, double hi) { return {lo, hi, false, false}; }
+  static Interval Point(double v) { return {v, v, false, false}; }
+
+  bool Contains(double v) const {
+    if (lo_open ? v <= lo : v < lo) return false;
+    if (hi_open ? v >= hi : v > hi) return false;
+    return true;
+  }
+
+  double Width() const { return hi - lo; }
+  bool IsPoint() const { return lo == hi; }
+  bool IsEmpty() const { return hi < lo || (hi == lo && (lo_open || hi_open)); }
+
+  std::string ToString() const;
+
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi && lo_open == other.lo_open &&
+           hi_open == other.hi_open;
+  }
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXPR_INTERVAL_H_

@@ -1,0 +1,183 @@
+#include "expr/ontology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+Status OntologyTree::AddNode(const std::string& name,
+                             const std::string& parent) {
+  if (name.empty()) return Status::InvalidArgument("empty node name");
+  if (nodes_.count(name)) {
+    return Status::AlreadyExists("ontology node exists: " + name);
+  }
+  Node node;
+  if (parent.empty()) {
+    if (!root_.empty()) {
+      return Status::InvalidArgument("ontology already has a root: " + root_);
+    }
+    root_ = name;
+    node.depth = 0;
+  } else {
+    auto it = nodes_.find(parent);
+    if (it == nodes_.end()) {
+      return Status::NotFound("unknown parent node: " + parent);
+    }
+    node.parent = parent;
+    node.depth = it->second.depth + 1;
+  }
+  height_ = std::max(height_, node.depth);
+  nodes_.emplace(name, std::move(node));
+  return Status::OK();
+}
+
+Result<int> OntologyTree::Depth(const std::string& name) const {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return Status::NotFound("no such node: " + name);
+  return it->second.depth;
+}
+
+Result<std::string> OntologyTree::Ancestor(const std::string& name,
+                                           int rollups) const {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return Status::NotFound("no such node: " + name);
+  std::string current = name;
+  for (int i = 0; i < rollups; ++i) {
+    const Node& node = nodes_.at(current);
+    if (node.parent.empty()) break;  // clamp at the root
+    current = node.parent;
+  }
+  return current;
+}
+
+Result<bool> OntologyTree::IsAncestorOrSelf(const std::string& ancestor,
+                                            const std::string& node) const {
+  if (!Contains(ancestor)) return Status::NotFound("no such node: " + ancestor);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return Status::NotFound("no such node: " + node);
+  std::string current = node;
+  for (;;) {
+    if (current == ancestor) return true;
+    const Node& n = nodes_.at(current);
+    if (n.parent.empty()) return false;
+    current = n.parent;
+  }
+}
+
+Result<int> OntologyTree::RollupsToCover(const std::vector<std::string>& base,
+                                         const std::string& value) const {
+  auto vit = nodes_.find(value);
+  if (vit == nodes_.end()) return Status::NotFound("no such node: " + value);
+  // Root path of `value`, by name, for LCA lookups.
+  std::vector<std::string> value_path;
+  {
+    std::string current = value;
+    for (;;) {
+      value_path.push_back(current);
+      const Node& n = nodes_.at(current);
+      if (n.parent.empty()) break;
+      current = n.parent;
+    }
+  }
+  int best = -1;
+  for (const std::string& b : base) {
+    auto bit = nodes_.find(b);
+    if (bit == nodes_.end()) return Status::NotFound("no such node: " + b);
+    // Walk up from b; the first ancestor on value's root path is the LCA.
+    std::string current = b;
+    int rollups = 0;
+    for (;;) {
+      if (std::find(value_path.begin(), value_path.end(), current) !=
+          value_path.end()) {
+        break;
+      }
+      const Node& n = nodes_.at(current);
+      if (n.parent.empty()) break;  // reached root; root covers everything
+      current = n.parent;
+      ++rollups;
+    }
+    if (best < 0 || rollups < best) best = rollups;
+  }
+  if (best < 0) return Status::InvalidArgument("empty base category set");
+  return best;
+}
+
+CategoricalDim::CategoricalDim(std::string column,
+                               std::vector<std::string> base_categories,
+                               const OntologyTree* ontology,
+                               double pscore_per_rollup)
+    : column_(std::move(column)),
+      base_(std::move(base_categories)),
+      ontology_(ontology),
+      pscore_per_rollup_(pscore_per_rollup) {
+  if (pscore_per_rollup_ <= 0.0) {
+    pscore_per_rollup_ =
+        ontology_->height() > 0 ? 100.0 / ontology_->height() : 100.0;
+  }
+}
+
+Status CategoricalDim::Bind(const Schema& schema) {
+  ACQ_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(column_));
+  if (schema.field(idx).type != DataType::kString) {
+    return Status::TypeError("categorical predicate on non-string column: " +
+                             column_);
+  }
+  col_index_ = static_cast<int>(idx);
+  if (base_.empty()) {
+    return Status::InvalidArgument("categorical predicate with no categories");
+  }
+  for (const std::string& b : base_) {
+    if (!ontology_->Contains(b)) {
+      return Status::NotFound("category not in ontology: " + b);
+    }
+  }
+  return Status::OK();
+}
+
+double CategoricalDim::NeededPScore(const Table& table, size_t row) const {
+  const std::string& value =
+      table.column(static_cast<size_t>(col_index_)).GetString(row);
+  auto it = rollups_.find(value);
+  int rollups;
+  if (it != rollups_.end()) {
+    rollups = it->second;
+  } else {
+    Result<int> r = ontology_->RollupsToCover(base_, value);
+    rollups = r.ok() ? r.value() : -1;
+    rollups_.emplace(value, rollups);
+  }
+  if (rollups < 0) return kUnreachable;  // value outside the ontology
+  return rollups * pscore_per_rollup_;
+}
+
+double CategoricalDim::MaxPScore() const {
+  // Any value is covered by at most height() roll-ups (the root).
+  return ontology_->height() * pscore_per_rollup_;
+}
+
+int CategoricalDim::RollupsAt(double pscore) const {
+  if (pscore <= 0.0) return 0;
+  return static_cast<int>(std::floor(pscore / pscore_per_rollup_ + 1e-9));
+}
+
+std::string CategoricalDim::DescribeAt(double pscore) const {
+  int rollups = RollupsAt(pscore);
+  std::vector<std::string> cover;
+  for (const std::string& b : base_) {
+    Result<std::string> a = ontology_->Ancestor(b, rollups);
+    std::string node = a.ok() ? a.value() : b;
+    if (std::find(cover.begin(), cover.end(), node) == cover.end()) {
+      cover.push_back(std::move(node));
+    }
+  }
+  std::vector<std::string> quoted;
+  quoted.reserve(cover.size());
+  for (const std::string& node : cover) quoted.push_back("'" + node + "'");
+  return column_ + " IN (" + Join(quoted, ", ") + ")";
+}
+
+std::string CategoricalDim::label() const { return DescribeAt(0.0); }
+
+}  // namespace acquire

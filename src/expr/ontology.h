@@ -1,0 +1,88 @@
+#ifndef ACQUIRE_EXPR_ONTOLOGY_H_
+#define ACQUIRE_EXPR_ONTOLOGY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/refinement_dim.h"
+
+namespace acquire {
+
+/// Taxonomy tree over categorical values (Section 7.3, Figure 7). Rolling a
+/// predicate's categories up the tree relaxes it; refinement distance is
+/// measured in roll-up steps weighted into PScore units by CategoricalDim.
+class OntologyTree {
+ public:
+  /// Adds `name` under `parent`; an empty parent makes `name` the root
+  /// (exactly one root allowed, and parents must be added first).
+  Status AddNode(const std::string& name, const std::string& parent);
+
+  bool Contains(const std::string& name) const {
+    return nodes_.count(name) > 0;
+  }
+
+  /// Root has depth 0.
+  Result<int> Depth(const std::string& name) const;
+
+  /// The ancestor `rollups` levels above `name`, clamped at the root.
+  Result<std::string> Ancestor(const std::string& name, int rollups) const;
+
+  /// True when `ancestor` lies on the root path of `node` (or equals it).
+  Result<bool> IsAncestorOrSelf(const std::string& ancestor,
+                                const std::string& node) const;
+
+  /// Minimum number of roll-up steps applied to the nodes of `base` until
+  /// one of the rolled-up subtrees covers `value`:
+  ///   min_b (depth(b) - depth(lca(b, value))).
+  /// NotFound when `value` is not in the tree.
+  Result<int> RollupsToCover(const std::vector<std::string>& base,
+                             const std::string& value) const;
+
+  /// Depth of the deepest node.
+  int height() const { return height_; }
+
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string parent;  // empty for the root
+    int depth = 0;
+  };
+  std::unordered_map<std::string, Node> nodes_;
+  std::string root_;
+  int height_ = 0;
+};
+
+/// Categorical predicate `column IN (base_categories)` refined by ontology
+/// roll-ups (Section 7.3). Each roll-up step costs `pscore_per_rollup`
+/// PScore units (default 100 / tree height, so full generalization to the
+/// root scores about 100, commensurate with numeric predicates).
+class CategoricalDim final : public RefinementDim {
+ public:
+  CategoricalDim(std::string column, std::vector<std::string> base_categories,
+                 const OntologyTree* ontology, double pscore_per_rollup = 0.0);
+
+  Status Bind(const Schema& schema) override;
+  double NeededPScore(const Table& table, size_t row) const override;
+  double MaxPScore() const override;
+  std::string DescribeAt(double pscore) const override;
+  std::string label() const override;
+
+  /// Roll-up steps implied by a PScore.
+  int RollupsAt(double pscore) const;
+
+ private:
+  std::string column_;
+  std::vector<std::string> base_;
+  const OntologyTree* ontology_;
+  double pscore_per_rollup_;
+  int col_index_ = -1;
+  // Per-distinct-value roll-up cache, filled lazily by NeededPScore.
+  mutable std::unordered_map<std::string, int> rollups_;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_EXPR_ONTOLOGY_H_

@@ -1,0 +1,166 @@
+#include "index/grid_index.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+namespace {
+
+constexpr double kAlignEps = 1e-9;
+
+bool NearlyEqual(double a, double b) {
+  return std::fabs(a - b) <= kAlignEps * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+// If `v` is (approximately) a non-negative integer multiple of `step`,
+// returns that multiple; otherwise -1.
+int64_t AlignedMultiple(double v, double step) {
+  if (v < -kAlignEps) return -1;
+  double q = v / step;
+  int64_t u = static_cast<int64_t>(std::llround(q));
+  if (u < 0) return -1;
+  return NearlyEqual(static_cast<double>(u) * step, v) ? u : -1;
+}
+
+}  // namespace
+
+GridIndexEvaluationLayer::GridIndexEvaluationLayer(const AcqTask* task,
+                                                   double step)
+    : EvaluationLayer(task), step_(step) {}
+
+Status GridIndexEvaluationLayer::Prepare() {
+  if (prepared_) return Status::OK();
+  if (step_ <= 0.0) {
+    return Status::InvalidArgument("grid index requires a positive step");
+  }
+  const size_t n = task_->relation->num_rows();
+  const size_t d = task_->d();
+  needed_.resize(n * d);
+  agg_values_.resize(n);
+  const AggregateOps& ops = *task_->agg.ops;
+  std::vector<double> row_needed;
+  GridCoord coord(d);
+  for (size_t row = 0; row < n; ++row) {
+    ComputeNeeded(*task_, row, &row_needed);
+    std::copy(row_needed.begin(), row_needed.end(),
+              needed_.begin() + static_cast<ptrdiff_t>(row * d));
+    agg_values_[row] = task_->AggValue(row);
+    bool reachable = true;
+    for (size_t i = 0; i < d; ++i) {
+      int64_t level = PScoreLevel(row_needed[i], step_);
+      if (level < 0) {
+        reachable = false;
+        break;
+      }
+      coord[i] = static_cast<int32_t>(level);
+    }
+    if (!reachable) continue;
+    auto [it, inserted] = cells_.try_emplace(coord, ops.Init());
+    ops.Add(&it->second, agg_values_[row]);
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+bool GridIndexEvaluationLayer::IsCellAligned(
+    const std::vector<PScoreRange>& box, GridCoord* coord) const {
+  coord->resize(box.size());
+  for (size_t i = 0; i < box.size(); ++i) {
+    const PScoreRange& r = box[i];
+    if (r.lo < 0.0) {
+      if (!NearlyEqual(r.hi, 0.0)) return false;
+      (*coord)[i] = 0;
+      continue;
+    }
+    int64_t hi_mult = AlignedMultiple(r.hi, step_);
+    int64_t lo_mult = AlignedMultiple(r.lo, step_);
+    if (hi_mult < 1 || lo_mult != hi_mult - 1) return false;
+    (*coord)[i] = static_cast<int32_t>(hi_mult);
+  }
+  return true;
+}
+
+Result<AggregateOps::State> GridIndexEvaluationLayer::EvaluateBox(
+    const std::vector<PScoreRange>& box) {
+  if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
+  if (box.size() != task_->d()) {
+    return Status::InvalidArgument(
+        StringFormat("box has %zu ranges, task has %zu dimensions",
+                     box.size(), task_->d()));
+  }
+  ++stats_.queries;
+  const AggregateOps& ops = *task_->agg.ops;
+
+  // Fast path 1: a single grid cell -- one hash probe.
+  GridCoord coord;
+  if (IsCellAligned(box, &coord)) {
+    ++stats_.tuples_scanned;
+    auto it = cells_.find(coord);
+    return it == cells_.end() ? ops.Init() : it->second;
+  }
+
+  // Fast path 2: a grid-aligned box -- merge the covered cells.
+  std::vector<int64_t> lo_level(box.size());
+  std::vector<int64_t> hi_level(box.size());
+  bool aligned = true;
+  for (size_t i = 0; i < box.size() && aligned; ++i) {
+    int64_t hi = AlignedMultiple(box[i].hi, step_);
+    if (hi < 0) {
+      aligned = false;
+      break;
+    }
+    hi_level[i] = hi;
+    if (box[i].lo < 0.0) {
+      lo_level[i] = 0;
+    } else {
+      int64_t lo = AlignedMultiple(box[i].lo, step_);
+      if (lo < 0) {
+        aligned = false;
+        break;
+      }
+      lo_level[i] = lo + 1;
+    }
+  }
+  if (aligned) {
+    AggregateOps::State state = ops.Init();
+    stats_.tuples_scanned += cells_.size();
+    for (const auto& [cell, cell_state] : cells_) {
+      bool inside = true;
+      for (size_t i = 0; i < cell.size(); ++i) {
+        if (cell[i] < lo_level[i] || cell[i] > hi_level[i]) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) ops.Merge(&state, cell_state);
+    }
+    return state;
+  }
+
+  return ScanFallback(box);
+}
+
+Result<AggregateOps::State> GridIndexEvaluationLayer::ScanFallback(
+    const std::vector<PScoreRange>& box) {
+  const AggregateOps& ops = *task_->agg.ops;
+  AggregateOps::State state = ops.Init();
+  const size_t n = agg_values_.size();
+  const size_t d = task_->d();
+  stats_.tuples_scanned += n;
+  for (size_t row = 0; row < n; ++row) {
+    const double* needed = &needed_[row * d];
+    bool admit = true;
+    for (size_t i = 0; i < d; ++i) {
+      if (!box[i].Admits(needed[i])) {
+        admit = false;
+        break;
+      }
+    }
+    if (admit) ops.Add(&state, agg_values_[row]);
+  }
+  return state;
+}
+
+}  // namespace acquire

@@ -1,0 +1,50 @@
+#ifndef ACQUIRE_INDEX_GRID_INDEX_H_
+#define ACQUIRE_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+/// Section 7.4's bitmap-like multi-dimensional grid index, upgraded from
+/// presence bits to per-cell aggregate states: each populated cell of the
+/// refined-space grid stores the OSP aggregate state of its tuples, so
+///  * empty cell queries are answered without touching the data
+///    (absent key == unset bit), and
+///  * populated cell queries are answered in O(1).
+/// Boxes that are not aligned to the `step` grid (e.g. repartition probes)
+/// fall back to a scan over the retained needed-PScore matrix.
+class GridIndexEvaluationLayer final : public EvaluationLayer {
+ public:
+  GridIndexEvaluationLayer(const AcqTask* task, double step);
+
+  /// Builds the sparse cell -> state map in one pass over the relation.
+  Status Prepare() override;
+
+  Result<AggregateOps::State> EvaluateBox(
+      const std::vector<PScoreRange>& box) override;
+
+  double step() const { return step_; }
+  size_t num_populated_cells() const { return cells_.size(); }
+
+  /// True when every range in `box` is exactly one grid cell at this
+  /// index's step (exposed for tests).
+  bool IsCellAligned(const std::vector<PScoreRange>& box,
+                     GridCoord* coord) const;
+
+ private:
+  Result<AggregateOps::State> ScanFallback(const std::vector<PScoreRange>& box);
+
+  double step_;
+  bool prepared_ = false;
+  std::unordered_map<GridCoord, AggregateOps::State, GridCoordHash> cells_;
+  std::vector<double> needed_;      // row-major tuple x dim matrix
+  std::vector<double> agg_values_;  // per-row aggregate input
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_INDEX_GRID_INDEX_H_

@@ -1,0 +1,91 @@
+#ifndef ACQUIRE_SQL_AST_H_
+#define ACQUIRE_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/value.h"
+
+namespace acquire {
+
+/// A literal in the WHERE clause: a number (K/M/B suffix resolved) or a
+/// string.
+struct AstLiteral {
+  bool is_number = true;
+  double number = 0.0;
+  std::string text;  // string body when !is_number
+
+  Value ToValue() const {
+    return is_number ? Value(number) : Value(text);
+  }
+};
+
+/// A comparison operand: a column reference, a literal, or an arithmetic
+/// expression over columns and literals (Section 2.2's predicate
+/// functions, e.g. "2 * a.x").
+struct AstOperand {
+  enum class Kind { kColumn, kLiteral, kExpr };
+  Kind kind = Kind::kLiteral;
+  std::string column;  // kColumn: possibly qualified ("supplier.s_acctbal")
+  AstLiteral literal;  // kLiteral
+  ExprPtr expr;        // kExpr: the built arithmetic expression
+  /// Every column referenced (kColumn: just `column`; kExpr: all of them).
+  std::vector<std::string> columns;
+
+  bool is_column() const { return kind == Kind::kColumn; }
+  bool is_literal() const { return kind == Kind::kLiteral; }
+  bool is_expr() const { return kind == Kind::kExpr; }
+
+  /// Lowers any operand to an expression tree.
+  ExprPtr ToExpr() const {
+    switch (kind) {
+      case Kind::kColumn:
+        return Expr::Column(column);
+      case Kind::kLiteral:
+        return Expr::Literal(literal.ToValue());
+      case Kind::kExpr:
+        return expr;
+    }
+    return nullptr;
+  }
+};
+
+/// One WHERE-clause conjunct.
+struct AstPredicate {
+  enum class Kind { kComparison, kBetween, kIn };
+  Kind kind = Kind::kComparison;
+
+  // kComparison
+  AstOperand lhs;
+  CompareOp op = CompareOp::kEq;
+  AstOperand rhs;
+
+  // kBetween ("lo <= col <= hi" chains are normalized to this form too)
+  std::string column;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  // kIn
+  std::vector<AstLiteral> in_list;
+
+  bool norefine = false;
+};
+
+/// A parsed ACQ: SELECT * FROM tables [CONSTRAINT AGG(col) op X]
+/// [WHERE p1 AND p2 ...].
+struct AstQuery {
+  std::vector<std::string> tables;
+
+  bool has_constraint = false;
+  std::string agg_function;  // COUNT / SUM / ... / UDA name, as written
+  std::string agg_column;    // empty for '*'
+  CompareOp constraint_op = CompareOp::kEq;
+  double target = 0.0;
+
+  std::vector<AstPredicate> predicates;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SQL_AST_H_

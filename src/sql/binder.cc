@@ -1,0 +1,283 @@
+#include "sql/binder.h"
+
+#include <optional>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace acquire {
+
+namespace {
+
+Result<AggregateKind> AggregateKindFromName(const std::string& name) {
+  if (EqualsIgnoreCase(name, "COUNT")) return AggregateKind::kCount;
+  if (EqualsIgnoreCase(name, "SUM")) return AggregateKind::kSum;
+  if (EqualsIgnoreCase(name, "MIN")) return AggregateKind::kMin;
+  if (EqualsIgnoreCase(name, "MAX")) return AggregateKind::kMax;
+  if (EqualsIgnoreCase(name, "AVG")) return AggregateKind::kAvg;
+  return AggregateKind::kUda;
+}
+
+std::string BareColumnName(const std::string& name) {
+  size_t dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+}  // namespace
+
+Result<QuerySpec> Binder::BindQuery(const AstQuery& ast) const {
+  QuerySpec spec;
+  spec.tables = ast.tables;
+
+  // --- Tables must exist; collect their schemas for column resolution. ---
+  std::vector<TablePtr> tables;
+  for (const std::string& name : ast.tables) {
+    ACQ_ASSIGN_OR_RETURN(TablePtr t, catalog_->GetTable(name));
+    tables.push_back(std::move(t));
+  }
+  auto resolve_table_of = [&](const std::string& column)
+      -> Result<std::optional<size_t>> {
+    std::optional<size_t> found;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (tables[i]->schema().TryFieldIndex(column).has_value()) {
+        if (found.has_value()) {
+          return Status::InvalidArgument("ambiguous column reference: " +
+                                         column);
+        }
+        found = i;
+      }
+    }
+    return found;
+  };
+  auto column_type = [&](size_t table_idx, const std::string& column) {
+    const Schema& s = tables[table_idx]->schema();
+    return s.field(*s.TryFieldIndex(column)).type;
+  };
+
+  // --- Constraint (mandatory in an ACQ). ---
+  if (!ast.has_constraint) {
+    return Status::InvalidArgument(
+        "not an ACQ: missing CONSTRAINT clause (Section 2.1)");
+  }
+  ACQ_ASSIGN_OR_RETURN(spec.agg_kind, AggregateKindFromName(ast.agg_function));
+  if (spec.agg_kind == AggregateKind::kUda) spec.uda_name = ast.agg_function;
+  spec.agg_column = ast.agg_column;
+  switch (ast.constraint_op) {
+    case CompareOp::kEq:
+      spec.constraint_op = ConstraintOp::kEq;
+      break;
+    case CompareOp::kGe:
+      spec.constraint_op = ConstraintOp::kGe;
+      break;
+    case CompareOp::kGt:
+      spec.constraint_op = ConstraintOp::kGt;
+      break;
+    default:
+      return Status::Unsupported(
+          "CONSTRAINT supports =, >= and > only: this work expands "
+          "predicates (Section 2.1); use contraction mode for shrinking");
+  }
+  spec.target = ast.target;
+
+  // --- Classify the WHERE conjuncts. ---
+  for (const AstPredicate& pred : ast.predicates) {
+    switch (pred.kind) {
+      case AstPredicate::Kind::kBetween: {
+        if (pred.norefine) {
+          spec.fixed_filters.push_back(Expr::Between(
+              Expr::Column(pred.column), Value(pred.lo), Value(pred.hi)));
+        } else {
+          // Section 2.2: ranges refine as two one-sided predicates.
+          spec.predicates.push_back(SelectPredicateSpec{
+              pred.column, CompareOp::kGe, pred.lo, true, 1.0, {}});
+          spec.predicates.push_back(SelectPredicateSpec{
+              pred.column, CompareOp::kLe, pred.hi, true, 1.0, {}});
+        }
+        break;
+      }
+      case AstPredicate::Kind::kIn: {
+        bool all_strings = true;
+        for (const AstLiteral& lit : pred.in_list) {
+          all_strings = all_strings && !lit.is_number;
+        }
+        auto ontology = ontologies_.find(BareColumnName(pred.column));
+        if (!pred.norefine && all_strings && ontology != ontologies_.end()) {
+          CategoricalPredicateSpec cat;
+          cat.column = pred.column;
+          for (const AstLiteral& lit : pred.in_list) {
+            cat.categories.push_back(lit.text);
+          }
+          cat.ontology = ontology->second;
+          spec.categorical_predicates.push_back(std::move(cat));
+          break;
+        }
+        if (!pred.norefine && strict_categorical_) {
+          return Status::Unsupported(
+              "refinable IN predicate needs a registered ontology "
+              "(Section 7.3): " +
+              pred.column);
+        }
+        std::vector<Value> values;
+        for (const AstLiteral& lit : pred.in_list) {
+          values.push_back(lit.ToValue());
+        }
+        spec.fixed_filters.push_back(
+            Expr::In(Expr::Column(pred.column), std::move(values)));
+        break;
+      }
+      case AstPredicate::Kind::kComparison: {
+        AstOperand lhs = pred.lhs;
+        AstOperand rhs = pred.rhs;
+        CompareOp op = pred.op;
+        if (lhs.is_literal() && !rhs.is_literal()) {
+          std::swap(lhs, rhs);
+          op = FlipCompareOp(op);
+        }
+        if (lhs.is_literal()) {
+          return Status::InvalidArgument(
+              "predicate compares two literals: " +
+              lhs.literal.ToValue().ToString());
+        }
+
+        // The single table an operand's columns all live in; nullopt when
+        // they span several tables.
+        auto operand_table = [&](const AstOperand& operand)
+            -> Result<std::optional<size_t>> {
+          std::optional<size_t> common;
+          for (const std::string& column : operand.columns) {
+            ACQ_ASSIGN_OR_RETURN(std::optional<size_t> t,
+                                 resolve_table_of(column));
+            if (!t.has_value()) {
+              return Status::NotFound("no such column: " + column);
+            }
+            if (common.has_value() && *common != *t) {
+              return std::optional<size_t>();  // spans tables
+            }
+            common = t;
+          }
+          return common;
+        };
+
+        if (rhs.is_literal() && rhs.literal.is_number) {
+          // <function-or-column> op number.
+          if (lhs.is_column()) {
+            if (pred.norefine || op == CompareOp::kNe) {
+              spec.fixed_filters.push_back(
+                  Expr::Compare(op, Expr::Column(lhs.column),
+                                Expr::Literal(Value(rhs.literal.number))));
+            } else {
+              spec.predicates.push_back(SelectPredicateSpec{
+                  lhs.column, op, rhs.literal.number, true, 1.0, {}});
+            }
+          } else {
+            if (pred.norefine || op == CompareOp::kNe) {
+              spec.fixed_filters.push_back(
+                  Expr::Compare(op, lhs.ToExpr(),
+                                Expr::Literal(Value(rhs.literal.number))));
+            } else {
+              spec.expr_predicates.push_back(ExprPredicateSpec{
+                  lhs.ToExpr(), op, rhs.literal.number, true, 1.0, {}});
+            }
+          }
+          break;
+        }
+        if (rhs.is_literal()) {
+          // <column> op 'string'.
+          if (!lhs.is_column()) {
+            return Status::TypeError(
+                "string literal compared to an arithmetic expression");
+          }
+          ACQ_ASSIGN_OR_RETURN(std::optional<size_t> lt,
+                               resolve_table_of(lhs.column));
+          if (!lt.has_value()) {
+            return Status::NotFound("no such column: " + lhs.column);
+          }
+          if (column_type(*lt, lhs.column) != DataType::kString) {
+            return Status::TypeError("string literal compared to non-string "
+                                     "column: " +
+                                     lhs.column);
+          }
+          auto ontology = ontologies_.find(BareColumnName(lhs.column));
+          if (!pred.norefine && op == CompareOp::kEq &&
+              ontology != ontologies_.end()) {
+            CategoricalPredicateSpec cat;
+            cat.column = lhs.column;
+            cat.categories = {rhs.literal.text};
+            cat.ontology = ontology->second;
+            spec.categorical_predicates.push_back(std::move(cat));
+            break;
+          }
+          if (!pred.norefine && strict_categorical_) {
+            return Status::Unsupported(
+                "refinable string predicate needs a registered ontology "
+                "(Section 7.3): " +
+                lhs.column);
+          }
+          spec.fixed_filters.push_back(
+              Expr::Compare(op, Expr::Column(lhs.column),
+                            Expr::Literal(Value(rhs.literal.text))));
+          break;
+        }
+
+        // <function-or-column> op <function-or-column>.
+        ACQ_ASSIGN_OR_RETURN(std::optional<size_t> lt, operand_table(lhs));
+        ACQ_ASSIGN_OR_RETURN(std::optional<size_t> rt, operand_table(rhs));
+        if (!lt.has_value() || !rt.has_value()) {
+          // A side spans several tables: only a post-join filter can
+          // express it.
+          if (!pred.norefine) {
+            return Status::Unsupported(
+                "a refinable predicate side may reference one table only; "
+                "mark the predicate NOREFINE");
+          }
+          spec.fixed_filters.push_back(
+              Expr::Compare(op, lhs.ToExpr(), rhs.ToExpr()));
+          break;
+        }
+        if (op == CompareOp::kNe) {
+          if (!pred.norefine) {
+            return Status::Unsupported(
+                "refinable != predicates are not defined");
+          }
+          spec.fixed_filters.push_back(
+              Expr::Compare(op, lhs.ToExpr(), rhs.ToExpr()));
+          break;
+        }
+        if (*lt == *rt) {
+          // Same table: f_l op f_r is the refinable predicate
+          // (f_l - f_r) op 0 (Section 2.2's predicate-function form).
+          if (pred.norefine) {
+            spec.fixed_filters.push_back(
+                Expr::Compare(op, lhs.ToExpr(), rhs.ToExpr()));
+          } else {
+            spec.expr_predicates.push_back(ExprPredicateSpec{
+                Expr::Arith(ArithOp::kSub, lhs.ToExpr(), rhs.ToExpr()), op,
+                0.0, true, 1.0, {}});
+          }
+          break;
+        }
+        // Two tables: a join. Plain column = column keeps the fast
+        // hash/band path; anything else is a non-equi join (Section 2.4).
+        if (lhs.is_column() && rhs.is_column() && op == CompareOp::kEq) {
+          spec.joins.push_back(JoinClauseSpec{lhs.column, rhs.column,
+                                              /*refinable=*/!pred.norefine,
+                                              0.0, 1.0});
+        } else {
+          spec.expr_joins.push_back(ExprJoinClauseSpec{
+              lhs.ToExpr(), rhs.ToExpr(), op,
+              /*refinable=*/!pred.norefine, 0.0, 1.0});
+        }
+        break;
+      }
+    }
+  }
+  return spec;
+}
+
+Result<AcqTask> Binder::PlanSql(const std::string& sql) const {
+  ACQ_ASSIGN_OR_RETURN(AstQuery ast, ParseAcqSql(sql));
+  ACQ_ASSIGN_OR_RETURN(QuerySpec spec, BindQuery(ast));
+  return PlanAcqTask(*catalog_, spec);
+}
+
+}  // namespace acquire

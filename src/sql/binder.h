@@ -1,0 +1,53 @@
+#ifndef ACQUIRE_SQL_BINDER_H_
+#define ACQUIRE_SQL_BINDER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "exec/planner.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace acquire {
+
+/// Lowers a parsed ACQ into the planner's QuerySpec, classifying each WHERE
+/// conjunct:
+///   * column-vs-number comparisons -> refinable select predicates
+///     (NOREFINE -> fixed filters); ranges split into two one-sided
+///     predicates (Section 2.2);
+///   * cross-table column = column -> join clauses, refinable by default
+///     (Section 2.4), NOREFINE -> exact hash joins;
+///   * IN lists / string equality -> ontology-refinable categorical
+///     predicates when an ontology is registered for the column
+///     (Section 7.3), otherwise fixed filters.
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Enables refinable categorical predicates on `column` (bare name).
+  /// The tree must outlive every task planned through this binder.
+  void RegisterOntology(const std::string& column, const OntologyTree* tree) {
+    ontologies_[column] = tree;
+  }
+
+  /// When true, a refinable string predicate on a column without a
+  /// registered ontology is an error; when false (default) it silently
+  /// degrades to a fixed (NOREFINE) filter, which is what the paper's Q1
+  /// does for location/interests before ontologies enter the picture.
+  void set_strict_categorical(bool strict) { strict_categorical_ = strict; }
+
+  Result<QuerySpec> BindQuery(const AstQuery& ast) const;
+
+  /// Parse + bind + plan in one call.
+  Result<AcqTask> PlanSql(const std::string& sql) const;
+
+ private:
+  const Catalog* catalog_;
+  std::map<std::string, const OntologyTree*> ontologies_;
+  bool strict_categorical_ = false;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SQL_BINDER_H_

@@ -1,0 +1,41 @@
+#include "sql/explain.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "core/refined_space.h"
+
+namespace acquire {
+
+std::string ExplainTask(const AcqTask& task, const AcquireOptions& options) {
+  std::string out;
+  out += StringFormat("ACQ plan\n  base relation: %s (%zu rows, %zu cols)\n",
+                      task.relation->name().c_str(),
+                      task.relation->num_rows(),
+                      task.relation->num_columns());
+  out += StringFormat("  constraint: %s %s\n", task.agg.ToString().c_str(),
+                      task.constraint.ToString().c_str());
+  if (!task.fixed_predicate_labels.empty()) {
+    out += "  fixed (NOREFINE) predicates:\n";
+    for (const std::string& label : task.fixed_predicate_labels) {
+      out += "    " + label + "\n";
+    }
+  }
+  RefinedSpace space(&task, options.gamma, options.norm);
+  out += StringFormat(
+      "  refined space: d=%zu, norm=%s, gamma=%g, step=%g (Theorem 1)\n",
+      task.d(), options.norm.ToString().c_str(), options.gamma,
+      space.step());
+  for (size_t i = 0; i < task.d(); ++i) {
+    const RefinementDim& dim = *task.dims[i];
+    double cap = dim.MaxPScore();
+    out += StringFormat(
+        "    dim %zu: %s  [max refinement %s, %d grid levels, weight %g]\n",
+        i, dim.label().c_str(),
+        std::isinf(cap) ? "unbounded" : StringFormat("%.4g", cap).c_str(),
+        space.MaxLevel(i), dim.weight());
+  }
+  return out;
+}
+
+}  // namespace acquire

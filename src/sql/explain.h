@@ -1,0 +1,21 @@
+#ifndef ACQUIRE_SQL_EXPLAIN_H_
+#define ACQUIRE_SQL_EXPLAIN_H_
+
+#include <string>
+
+#include "core/acquire.h"
+#include "exec/acq_task.h"
+
+namespace acquire {
+
+/// EXPLAIN-style description of a planned ACQ: the base relation, every
+/// refinement dimension with its domain cap and weight, the fixed
+/// (NOREFINE) predicates folded into the relation, the aggregate
+/// constraint, and the refined-space geometry the given options imply
+/// (step size, per-dimension level counts).
+std::string ExplainTask(const AcqTask& task,
+                        const AcquireOptions& options = {});
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SQL_EXPLAIN_H_

@@ -1,0 +1,126 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_ident_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+
+    if (is_ident_start(c)) {
+      size_t start = i;
+      while (i < n && is_ident_char(input[i])) ++i;
+      token.kind = TokenKind::kIdent;
+      token.text = input.substr(start, i - start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') && i > start &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        ++i;
+      }
+      // Magnitude suffix (K/M/B) must not be followed by more identifier
+      // characters — that would be an identifier like "10Mx".
+      if (i < n && strchr("kKmMbB", input[i]) != nullptr &&
+          (i + 1 >= n || !is_ident_char(input[i + 1]))) {
+        ++i;
+      }
+      std::string text = input.substr(start, i - start);
+      auto value = ParseNumberWithSuffix(text);
+      if (!value.ok()) {
+        return Status::ParseError(StringFormat(
+            "bad numeric literal '%s' at offset %zu", text.c_str(), start));
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::move(text);
+      token.number = value.value();
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        body += input[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(StringFormat(
+            "unterminated string literal at offset %zu", token.offset));
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(body);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Multi-character operators first.
+    auto two = input.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+      token.kind = TokenKind::kSymbol;
+      token.text = two == "<>" ? "!=" : two;
+      i += 2;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (strchr(",().*=<>;+-/", c) != nullptr) {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    return Status::ParseError(
+        StringFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace acquire

@@ -1,0 +1,37 @@
+#ifndef ACQUIRE_SQL_LEXER_H_
+#define ACQUIRE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace acquire {
+
+enum class TokenKind {
+  kIdent,    // bare identifiers and keywords (keyword check is by text)
+  kNumber,   // numeric literal, K/M/B magnitude suffix already applied
+  kString,   // 'single quoted'
+  kSymbol,   // punctuation / operators: , ( ) . * = != <> < <= > >= ;
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier text / operator spelling / string body
+  double number = 0.0;  // kNumber only
+  size_t offset = 0;    // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes an ACQ-SQL string. Keywords are case-insensitive; numeric
+/// literals accept the paper's K/M/B shorthand ("COUNT(*) = 1M").
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SQL_LEXER_H_

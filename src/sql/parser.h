@@ -1,0 +1,28 @@
+#ifndef ACQUIRE_SQL_PARSER_H_
+#define ACQUIRE_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace acquire {
+
+/// Parses the paper's ACQ SQL extension (Section 2.1):
+///
+///   SELECT * FROM t1 [, t2 ...]
+///   [CONSTRAINT AGG(col | *) (= | >= | >) number]
+///   [WHERE pred [NOREFINE] [AND pred [NOREFINE] ...]]
+///
+/// where pred is one of
+///   operand (= | != | < | <= | > | >=) operand
+///   lo <= column <= hi            (chained range, as in query Q1)
+///   column BETWEEN lo AND hi
+///   column IN (lit1, lit2, ...)
+///
+/// and numeric literals accept K/M/B magnitude suffixes ("COUNT(*) = 1M").
+Result<AstQuery> ParseAcqSql(const std::string& sql);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SQL_PARSER_H_

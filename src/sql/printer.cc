@@ -1,0 +1,42 @@
+#include "sql/printer.h"
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+namespace {
+
+std::string FromClause(const AcqTask& task) {
+  if (!task.table_names.empty()) return Join(task.table_names, ", ");
+  return task.relation->name();
+}
+
+}  // namespace
+
+std::string RenderOriginalSql(const AcqTask& task) {
+  std::vector<std::string> preds;
+  for (const RefinementDimPtr& dim : task.dims) {
+    preds.push_back(dim->label());
+  }
+  for (const std::string& fixed : task.fixed_predicate_labels) {
+    preds.push_back(fixed + " NOREFINE");
+  }
+  std::string sql = "SELECT * FROM " + FromClause(task);
+  sql += "\nCONSTRAINT " + task.agg.ToString() + " " +
+         task.constraint.ToString();
+  if (!preds.empty()) sql += "\nWHERE " + Join(preds, " AND ");
+  return sql + ";";
+}
+
+std::string RenderRefinedSql(const AcqTask& task,
+                             const RefinedQuery& refined) {
+  std::vector<std::string> preds;
+  if (!refined.description.empty()) preds.push_back(refined.description);
+  preds.insert(preds.end(), task.fixed_predicate_labels.begin(),
+               task.fixed_predicate_labels.end());
+  std::string sql = "SELECT * FROM " + FromClause(task);
+  if (!preds.empty()) sql += "\nWHERE " + Join(preds, " AND ");
+  return sql + ";";
+}
+
+}  // namespace acquire

@@ -1,0 +1,22 @@
+#ifndef ACQUIRE_SQL_PRINTER_H_
+#define ACQUIRE_SQL_PRINTER_H_
+
+#include <string>
+
+#include "core/refined_query.h"
+#include "exec/acq_task.h"
+
+namespace acquire {
+
+/// Renders the original ACQ of `task` back to SQL (with CONSTRAINT and
+/// NOREFINE markers), e.g. for echoing what was planned.
+std::string RenderOriginalSql(const AcqTask& task);
+
+/// Renders one recommended refined query as a plain (constraint-free) SQL
+/// statement the user can run directly: refined predicates from
+/// `refined.description` plus the task's NOREFINE filters.
+std::string RenderRefinedSql(const AcqTask& task, const RefinedQuery& refined);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SQL_PRINTER_H_

@@ -1,0 +1,43 @@
+#include "storage/catalog.h"
+
+namespace acquire {
+
+Status Catalog::AddTable(TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  auto [it, inserted] = tables_.emplace(table->name(), table);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("table already exists: " + table->name());
+  }
+  return Status::OK();
+}
+
+void Catalog::PutTable(TablePtr table) {
+  tables_[table->name()] = std::move(table);
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace acquire

@@ -1,0 +1,43 @@
+#ifndef ACQUIRE_STORAGE_CATALOG_H_
+#define ACQUIRE_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace acquire {
+
+/// Name -> table registry; the "database" the SQL binder and evaluation
+/// layers resolve against.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) noexcept = default;
+  Catalog& operator=(Catalog&&) noexcept = default;
+
+  /// Fails with AlreadyExists on duplicate names.
+  Status AddTable(TablePtr table);
+
+  /// Replaces any existing table of the same name.
+  void PutTable(TablePtr table);
+
+  Result<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_STORAGE_CATALOG_H_

@@ -1,0 +1,170 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line_in,
+                                              char delimiter) {
+  // Tolerate CRLF files: std::getline keeps the '\r'.
+  std::string line = line_in;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::ParseError("unexpected quote mid-field: " + line);
+      }
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quote: " + line);
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+Result<Value> ParseField(const std::string& field, DataType type) {
+  switch (type) {
+    case DataType::kInt64: {
+      ACQ_ASSIGN_OR_RETURN(int64_t v, ParseInt64(field));
+      return Value(v);
+    }
+    case DataType::kDouble: {
+      ACQ_ASSIGN_OR_RETURN(double v, ParseDouble(field));
+      return Value(v);
+    }
+    case DataType::kString:
+      return Value(field);
+  }
+  return Status::Internal("unreachable data type");
+}
+
+std::string QuoteField(const std::string& field, char delimiter) {
+  bool needs_quoting = field.find(delimiter) != std::string::npos ||
+                       field.find('"') != std::string::npos ||
+                       field.find('\n') != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> ReadCsv(const std::string& path, const std::string& table_name,
+                         const Schema& schema, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  auto table = std::make_shared<Table>(table_name, schema);
+  std::string line;
+  size_t line_no = 0;
+
+  if (options.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::ParseError("missing header in " + path);
+    }
+    ++line_no;
+    ACQ_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                         ParseCsvLine(line, options.delimiter));
+    if (header.size() != schema.num_fields()) {
+      return Status::ParseError(StringFormat(
+          "%s: header has %zu fields, schema expects %zu", path.c_str(),
+          header.size(), schema.num_fields()));
+    }
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (Trim(header[i]) != schema.field(i).name) {
+        return Status::ParseError(StringFormat(
+            "%s: header field %zu is '%s', schema expects '%s'", path.c_str(),
+            i, header[i].c_str(), schema.field(i).name.c_str()));
+      }
+    }
+  }
+
+  std::vector<Value> row(schema.num_fields());
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    ACQ_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         ParseCsvLine(line, options.delimiter));
+    if (fields.size() != schema.num_fields()) {
+      return Status::ParseError(StringFormat(
+          "%s:%zu: %zu fields, expected %zu", path.c_str(), line_no,
+          fields.size(), schema.num_fields()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      auto v = ParseField(fields[i], schema.field(i).type);
+      if (!v.ok()) {
+        return Status::ParseError(StringFormat("%s:%zu: %s", path.c_str(),
+                                               line_no,
+                                               v.status().message().c_str()));
+      }
+      row[i] = std::move(v).value();
+    }
+    ACQ_RETURN_IF_ERROR(table->AppendRow(row));
+  }
+  return table;
+}
+
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+
+  if (options.has_header) {
+    std::vector<std::string> names;
+    names.reserve(table.schema().num_fields());
+    for (const Field& f : table.schema().fields()) names.push_back(f.name);
+    out << Join(names, std::string(1, options.delimiter)) << "\n";
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out << options.delimiter;
+      const Column& col = table.column(c);
+      switch (col.type()) {
+        case DataType::kInt64:
+          out << col.int64_data()[r];
+          break;
+        case DataType::kDouble:
+          out << StringFormat("%.17g", col.double_data()[r]);
+          break;
+        case DataType::kString:
+          out << QuoteField(col.string_data()[r], options.delimiter);
+          break;
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace acquire

@@ -1,0 +1,34 @@
+#ifndef ACQUIRE_STORAGE_CSV_H_
+#define ACQUIRE_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace acquire {
+
+/// Options for CSV import/export. RFC-4180-ish: double-quoted fields may
+/// contain the delimiter and doubled quotes.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+/// Parses `path` into a table named `table_name` using `schema` for types.
+/// When `options.has_header` is set, the header row is validated against the
+/// schema's field names.
+Result<TablePtr> ReadCsv(const std::string& path, const std::string& table_name,
+                         const Schema& schema, const CsvOptions& options = {});
+
+/// Writes `table` (header + rows) to `path`.
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options = {});
+
+/// Parses one CSV record into raw fields (exposed for tests).
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char delimiter);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_STORAGE_CSV_H_

@@ -1,0 +1,112 @@
+#include "storage/persistence.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace acquire {
+
+namespace fs = std::filesystem;
+
+std::string SchemaToSpec(const Schema& schema) {
+  std::vector<std::string> parts;
+  parts.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    const char* type = "string";
+    switch (f.type) {
+      case DataType::kInt64:
+        type = "int64";
+        break;
+      case DataType::kDouble:
+        type = "double";
+        break;
+      case DataType::kString:
+        type = "string";
+        break;
+    }
+    parts.push_back(f.name + ":" + type);
+  }
+  return Join(parts, ",");
+}
+
+Result<Schema> SchemaFromSpec(const std::string& spec) {
+  std::vector<Field> fields;
+  for (const std::string& part : Split(spec, ',')) {
+    std::vector<std::string> kv = Split(part, ':');
+    if (kv.size() != 2) {
+      return Status::ParseError("bad schema field: " + part);
+    }
+    std::string name(Trim(kv[0]));
+    std::string type = ToLower(Trim(kv[1]));
+    DataType dt;
+    if (type == "int64" || type == "int") {
+      dt = DataType::kInt64;
+    } else if (type == "double") {
+      dt = DataType::kDouble;
+    } else if (type == "string") {
+      dt = DataType::kString;
+    } else {
+      return Status::ParseError("unknown type in schema spec: " + type);
+    }
+    fields.push_back({name, dt, ""});
+  }
+  if (fields.empty()) return Status::ParseError("empty schema spec");
+  return Schema(std::move(fields));
+}
+
+Status SaveCatalog(const Catalog& catalog, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + directory + ": " +
+                           ec.message());
+  }
+  std::ofstream manifest(fs::path(directory) / "catalog.manifest");
+  if (!manifest) {
+    return Status::IOError("cannot write manifest in " + directory);
+  }
+  for (const std::string& name : catalog.TableNames()) {
+    ACQ_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(name));
+    std::string file = name + ".csv";
+    ACQ_RETURN_IF_ERROR(
+        WriteCsv(*table, (fs::path(directory) / file).string()));
+    // Persist bare column names; the table qualifier is re-stamped on load.
+    std::vector<Field> bare;
+    for (const Field& f : table->schema().fields()) {
+      bare.push_back({f.name, f.type, ""});
+    }
+    manifest << name << '\t' << file << '\t'
+             << SchemaToSpec(Schema(std::move(bare))) << '\n';
+  }
+  if (!manifest) return Status::IOError("manifest write failed");
+  return Status::OK();
+}
+
+Status LoadCatalog(const std::string& directory, Catalog* catalog) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  std::ifstream manifest(fs::path(directory) / "catalog.manifest");
+  if (!manifest) {
+    return Status::IOError("no catalog.manifest in " + directory);
+  }
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(manifest, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> parts = Split(line, '\t');
+    if (parts.size() != 3) {
+      return Status::ParseError(StringFormat(
+          "manifest line %zu: expected 3 tab-separated fields", line_no));
+    }
+    ACQ_ASSIGN_OR_RETURN(Schema schema, SchemaFromSpec(parts[2]));
+    ACQ_ASSIGN_OR_RETURN(
+        TablePtr table,
+        ReadCsv((fs::path(directory) / parts[1]).string(), parts[0], schema));
+    catalog->PutTable(std::move(table));
+  }
+  return Status::OK();
+}
+
+}  // namespace acquire

@@ -1,0 +1,34 @@
+#ifndef ACQUIRE_STORAGE_PERSISTENCE_H_
+#define ACQUIRE_STORAGE_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace acquire {
+
+/// Simple directory-based catalog persistence: one CSV per table plus a
+/// `catalog.manifest` (table name, file, schema) so a whole database
+/// round-trips. Used by the shell's \savedb / \loaddb and handy for
+/// sharing benchmark datasets.
+///
+/// Manifest line format (tab-separated):
+///   <table>\t<csv file>\t<name:type,name:type,...>
+
+/// Writes every table of `catalog` into `directory` (created if missing).
+Status SaveCatalog(const Catalog& catalog, const std::string& directory);
+
+/// Loads every manifest entry of `directory` into `catalog` (replacing
+/// tables of the same name).
+Status LoadCatalog(const std::string& directory, Catalog* catalog);
+
+/// Serializes a schema to the manifest's "name:type,..." form.
+std::string SchemaToSpec(const Schema& schema);
+
+/// Parses the manifest's schema form (inverse of SchemaToSpec).
+Result<Schema> SchemaFromSpec(const std::string& spec);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_STORAGE_PERSISTENCE_H_

@@ -1,0 +1,64 @@
+#ifndef ACQUIRE_STORAGE_SCHEMA_H_
+#define ACQUIRE_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace acquire {
+
+/// A named, typed column slot. `table` records the originating table for
+/// columns of joined intermediate results ("" for base tables until attached
+/// to a catalog table).
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  std::string table;
+
+  std::string QualifiedName() const {
+    return table.empty() ? name : table + "." + name;
+  }
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type && table == other.table;
+  }
+};
+
+/// Ordered collection of fields. Copyable; joined schemas are produced by
+/// Concat.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Index of the unique field matching `name`, which may be bare
+  /// ("s_acctbal") or qualified ("supplier.s_acctbal"). Errors on a miss or
+  /// on an ambiguous bare name.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// Like FieldIndex but returns nullopt on a miss; still errors out (via
+  /// nullopt) on ambiguity.
+  std::optional<size_t> TryFieldIndex(const std::string& name) const;
+
+  /// Schema of `left` fields followed by `right` fields (join output).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_STORAGE_SCHEMA_H_

@@ -1,0 +1,66 @@
+#include "storage/value.h"
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+Result<double> Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  if (is_double()) return dbl();
+  return Status::TypeError("value is not numeric: " + ToString());
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) return StringFormat("%g", dbl());
+  return "'" + str() + "'";
+}
+
+bool Value::operator==(const Value& other) const {
+  return Compare(other) == 0;
+}
+
+int Value::Compare(const Value& other) const {
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  int ra = rank(*this);
+  int rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;  // both null
+  if (ra == 1) {
+    // Compare int64 pairs exactly; mix of int64/double via double.
+    if (is_int64() && other.is_int64()) {
+      if (int64() < other.int64()) return -1;
+      if (int64() > other.int64()) return 1;
+      return 0;
+    }
+    double a = is_int64() ? static_cast<double>(int64()) : dbl();
+    double b = other.is_int64() ? static_cast<double>(other.int64()) : other.dbl();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  return str().compare(other.str()) < 0 ? -1 : (str() == other.str() ? 0 : 1);
+}
+
+}  // namespace acquire

@@ -1,0 +1,66 @@
+#ifndef ACQUIRE_STORAGE_VALUE_H_
+#define ACQUIRE_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace acquire {
+
+/// Physical column types supported by the engine. The ACQ algorithms operate
+/// on numeric predicates (kInt64 / kDouble); kString columns participate as
+/// NOREFINE filters or via categorical ontologies.
+enum class DataType { kInt64, kDouble, kString };
+
+const char* DataTypeToString(DataType type);
+bool IsNumeric(DataType type);
+
+/// A dynamically typed cell value: null, int64, double, or string.
+/// Small, copyable, ordered within numeric types (int64 and double compare
+/// numerically against each other).
+class Value {
+ public:
+  /// Null value.
+  Value() : repr_(std::monostate{}) {}
+  Value(int64_t v) : repr_(v) {}            // NOLINT(runtime/explicit)
+  Value(double v) : repr_(v) {}             // NOLINT(runtime/explicit)
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  int64_t int64() const { return std::get<int64_t>(repr_); }
+  double dbl() const { return std::get<double>(repr_); }
+  const std::string& str() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view of an int64 or double value; error on null/string.
+  Result<double> AsDouble() const;
+
+  /// SQL-style rendering ('abc' quoted, NULL for null).
+  std::string ToString() const;
+
+  /// Strict equality: numerics compare numerically across int64/double,
+  /// strings compare bytewise, null equals only null.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Three-way compare. Null sorts before everything; numeric before string.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_STORAGE_VALUE_H_

@@ -1,0 +1,145 @@
+#include "workload/tpch_gen.h"
+
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace acquire {
+
+namespace {
+
+// Draws from [lo, hi]; uniform when no Zipf sampler is given, otherwise a
+// Zipf rank mapped linearly onto the domain (rank 1 = most frequent value,
+// mirroring the Chaudhuri-Narasayya skewed TPC-D columns).
+class ValueSampler {
+ public:
+  ValueSampler(double theta, size_t ranks, Rng* rng) : rng_(rng) {
+    if (theta > 0.0) zipf_.emplace(ranks, theta);
+  }
+
+  double Draw(double lo, double hi) {
+    if (!zipf_.has_value()) return rng_->NextDouble(lo, hi);
+    uint64_t rank = zipf_->Sample(rng_);
+    double frac = zipf_->n() == 1
+                      ? 0.0
+                      : static_cast<double>(rank - 1) /
+                            static_cast<double>(zipf_->n() - 1);
+    return lo + frac * (hi - lo);
+  }
+
+  int64_t DrawInt(int64_t lo, int64_t hi) {
+    if (!zipf_.has_value()) return rng_->NextInt(lo, hi);
+    return static_cast<int64_t>(std::llround(
+        Draw(static_cast<double>(lo), static_cast<double>(hi))));
+  }
+
+ private:
+  Rng* rng_;
+  std::optional<ZipfDistribution> zipf_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& TpchPartTypes() {
+  static const std::vector<std::string>* const kTypes = [] {
+    const char* sizes[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                           "PROMO"};
+    const char* finishes[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                              "BRUSHED"};
+    const char* metals[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+    auto* types = new std::vector<std::string>();
+    for (const char* s : sizes) {
+      for (const char* f : finishes) {
+        for (const char* m : metals) {
+          types->push_back(std::string(s) + " " + f + " " + m);
+        }
+      }
+    }
+    return types;
+  }();
+  return *kTypes;
+}
+
+Status GenerateTpch(const TpchOptions& options, Catalog* catalog) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  Rng rng(options.seed);
+  ValueSampler sampler(options.zipf_theta, options.zipf_ranks, &rng);
+
+  // --- supplier ---
+  auto supplier = std::make_shared<Table>(
+      "supplier", Schema({{"s_suppkey", DataType::kInt64, ""},
+                          {"s_nationkey", DataType::kInt64, ""},
+                          {"s_acctbal", DataType::kDouble, ""}}));
+  supplier->ReserveRows(options.suppliers);
+  for (size_t i = 0; i < options.suppliers; ++i) {
+    supplier->mutable_column(0).AppendInt64(static_cast<int64_t>(i + 1));
+    supplier->mutable_column(1).AppendInt64(rng.NextInt(0, 24));
+    supplier->mutable_column(2).AppendDouble(sampler.Draw(-999.99, 9999.99));
+  }
+  ACQ_RETURN_IF_ERROR(supplier->FinalizeAppend());
+  ACQ_RETURN_IF_ERROR(catalog->AddTable(supplier));
+
+  // --- part ---
+  const auto& types = TpchPartTypes();
+  auto part = std::make_shared<Table>(
+      "part", Schema({{"p_partkey", DataType::kInt64, ""},
+                      {"p_size", DataType::kInt64, ""},
+                      {"p_retailprice", DataType::kDouble, ""},
+                      {"p_type", DataType::kString, ""}}));
+  part->ReserveRows(options.parts);
+  for (size_t i = 0; i < options.parts; ++i) {
+    part->mutable_column(0).AppendInt64(static_cast<int64_t>(i + 1));
+    part->mutable_column(1).AppendInt64(sampler.DrawInt(1, 50));
+    part->mutable_column(2).AppendDouble(sampler.Draw(900.0, 2098.99));
+    part->mutable_column(3).AppendString(
+        types[rng.NextBounded(types.size())]);
+  }
+  ACQ_RETURN_IF_ERROR(part->FinalizeAppend());
+  ACQ_RETURN_IF_ERROR(catalog->AddTable(part));
+
+  // --- partsupp ---
+  auto partsupp = std::make_shared<Table>(
+      "partsupp", Schema({{"ps_partkey", DataType::kInt64, ""},
+                          {"ps_suppkey", DataType::kInt64, ""},
+                          {"ps_availqty", DataType::kInt64, ""},
+                          {"ps_supplycost", DataType::kDouble, ""}}));
+  partsupp->ReserveRows(options.parts * options.suppliers_per_part);
+  for (size_t p = 0; p < options.parts; ++p) {
+    for (size_t s = 0; s < options.suppliers_per_part; ++s) {
+      partsupp->mutable_column(0).AppendInt64(static_cast<int64_t>(p + 1));
+      partsupp->mutable_column(1).AppendInt64(
+          rng.NextInt(1, static_cast<int64_t>(options.suppliers)));
+      partsupp->mutable_column(2).AppendInt64(sampler.DrawInt(1, 9999));
+      partsupp->mutable_column(3).AppendDouble(sampler.Draw(1.0, 1000.0));
+    }
+  }
+  ACQ_RETURN_IF_ERROR(partsupp->FinalizeAppend());
+  ACQ_RETURN_IF_ERROR(catalog->AddTable(partsupp));
+
+  // --- lineitem (numeric projection; the selection-workload table) ---
+  auto lineitem = std::make_shared<Table>(
+      "lineitem", Schema({{"l_orderkey", DataType::kInt64, ""},
+                          {"l_quantity", DataType::kDouble, ""},
+                          {"l_extendedprice", DataType::kDouble, ""},
+                          {"l_discount", DataType::kDouble, ""},
+                          {"l_tax", DataType::kDouble, ""},
+                          {"l_shipdays", DataType::kDouble, ""}}));
+  lineitem->ReserveRows(options.lineitems);
+  for (size_t i = 0; i < options.lineitems; ++i) {
+    lineitem->mutable_column(0).AppendInt64(static_cast<int64_t>(i / 4 + 1));
+    lineitem->mutable_column(1).AppendDouble(sampler.Draw(1.0, 50.0));
+    lineitem->mutable_column(2).AppendDouble(sampler.Draw(900.0, 104950.0));
+    lineitem->mutable_column(3).AppendDouble(sampler.Draw(0.0, 0.10));
+    lineitem->mutable_column(4).AppendDouble(sampler.Draw(0.0, 0.08));
+    lineitem->mutable_column(5).AppendDouble(sampler.Draw(1.0, 2557.0));
+  }
+  ACQ_RETURN_IF_ERROR(lineitem->FinalizeAppend());
+  ACQ_RETURN_IF_ERROR(catalog->AddTable(lineitem));
+
+  return Status::OK();
+}
+
+}  // namespace acquire

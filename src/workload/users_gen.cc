@@ -1,0 +1,89 @@
+#include "workload/users_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+
+namespace acquire {
+
+namespace {
+const char* const kCities[] = {"Boston",  "New York", "Seattle", "Miami",
+                               "Austin",  "Chicago",  "Denver",  "Portland",
+                               "Atlanta", "Phoenix"};
+const char* const kGenders[] = {"Women", "Men"};
+const char* const kEducation[] = {"HighSchool", "CollegeGrad", "Masters",
+                                  "Doctorate"};
+const char* const kInterests[] = {"Retail", "Shopping", "Sports", "Music",
+                                  "Travel", "Cooking",  "Gaming", "Fitness"};
+}  // namespace
+
+Status GenerateUsers(const UsersOptions& options, Catalog* catalog) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  Rng rng(options.seed);
+  auto users = std::make_shared<Table>(
+      "users", Schema({{"user_id", DataType::kInt64, ""},
+                       {"age", DataType::kInt64, ""},
+                       {"income", DataType::kDouble, ""},
+                       {"engagement", DataType::kDouble, ""},
+                       {"account_age_days", DataType::kInt64, ""},
+                       {"city", DataType::kString, ""},
+                       {"gender", DataType::kString, ""},
+                       {"education", DataType::kString, ""},
+                       {"interest", DataType::kString, ""}}));
+  users->ReserveRows(options.users);
+  for (size_t i = 0; i < options.users; ++i) {
+    users->mutable_column(0).AppendInt64(static_cast<int64_t>(i + 1));
+    // Age skews young, like a social platform.
+    double age_draw = 18.0 + std::fabs(rng.NextGaussian()) * 14.0;
+    users->mutable_column(1).AppendInt64(
+        std::min<int64_t>(90, static_cast<int64_t>(age_draw)));
+    double income = 15000.0 + rng.NextDouble() * rng.NextDouble() * 235000.0;
+    users->mutable_column(2).AppendDouble(income);
+    users->mutable_column(3).AppendDouble(rng.NextDouble(0.0, 100.0));
+    users->mutable_column(4).AppendInt64(rng.NextInt(0, 5000));
+    users->mutable_column(5).AppendString(
+        kCities[rng.NextBounded(std::size(kCities))]);
+    users->mutable_column(6).AppendString(
+        kGenders[rng.NextBounded(std::size(kGenders))]);
+    users->mutable_column(7).AppendString(
+        kEducation[rng.NextBounded(std::size(kEducation))]);
+    users->mutable_column(8).AppendString(
+        kInterests[rng.NextBounded(std::size(kInterests))]);
+  }
+  ACQ_RETURN_IF_ERROR(users->FinalizeAppend());
+  return catalog->AddTable(users);
+}
+
+Status GeneratePatients(const PatientsOptions& options, Catalog* catalog) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  Rng rng(options.seed);
+  auto patients = std::make_shared<Table>(
+      "patients", Schema({{"patient_id", DataType::kInt64, ""},
+                          {"age", DataType::kInt64, ""},
+                          {"weekly_exercise_hours", DataType::kDouble, ""},
+                          {"income", DataType::kDouble, ""},
+                          {"systolic_bp", DataType::kDouble, ""},
+                          {"annual_cost", DataType::kDouble, ""}}));
+  patients->ReserveRows(options.patients);
+  for (size_t i = 0; i < options.patients; ++i) {
+    int64_t age = rng.NextInt(18, 95);
+    double exercise = std::max(0.0, 10.0 - age / 12.0 + rng.NextGaussian() * 3.0);
+    double income = 20000.0 + rng.NextDouble() * 180000.0;
+    double bp = 95.0 + age * 0.5 + rng.NextGaussian() * 12.0;
+    double cost = std::max(
+        200.0, -2000.0 + age * 180.0 + bp * 25.0 - exercise * 400.0 +
+                   rng.NextGaussian() * 1500.0);
+    patients->mutable_column(0).AppendInt64(static_cast<int64_t>(i + 1));
+    patients->mutable_column(1).AppendInt64(age);
+    patients->mutable_column(2).AppendDouble(exercise);
+    patients->mutable_column(3).AppendDouble(income);
+    patients->mutable_column(4).AppendDouble(bp);
+    patients->mutable_column(5).AppendDouble(cost);
+  }
+  ACQ_RETURN_IF_ERROR(patients->FinalizeAppend());
+  return catalog->AddTable(patients);
+}
+
+}  // namespace acquire

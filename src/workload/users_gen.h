@@ -1,0 +1,40 @@
+#ifndef ACQUIRE_WORKLOAD_USERS_GEN_H_
+#define ACQUIRE_WORKLOAD_USERS_GEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace acquire {
+
+/// Synthetic stand-in for the paper's Facebook ad-targeting scenario
+/// (Example 1): a `users` table with demographic attributes. The numeric
+/// columns drive refinable predicates; the string columns are NOREFINE
+/// filters or ontology-refinable categories.
+struct UsersOptions {
+  size_t users = 100000;
+  uint64_t seed = 7;
+};
+
+/// users(user_id INT64, age INT64, income DOUBLE, engagement DOUBLE,
+///       account_age_days INT64, city STRING, gender STRING,
+///       education STRING, interest STRING)
+Status GenerateUsers(const UsersOptions& options, Catalog* catalog);
+
+/// Synthetic patient records for the paper's third motivating use case
+/// (outlier analysis via AVG constraints).
+struct PatientsOptions {
+  size_t patients = 50000;
+  uint64_t seed = 11;
+};
+
+/// patients(patient_id INT64, age INT64, weekly_exercise_hours DOUBLE,
+///          income DOUBLE, systolic_bp DOUBLE, annual_cost DOUBLE)
+/// annual_cost correlates positively with age and blood pressure and
+/// negatively with exercise, so AVG(annual_cost) responds to refinement.
+Status GeneratePatients(const PatientsOptions& options, Catalog* catalog);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_WORKLOAD_USERS_GEN_H_

@@ -1,0 +1,75 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "exec/evaluation.h"
+
+namespace acquire {
+
+Result<double> ColumnQuantile(const Table& table, const std::string& column,
+                              double q) {
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile must lie in [0, 1]");
+  }
+  ACQ_ASSIGN_OR_RETURN(size_t idx, table.schema().FieldIndex(column));
+  const Column& col = table.column(idx);
+  if (!IsNumeric(col.type()) || col.size() == 0) {
+    return Status::InvalidArgument("quantile needs a non-empty numeric column");
+  }
+  std::vector<double> values(col.size());
+  for (size_t i = 0; i < col.size(); ++i) values[i] = col.GetDouble(i);
+  size_t k = static_cast<size_t>(q * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(k),
+                   values.end());
+  return values[k];
+}
+
+Result<RatioTask> BuildRatioTask(const Catalog& catalog,
+                                 const RatioTaskOptions& options) {
+  if (options.columns.empty()) {
+    return Status::InvalidArgument("ratio task needs at least one column");
+  }
+  if (options.ratio <= 0.0 || options.ratio > 1.0) {
+    return Status::InvalidArgument(
+        "aggregate ratio must lie in (0, 1]; expansion assumes the original "
+        "query undershoots");
+  }
+  ACQ_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(options.table));
+
+  const double d = static_cast<double>(options.columns.size());
+  const double per_dim_quantile = std::pow(options.selectivity, 1.0 / d);
+
+  QuerySpec spec;
+  spec.tables = {options.table};
+  for (const std::string& column : options.columns) {
+    ACQ_ASSIGN_OR_RETURN(double bound,
+                         ColumnQuantile(*table, column, per_dim_quantile));
+    spec.predicates.push_back(SelectPredicateSpec{
+        column, CompareOp::kLe, bound, /*refinable=*/true, 1.0, {}});
+  }
+  spec.agg_kind = options.agg_kind;
+  spec.agg_column = options.agg_column;
+  spec.constraint_op = options.constraint_op;
+  spec.target = 1.0;  // placeholder; fixed up from the measured aggregate
+
+  ACQ_ASSIGN_OR_RETURN(AcqTask task, PlanAcqTask(catalog, spec));
+
+  // Measure Aactual of the original (unrefined) query.
+  DirectEvaluationLayer layer(&task);
+  ACQ_ASSIGN_OR_RETURN(
+      double base,
+      layer.EvaluateQueryValue(std::vector<double>(task.d(), 0.0)));
+  if (!(base > 0.0)) {
+    return Status::InvalidArgument(StringFormat(
+        "original query aggregate is %g; pick a higher selectivity so the "
+        "ratio target is meaningful", base));
+  }
+  task.constraint.target = base / options.ratio;
+
+  RatioTask out{std::move(task), base};
+  return out;
+}
+
+}  // namespace acquire

@@ -1,0 +1,46 @@
+#ifndef ACQUIRE_WORKLOAD_WORKLOAD_H_
+#define ACQUIRE_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/planner.h"
+
+namespace acquire {
+
+/// Empirical `q`-quantile of a numeric column (exact; sorts a copy).
+Result<double> ColumnQuantile(const Table& table, const std::string& column,
+                              double q);
+
+/// Recipe for the benchmark tasks of Section 8.3: a d-predicate selection
+/// ACQ over one table whose original aggregate Aactual and target
+/// Aexp = Aactual / ratio realize a chosen aggregate ratio.
+struct RatioTaskOptions {
+  std::string table;
+  /// Refinable predicate columns; d = columns.size(). Each predicate is
+  /// `col <= quantile(selectivity^(1/d))`, so the original query keeps
+  /// roughly `selectivity` of the table.
+  std::vector<std::string> columns;
+  double selectivity = 0.2;
+  AggregateKind agg_kind = AggregateKind::kCount;
+  std::string agg_column;  // empty for COUNT(*)
+  ConstraintOp constraint_op = ConstraintOp::kEq;
+  /// Aactual / Aexp (Section 8.4.1); smaller = more refinement needed.
+  double ratio = 0.5;
+};
+
+/// A planned ratio task plus the measured original aggregate.
+struct RatioTask {
+  AcqTask task;
+  double base_aggregate = 0.0;  // Aactual of the original query
+};
+
+/// Builds and plans the task, measures the original query's aggregate, and
+/// sets the constraint target to base_aggregate / ratio.
+Result<RatioTask> BuildRatioTask(const Catalog& catalog,
+                                 const RatioTaskOptions& options);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,181 @@
+#include "exec/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+
+namespace acquire {
+namespace {
+
+TEST(AggregateOpsTest, CountBasics) {
+  const AggregateOps& ops = CountOps();
+  auto s = ops.Init();
+  EXPECT_DOUBLE_EQ(ops.Final(s), 0.0);
+  ops.Add(&s, 42.0);  // value ignored
+  ops.Add(&s, -1.0);
+  EXPECT_DOUBLE_EQ(ops.Final(s), 2.0);
+}
+
+TEST(AggregateOpsTest, SumBasics) {
+  const AggregateOps& ops = SumOps();
+  auto s = ops.Init();
+  ops.Add(&s, 2.5);
+  ops.Add(&s, -1.0);
+  EXPECT_DOUBLE_EQ(ops.Final(s), 1.5);
+}
+
+TEST(AggregateOpsTest, MinMaxIdentities) {
+  EXPECT_TRUE(std::isinf(MinOps().Final(MinOps().Init())));
+  EXPECT_GT(MinOps().Final(MinOps().Init()), 0.0);
+  EXPECT_TRUE(std::isinf(MaxOps().Final(MaxOps().Init())));
+  EXPECT_LT(MaxOps().Final(MaxOps().Init()), 0.0);
+}
+
+TEST(AggregateOpsTest, MinMaxTrack) {
+  auto mn = MinOps().Init();
+  auto mx = MaxOps().Init();
+  for (double v : {3.0, -1.0, 7.0}) {
+    MinOps().Add(&mn, v);
+    MaxOps().Add(&mx, v);
+  }
+  EXPECT_DOUBLE_EQ(MinOps().Final(mn), -1.0);
+  EXPECT_DOUBLE_EQ(MaxOps().Final(mx), 7.0);
+}
+
+TEST(AggregateOpsTest, AvgIsSumOverCount) {
+  const AggregateOps& ops = AvgOps();
+  auto s = ops.Init();
+  EXPECT_DOUBLE_EQ(ops.Final(s), 0.0);  // empty-set convention
+  ops.Add(&s, 2.0);
+  ops.Add(&s, 4.0);
+  EXPECT_DOUBLE_EQ(ops.Final(s), 3.0);
+}
+
+// The Optimal Substructure Property (Section 2.6): merging the states of a
+// random partition must equal aggregating the whole set directly.
+TEST(AggregateOpsTest, OspHoldsUnderRandomPartitions) {
+  Rng rng(99);
+  const AggregateOps* all[] = {&CountOps(), &SumOps(), &MinOps(), &MaxOps(),
+                               &AvgOps()};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> values;
+    for (int i = 0; i < 200; ++i) values.push_back(rng.NextDouble(-50, 50));
+    for (const AggregateOps* ops : all) {
+      auto whole = ops->Init();
+      for (double v : values) ops->Add(&whole, v);
+      // Partition into 3 random pieces, merge.
+      AggregateOps::State parts[3] = {ops->Init(), ops->Init(), ops->Init()};
+      for (double v : values) {
+        ops->Add(&parts[rng.NextBounded(3)], v);
+      }
+      auto merged = ops->Init();
+      for (const auto& p : parts) ops->Merge(&merged, p);
+      EXPECT_NEAR(ops->Final(merged), ops->Final(whole), 1e-9)
+          << ops->name() << " trial " << trial;
+    }
+  }
+}
+
+TEST(UdaRegistryTest, RegisterAndLookup) {
+  auto product = std::make_unique<LambdaAggregateOps>(
+      "PRODUCT_TEST", AggregateOps::State{1.0},
+      [](AggregateOps::State* s, double v) { (*s)[0] *= v; },
+      [](AggregateOps::State* s, const AggregateOps::State& o) {
+        (*s)[0] *= o[0];
+      },
+      [](const AggregateOps::State& s) { return s[0]; });
+  ASSERT_TRUE(UdaRegistry::Instance().Register(std::move(product)).ok());
+  auto found = UdaRegistry::Instance().Lookup("PRODUCT_TEST");
+  ASSERT_TRUE(found.ok());
+  auto s = (*found)->Init();
+  (*found)->Add(&s, 3.0);
+  (*found)->Add(&s, 4.0);
+  EXPECT_DOUBLE_EQ((*found)->Final(s), 12.0);
+}
+
+TEST(UdaRegistryTest, DuplicateNameRejected) {
+  auto make = [] {
+    return std::make_unique<LambdaAggregateOps>(
+        "DUP_TEST", AggregateOps::State{0.0},
+        [](AggregateOps::State*, double) {},
+        [](AggregateOps::State*, const AggregateOps::State&) {},
+        [](const AggregateOps::State&) { return 0.0; });
+  };
+  ASSERT_TRUE(UdaRegistry::Instance().Register(make()).ok());
+  EXPECT_EQ(UdaRegistry::Instance().Register(make()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(UdaRegistryTest, MissingLookupIsNotFound) {
+  EXPECT_EQ(UdaRegistry::Instance().Lookup("NO_SUCH_UDA").status().code(),
+            StatusCode::kNotFound);
+}
+
+Schema AggSchema() {
+  return Schema({{"qty", DataType::kInt64, "t"},
+                 {"price", DataType::kDouble, "t"},
+                 {"name", DataType::kString, "t"}});
+}
+
+TEST(AggregateSpecTest, CountStarNeedsNoColumn) {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kCount;
+  ASSERT_TRUE(spec.Bind(AggSchema()).ok());
+  EXPECT_EQ(spec.col_index, -1);
+  EXPECT_EQ(spec.ToString(), "COUNT(*)");
+}
+
+TEST(AggregateSpecTest, SumBindsColumn) {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kSum;
+  spec.column = "qty";
+  ASSERT_TRUE(spec.Bind(AggSchema()).ok());
+  EXPECT_EQ(spec.col_index, 0);
+  EXPECT_EQ(spec.ToString(), "SUM(qty)");
+  EXPECT_STREQ(spec.ops->name(), "SUM");
+}
+
+TEST(AggregateSpecTest, SumWithoutColumnFails) {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kSum;
+  EXPECT_FALSE(spec.Bind(AggSchema()).ok());
+}
+
+TEST(AggregateSpecTest, NonNumericColumnFails) {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kAvg;
+  spec.column = "name";
+  EXPECT_TRUE(spec.Bind(AggSchema()).IsTypeError());
+}
+
+TEST(AggregateSpecTest, UnknownUdaFails) {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kUda;
+  spec.uda_name = "NOPE";
+  spec.column = "qty";
+  EXPECT_EQ(spec.Bind(AggSchema()).code(), StatusCode::kNotFound);
+}
+
+TEST(ConstraintTest, SatisfiedExactly) {
+  Constraint eq{ConstraintOp::kEq, 10.0};
+  EXPECT_TRUE(eq.SatisfiedExactly(10.0));
+  EXPECT_FALSE(eq.SatisfiedExactly(10.5));
+  Constraint ge{ConstraintOp::kGe, 10.0};
+  EXPECT_TRUE(ge.SatisfiedExactly(10.0));
+  EXPECT_TRUE(ge.SatisfiedExactly(11.0));
+  EXPECT_FALSE(ge.SatisfiedExactly(9.0));
+  Constraint gt{ConstraintOp::kGt, 10.0};
+  EXPECT_FALSE(gt.SatisfiedExactly(10.0));
+  EXPECT_TRUE(gt.SatisfiedExactly(10.1));
+}
+
+TEST(ConstraintTest, ToStringRendersOpAndTarget) {
+  EXPECT_EQ((Constraint{ConstraintOp::kGe, 100000.0}).ToString(), ">= 100000");
+  EXPECT_EQ((Constraint{ConstraintOp::kEq, 5.0}).ToString(), "= 5");
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,0 +1,185 @@
+#include "sql/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "workload/tpch_gen.h"
+#include "workload/users_gen.h"
+
+namespace acquire {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchOptions tpch;
+    tpch.suppliers = 50;
+    tpch.parts = 100;
+    tpch.lineitems = 1000;
+    ASSERT_TRUE(GenerateTpch(tpch, &catalog_).ok());
+    UsersOptions users;
+    users.users = 1000;
+    ASSERT_TRUE(GenerateUsers(users, &catalog_).ok());
+  }
+
+  QuerySpec MustBind(const std::string& sql, const Binder& binder) {
+    auto ast = ParseAcqSql(sql);
+    EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+    auto spec = binder.BindQuery(*ast);
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    return spec.ok() ? spec.value() : QuerySpec{};
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, NumericPredicatesBecomeRefinableDims) {
+  Binder binder(&catalog_);
+  QuerySpec spec = MustBind(
+      "SELECT * FROM lineitem CONSTRAINT COUNT(*) = 500 "
+      "WHERE l_quantity < 20 AND l_discount <= 0.05 NOREFINE",
+      binder);
+  ASSERT_EQ(spec.predicates.size(), 1u);
+  EXPECT_TRUE(spec.predicates[0].refinable);
+  ASSERT_EQ(spec.fixed_filters.size(), 1u);  // NOREFINE lowers to a filter
+  EXPECT_EQ(spec.fixed_filters[0]->ToString(), "l_discount <= 0.05");
+  EXPECT_EQ(spec.agg_kind, AggregateKind::kCount);
+  EXPECT_DOUBLE_EQ(spec.target, 500.0);
+}
+
+TEST_F(BinderTest, MissingConstraintRejected) {
+  Binder binder(&catalog_);
+  auto ast = ParseAcqSql("SELECT * FROM lineitem WHERE l_quantity < 20");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(binder.BindQuery(*ast).ok());
+}
+
+TEST_F(BinderTest, ShrinkingConstraintOpsRejected) {
+  Binder binder(&catalog_);
+  auto ast =
+      ParseAcqSql("SELECT * FROM lineitem CONSTRAINT COUNT(*) < 10 "
+                  "WHERE l_quantity < 20");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_TRUE(binder.BindQuery(*ast).status().IsUnsupported());
+}
+
+TEST_F(BinderTest, CrossTableEqualityBecomesJoin) {
+  Binder binder(&catalog_);
+  QuerySpec spec = MustBind(
+      "SELECT * FROM supplier, partsupp CONSTRAINT COUNT(*) = 100 "
+      "WHERE s_suppkey = ps_suppkey NOREFINE AND s_acctbal < 2000",
+      binder);
+  ASSERT_EQ(spec.joins.size(), 1u);
+  EXPECT_FALSE(spec.joins[0].refinable);
+  EXPECT_EQ(spec.joins[0].left_column, "s_suppkey");
+}
+
+TEST_F(BinderTest, JoinsAreRefinableByDefault) {
+  Binder binder(&catalog_);
+  QuerySpec spec = MustBind(
+      "SELECT * FROM supplier, partsupp CONSTRAINT COUNT(*) = 100 "
+      "WHERE s_suppkey = ps_suppkey AND s_acctbal < 2000",
+      binder);
+  ASSERT_EQ(spec.joins.size(), 1u);
+  EXPECT_TRUE(spec.joins[0].refinable);
+}
+
+TEST_F(BinderTest, BetweenSplitsIntoTwoOneSidedPredicates) {
+  Binder binder(&catalog_);
+  QuerySpec spec = MustBind(
+      "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+      "WHERE 25 <= age <= 35",
+      binder);
+  ASSERT_EQ(spec.predicates.size(), 2u);
+  EXPECT_EQ(spec.predicates[0].op, CompareOp::kGe);
+  EXPECT_DOUBLE_EQ(spec.predicates[0].bound, 25.0);
+  EXPECT_EQ(spec.predicates[1].op, CompareOp::kLe);
+  EXPECT_DOUBLE_EQ(spec.predicates[1].bound, 35.0);
+}
+
+TEST_F(BinderTest, NorefineBetweenStaysFixed) {
+  Binder binder(&catalog_);
+  QuerySpec spec = MustBind(
+      "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+      "WHERE age BETWEEN 25 AND 35 NOREFINE AND income < 50000",
+      binder);
+  EXPECT_EQ(spec.predicates.size(), 1u);
+  EXPECT_EQ(spec.fixed_filters.size(), 1u);
+}
+
+TEST_F(BinderTest, StringEqualityDegradesToFixedWithoutOntology) {
+  Binder binder(&catalog_);
+  QuerySpec spec = MustBind(
+      "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+      "WHERE gender = 'Women' AND income < 50000",
+      binder);
+  EXPECT_EQ(spec.predicates.size(), 1u);
+  EXPECT_EQ(spec.fixed_filters.size(), 1u);
+  EXPECT_TRUE(spec.categorical_predicates.empty());
+}
+
+TEST_F(BinderTest, StrictCategoricalModeErrors) {
+  Binder binder(&catalog_);
+  binder.set_strict_categorical(true);
+  auto ast = ParseAcqSql(
+      "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+      "WHERE gender = 'Women' AND income < 50000");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_TRUE(binder.BindQuery(*ast).status().IsUnsupported());
+}
+
+TEST_F(BinderTest, RegisteredOntologyEnablesCategoricalRefinement) {
+  OntologyTree tree;
+  ASSERT_TRUE(tree.AddNode("US", "").ok());
+  ASSERT_TRUE(tree.AddNode("EastCoast", "US").ok());
+  ASSERT_TRUE(tree.AddNode("Boston", "EastCoast").ok());
+  ASSERT_TRUE(tree.AddNode("Austin", "US").ok());
+  Binder binder(&catalog_);
+  binder.RegisterOntology("city", &tree);
+  QuerySpec spec = MustBind(
+      "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+      "WHERE city IN ('Boston', 'Austin') AND income < 50000",
+      binder);
+  ASSERT_EQ(spec.categorical_predicates.size(), 1u);
+  EXPECT_EQ(spec.categorical_predicates[0].categories,
+            (std::vector<std::string>{"Boston", "Austin"}));
+}
+
+TEST_F(BinderTest, UnknownAggregateBecomesUda) {
+  Binder binder(&catalog_);
+  QuerySpec spec = MustBind(
+      "SELECT * FROM lineitem CONSTRAINT GEOMEAN(l_quantity) = 10 "
+      "WHERE l_quantity < 20",
+      binder);
+  EXPECT_EQ(spec.agg_kind, AggregateKind::kUda);
+  EXPECT_EQ(spec.uda_name, "GEOMEAN");
+}
+
+TEST_F(BinderTest, UnknownColumnRejected) {
+  Binder binder(&catalog_);
+  auto ast = ParseAcqSql(
+      "SELECT * FROM users CONSTRAINT COUNT(*) = 100 WHERE nope = 'x'");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(binder.BindQuery(*ast).ok());
+}
+
+TEST_F(BinderTest, PlanSqlEndToEnd) {
+  Binder binder(&catalog_);
+  auto task = binder.PlanSql(
+      "SELECT * FROM lineitem CONSTRAINT COUNT(*) = 500 "
+      "WHERE l_quantity < 20 AND l_discount <= 0.05 NOREFINE");
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  EXPECT_EQ(task->d(), 1u);
+  EXPECT_EQ(task->constraint.target, 500.0);
+}
+
+TEST_F(BinderTest, NumericEqualityRefinableExpandsTwoDims) {
+  Binder binder(&catalog_);
+  auto task = binder.PlanSql(
+      "SELECT * FROM part CONSTRAINT COUNT(*) = 50 WHERE p_size = 10");
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  EXPECT_EQ(task->d(), 2u);
+}
+
+}  // namespace
+}  // namespace acquire

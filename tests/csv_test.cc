@@ -1,0 +1,132 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace acquire {
+namespace {
+
+Schema CsvSchema() {
+  return Schema({{"id", DataType::kInt64, ""},
+                 {"price", DataType::kDouble, ""},
+                 {"name", DataType::kString, ""}});
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/acq_csv_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST(ParseCsvLineTest, PlainFields) {
+  auto fields = ParseCsvLine("a,b,c", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithDelimiterAndEscapedQuote) {
+  auto fields = ParseCsvLine(R"(1,"a,b","say ""hi""")", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields,
+            (std::vector<std::string>{"1", "a,b", "say \"hi\""}));
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  auto fields = ParseCsvLine(",,", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 3u);
+}
+
+TEST(ParseCsvLineTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine("\"abc", ',').ok());
+}
+
+TEST(ParseCsvLineTest, MidFieldQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine("ab\"c\",d", ',').ok());
+}
+
+TEST_F(CsvTest, ReadValidFile) {
+  WriteFile("id,price,name\n1,2.5,apple\n2,3.5,\"b,anana\"\n");
+  auto table = ReadCsv(path_, "fruits", CsvSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->Get(1, 2), Value("b,anana"));
+  EXPECT_EQ((*table)->Get(0, 0), Value(int64_t{1}));
+}
+
+TEST_F(CsvTest, HeaderMismatchFails) {
+  WriteFile("id,cost,name\n1,2.5,apple\n");
+  EXPECT_TRUE(ReadCsv(path_, "t", CsvSchema()).status().IsParseError());
+}
+
+TEST_F(CsvTest, FieldCountMismatchFails) {
+  WriteFile("id,price,name\n1,2.5\n");
+  EXPECT_TRUE(ReadCsv(path_, "t", CsvSchema()).status().IsParseError());
+}
+
+TEST_F(CsvTest, BadNumberFails) {
+  WriteFile("id,price,name\nxyz,2.5,apple\n");
+  EXPECT_TRUE(ReadCsv(path_, "t", CsvSchema()).status().IsParseError());
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  auto r = ReadCsv("/nonexistent/path.csv", "t", CsvSchema());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, RoundTripPreservesData) {
+  Table t("fruits", CsvSchema());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value(0.5), Value("a,b")}).ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value(int64_t{2}), Value(1.25), Value("say \"hi\"")}).ok());
+  ASSERT_TRUE(WriteCsv(t, path_).ok());
+
+  auto back = ReadCsv(path_, "fruits", CsvSchema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ((*back)->num_rows(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ((*back)->Get(r, c), t.Get(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  WriteFile("id,price,name\n1,2.5,apple\n\n2,3.5,pear\n");
+  auto table = ReadCsv(path_, "t", CsvSchema());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 2u);
+}
+
+TEST_F(CsvTest, CrlfLineEndingsTolerated) {
+  WriteFile("id,price,name\r\n1,2.5,apple\r\n\r\n2,3.5,pear\r\n");
+  auto table = ReadCsv(path_, "t", CsvSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->Get(0, 2), Value("apple"));  // no trailing \r
+  EXPECT_EQ((*table)->Get(1, 2), Value("pear"));
+}
+
+TEST_F(CsvTest, NoHeaderMode) {
+  WriteFile("1,2.5,apple\n");
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ReadCsv(path_, "t", CsvSchema(), options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,0 +1,180 @@
+#include "core/expand.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "test_util.h"
+
+namespace acquire {
+namespace {
+
+using test_util::MakeSyntheticTask;
+using test_util::SyntheticOptions;
+
+std::unique_ptr<test_util::SyntheticTask> MakeFixture(size_t d) {
+  SyntheticOptions options;
+  options.d = d;
+  options.rows = 500;
+  return MakeSyntheticTask(options);
+}
+
+int64_t Sum(const GridCoord& c) {
+  return std::accumulate(c.begin(), c.end(), int64_t{0});
+}
+
+int32_t Max(const GridCoord& c) {
+  return *std::max_element(c.begin(), c.end());
+}
+
+// Drains up to `limit` coordinates.
+std::vector<GridCoord> Drain(QueryGenerator* gen, size_t limit) {
+  std::vector<GridCoord> out;
+  GridCoord coord;
+  while (out.size() < limit && gen->Next(&coord)) out.push_back(coord);
+  return out;
+}
+
+TEST(BfsGeneratorTest, StartsAtOriginWithScoreZero) {
+  auto fixture = MakeFixture(3);
+  RefinedSpace space(&fixture->task, 9.0, Norm::L1());
+  BfsGenerator gen(&space);
+  GridCoord coord;
+  ASSERT_TRUE(gen.Next(&coord));
+  EXPECT_EQ(coord, GridCoord(3, 0));
+  EXPECT_DOUBLE_EQ(gen.CurrentScore(), 0.0);
+}
+
+TEST(BfsGeneratorTest, Theorem2LayerOrdering) {
+  // All grid queries of layer k come out before any of layer k+1.
+  auto fixture = MakeFixture(3);
+  RefinedSpace space(&fixture->task, 9.0, Norm::L1());
+  BfsGenerator gen(&space);
+  int64_t last_layer = 0;
+  for (const GridCoord& c : Drain(&gen, 500)) {
+    int64_t layer = Sum(c);
+    EXPECT_GE(layer, last_layer);
+    last_layer = layer;
+  }
+}
+
+TEST(BfsGeneratorTest, NoDuplicatesAndCompleteLayers) {
+  auto fixture = MakeFixture(2);
+  RefinedSpace space(&fixture->task, 10.0, Norm::L1());
+  BfsGenerator gen(&space);
+  std::set<GridCoord> seen;
+  std::vector<GridCoord> coords = Drain(&gen, 200);
+  for (const GridCoord& c : coords) {
+    EXPECT_TRUE(seen.insert(c).second) << "duplicate coordinate";
+  }
+  // Layers 0..3 must be complete: layer k has k+1 coords in 2-D.
+  for (int64_t k = 0; k <= 3; ++k) {
+    int64_t count = std::count_if(coords.begin(), coords.end(),
+                                  [&](const GridCoord& c) { return Sum(c) == k; });
+    EXPECT_EQ(count, k + 1) << "layer " << k;
+  }
+}
+
+TEST(BfsGeneratorTest, RespectsPerDimensionCaps) {
+  auto fixture = MakeFixture(2);
+  fixture->task.dims[0]->set_weight(1.0);
+  // Cap dim 0 at a small refinement so only a few levels exist.
+  auto* dim0 = dynamic_cast<NumericDim*>(fixture->task.dims[0].get());
+  ASSERT_NE(dim0, nullptr);
+  dim0->set_max_refinement(7.0);  // step 5 -> max level 2
+  RefinedSpace space(&fixture->task, 10.0, Norm::L1());
+  EXPECT_EQ(space.MaxLevel(0), 2);
+  BfsGenerator gen(&space);
+  for (const GridCoord& c : Drain(&gen, 1000)) {
+    EXPECT_LE(c[0], 2);
+  }
+}
+
+TEST(BfsGeneratorTest, ExhaustsFiniteSpace) {
+  auto fixture = MakeFixture(2);
+  for (auto& dim : fixture->task.dims) {
+    dynamic_cast<NumericDim*>(dim.get())->set_max_refinement(10.0);
+  }
+  RefinedSpace space(&fixture->task, 10.0, Norm::L1());
+  // Max level 2 per dim -> 3x3 grid.
+  BfsGenerator gen(&space);
+  EXPECT_EQ(Drain(&gen, 1000).size(), 9u);
+}
+
+TEST(ShellGeneratorTest, EnumeratesLInfShellsInOrder) {
+  auto fixture = MakeFixture(3);
+  RefinedSpace space(&fixture->task, 9.0, Norm::LInf());
+  ShellGenerator gen(&space);
+  int32_t last_shell = 0;
+  GridCoord c;
+  for (int i = 0; i < 300 && gen.Next(&c); ++i) {
+    int32_t shell = Max(c);
+    EXPECT_GE(shell, last_shell);
+    EXPECT_DOUBLE_EQ(gen.CurrentScore(), shell);
+    last_shell = shell;
+  }
+}
+
+TEST(ShellGeneratorTest, ShellsAreCompleteAndDuplicateFree) {
+  auto fixture = MakeFixture(3);
+  RefinedSpace space(&fixture->task, 9.0, Norm::LInf());
+  ShellGenerator gen(&space);
+  std::set<GridCoord> seen;
+  std::vector<GridCoord> coords = Drain(&gen, 600);
+  for (const GridCoord& c : coords) {
+    EXPECT_TRUE(seen.insert(c).second);
+  }
+  // Shell k in 3-D has (k+1)^3 - k^3 coordinates.
+  for (int32_t k = 0; k <= 3; ++k) {
+    int64_t count = std::count_if(coords.begin(), coords.end(),
+                                  [&](const GridCoord& c) { return Max(c) == k; });
+    int64_t expected = static_cast<int64_t>((k + 1)) * (k + 1) * (k + 1) -
+                       static_cast<int64_t>(k) * k * k;
+    EXPECT_EQ(count, expected) << "shell " << k;
+  }
+}
+
+TEST(ShellGeneratorTest, RespectsCaps) {
+  auto fixture = MakeFixture(2);
+  dynamic_cast<NumericDim*>(fixture->task.dims[0].get())
+      ->set_max_refinement(7.0);  // max level 2 at step 5
+  RefinedSpace space(&fixture->task, 10.0, Norm::LInf());
+  ShellGenerator gen(&space);
+  for (const GridCoord& c : Drain(&gen, 2000)) {
+    EXPECT_LE(c[0], 2);
+  }
+}
+
+TEST(BestFirstGeneratorTest, ScoresAreNondecreasingExactQScores) {
+  auto fixture = MakeFixture(2);
+  fixture->task.dims[0]->set_weight(2.0);  // skewed weights
+  RefinedSpace space(&fixture->task, 10.0, Norm::L2());
+  BestFirstGenerator gen(&space);
+  double last = 0.0;
+  GridCoord coord;
+  for (int i = 0; i < 100 && gen.Next(&coord); ++i) {
+    EXPECT_GE(gen.CurrentScore() + 1e-12, last);
+    EXPECT_NEAR(gen.CurrentScore(), space.QScoreOf(coord), 1e-12);
+    last = gen.CurrentScore();
+  }
+}
+
+TEST(BestFirstGeneratorTest, VisitsSameSetAsBfs) {
+  auto fixture = MakeFixture(2);
+  for (auto& dim : fixture->task.dims) {
+    dynamic_cast<NumericDim*>(dim.get())->set_max_refinement(15.0);
+  }
+  RefinedSpace space(&fixture->task, 10.0, Norm::L1());
+  BfsGenerator bfs(&space);
+  BestFirstGenerator best(&space);
+  auto a = Drain(&bfs, 10000);
+  auto b = Drain(&best, 10000);
+  std::set<GridCoord> sa(a.begin(), a.end());
+  std::set<GridCoord> sb(b.begin(), b.end());
+  EXPECT_EQ(sa, sb);
+}
+
+}  // namespace
+}  // namespace acquire

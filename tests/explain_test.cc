@@ -1,0 +1,64 @@
+#include "sql/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "workload/tpch_gen.h"
+
+namespace acquire {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchOptions options;
+    options.suppliers = 50;
+    options.parts = 100;
+    options.lineitems = 2000;
+    ASSERT_TRUE(GenerateTpch(options, &catalog_).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(ExplainTest, ListsDimsConstraintAndGeometry) {
+  Binder binder(&catalog_);
+  auto task = binder.PlanSql(
+      "SELECT * FROM lineitem CONSTRAINT COUNT(*) = 900 "
+      "WHERE l_quantity < 20 AND l_discount <= 0.05 NOREFINE");
+  ASSERT_TRUE(task.ok());
+  AcquireOptions options;
+  options.gamma = 10.0;
+  std::string plan = ExplainTask(*task, options);
+  EXPECT_NE(plan.find("base relation: lineitem"), std::string::npos);
+  EXPECT_NE(plan.find("COUNT(*) = 900"), std::string::npos);
+  EXPECT_NE(plan.find("l_quantity < 20"), std::string::npos);
+  EXPECT_NE(plan.find("l_discount <= 0.05"), std::string::npos);
+  EXPECT_NE(plan.find("d=1"), std::string::npos);
+  EXPECT_NE(plan.find("step=10"), std::string::npos);  // gamma/d = 10
+  EXPECT_NE(plan.find("grid levels"), std::string::npos);
+}
+
+TEST_F(ExplainTest, JoinTaskShowsJoinDimension) {
+  Binder binder(&catalog_);
+  auto task = binder.PlanSql(
+      "SELECT * FROM supplier, partsupp CONSTRAINT COUNT(*) = 500 "
+      "WHERE s_suppkey = ps_suppkey AND s_acctbal < 2000");
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  std::string plan = ExplainTask(*task, {});
+  EXPECT_NE(plan.find("s_suppkey = ps_suppkey"), std::string::npos);
+  EXPECT_NE(plan.find("d=2"), std::string::npos);
+}
+
+TEST_F(ExplainTest, WeightsAreShown) {
+  Binder binder(&catalog_);
+  auto task = binder.PlanSql(
+      "SELECT * FROM lineitem CONSTRAINT COUNT(*) = 900 "
+      "WHERE l_quantity < 20");
+  ASSERT_TRUE(task.ok());
+  task->dims[0]->set_weight(2.5);
+  std::string plan = ExplainTask(*task, {});
+  EXPECT_NE(plan.find("weight 2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,0 +1,159 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace acquire {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_shared<Table>(
+        "t", Schema({{"a", DataType::kInt64, ""},
+                     {"b", DataType::kDouble, ""},
+                     {"s", DataType::kString, ""}}));
+    ASSERT_TRUE(
+        table_->AppendRow({Value(int64_t{10}), Value(2.5), Value("red")}).ok());
+    ASSERT_TRUE(
+        table_->AppendRow({Value(int64_t{20}), Value(5.0), Value("blue")}).ok());
+  }
+
+  // Binds and evaluates `e` on row `row`, expecting success.
+  Value Eval(const ExprPtr& e, size_t row) {
+    EXPECT_TRUE(e->Bind(table_->schema()).ok());
+    auto v = e->Eval(*table_, row);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return v.ok() ? v.value() : Value::Null();
+  }
+
+  bool EvalBool(const ExprPtr& e, size_t row) {
+    EXPECT_TRUE(e->Bind(table_->schema()).ok());
+    auto v = e->EvalBool(*table_, row);
+    EXPECT_TRUE(v.ok());
+    return v.ok() && v.value();
+  }
+
+  TablePtr table_;
+};
+
+TEST_F(ExprTest, ColumnReadsValue) {
+  EXPECT_EQ(Eval(Expr::Column("a"), 1), Value(int64_t{20}));
+  EXPECT_EQ(Eval(Expr::Column("s"), 0), Value("red"));
+}
+
+TEST_F(ExprTest, LiteralEvaluatesToItself) {
+  EXPECT_EQ(Eval(Expr::Literal(Value(7.5)), 0), Value(7.5));
+}
+
+TEST_F(ExprTest, ComparisonsAllOps) {
+  auto col = [] { return Expr::Column("a"); };
+  auto lit = [](int64_t v) { return Expr::Literal(Value(v)); };
+  EXPECT_TRUE(EvalBool(Expr::Compare(CompareOp::kEq, col(), lit(10)), 0));
+  EXPECT_TRUE(EvalBool(Expr::Compare(CompareOp::kNe, col(), lit(11)), 0));
+  EXPECT_TRUE(EvalBool(Expr::Compare(CompareOp::kLt, col(), lit(11)), 0));
+  EXPECT_TRUE(EvalBool(Expr::Compare(CompareOp::kLe, col(), lit(10)), 0));
+  EXPECT_TRUE(EvalBool(Expr::Compare(CompareOp::kGt, col(), lit(9)), 0));
+  EXPECT_TRUE(EvalBool(Expr::Compare(CompareOp::kGe, col(), lit(10)), 0));
+  EXPECT_FALSE(EvalBool(Expr::Compare(CompareOp::kLt, col(), lit(10)), 0));
+}
+
+TEST_F(ExprTest, CrossTypeNumericComparison) {
+  // int64 column vs double literal.
+  EXPECT_TRUE(EvalBool(
+      Expr::Compare(CompareOp::kLt, Expr::Column("a"), Expr::Literal(Value(10.5))),
+      0));
+}
+
+TEST_F(ExprTest, ArithAllOps) {
+  auto b = [] { return Expr::Column("b"); };
+  EXPECT_EQ(Eval(Expr::Arith(ArithOp::kAdd, b(), Expr::Literal(Value(1.5))), 0),
+            Value(4.0));
+  EXPECT_EQ(Eval(Expr::Arith(ArithOp::kSub, b(), Expr::Literal(Value(0.5))), 0),
+            Value(2.0));
+  EXPECT_EQ(Eval(Expr::Arith(ArithOp::kMul, b(), Expr::Literal(Value(2.0))), 0),
+            Value(5.0));
+  EXPECT_EQ(Eval(Expr::Arith(ArithOp::kDiv, b(), Expr::Literal(Value(2.0))), 0),
+            Value(1.25));
+}
+
+TEST_F(ExprTest, DivisionByZeroIsError) {
+  auto e = Expr::Arith(ArithOp::kDiv, Expr::Column("b"),
+                       Expr::Literal(Value(0.0)));
+  ASSERT_TRUE(e->Bind(table_->schema()).ok());
+  EXPECT_FALSE(e->Eval(*table_, 0).ok());
+}
+
+TEST_F(ExprTest, AndOrShortCircuitSemantics) {
+  auto truthy = Expr::Compare(CompareOp::kGt, Expr::Column("a"),
+                              Expr::Literal(Value(int64_t{0})));
+  auto falsy = Expr::Compare(CompareOp::kLt, Expr::Column("a"),
+                             Expr::Literal(Value(int64_t{0})));
+  EXPECT_TRUE(EvalBool(Expr::And({truthy, truthy}), 0));
+  EXPECT_FALSE(EvalBool(Expr::And({truthy, falsy}), 0));
+  EXPECT_TRUE(EvalBool(Expr::Or({falsy, truthy}), 0));
+  EXPECT_FALSE(EvalBool(Expr::Or({falsy, falsy}), 0));
+  EXPECT_TRUE(EvalBool(Expr::Not(falsy), 0));
+}
+
+TEST_F(ExprTest, InMatchesAnyListValue) {
+  auto e = Expr::In(Expr::Column("s"), {Value("green"), Value("red")});
+  EXPECT_TRUE(EvalBool(e, 0));
+  EXPECT_FALSE(EvalBool(e, 1));
+}
+
+TEST_F(ExprTest, BetweenIsInclusive) {
+  auto e = Expr::Between(Expr::Column("a"), Value(int64_t{10}),
+                         Value(int64_t{15}));
+  EXPECT_TRUE(EvalBool(e, 0));   // a = 10
+  EXPECT_FALSE(EvalBool(e, 1));  // a = 20
+}
+
+TEST_F(ExprTest, BindFailsOnUnknownColumn) {
+  auto e = Expr::Column("nope");
+  EXPECT_EQ(e->Bind(table_->schema()).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(e->bound());
+}
+
+TEST_F(ExprTest, EvalWithoutBindFails) {
+  auto e = Expr::Column("a");
+  EXPECT_FALSE(e->Eval(*table_, 0).ok());
+}
+
+TEST_F(ExprTest, BoundReflectsTreeState) {
+  auto e = Expr::Compare(CompareOp::kLt, Expr::Column("a"),
+                         Expr::Literal(Value(int64_t{5})));
+  EXPECT_FALSE(e->bound());
+  ASSERT_TRUE(e->Bind(table_->schema()).ok());
+  EXPECT_TRUE(e->bound());
+}
+
+TEST_F(ExprTest, ToStringRendersSql) {
+  auto e = Expr::And(
+      {Expr::Compare(CompareOp::kLt, Expr::Column("a"),
+                     Expr::Literal(Value(int64_t{5}))),
+       Expr::In(Expr::Column("s"), {Value("x"), Value("y")})});
+  EXPECT_EQ(e->ToString(), "(a < 5 AND s IN ('x', 'y'))");
+  auto b = Expr::Between(Expr::Column("a"), Value(int64_t{1}),
+                         Value(int64_t{2}));
+  EXPECT_EQ(b->ToString(), "a BETWEEN 1 AND 2");
+  auto n = Expr::Not(Expr::Column("a"));
+  EXPECT_EQ(n->ToString(), "NOT (a)");
+}
+
+TEST(CompareOpTest, FlipSwapsDirection) {
+  EXPECT_EQ(FlipCompareOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kLe), CompareOp::kGe);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kGt), CompareOp::kLt);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kGe), CompareOp::kLe);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kNe), CompareOp::kNe);
+}
+
+TEST(CompareOpTest, Names) {
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kNe), "!=");
+  EXPECT_STREQ(ArithOpToString(ArithOp::kMul), "*");
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,0 +1,132 @@
+#include "index/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/planner.h"
+#include "workload/tpch_gen.h"
+
+namespace acquire {
+namespace {
+
+class GridIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchOptions options;
+    options.lineitems = 4000;
+    options.suppliers = 50;
+    options.parts = 100;
+    ASSERT_TRUE(GenerateTpch(options, &catalog_).ok());
+
+    QuerySpec spec;
+    spec.tables = {"lineitem"};
+    spec.predicates.push_back(SelectPredicateSpec{
+        "l_quantity", CompareOp::kLe, 15.0, true, 1.0, {}});
+    spec.predicates.push_back(SelectPredicateSpec{
+        "l_shipdays", CompareOp::kLe, 700.0, true, 1.0, {}});
+    spec.agg_kind = AggregateKind::kCount;
+    spec.target = 1.0;
+    auto task = PlanAcqTask(catalog_, spec);
+    ASSERT_TRUE(task.ok()) << task.status().ToString();
+    task_ = std::make_unique<AcqTask>(std::move(task).value());
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<AcqTask> task_;
+  static constexpr double kStep = 5.0;
+};
+
+TEST_F(GridIndexTest, PrepareBuildsSparseCells) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  ASSERT_TRUE(index.Prepare().ok());
+  EXPECT_GT(index.num_populated_cells(), 0u);
+  // Cell count is bounded by both tuples and grid volume.
+  EXPECT_LE(index.num_populated_cells(), task_->relation->num_rows());
+}
+
+TEST_F(GridIndexTest, CellAlignmentDetection) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  GridCoord coord;
+  EXPECT_TRUE(index.IsCellAligned(
+      {PScoreRange{-1.0, 0.0}, PScoreRange{5.0, 10.0}}, &coord));
+  EXPECT_EQ(coord, (GridCoord{0, 2}));
+  // Not a single cell: spans two levels.
+  EXPECT_FALSE(index.IsCellAligned(
+      {PScoreRange{0.0, 10.0}, PScoreRange{5.0, 10.0}}, &coord));
+  // Off-grid bound.
+  EXPECT_FALSE(index.IsCellAligned(
+      {PScoreRange{-1.0, 0.0}, PScoreRange{5.5, 10.5}}, &coord));
+}
+
+TEST_F(GridIndexTest, CellQueriesMatchDirectLayer) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  DirectEvaluationLayer direct(task_.get());
+  for (int32_t u0 = 0; u0 <= 4; ++u0) {
+    for (int32_t u1 = 0; u1 <= 4; ++u1) {
+      std::vector<PScoreRange> cell = {CellRangeForLevel(u0, kStep),
+                                       CellRangeForLevel(u1, kStep)};
+      auto a = index.EvaluateBox(cell);
+      auto b = direct.EvaluateBox(cell);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_DOUBLE_EQ(task_->agg.ops->Final(*a), task_->agg.ops->Final(*b))
+          << u0 << "," << u1;
+    }
+  }
+}
+
+TEST_F(GridIndexTest, AlignedBoxQueriesMatchDirectLayer) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  DirectEvaluationLayer direct(task_.get());
+  // Full refined queries at grid corners (lo = from zero).
+  for (int32_t u = 0; u <= 6; u += 2) {
+    std::vector<PScoreRange> box = {
+        PScoreRange{-1.0, u * kStep}, PScoreRange{-1.0, (u + 2) * kStep}};
+    auto a = index.EvaluateBox(box);
+    auto b = direct.EvaluateBox(box);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_DOUBLE_EQ(task_->agg.ops->Final(*a), task_->agg.ops->Final(*b));
+  }
+}
+
+TEST_F(GridIndexTest, UnalignedBoxFallsBackToScanAndMatches) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  DirectEvaluationLayer direct(task_.get());
+  Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<PScoreRange> box(2);
+    for (auto& r : box) {
+      r.lo = -1.0;
+      r.hi = rng.NextDouble(0.0, 40.0);  // almost surely off-grid
+    }
+    auto a = index.EvaluateBox(box);
+    auto b = direct.EvaluateBox(box);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_DOUBLE_EQ(task_->agg.ops->Final(*a), task_->agg.ops->Final(*b));
+  }
+}
+
+TEST_F(GridIndexTest, EmptyCellAnsweredWithoutTouchingData) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  ASSERT_TRUE(index.Prepare().ok());
+  index.ResetStats();
+  // A far-out cell that is almost surely empty.
+  std::vector<PScoreRange> cell = {CellRangeForLevel(1, kStep),
+                                   CellRangeForLevel(1, kStep)};
+  ASSERT_TRUE(index.EvaluateBox(cell).ok());
+  EXPECT_EQ(index.stats().queries, 1u);
+  EXPECT_EQ(index.stats().tuples_scanned, 1u);  // one hash probe
+}
+
+TEST_F(GridIndexTest, InvalidStepRejected) {
+  GridIndexEvaluationLayer index(task_.get(), 0.0);
+  EXPECT_FALSE(index.Prepare().ok());
+}
+
+TEST(GridCoordHashTest, DistinctCoordsDistinctHashesMostly) {
+  GridCoordHash hash;
+  EXPECT_NE(hash({0, 1}), hash({1, 0}));
+  EXPECT_EQ(hash({2, 3}), hash({2, 3}));
+}
+
+}  // namespace
+}  // namespace acquire

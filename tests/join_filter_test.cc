@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "exec/filter.h"
+#include "exec/join.h"
+
+namespace acquire {
+namespace {
+
+TablePtr MakeKeyed(const std::string& name, const std::string& key_col,
+                   std::vector<int64_t> keys) {
+  auto t = std::make_shared<Table>(
+      name, Schema({{key_col, DataType::kInt64, ""},
+                    {"payload", DataType::kInt64, ""}}));
+  int64_t payload = 0;
+  for (int64_t k : keys) {
+    EXPECT_TRUE(t->AppendRow({Value(k), Value(payload++)}).ok());
+  }
+  return t;
+}
+
+TEST(FilterTest, SelectRowsMatchesPredicate) {
+  auto t = MakeKeyed("t", "k", {1, 5, 3, 8});
+  auto pred = Expr::Compare(CompareOp::kGt, Expr::Column("k"),
+                            Expr::Literal(Value(int64_t{2})));
+  ASSERT_TRUE(pred->Bind(t->schema()).ok());
+  auto rows = SelectRows(*t, *pred);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(FilterTest, GatherPreservesSchemaAndValues) {
+  auto t = MakeKeyed("t", "k", {1, 5, 3});
+  TablePtr g = GatherRows(*t, {2, 0}, "g");
+  EXPECT_EQ(g->num_rows(), 2u);
+  EXPECT_EQ(g->Get(0, 0), Value(int64_t{3}));
+  EXPECT_EQ(g->Get(1, 0), Value(int64_t{1}));
+  EXPECT_EQ(g->schema().num_fields(), t->schema().num_fields());
+}
+
+TEST(FilterTest, FilterTableBindsAndFilters) {
+  auto t = MakeKeyed("t", "k", {1, 5, 3});
+  auto filtered = FilterTable(
+      t, Expr::Compare(CompareOp::kLe, Expr::Column("k"),
+                       Expr::Literal(Value(int64_t{3}))));
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ((*filtered)->num_rows(), 2u);
+}
+
+TEST(FilterTest, NullPredicatePassesThrough) {
+  auto t = MakeKeyed("t", "k", {1, 2});
+  auto filtered = FilterTable(t, nullptr);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ((*filtered).get(), t.get());
+}
+
+TEST(HashJoinTest, MatchesNestedLoopSemantics) {
+  auto left = MakeKeyed("l", "lk", {1, 2, 2, 3});
+  auto right = MakeKeyed("r", "rk", {2, 2, 3, 4});
+  auto joined = HashJoin(left, right, "lk", "rk", "j");
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  // 2x2 pairs for key 2 plus 1 pair for key 3.
+  EXPECT_EQ((*joined)->num_rows(), 5u);
+  // Output schema = left fields then right fields.
+  EXPECT_EQ((*joined)->schema().num_fields(), 4u);
+  EXPECT_EQ((*joined)->schema().field(0).QualifiedName(), "l.lk");
+  EXPECT_EQ((*joined)->schema().field(2).QualifiedName(), "r.rk");
+  // Every output row has matching keys.
+  for (size_t i = 0; i < (*joined)->num_rows(); ++i) {
+    EXPECT_EQ((*joined)->Get(i, 0), (*joined)->Get(i, 2));
+  }
+}
+
+TEST(HashJoinTest, StringKeys) {
+  auto l = std::make_shared<Table>("l", Schema({{"s", DataType::kString, ""}}));
+  auto r = std::make_shared<Table>("r", Schema({{"t", DataType::kString, ""}}));
+  ASSERT_TRUE(l->AppendRow({Value("a")}).ok());
+  ASSERT_TRUE(l->AppendRow({Value("b")}).ok());
+  ASSERT_TRUE(r->AppendRow({Value("b")}).ok());
+  auto joined = HashJoin(l, r, "s", "t", "j");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ((*joined)->num_rows(), 1u);
+  EXPECT_EQ((*joined)->Get(0, 0), Value("b"));
+}
+
+TEST(HashJoinTest, TypeMismatchRejected) {
+  auto l = std::make_shared<Table>("l", Schema({{"s", DataType::kString, ""}}));
+  auto r = MakeKeyed("r", "k", {1});
+  ASSERT_TRUE(l->AppendRow({Value("a")}).ok());
+  EXPECT_FALSE(HashJoin(l, r, "s", "k", "j").ok());
+}
+
+TEST(HashJoinTest, EmptyInputsYieldEmptyOutput) {
+  auto l = MakeKeyed("l", "lk", {});
+  auto r = MakeKeyed("r", "rk", {1, 2});
+  auto joined = HashJoin(l, r, "lk", "rk", "j");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ((*joined)->num_rows(), 0u);
+}
+
+TablePtr MakeDoubles(const std::string& name, const std::string& col,
+                     std::vector<double> values) {
+  auto t = std::make_shared<Table>(name,
+                                   Schema({{col, DataType::kDouble, ""}}));
+  for (double v : values) EXPECT_TRUE(t->AppendRow({Value(v)}).ok());
+  return t;
+}
+
+TEST(BandJoinTest, ZeroBandIsEquiJoin) {
+  auto l = MakeDoubles("l", "x", {1.0, 2.0, 3.0});
+  auto r = MakeDoubles("r", "y", {2.0, 3.5});
+  auto joined = BandJoin(l, r, "x", "y", 0.0, "j");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ((*joined)->num_rows(), 1u);
+}
+
+TEST(BandJoinTest, MatchesBruteForceOnRandomData) {
+  Rng rng(5);
+  std::vector<double> lv;
+  std::vector<double> rv;
+  for (int i = 0; i < 80; ++i) lv.push_back(rng.NextDouble(0, 100));
+  for (int i = 0; i < 60; ++i) rv.push_back(rng.NextDouble(0, 100));
+  auto l = MakeDoubles("l", "x", lv);
+  auto r = MakeDoubles("r", "y", rv);
+  const double band = 7.5;
+  auto joined = BandJoin(l, r, "x", "y", band, "j");
+  ASSERT_TRUE(joined.ok());
+  size_t expected = 0;
+  for (double a : lv) {
+    for (double b : rv) {
+      if (std::fabs(a - b) <= band) ++expected;
+    }
+  }
+  EXPECT_EQ((*joined)->num_rows(), expected);
+  for (size_t i = 0; i < (*joined)->num_rows(); ++i) {
+    double a = (*joined)->column(0).GetDouble(i);
+    double b = (*joined)->column(1).GetDouble(i);
+    EXPECT_LE(std::fabs(a - b), band);
+  }
+}
+
+TEST(BandJoinTest, NegativeBandRejected) {
+  auto l = MakeDoubles("l", "x", {1.0});
+  auto r = MakeDoubles("r", "y", {1.0});
+  EXPECT_FALSE(BandJoin(l, r, "x", "y", -1.0, "j").ok());
+}
+
+TEST(BandJoinTest, NonNumericKeyRejected) {
+  auto l = std::make_shared<Table>("l", Schema({{"s", DataType::kString, ""}}));
+  ASSERT_TRUE(l->AppendRow({Value("a")}).ok());
+  auto r = MakeDoubles("r", "y", {1.0});
+  EXPECT_TRUE(BandJoin(l, r, "s", "y", 1.0, "j").status().IsTypeError());
+}
+
+TEST(MaterializeJoinPairsTest, CopiesBothSides) {
+  auto l = MakeKeyed("l", "lk", {7});
+  auto r = MakeDoubles("r", "y", {3.5});
+  TablePtr out = MaterializeJoinPairs(*l, *r, {{0, 0}}, "out");
+  EXPECT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->Get(0, 0), Value(int64_t{7}));
+  EXPECT_EQ(out->Get(0, 2), Value(3.5));
+}
+
+}  // namespace
+}  // namespace acquire

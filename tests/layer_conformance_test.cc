@@ -1,0 +1,140 @@
+// Conformance suite for every exact evaluation layer: direct, cached,
+// parallel, grid index, and the sampling layer at rate 1.0 (a full
+// "sample" must be exact). All must return identical aggregate states for
+// identical box queries, across aggregates and random boxes.
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "acquire.h"
+#include "test_util.h"
+
+namespace acquire {
+namespace {
+
+using test_util::MakeSyntheticTask;
+using test_util::SyntheticOptions;
+
+enum class LayerKind { kDirect, kCached, kParallel, kGridIndex, kFullSample };
+
+const char* LayerName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kDirect:
+      return "Direct";
+    case LayerKind::kCached:
+      return "Cached";
+    case LayerKind::kParallel:
+      return "Parallel";
+    case LayerKind::kGridIndex:
+      return "GridIndex";
+    case LayerKind::kFullSample:
+      return "FullSample";
+  }
+  return "?";
+}
+
+std::unique_ptr<EvaluationLayer> MakeLayer(LayerKind kind,
+                                           const AcqTask* task) {
+  switch (kind) {
+    case LayerKind::kDirect:
+      return std::make_unique<DirectEvaluationLayer>(task);
+    case LayerKind::kCached:
+      return std::make_unique<CachedEvaluationLayer>(task);
+    case LayerKind::kParallel:
+      return std::make_unique<ParallelEvaluationLayer>(task, 4);
+    case LayerKind::kGridIndex:
+      return std::make_unique<GridIndexEvaluationLayer>(task, 5.0);
+    case LayerKind::kFullSample:
+      return std::make_unique<SamplingEvaluationLayer>(task, 1.0);
+  }
+  return nullptr;
+}
+
+class LayerConformanceTest
+    : public ::testing::TestWithParam<std::tuple<LayerKind, AggregateKind>> {
+};
+
+TEST_P(LayerConformanceTest, MatchesDirectOnRandomBoxes) {
+  auto [kind, agg] = GetParam();
+  SyntheticOptions options;
+  options.d = 3;
+  options.rows = 5000;
+  options.agg = agg;
+  options.target = 10.0;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+
+  DirectEvaluationLayer reference(&fixture->task);
+  std::unique_ptr<EvaluationLayer> layer = MakeLayer(kind, &fixture->task);
+  ASSERT_NE(layer, nullptr);
+  ASSERT_TRUE(layer->Prepare().ok());
+
+  Rng rng(7 + static_cast<uint64_t>(kind) * 31 +
+          static_cast<uint64_t>(agg) * 101);
+  const AggregateOps& ops = *fixture->task.agg.ops;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<PScoreRange> box(3);
+    for (auto& r : box) {
+      // Mix grid-aligned and arbitrary ranges so every code path of the
+      // grid index (cell probe, aligned box, scan fallback) is exercised.
+      if (rng.NextBool(0.4)) {
+        int64_t level = static_cast<int64_t>(rng.NextBounded(8));
+        r = CellRangeForLevel(level, 5.0);
+      } else {
+        double hi = rng.NextDouble(0.0, 60.0);
+        r = PScoreRange{rng.NextBool(0.5) ? -1.0 : hi / 2.0, hi};
+      }
+    }
+    auto expected = reference.EvaluateBox(box);
+    auto got = layer->EvaluateBox(box);
+    ASSERT_TRUE(expected.ok() && got.ok()) << LayerName(kind);
+    double e = ops.Final(*expected);
+    double g = ops.Final(*got);
+    if (std::isinf(e)) {
+      EXPECT_EQ(e, g) << LayerName(kind) << " trial " << trial;
+    } else {
+      EXPECT_NEAR(g, e, 1e-9 * std::max(1.0, std::fabs(e)))
+          << LayerName(kind) << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayersAllAggregates, LayerConformanceTest,
+    ::testing::Combine(::testing::Values(LayerKind::kDirect,
+                                         LayerKind::kCached,
+                                         LayerKind::kParallel,
+                                         LayerKind::kGridIndex,
+                                         LayerKind::kFullSample),
+                       ::testing::Values(AggregateKind::kCount,
+                                         AggregateKind::kSum,
+                                         AggregateKind::kMin,
+                                         AggregateKind::kMax,
+                                         AggregateKind::kAvg)),
+    [](const auto& info) {
+      return std::string(LayerName(std::get<0>(info.param))) + "_" +
+             AggregateKindToString(std::get<1>(info.param));
+    });
+
+TEST(MinAggregateTest, ExpansionNeverIncreasesMin) {
+  // MIN is antitone under query expansion (the paper treats MIN as
+  // MAX(-attr)); the incremental machinery must preserve that exactly.
+  SyntheticOptions options;
+  options.d = 2;
+  options.rows = 5000;
+  options.agg = AggregateKind::kMin;
+  options.bound = 20.0;
+  options.target = 1.0;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+  CachedEvaluationLayer layer(&fixture->task);
+  double prev = std::numeric_limits<double>::infinity();
+  for (double p = 0.0; p <= 120.0; p += 15.0) {
+    double value = layer.EvaluateQueryValue({p, p}).value();
+    EXPECT_LE(value, prev) << "pscore " << p;
+    prev = value;
+  }
+}
+
+}  // namespace
+}  // namespace acquire

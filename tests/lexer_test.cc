@@ -1,0 +1,100 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace acquire {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& s) {
+  auto tokens = Tokenize(s);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? tokens.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = MustTokenize("SELECT foo _bar2 NoReFiNe");
+  ASSERT_EQ(tokens.size(), 5u);  // 4 + end
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[2].text, "_bar2");
+  EXPECT_TRUE(tokens[3].IsKeyword("NOREFINE"));
+  EXPECT_EQ(tokens[4].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersWithSuffixes) {
+  auto tokens = MustTokenize("1 2.5 1e3 1M 0.1m 2K 3B");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 1e6);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 1e5);
+  EXPECT_DOUBLE_EQ(tokens[5].number, 2e3);
+  EXPECT_DOUBLE_EQ(tokens[6].number, 3e9);
+}
+
+TEST(LexerTest, ScientificWithSign) {
+  auto tokens = MustTokenize("1.5e-2 2E+3");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 0.015);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 2000.0);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = MustTokenize("'hello' 'it''s' ''");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+  EXPECT_EQ(tokens[2].text, "");
+}
+
+TEST(LexerTest, OperatorsAndSymbols) {
+  auto tokens = MustTokenize("<= >= != <> < > = , ( ) . * ;");
+  EXPECT_TRUE(tokens[0].IsSymbol("<="));
+  EXPECT_TRUE(tokens[1].IsSymbol(">="));
+  EXPECT_TRUE(tokens[2].IsSymbol("!="));
+  EXPECT_TRUE(tokens[3].IsSymbol("!="));  // <> normalizes
+  EXPECT_TRUE(tokens[4].IsSymbol("<"));
+  EXPECT_TRUE(tokens[5].IsSymbol(">"));
+  EXPECT_TRUE(tokens[6].IsSymbol("="));
+  EXPECT_TRUE(tokens[12].IsSymbol(";"));
+}
+
+TEST(LexerTest, QualifiedColumnSplitsOnDot) {
+  auto tokens = MustTokenize("supplier.s_acctbal");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "supplier");
+  EXPECT_TRUE(tokens[1].IsSymbol("."));
+  EXPECT_EQ(tokens[2].text, "s_acctbal");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsParseError());
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_TRUE(Tokenize("a @ b").status().IsParseError());
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  auto tokens = MustTokenize("ab  cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+TEST(LexerTest, SuffixNotConsumedFromIdentifier) {
+  // "10Mx" is not a number followed by identifier 'x'; it is an error
+  // (identifiers cannot start with a digit) — ensure we do not mis-lex.
+  auto tokens = Tokenize("10Mx");
+  // The number 10 is lexed without suffix, then "Mx" as identifier.
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 10.0);
+  EXPECT_EQ((*tokens)[1].text, "Mx");
+}
+
+TEST(LexerTest, EmptyInputYieldsOnlyEnd) {
+  auto tokens = MustTokenize("   ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,0 +1,60 @@
+#include "core/norms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acquire {
+namespace {
+
+TEST(NormTest, L1SumsComponents) {
+  EXPECT_DOUBLE_EQ(Norm::L1().QScore({3.0, 4.0}), 7.0);
+  EXPECT_DOUBLE_EQ(Norm::L1().QScore({}), 0.0);
+}
+
+TEST(NormTest, L2IsEuclidean) {
+  EXPECT_DOUBLE_EQ(Norm::L2().QScore({3.0, 4.0}), 5.0);
+}
+
+TEST(NormTest, LpGeneralizes) {
+  Norm l3 = Norm::Lp(3.0);
+  EXPECT_NEAR(l3.QScore({1.0, 1.0}), std::pow(2.0, 1.0 / 3.0), 1e-12);
+}
+
+TEST(NormTest, LInfTakesMax) {
+  EXPECT_DOUBLE_EQ(Norm::LInf().QScore({3.0, 9.0, 4.0}), 9.0);
+}
+
+TEST(NormTest, WeightsScaleComponents) {
+  // Section 7.1: LWp preference weights.
+  EXPECT_DOUBLE_EQ(Norm::L1().QScore({3.0, 4.0}, {2.0, 0.5}), 8.0);
+  EXPECT_DOUBLE_EQ(Norm::LInf().QScore({3.0, 4.0}, {2.0, 0.5}), 6.0);
+}
+
+TEST(NormTest, AbsoluteValuesUsed) {
+  EXPECT_DOUBLE_EQ(Norm::L1().QScore({-3.0, 4.0}), 7.0);
+}
+
+TEST(NormTest, MonotoneInEveryComponent) {
+  // Theorem 3 relies on monotonicity; check for all kinds.
+  Norm norms[] = {Norm::L1(), Norm::L2(), Norm::Lp(4.0), Norm::LInf()};
+  std::vector<double> base = {1.0, 2.0, 3.0};
+  for (const Norm& n : norms) {
+    double q0 = n.QScore(base);
+    for (size_t i = 0; i < base.size(); ++i) {
+      std::vector<double> bumped = base;
+      bumped[i] += 0.5;
+      EXPECT_GE(n.QScore(bumped), q0) << n.ToString() << " dim " << i;
+    }
+  }
+}
+
+TEST(NormTest, ToStringNames) {
+  EXPECT_EQ(Norm::L1().ToString(), "L1");
+  EXPECT_EQ(Norm::L2().ToString(), "L2");
+  EXPECT_EQ(Norm::Lp(3.0).ToString(), "L3");
+  EXPECT_EQ(Norm::LInf().ToString(), "Linf");
+}
+
+}  // namespace
+}  // namespace acquire

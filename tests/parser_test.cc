@@ -1,0 +1,148 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace acquire {
+namespace {
+
+AstQuery MustParse(const std::string& sql) {
+  auto q = ParseAcqSql(sql);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.ok() ? q.value() : AstQuery{};
+}
+
+TEST(ParserTest, MinimalQuery) {
+  AstQuery q = MustParse("SELECT * FROM users");
+  EXPECT_EQ(q.tables, std::vector<std::string>{"users"});
+  EXPECT_FALSE(q.has_constraint);
+  EXPECT_TRUE(q.predicates.empty());
+}
+
+TEST(ParserTest, ConstraintClauseCountStar) {
+  AstQuery q = MustParse("SELECT * FROM users CONSTRAINT COUNT(*) = 1M");
+  ASSERT_TRUE(q.has_constraint);
+  EXPECT_EQ(q.agg_function, "COUNT");
+  EXPECT_EQ(q.agg_column, "");
+  EXPECT_EQ(q.constraint_op, CompareOp::kEq);
+  EXPECT_DOUBLE_EQ(q.target, 1e6);
+}
+
+TEST(ParserTest, ConstraintClauseSumColumn) {
+  AstQuery q = MustParse(
+      "SELECT * FROM partsupp CONSTRAINT SUM(ps_availqty) >= 0.1M");
+  ASSERT_TRUE(q.has_constraint);
+  EXPECT_EQ(q.agg_function, "SUM");
+  EXPECT_EQ(q.agg_column, "ps_availqty");
+  EXPECT_EQ(q.constraint_op, CompareOp::kGe);
+  EXPECT_DOUBLE_EQ(q.target, 1e5);
+}
+
+TEST(ParserTest, PredicatesWithNorefine) {
+  AstQuery q = MustParse(
+      "SELECT * FROM t WHERE a < 10 AND b >= 2 NOREFINE AND c = 'x' NOREFINE");
+  ASSERT_EQ(q.predicates.size(), 3u);
+  EXPECT_FALSE(q.predicates[0].norefine);
+  EXPECT_TRUE(q.predicates[1].norefine);
+  EXPECT_TRUE(q.predicates[2].norefine);
+  EXPECT_EQ(q.predicates[0].op, CompareOp::kLt);
+  EXPECT_EQ(q.predicates[2].rhs.literal.text, "x");
+}
+
+TEST(ParserTest, ChainedRangeFromQ1) {
+  AstQuery q = MustParse("SELECT * FROM users WHERE 25 <= age <= 35");
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_EQ(q.predicates[0].kind, AstPredicate::Kind::kBetween);
+  EXPECT_EQ(q.predicates[0].column, "age");
+  EXPECT_DOUBLE_EQ(q.predicates[0].lo, 25.0);
+  EXPECT_DOUBLE_EQ(q.predicates[0].hi, 35.0);
+}
+
+TEST(ParserTest, DescendingChainNormalizes) {
+  AstQuery q = MustParse("SELECT * FROM users WHERE 35 >= age >= 25");
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.predicates[0].lo, 25.0);
+  EXPECT_DOUBLE_EQ(q.predicates[0].hi, 35.0);
+}
+
+TEST(ParserTest, BetweenKeyword) {
+  AstQuery q =
+      MustParse("SELECT * FROM t WHERE x BETWEEN 1 AND 5 NOREFINE AND y < 2");
+  ASSERT_EQ(q.predicates.size(), 2u);
+  EXPECT_EQ(q.predicates[0].kind, AstPredicate::Kind::kBetween);
+  EXPECT_TRUE(q.predicates[0].norefine);
+  EXPECT_EQ(q.predicates[1].kind, AstPredicate::Kind::kComparison);
+}
+
+TEST(ParserTest, InList) {
+  AstQuery q = MustParse(
+      "SELECT * FROM users WHERE location IN ('Boston', 'Austin') NOREFINE");
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_EQ(q.predicates[0].kind, AstPredicate::Kind::kIn);
+  ASSERT_EQ(q.predicates[0].in_list.size(), 2u);
+  EXPECT_EQ(q.predicates[0].in_list[1].text, "Austin");
+}
+
+TEST(ParserTest, ParenthesizedPredicates) {
+  AstQuery q = MustParse("SELECT * FROM t WHERE (a < 10) AND (b > 2) NOREFINE");
+  ASSERT_EQ(q.predicates.size(), 2u);
+  EXPECT_TRUE(q.predicates[1].norefine);
+}
+
+TEST(ParserTest, QualifiedColumnsAndJoins) {
+  AstQuery q = MustParse(
+      "SELECT * FROM a, b WHERE a.x = b.x NOREFINE AND b.y < 50");
+  EXPECT_EQ(q.tables, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(q.predicates.size(), 2u);
+  EXPECT_EQ(q.predicates[0].lhs.column, "a.x");
+  EXPECT_EQ(q.predicates[0].rhs.column, "b.x");
+}
+
+TEST(ParserTest, FullPaperQueryQ2Prime) {
+  AstQuery q = MustParse(R"sql(
+      SELECT * FROM supplier, part, partsupp
+      CONSTRAINT SUM(ps_availqty) >= 0.1M
+      WHERE (s_suppkey = ps_suppkey) NOREFINE AND
+      (p_partkey = ps_partkey) NOREFINE AND
+      (p_retailprice < 1000) AND (s_acctbal < 2000)
+      AND (p_size = 10) NOREFINE AND
+      (p_type = 'SMALL BURNISHED STEEL') NOREFINE;)sql");
+  EXPECT_EQ(q.tables.size(), 3u);
+  EXPECT_TRUE(q.has_constraint);
+  EXPECT_EQ(q.predicates.size(), 6u);
+  EXPECT_TRUE(q.predicates[0].norefine);
+  EXPECT_FALSE(q.predicates[2].norefine);
+  EXPECT_EQ(q.predicates[5].rhs.literal.text, "SMALL BURNISHED STEEL");
+}
+
+TEST(ParserTest, LiteralOnLeftSide) {
+  AstQuery q = MustParse("SELECT * FROM t WHERE 10 > a");
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_FALSE(q.predicates[0].lhs.is_column());
+  EXPECT_TRUE(q.predicates[0].rhs.is_column());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseAcqSql("SELECT a FROM t").ok());          // non-* select
+  EXPECT_FALSE(ParseAcqSql("SELECT * FROM").ok());            // missing table
+  EXPECT_FALSE(ParseAcqSql("SELECT * FROM t WHERE").ok());    // empty where
+  EXPECT_FALSE(ParseAcqSql("SELECT * FROM t WHERE a <").ok());
+  EXPECT_FALSE(ParseAcqSql("FROM t").ok());
+  EXPECT_FALSE(ParseAcqSql("SELECT * FROM t extra").ok());    // trailing
+  EXPECT_FALSE(
+      ParseAcqSql("SELECT * FROM t CONSTRAINT COUNT(*) = ").ok());
+  EXPECT_FALSE(
+      ParseAcqSql("SELECT * FROM t WHERE x BETWEEN 'a' AND 5").ok());
+}
+
+TEST(ParserTest, MalformedChainedRangeRejected) {
+  EXPECT_FALSE(ParseAcqSql("SELECT * FROM t WHERE 25 <= age >= 35").ok());
+  EXPECT_FALSE(ParseAcqSql("SELECT * FROM t WHERE a <= b <= c").ok());
+}
+
+TEST(ParserTest, SemicolonOptional) {
+  EXPECT_TRUE(ParseAcqSql("SELECT * FROM t;").ok());
+  EXPECT_TRUE(ParseAcqSql("SELECT * FROM t").ok());
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,0 +1,193 @@
+#include "exec/planner.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "exec/evaluation.h"
+#include "workload/tpch_gen.h"
+
+namespace acquire {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchOptions options;
+    options.suppliers = 100;
+    options.parts = 200;
+    options.suppliers_per_part = 3;
+    options.lineitems = 2000;
+    ASSERT_TRUE(GenerateTpch(options, &catalog_).ok());
+  }
+
+  QuerySpec BasicSpec() {
+    QuerySpec spec;
+    spec.tables = {"lineitem"};
+    spec.predicates.push_back(SelectPredicateSpec{
+        "l_quantity", CompareOp::kLe, 20.0, true, 1.0, {}});
+    spec.agg_kind = AggregateKind::kCount;
+    spec.target = 1000.0;
+    return spec;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PlannerTest, SingleTableSelectTask) {
+  auto task = PlanAcqTask(catalog_, BasicSpec());
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  EXPECT_EQ(task->d(), 1u);
+  EXPECT_EQ(task->relation->num_rows(), 2000u);  // refinables not filtered
+  EXPECT_EQ(task->constraint.target, 1000.0);
+  EXPECT_EQ(task->table_names, std::vector<std::string>{"lineitem"});
+}
+
+TEST_F(PlannerTest, NonRefinablePredicatesFilterTheRelation) {
+  QuerySpec spec = BasicSpec();
+  spec.predicates.push_back(SelectPredicateSpec{
+      "l_discount", CompareOp::kLe, 0.05, /*refinable=*/false, 1.0, {}});
+  auto task = PlanAcqTask(catalog_, spec);
+  ASSERT_TRUE(task.ok());
+  EXPECT_LT(task->relation->num_rows(), 2000u);
+  EXPECT_EQ(task->d(), 1u);
+  ASSERT_EQ(task->fixed_predicate_labels.size(), 1u);
+  EXPECT_EQ(task->fixed_predicate_labels[0], "l_discount <= 0.05");
+}
+
+TEST_F(PlannerTest, EqualityPredicateExpandsToTwoDims) {
+  QuerySpec spec = BasicSpec();
+  spec.predicates[0].op = CompareOp::kEq;
+  auto task = PlanAcqTask(catalog_, spec);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->d(), 2u);
+}
+
+TEST_F(PlannerTest, NotEqualRefinableRejected) {
+  QuerySpec spec = BasicSpec();
+  spec.predicates[0].op = CompareOp::kNe;
+  EXPECT_TRUE(PlanAcqTask(catalog_, spec).status().IsUnsupported());
+}
+
+TEST_F(PlannerTest, NoRefinablePredicatesRejected) {
+  QuerySpec spec = BasicSpec();
+  spec.predicates[0].refinable = false;
+  auto task = PlanAcqTask(catalog_, spec);
+  EXPECT_FALSE(task.ok());
+  EXPECT_EQ(task.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlannerTest, EmptyBaseRelationRejected) {
+  QuerySpec spec = BasicSpec();
+  spec.fixed_filters.push_back(Expr::Compare(
+      CompareOp::kLt, Expr::Column("l_quantity"), Expr::Literal(Value(-1.0))));
+  auto task = PlanAcqTask(catalog_, spec);
+  EXPECT_FALSE(task.ok());
+}
+
+TEST_F(PlannerTest, NonPositiveTargetRejected) {
+  QuerySpec spec = BasicSpec();
+  spec.target = 0.0;
+  EXPECT_FALSE(PlanAcqTask(catalog_, spec).ok());
+}
+
+TEST_F(PlannerTest, MissingTableRejected) {
+  QuerySpec spec = BasicSpec();
+  spec.tables = {"nope"};
+  EXPECT_EQ(PlanAcqTask(catalog_, spec).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PlannerTest, ThreeWayJoinPlansExample2Shape) {
+  // Q2': supplier x part x partsupp with NOREFINE joins, SUM constraint.
+  QuerySpec spec;
+  spec.tables = {"supplier", "part", "partsupp"};
+  spec.joins.push_back(
+      JoinClauseSpec{"s_suppkey", "ps_suppkey", false, 0.0, 1.0});
+  spec.joins.push_back(
+      JoinClauseSpec{"p_partkey", "ps_partkey", false, 0.0, 1.0});
+  spec.predicates.push_back(SelectPredicateSpec{
+      "p_retailprice", CompareOp::kLt, 1000.0, true, 1.0, {}});
+  spec.predicates.push_back(SelectPredicateSpec{
+      "s_acctbal", CompareOp::kLt, 2000.0, true, 1.0, {}});
+  spec.fixed_filters.push_back(
+      Expr::Compare(CompareOp::kLe, Expr::Column("p_size"),
+                    Expr::Literal(Value(int64_t{25}))));
+  spec.agg_kind = AggregateKind::kSum;
+  spec.agg_column = "ps_availqty";
+  spec.constraint_op = ConstraintOp::kGe;
+  spec.target = 100000.0;
+
+  auto task = PlanAcqTask(catalog_, spec);
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  EXPECT_EQ(task->d(), 2u);
+  EXPECT_GT(task->relation->num_rows(), 0u);
+  // Join equalities hold in the materialized relation.
+  const Table& rel = *task->relation;
+  size_t sk = rel.schema().FieldIndex("s_suppkey").value();
+  size_t psk = rel.schema().FieldIndex("ps_suppkey").value();
+  size_t pk = rel.schema().FieldIndex("p_partkey").value();
+  size_t pspk = rel.schema().FieldIndex("ps_partkey").value();
+  for (size_t r = 0; r < std::min<size_t>(rel.num_rows(), 100); ++r) {
+    EXPECT_EQ(rel.Get(r, sk), rel.Get(r, psk));
+    EXPECT_EQ(rel.Get(r, pk), rel.Get(r, pspk));
+  }
+  // Fixed predicates recorded for the printer (2 joins + p_size filter).
+  EXPECT_EQ(task->fixed_predicate_labels.size(), 3u);
+}
+
+TEST_F(PlannerTest, DisconnectedJoinRejected) {
+  QuerySpec spec;
+  spec.tables = {"supplier", "part"};
+  spec.predicates.push_back(SelectPredicateSpec{
+      "s_acctbal", CompareOp::kLt, 2000.0, true, 1.0, {}});
+  spec.agg_kind = AggregateKind::kCount;
+  spec.target = 10.0;
+  EXPECT_FALSE(PlanAcqTask(catalog_, spec).ok());
+}
+
+TEST_F(PlannerTest, RefinableJoinProducesJoinDim) {
+  QuerySpec spec;
+  spec.tables = {"supplier", "partsupp"};
+  spec.joins.push_back(
+      JoinClauseSpec{"s_suppkey", "ps_suppkey", /*refinable=*/true, 3.0, 1.0});
+  spec.predicates.push_back(SelectPredicateSpec{
+      "s_acctbal", CompareOp::kLt, 2000.0, true, 1.0, {}});
+  spec.agg_kind = AggregateKind::kCount;
+  spec.target = 100.0;
+  auto task = PlanAcqTask(catalog_, spec);
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  EXPECT_EQ(task->d(), 2u);  // join dim + select dim
+  // The band-join relation contains near-matches up to the cap.
+  const Table& rel = *task->relation;
+  size_t sk = rel.schema().FieldIndex("s_suppkey").value();
+  size_t psk = rel.schema().FieldIndex("ps_suppkey").value();
+  bool found_nonexact = false;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    double diff = std::fabs(rel.column(sk).GetDouble(r) -
+                            rel.column(psk).GetDouble(r));
+    EXPECT_LE(diff, 3.0);
+    found_nonexact = found_nonexact || diff > 0;
+  }
+  EXPECT_TRUE(found_nonexact);
+}
+
+TEST_F(PlannerTest, MaxRefinementCapFlowsIntoDim) {
+  QuerySpec spec = BasicSpec();
+  spec.predicates[0].max_refinement = 12.5;
+  auto task = PlanAcqTask(catalog_, spec);
+  ASSERT_TRUE(task.ok());
+  EXPECT_DOUBLE_EQ(task->dims[0]->MaxPScore(), 12.5);
+}
+
+TEST_F(PlannerTest, AggValueReadsAggregateColumn) {
+  QuerySpec spec = BasicSpec();
+  spec.agg_kind = AggregateKind::kSum;
+  spec.agg_column = "l_extendedprice";
+  auto task = PlanAcqTask(catalog_, spec);
+  ASSERT_TRUE(task.ok());
+  size_t idx = task->relation->schema().FieldIndex("l_extendedprice").value();
+  EXPECT_DOUBLE_EQ(task->AggValue(0), task->relation->column(idx).GetDouble(0));
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace acquire {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnit) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // mean of U(0,1)
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfDistribution zipf(10, 0.0);
+  for (uint64_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(zipf.Probability(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesDecreaseWithRank) {
+  ZipfDistribution zipf(100, 1.0);
+  for (uint64_t k = 2; k <= 100; ++k) {
+    EXPECT_LT(zipf.Probability(k), zipf.Probability(k - 1));
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution zipf(50, 1.0);
+  double total = 0.0;
+  for (uint64_t k = 1; k <= 50; ++k) total += zipf.Probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, TheoreticalRatioHolds) {
+  // For theta = 1, P(1) / P(2) = 2.
+  ZipfDistribution zipf(1000, 1.0);
+  EXPECT_NEAR(zipf.Probability(1) / zipf.Probability(2), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplingMatchesDistribution) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(11, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint64_t k = 1; k <= 10; ++k) {
+    double expected = zipf.Probability(k);
+    double got = counts[k] / static_cast<double>(n);
+    EXPECT_NEAR(got, expected, 0.01) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  ZipfDistribution zipf(1, 1.5);
+  Rng rng(29);
+  EXPECT_EQ(zipf.Sample(&rng), 1u);
+  EXPECT_NEAR(zipf.Probability(1), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,0 +1,114 @@
+#include "core/refined_space.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace acquire {
+namespace {
+
+using test_util::MakeSyntheticTask;
+using test_util::SyntheticOptions;
+
+class RefinedSpaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticOptions options;
+    options.d = 2;
+    fixture_ = MakeSyntheticTask(options);
+    ASSERT_NE(fixture_, nullptr);
+  }
+
+  std::unique_ptr<test_util::SyntheticTask> fixture_;
+};
+
+TEST_F(RefinedSpaceTest, StepIsGammaOverD) {
+  // Theorem 1: grid step gamma / d.
+  RefinedSpace space(&fixture_->task, 10.0, Norm::L1());
+  EXPECT_DOUBLE_EQ(space.step(), 5.0);
+  EXPECT_EQ(space.d(), 2u);
+  EXPECT_DOUBLE_EQ(space.gamma(), 10.0);
+}
+
+TEST_F(RefinedSpaceTest, MaxLevelCoversDomain) {
+  RefinedSpace space(&fixture_->task, 10.0, Norm::L1());
+  for (size_t i = 0; i < space.d(); ++i) {
+    double max_pscore = fixture_->task.dims[i]->MaxPScore();
+    EXPECT_GE(space.MaxLevel(i) * space.step(), max_pscore);
+    EXPECT_LT((space.MaxLevel(i) - 1) * space.step(), max_pscore);
+  }
+}
+
+TEST_F(RefinedSpaceTest, CoordPScoresAreCappedAtDomain) {
+  RefinedSpace space(&fixture_->task, 10.0, Norm::L1());
+  GridCoord top(2);
+  top[0] = space.MaxLevel(0);
+  top[1] = space.MaxLevel(1);
+  std::vector<double> pscores = space.CoordPScores(top);
+  EXPECT_DOUBLE_EQ(pscores[0], fixture_->task.dims[0]->MaxPScore());
+  EXPECT_DOUBLE_EQ(pscores[1], fixture_->task.dims[1]->MaxPScore());
+}
+
+TEST_F(RefinedSpaceTest, QScoreUsesNormOnGridPScores) {
+  RefinedSpace space(&fixture_->task, 10.0, Norm::L1());
+  EXPECT_DOUBLE_EQ(space.QScoreOf({1, 2}), 15.0);  // (1+2) * step 5
+  RefinedSpace inf_space(&fixture_->task, 10.0, Norm::LInf());
+  EXPECT_DOUBLE_EQ(inf_space.QScoreOf({1, 2}), 10.0);
+}
+
+TEST_F(RefinedSpaceTest, CellBoxMatchesLevelSemantics) {
+  RefinedSpace space(&fixture_->task, 10.0, Norm::L1());
+  auto box = space.CellBox({0, 3});
+  EXPECT_TRUE(box[0].Admits(0.0));
+  EXPECT_FALSE(box[0].Admits(0.1));
+  EXPECT_FALSE(box[1].Admits(10.0));
+  EXPECT_TRUE(box[1].Admits(10.5));
+  EXPECT_TRUE(box[1].Admits(15.0));
+  EXPECT_FALSE(box[1].Admits(15.5));
+}
+
+TEST_F(RefinedSpaceTest, QueryBoxIsDownwardClosed) {
+  RefinedSpace space(&fixture_->task, 10.0, Norm::L1());
+  auto box = space.QueryBox({2, 1});
+  EXPECT_TRUE(box[0].Admits(0.0));
+  EXPECT_TRUE(box[0].Admits(10.0));
+  EXPECT_FALSE(box[0].Admits(10.5));
+  EXPECT_TRUE(box[1].Admits(5.0));
+  EXPECT_FALSE(box[1].Admits(5.5));
+}
+
+TEST_F(RefinedSpaceTest, LevelForDelegatesToGridMath) {
+  RefinedSpace space(&fixture_->task, 10.0, Norm::L1());
+  EXPECT_EQ(space.LevelFor(0.0), 0);
+  EXPECT_EQ(space.LevelFor(5.0), 1);
+  EXPECT_EQ(space.LevelFor(5.1), 2);
+}
+
+TEST_F(RefinedSpaceTest, DescribeRendersRefinedPredicates) {
+  RefinedSpace space(&fixture_->task, 10.0, Norm::L1());
+  std::string original = space.Describe({0, 0});
+  EXPECT_NE(original.find("c0 <= 30"), std::string::npos);
+  std::string refined = space.Describe({2, 0});
+  // Dim 0 rendered at PScore 10, dim 1 unrefined.
+  EXPECT_NE(refined.find(fixture_->task.dims[0]->DescribeAt(10.0)),
+            std::string::npos);
+  EXPECT_NE(refined.find("c1 <= 30"), std::string::npos);
+}
+
+TEST_F(RefinedSpaceTest, OffGridHelpers) {
+  RefinedSpace space(&fixture_->task, 10.0, Norm::L1());
+  EXPECT_DOUBLE_EQ(space.QScoreOfPScores({2.5, 2.5}), 5.0);
+  std::string desc = space.DescribePScores({2.5, 0.0});
+  EXPECT_NE(desc.find(fixture_->task.dims[0]->DescribeAt(2.5)),
+            std::string::npos);
+  EXPECT_NE(desc.find("c1 <= 30"), std::string::npos);
+}
+
+TEST_F(RefinedSpaceTest, WeightsFromDimsAffectQScore) {
+  fixture_->task.dims[0]->set_weight(3.0);
+  RefinedSpace space(&fixture_->task, 10.0, Norm::L1());
+  EXPECT_DOUBLE_EQ(space.QScoreOf({1, 1}), 3.0 * 5.0 + 5.0);
+}
+
+}  // namespace
+}  // namespace acquire

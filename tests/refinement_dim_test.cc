@@ -1,0 +1,166 @@
+#include "expr/refinement_dim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/interval.h"
+
+namespace acquire {
+namespace {
+
+// One numeric column "x" with the given values.
+TablePtr MakeTable(std::vector<double> values) {
+  auto t = std::make_shared<Table>("t", Schema({{"x", DataType::kDouble, ""},
+                                                {"y", DataType::kDouble, ""}}));
+  for (double v : values) {
+    EXPECT_TRUE(t->AppendRow({Value(v), Value(v * 2.0)}).ok());
+  }
+  return t;
+}
+
+TEST(IntervalTest, ContainsRespectsOpenness) {
+  Interval closed = Interval::Closed(0.0, 10.0);
+  EXPECT_TRUE(closed.Contains(0.0));
+  EXPECT_TRUE(closed.Contains(10.0));
+  EXPECT_FALSE(closed.Contains(-0.1));
+  Interval open{0.0, 10.0, true, true};
+  EXPECT_FALSE(open.Contains(0.0));
+  EXPECT_FALSE(open.Contains(10.0));
+  EXPECT_TRUE(open.Contains(5.0));
+}
+
+TEST(IntervalTest, EmptyAndPoint) {
+  EXPECT_TRUE(Interval::Point(3.0).IsPoint());
+  EXPECT_FALSE(Interval::Point(3.0).IsEmpty());
+  Interval empty{3.0, 2.0, false, false};
+  EXPECT_TRUE(empty.IsEmpty());
+  Interval half{3.0, 3.0, true, false};
+  EXPECT_TRUE(half.IsEmpty());
+}
+
+TEST(IntervalTest, ToStringShowsBrackets) {
+  Interval i{0.0, 50.0, true, false};
+  EXPECT_EQ(i.ToString(), "(0, 50]");
+}
+
+TEST(NumericDimTest, UpperBoundNeededPScore) {
+  // Predicate: x <= 50 over domain [0, 100]; width = 50.
+  auto t = MakeTable({10.0, 50.0, 60.0, 100.0});
+  NumericDim dim("x", /*is_upper=*/true, 50.0, /*strict=*/false, 0.0, 100.0);
+  ASSERT_TRUE(dim.Bind(t->schema()).ok());
+  EXPECT_DOUBLE_EQ(dim.NeededPScore(*t, 0), 0.0);    // 10 satisfies
+  EXPECT_DOUBLE_EQ(dim.NeededPScore(*t, 1), 0.0);    // 50 on the bound
+  EXPECT_DOUBLE_EQ(dim.NeededPScore(*t, 2), 20.0);   // (60-50)/50*100
+  EXPECT_DOUBLE_EQ(dim.NeededPScore(*t, 3), 100.0);  // domain max
+}
+
+TEST(NumericDimTest, LowerBoundNeededPScore) {
+  // Predicate: x >= 50 over domain [0, 100]; width = 50.
+  auto t = MakeTable({10.0, 50.0, 60.0});
+  NumericDim dim("x", /*is_upper=*/false, 50.0, /*strict=*/false, 0.0, 100.0);
+  ASSERT_TRUE(dim.Bind(t->schema()).ok());
+  EXPECT_DOUBLE_EQ(dim.NeededPScore(*t, 0), 80.0);  // (50-10)/50*100
+  EXPECT_DOUBLE_EQ(dim.NeededPScore(*t, 1), 0.0);
+  EXPECT_DOUBLE_EQ(dim.NeededPScore(*t, 2), 0.0);
+}
+
+TEST(NumericDimTest, StrictBoundNeedsEpsilonRefinement) {
+  // Predicate: x < 50. A tuple at exactly 50 needs *some* refinement.
+  auto t = MakeTable({50.0, 49.9});
+  NumericDim dim("x", true, 50.0, /*strict=*/true, 0.0, 100.0);
+  ASSERT_TRUE(dim.Bind(t->schema()).ok());
+  EXPECT_GT(dim.NeededPScore(*t, 0), 0.0);
+  EXPECT_LT(dim.NeededPScore(*t, 0), 1e-6);
+  EXPECT_DOUBLE_EQ(dim.NeededPScore(*t, 1), 0.0);
+}
+
+TEST(NumericDimTest, MaxPScoreFromDomain) {
+  NumericDim upper("x", true, 50.0, false, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(upper.MaxPScore(), 100.0);  // (100-50)/50*100
+  NumericDim lower("x", false, 50.0, false, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(lower.MaxPScore(), 100.0);  // (50-0)/50*100
+}
+
+TEST(NumericDimTest, UserCapLimitsMaxPScore) {
+  NumericDim dim("x", true, 50.0, false, 0.0, 100.0);
+  dim.set_max_refinement(30.0);
+  EXPECT_DOUBLE_EQ(dim.MaxPScore(), 30.0);
+  // Tuples beyond the cap become unreachable.
+  auto t = MakeTable({70.0});
+  ASSERT_TRUE(dim.Bind(t->schema()).ok());
+  EXPECT_TRUE(std::isinf(dim.NeededPScore(*t, 0)));  // needs 40 > cap 30
+}
+
+TEST(NumericDimTest, RefinedBoundMatchesEquationOne) {
+  NumericDim dim("x", true, 50.0, false, 0.0, 100.0);
+  // PScore 20 over width 50 expands the bound by 10.
+  EXPECT_DOUBLE_EQ(dim.RefinedBound(20.0), 60.0);
+  NumericDim lower("x", false, 50.0, false, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(lower.RefinedBound(20.0), 40.0);
+}
+
+TEST(NumericDimTest, DegenerateWidthFallsBack) {
+  // Bound at the domain minimum: paper's width would be 0.
+  NumericDim dim("x", true, 0.0, false, 0.0, 100.0);
+  EXPECT_GT(dim.width(), 0.0);
+  EXPECT_GT(dim.MaxPScore(), 0.0);
+}
+
+TEST(NumericDimTest, DescribeAndLabel) {
+  NumericDim dim("x", true, 50.0, true, 0.0, 100.0);
+  EXPECT_EQ(dim.label(), "x < 50");
+  EXPECT_EQ(dim.DescribeAt(0.0), "x < 50");
+  EXPECT_EQ(dim.DescribeAt(20.0), "x <= 60");
+  NumericDim lower("x", false, 50.0, false, 0.0, 100.0);
+  EXPECT_EQ(lower.label(), "x >= 50");
+  EXPECT_EQ(lower.DescribeAt(20.0), "x >= 40");
+}
+
+TEST(NumericDimTest, BindRejectsNonNumeric) {
+  auto t = std::make_shared<Table>("t", Schema({{"s", DataType::kString, ""}}));
+  NumericDim dim("s", true, 1.0, false, 0.0, 1.0);
+  EXPECT_TRUE(dim.Bind(t->schema()).IsTypeError());
+}
+
+TEST(JoinDimTest, PScoreEqualsBandWidth) {
+  // Section 2.4: denominator 100 makes PScore the band in value units.
+  auto t = MakeTable({10.0});  // x=10, y=20
+  JoinDim dim("x", "y", /*band_cap=*/50.0);
+  ASSERT_TRUE(dim.Bind(t->schema()).ok());
+  EXPECT_DOUBLE_EQ(dim.NeededPScore(*t, 0), 10.0);  // |10-20|
+  EXPECT_DOUBLE_EQ(dim.MaxPScore(), 50.0);
+}
+
+TEST(JoinDimTest, ExactMatchNeedsNoRefinement) {
+  auto t = std::make_shared<Table>("t", Schema({{"x", DataType::kDouble, ""},
+                                                {"y", DataType::kDouble, ""}}));
+  ASSERT_TRUE(t->AppendRow({Value(5.0), Value(5.0)}).ok());
+  JoinDim dim("x", "y", 50.0);
+  ASSERT_TRUE(dim.Bind(t->schema()).ok());
+  EXPECT_DOUBLE_EQ(dim.NeededPScore(*t, 0), 0.0);
+}
+
+TEST(JoinDimTest, BeyondCapIsUnreachable) {
+  auto t = MakeTable({100.0});  // |100 - 200| = 100 > cap
+  JoinDim dim("x", "y", 50.0);
+  ASSERT_TRUE(dim.Bind(t->schema()).ok());
+  EXPECT_TRUE(std::isinf(dim.NeededPScore(*t, 0)));
+}
+
+TEST(JoinDimTest, DescribeShowsBand) {
+  JoinDim dim("a.x", "b.x", 50.0);
+  EXPECT_EQ(dim.label(), "a.x = b.x");
+  EXPECT_EQ(dim.DescribeAt(0.0), "a.x = b.x");
+  EXPECT_EQ(dim.DescribeAt(10.0), "ABS(a.x - b.x) <= 10");
+}
+
+TEST(RefinementDimTest, WeightDefaultsToOne) {
+  NumericDim dim("x", true, 50.0, false, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(dim.weight(), 1.0);
+  dim.set_weight(2.5);
+  EXPECT_DOUBLE_EQ(dim.weight(), 2.5);
+}
+
+}  // namespace
+}  // namespace acquire

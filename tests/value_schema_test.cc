@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace acquire {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value(int64_t{3}).is_int64());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(int64_t{3}).is_numeric());
+  EXPECT_TRUE(Value(3.5).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, AsDoubleWidensIntegers) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).AsDouble().value(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble().value(), 2.5);
+  EXPECT_FALSE(Value("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+}
+
+TEST(ValueTest, ToStringRendersSqlStyle) {
+  EXPECT_EQ(Value(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+TEST(ValueTest, NumericEqualityCrossesTypes) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_NE(Value(int64_t{3}), Value(3.5));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+}
+
+TEST(ValueTest, CompareOrdersNumericallyAndLexically) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(2.0)), 0);
+  EXPECT_GT(Value(5.0).Compare(Value(int64_t{4})), 0);
+  EXPECT_LT(Value("apple").Compare(Value("banana")), 0);
+  // Null sorts first, numerics before strings.
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{0})), 0);
+  EXPECT_LT(Value(int64_t{99}).Compare(Value("0")), 0);
+}
+
+TEST(ValueTest, LargeInt64ComparesExactly) {
+  int64_t big = (int64_t{1} << 60) + 1;
+  EXPECT_GT(Value(big).Compare(Value(big - 1)), 0);  // doubles would tie
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "STRING");
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_TRUE(IsNumeric(DataType::kDouble));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+}
+
+Schema TwoTableSchema() {
+  return Schema({{"x", DataType::kInt64, "a"},
+                 {"y", DataType::kDouble, "a"},
+                 {"x", DataType::kInt64, "b"},
+                 {"z", DataType::kString, "b"}});
+}
+
+TEST(SchemaTest, BareNameResolvesWhenUnique) {
+  Schema s = TwoTableSchema();
+  EXPECT_EQ(s.FieldIndex("y").value(), 1u);
+  EXPECT_EQ(s.FieldIndex("z").value(), 3u);
+}
+
+TEST(SchemaTest, BareNameAmbiguityIsError) {
+  Schema s = TwoTableSchema();
+  auto r = s.FieldIndex("x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, QualifiedNameDisambiguates) {
+  Schema s = TwoTableSchema();
+  EXPECT_EQ(s.FieldIndex("a.x").value(), 0u);
+  EXPECT_EQ(s.FieldIndex("b.x").value(), 2u);
+}
+
+TEST(SchemaTest, MissingColumnIsNotFound) {
+  Schema s = TwoTableSchema();
+  EXPECT_EQ(s.FieldIndex("w").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.FieldIndex("c.x").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(s.TryFieldIndex("w").has_value());
+}
+
+TEST(SchemaTest, ConcatPreservesOrderAndQualifiers) {
+  Schema a({{"x", DataType::kInt64, "a"}});
+  Schema b({{"y", DataType::kDouble, "b"}});
+  Schema c = Schema::Concat(a, b);
+  ASSERT_EQ(c.num_fields(), 2u);
+  EXPECT_EQ(c.field(0).QualifiedName(), "a.x");
+  EXPECT_EQ(c.field(1).QualifiedName(), "b.y");
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema a({{"x", DataType::kInt64, "t"}});
+  EXPECT_EQ(a.ToString(), "(t.x:INT64)");
+}
+
+TEST(FieldTest, QualifiedNameFallsBackToBare) {
+  Field f{"col", DataType::kDouble, ""};
+  EXPECT_EQ(f.QualifiedName(), "col");
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,0 +1,185 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "exec/evaluation.h"
+#include "workload/tpch_gen.h"
+#include "workload/users_gen.h"
+
+namespace acquire {
+namespace {
+
+TEST(TpchGenTest, TablesHaveExpectedShapes) {
+  Catalog catalog;
+  TpchOptions options;
+  options.suppliers = 100;
+  options.parts = 200;
+  options.suppliers_per_part = 3;
+  options.lineitems = 1000;
+  ASSERT_TRUE(GenerateTpch(options, &catalog).ok());
+  EXPECT_EQ(catalog.GetTable("supplier").value()->num_rows(), 100u);
+  EXPECT_EQ(catalog.GetTable("part").value()->num_rows(), 200u);
+  EXPECT_EQ(catalog.GetTable("partsupp").value()->num_rows(), 600u);
+  EXPECT_EQ(catalog.GetTable("lineitem").value()->num_rows(), 1000u);
+}
+
+TEST(TpchGenTest, DeterministicGivenSeed) {
+  Catalog a;
+  Catalog b;
+  TpchOptions options;
+  options.lineitems = 500;
+  ASSERT_TRUE(GenerateTpch(options, &a).ok());
+  ASSERT_TRUE(GenerateTpch(options, &b).ok());
+  auto ta = a.GetTable("lineitem").value();
+  auto tb = b.GetTable("lineitem").value();
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(ta->Get(r, 1), tb->Get(r, 1));
+  }
+}
+
+TEST(TpchGenTest, KeysAreInRange) {
+  Catalog catalog;
+  TpchOptions options;
+  options.suppliers = 50;
+  options.parts = 80;
+  ASSERT_TRUE(GenerateTpch(options, &catalog).ok());
+  auto ps = catalog.GetTable("partsupp").value();
+  size_t pk = ps->schema().FieldIndex("ps_partkey").value();
+  size_t sk = ps->schema().FieldIndex("ps_suppkey").value();
+  for (size_t r = 0; r < ps->num_rows(); ++r) {
+    EXPECT_GE(ps->column(pk).int64_data()[r], 1);
+    EXPECT_LE(ps->column(pk).int64_data()[r], 80);
+    EXPECT_GE(ps->column(sk).int64_data()[r], 1);
+    EXPECT_LE(ps->column(sk).int64_data()[r], 50);
+  }
+}
+
+TEST(TpchGenTest, PartTypesComeFromTpchVocabulary) {
+  EXPECT_EQ(TpchPartTypes().size(), 150u);
+  Catalog catalog;
+  TpchOptions options;
+  options.parts = 100;
+  ASSERT_TRUE(GenerateTpch(options, &catalog).ok());
+  auto part = catalog.GetTable("part").value();
+  size_t type_col = part->schema().FieldIndex("p_type").value();
+  for (size_t r = 0; r < part->num_rows(); ++r) {
+    const std::string& t = part->column(type_col).string_data()[r];
+    EXPECT_NE(std::find(TpchPartTypes().begin(), TpchPartTypes().end(), t),
+              TpchPartTypes().end());
+  }
+}
+
+TEST(TpchGenTest, ZipfSkewConcentratesMass) {
+  // Section 8.4.4: Z=1 data is heavily skewed toward the domain minimum.
+  Catalog uniform_cat;
+  Catalog skewed_cat;
+  TpchOptions uniform;
+  uniform.lineitems = 20000;
+  TpchOptions skewed = uniform;
+  skewed.zipf_theta = 1.0;
+  ASSERT_TRUE(GenerateTpch(uniform, &uniform_cat).ok());
+  ASSERT_TRUE(GenerateTpch(skewed, &skewed_cat).ok());
+  auto count_below = [](const TablePtr& t, double cutoff) {
+    size_t col = t->schema().FieldIndex("l_quantity").value();
+    size_t n = 0;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      if (t->column(col).GetDouble(r) <= cutoff) ++n;
+    }
+    return n;
+  };
+  size_t u = count_below(uniform_cat.GetTable("lineitem").value(), 10.0);
+  size_t s = count_below(skewed_cat.GetTable("lineitem").value(), 10.0);
+  EXPECT_GT(s, u * 2);  // far more mass at small values under skew
+}
+
+TEST(UsersGenTest, SchemaAndDomains) {
+  Catalog catalog;
+  UsersOptions options;
+  options.users = 2000;
+  ASSERT_TRUE(GenerateUsers(options, &catalog).ok());
+  auto users = catalog.GetTable("users").value();
+  EXPECT_EQ(users->num_rows(), 2000u);
+  size_t age = users->schema().FieldIndex("age").value();
+  for (size_t r = 0; r < users->num_rows(); ++r) {
+    EXPECT_GE(users->column(age).int64_data()[r], 18);
+    EXPECT_LE(users->column(age).int64_data()[r], 90);
+  }
+}
+
+TEST(PatientsGenTest, CostCorrelatesWithAge) {
+  Catalog catalog;
+  PatientsOptions options;
+  options.patients = 5000;
+  ASSERT_TRUE(GeneratePatients(options, &catalog).ok());
+  auto patients = catalog.GetTable("patients").value();
+  size_t age = patients->schema().FieldIndex("age").value();
+  size_t cost = patients->schema().FieldIndex("annual_cost").value();
+  double young = 0.0;
+  double old = 0.0;
+  size_t young_n = 0;
+  size_t old_n = 0;
+  for (size_t r = 0; r < patients->num_rows(); ++r) {
+    if (patients->column(age).int64_data()[r] < 40) {
+      young += patients->column(cost).GetDouble(r);
+      ++young_n;
+    } else if (patients->column(age).int64_data()[r] > 70) {
+      old += patients->column(cost).GetDouble(r);
+      ++old_n;
+    }
+  }
+  ASSERT_GT(young_n, 0u);
+  ASSERT_GT(old_n, 0u);
+  EXPECT_GT(old / old_n, young / young_n);
+}
+
+TEST(ColumnQuantileTest, MatchesSortedOrder) {
+  Catalog catalog;
+  TpchOptions options;
+  options.lineitems = 1001;
+  ASSERT_TRUE(GenerateTpch(options, &catalog).ok());
+  auto t = catalog.GetTable("lineitem").value();
+  double q0 = ColumnQuantile(*t, "l_quantity", 0.0).value();
+  double q50 = ColumnQuantile(*t, "l_quantity", 0.5).value();
+  double q100 = ColumnQuantile(*t, "l_quantity", 1.0).value();
+  EXPECT_LE(q0, q50);
+  EXPECT_LE(q50, q100);
+  EXPECT_NEAR(q50, 25.5, 3.0);  // uniform [1, 50]
+  EXPECT_FALSE(ColumnQuantile(*t, "l_quantity", 1.5).ok());
+  EXPECT_FALSE(ColumnQuantile(*t, "nope", 0.5).ok());
+}
+
+TEST(BuildRatioTaskTest, TargetMatchesMeasuredBase) {
+  Catalog catalog;
+  TpchOptions options;
+  options.lineitems = 10000;
+  ASSERT_TRUE(GenerateTpch(options, &catalog).ok());
+  RatioTaskOptions rt;
+  rt.table = "lineitem";
+  rt.columns = {"l_quantity", "l_extendedprice"};
+  rt.selectivity = 0.25;
+  rt.ratio = 0.5;
+  auto task = BuildRatioTask(catalog, rt);
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  EXPECT_NEAR(task->base_aggregate, 0.25 * 10000, 0.05 * 10000);
+  EXPECT_NEAR(task->task.constraint.target, task->base_aggregate / 0.5, 1e-9);
+  EXPECT_EQ(task->task.d(), 2u);
+}
+
+TEST(BuildRatioTaskTest, InvalidRatioRejected) {
+  Catalog catalog;
+  TpchOptions options;
+  options.lineitems = 100;
+  ASSERT_TRUE(GenerateTpch(options, &catalog).ok());
+  RatioTaskOptions rt;
+  rt.table = "lineitem";
+  rt.columns = {"l_quantity"};
+  rt.ratio = 1.5;
+  EXPECT_FALSE(BuildRatioTask(catalog, rt).ok());
+  rt.ratio = 0.5;
+  rt.columns = {};
+  EXPECT_FALSE(BuildRatioTask(catalog, rt).ok());
+}
+
+}  // namespace
+}  // namespace acquire
