@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eval_layer.dir/ablation_eval_layer.cc.o"
+  "CMakeFiles/ablation_eval_layer.dir/ablation_eval_layer.cc.o.d"
+  "ablation_eval_layer"
+  "ablation_eval_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eval_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_table.dir/capability_table.cc.o"
+  "CMakeFiles/capability_table.dir/capability_table.cc.o.d"
+  "capability_table"
+  "capability_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_table_size.dir/fig10_table_size.cc.o"
+  "CMakeFiles/fig10_table_size.dir/fig10_table_size.cc.o.d"
+  "fig10_table_size"
+  "fig10_table_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_table_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_thresholds.dir/fig10_thresholds.cc.o"
+  "CMakeFiles/fig10_thresholds.dir/fig10_thresholds.cc.o.d"
+  "fig10_thresholds"
+  "fig10_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

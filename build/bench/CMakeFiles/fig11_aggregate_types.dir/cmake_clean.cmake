@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_aggregate_types.dir/fig11_aggregate_types.cc.o"
+  "CMakeFiles/fig11_aggregate_types.dir/fig11_aggregate_types.cc.o.d"
+  "fig11_aggregate_types"
+  "fig11_aggregate_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_aggregate_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

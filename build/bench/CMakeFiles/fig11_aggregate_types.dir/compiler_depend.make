@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_aggregate_types.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_aggregate_ratio.dir/fig8_aggregate_ratio.cc.o"
+  "CMakeFiles/fig8_aggregate_ratio.dir/fig8_aggregate_ratio.cc.o.d"
+  "fig8_aggregate_ratio"
+  "fig8_aggregate_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_aggregate_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_refinement.dir/join_refinement.cc.o"
+  "CMakeFiles/join_refinement.dir/join_refinement.cc.o.d"
+  "join_refinement"
+  "join_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew.dir/skew.cc.o"
+  "CMakeFiles/skew.dir/skew.cc.o.d"
+  "skew"
+  "skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

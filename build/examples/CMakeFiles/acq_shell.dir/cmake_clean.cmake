@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_shell.dir/acq_shell.cc.o"
+  "CMakeFiles/acq_shell.dir/acq_shell.cc.o.d"
+  "acq_shell"
+  "acq_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_campaign.dir/ad_campaign.cc.o"
+  "CMakeFiles/ad_campaign.dir/ad_campaign.cc.o.d"
+  "ad_campaign"
+  "ad_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

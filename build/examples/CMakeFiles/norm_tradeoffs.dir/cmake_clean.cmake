@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norm_tradeoffs.dir/norm_tradeoffs.cc.o"
+  "CMakeFiles/norm_tradeoffs.dir/norm_tradeoffs.cc.o.d"
+  "norm_tradeoffs"
+  "norm_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norm_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

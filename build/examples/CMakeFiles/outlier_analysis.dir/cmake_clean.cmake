@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_analysis.dir/outlier_analysis.cc.o"
+  "CMakeFiles/outlier_analysis.dir/outlier_analysis.cc.o.d"
+  "outlier_analysis"
+  "outlier_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_baselines.dir/baselines/binsearch.cc.o"
+  "CMakeFiles/acq_baselines.dir/baselines/binsearch.cc.o.d"
+  "CMakeFiles/acq_baselines.dir/baselines/topk.cc.o"
+  "CMakeFiles/acq_baselines.dir/baselines/topk.cc.o.d"
+  "CMakeFiles/acq_baselines.dir/baselines/tqgen.cc.o"
+  "CMakeFiles/acq_baselines.dir/baselines/tqgen.cc.o.d"
+  "libacq_baselines.a"
+  "libacq_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_common.dir/common/logging.cc.o"
+  "CMakeFiles/acq_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/acq_common.dir/common/random.cc.o"
+  "CMakeFiles/acq_common.dir/common/random.cc.o.d"
+  "CMakeFiles/acq_common.dir/common/status.cc.o"
+  "CMakeFiles/acq_common.dir/common/status.cc.o.d"
+  "CMakeFiles/acq_common.dir/common/string_util.cc.o"
+  "CMakeFiles/acq_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/acq_common.dir/common/zipf.cc.o"
+  "CMakeFiles/acq_common.dir/common/zipf.cc.o.d"
+  "libacq_common.a"
+  "libacq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acquire.cc" "src/CMakeFiles/acq_core.dir/core/acquire.cc.o" "gcc" "src/CMakeFiles/acq_core.dir/core/acquire.cc.o.d"
+  "/root/repo/src/core/contract.cc" "src/CMakeFiles/acq_core.dir/core/contract.cc.o" "gcc" "src/CMakeFiles/acq_core.dir/core/contract.cc.o.d"
+  "/root/repo/src/core/error_fn.cc" "src/CMakeFiles/acq_core.dir/core/error_fn.cc.o" "gcc" "src/CMakeFiles/acq_core.dir/core/error_fn.cc.o.d"
+  "/root/repo/src/core/expand.cc" "src/CMakeFiles/acq_core.dir/core/expand.cc.o" "gcc" "src/CMakeFiles/acq_core.dir/core/expand.cc.o.d"
+  "/root/repo/src/core/explore.cc" "src/CMakeFiles/acq_core.dir/core/explore.cc.o" "gcc" "src/CMakeFiles/acq_core.dir/core/explore.cc.o.d"
+  "/root/repo/src/core/norms.cc" "src/CMakeFiles/acq_core.dir/core/norms.cc.o" "gcc" "src/CMakeFiles/acq_core.dir/core/norms.cc.o.d"
+  "/root/repo/src/core/processor.cc" "src/CMakeFiles/acq_core.dir/core/processor.cc.o" "gcc" "src/CMakeFiles/acq_core.dir/core/processor.cc.o.d"
+  "/root/repo/src/core/refined_query.cc" "src/CMakeFiles/acq_core.dir/core/refined_query.cc.o" "gcc" "src/CMakeFiles/acq_core.dir/core/refined_query.cc.o.d"
+  "/root/repo/src/core/refined_space.cc" "src/CMakeFiles/acq_core.dir/core/refined_space.cc.o" "gcc" "src/CMakeFiles/acq_core.dir/core/refined_space.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/acq_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/acq_core.dir/core/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acq_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

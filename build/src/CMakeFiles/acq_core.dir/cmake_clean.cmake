@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_core.dir/core/acquire.cc.o"
+  "CMakeFiles/acq_core.dir/core/acquire.cc.o.d"
+  "CMakeFiles/acq_core.dir/core/contract.cc.o"
+  "CMakeFiles/acq_core.dir/core/contract.cc.o.d"
+  "CMakeFiles/acq_core.dir/core/error_fn.cc.o"
+  "CMakeFiles/acq_core.dir/core/error_fn.cc.o.d"
+  "CMakeFiles/acq_core.dir/core/expand.cc.o"
+  "CMakeFiles/acq_core.dir/core/expand.cc.o.d"
+  "CMakeFiles/acq_core.dir/core/explore.cc.o"
+  "CMakeFiles/acq_core.dir/core/explore.cc.o.d"
+  "CMakeFiles/acq_core.dir/core/norms.cc.o"
+  "CMakeFiles/acq_core.dir/core/norms.cc.o.d"
+  "CMakeFiles/acq_core.dir/core/processor.cc.o"
+  "CMakeFiles/acq_core.dir/core/processor.cc.o.d"
+  "CMakeFiles/acq_core.dir/core/refined_query.cc.o"
+  "CMakeFiles/acq_core.dir/core/refined_query.cc.o.d"
+  "CMakeFiles/acq_core.dir/core/refined_space.cc.o"
+  "CMakeFiles/acq_core.dir/core/refined_space.cc.o.d"
+  "CMakeFiles/acq_core.dir/core/report.cc.o"
+  "CMakeFiles/acq_core.dir/core/report.cc.o.d"
+  "libacq_core.a"
+  "libacq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

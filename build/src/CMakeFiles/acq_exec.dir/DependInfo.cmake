@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/acq_task.cc" "src/CMakeFiles/acq_exec.dir/exec/acq_task.cc.o" "gcc" "src/CMakeFiles/acq_exec.dir/exec/acq_task.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/acq_exec.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/acq_exec.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/approx_evaluation.cc" "src/CMakeFiles/acq_exec.dir/exec/approx_evaluation.cc.o" "gcc" "src/CMakeFiles/acq_exec.dir/exec/approx_evaluation.cc.o.d"
+  "/root/repo/src/exec/evaluation.cc" "src/CMakeFiles/acq_exec.dir/exec/evaluation.cc.o" "gcc" "src/CMakeFiles/acq_exec.dir/exec/evaluation.cc.o.d"
+  "/root/repo/src/exec/filter.cc" "src/CMakeFiles/acq_exec.dir/exec/filter.cc.o" "gcc" "src/CMakeFiles/acq_exec.dir/exec/filter.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/CMakeFiles/acq_exec.dir/exec/join.cc.o" "gcc" "src/CMakeFiles/acq_exec.dir/exec/join.cc.o.d"
+  "/root/repo/src/exec/materialize.cc" "src/CMakeFiles/acq_exec.dir/exec/materialize.cc.o" "gcc" "src/CMakeFiles/acq_exec.dir/exec/materialize.cc.o.d"
+  "/root/repo/src/exec/parallel_evaluation.cc" "src/CMakeFiles/acq_exec.dir/exec/parallel_evaluation.cc.o" "gcc" "src/CMakeFiles/acq_exec.dir/exec/parallel_evaluation.cc.o.d"
+  "/root/repo/src/exec/planner.cc" "src/CMakeFiles/acq_exec.dir/exec/planner.cc.o" "gcc" "src/CMakeFiles/acq_exec.dir/exec/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_exec.dir/exec/acq_task.cc.o"
+  "CMakeFiles/acq_exec.dir/exec/acq_task.cc.o.d"
+  "CMakeFiles/acq_exec.dir/exec/aggregate.cc.o"
+  "CMakeFiles/acq_exec.dir/exec/aggregate.cc.o.d"
+  "CMakeFiles/acq_exec.dir/exec/approx_evaluation.cc.o"
+  "CMakeFiles/acq_exec.dir/exec/approx_evaluation.cc.o.d"
+  "CMakeFiles/acq_exec.dir/exec/evaluation.cc.o"
+  "CMakeFiles/acq_exec.dir/exec/evaluation.cc.o.d"
+  "CMakeFiles/acq_exec.dir/exec/filter.cc.o"
+  "CMakeFiles/acq_exec.dir/exec/filter.cc.o.d"
+  "CMakeFiles/acq_exec.dir/exec/join.cc.o"
+  "CMakeFiles/acq_exec.dir/exec/join.cc.o.d"
+  "CMakeFiles/acq_exec.dir/exec/materialize.cc.o"
+  "CMakeFiles/acq_exec.dir/exec/materialize.cc.o.d"
+  "CMakeFiles/acq_exec.dir/exec/parallel_evaluation.cc.o"
+  "CMakeFiles/acq_exec.dir/exec/parallel_evaluation.cc.o.d"
+  "CMakeFiles/acq_exec.dir/exec/planner.cc.o"
+  "CMakeFiles/acq_exec.dir/exec/planner.cc.o.d"
+  "libacq_exec.a"
+  "libacq_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/custom_metric_dim.cc" "src/CMakeFiles/acq_expr.dir/expr/custom_metric_dim.cc.o" "gcc" "src/CMakeFiles/acq_expr.dir/expr/custom_metric_dim.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/acq_expr.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/acq_expr.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/interval.cc" "src/CMakeFiles/acq_expr.dir/expr/interval.cc.o" "gcc" "src/CMakeFiles/acq_expr.dir/expr/interval.cc.o.d"
+  "/root/repo/src/expr/ontology.cc" "src/CMakeFiles/acq_expr.dir/expr/ontology.cc.o" "gcc" "src/CMakeFiles/acq_expr.dir/expr/ontology.cc.o.d"
+  "/root/repo/src/expr/refinement_dim.cc" "src/CMakeFiles/acq_expr.dir/expr/refinement_dim.cc.o" "gcc" "src/CMakeFiles/acq_expr.dir/expr/refinement_dim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_expr.dir/expr/custom_metric_dim.cc.o"
+  "CMakeFiles/acq_expr.dir/expr/custom_metric_dim.cc.o.d"
+  "CMakeFiles/acq_expr.dir/expr/expr.cc.o"
+  "CMakeFiles/acq_expr.dir/expr/expr.cc.o.d"
+  "CMakeFiles/acq_expr.dir/expr/interval.cc.o"
+  "CMakeFiles/acq_expr.dir/expr/interval.cc.o.d"
+  "CMakeFiles/acq_expr.dir/expr/ontology.cc.o"
+  "CMakeFiles/acq_expr.dir/expr/ontology.cc.o.d"
+  "CMakeFiles/acq_expr.dir/expr/refinement_dim.cc.o"
+  "CMakeFiles/acq_expr.dir/expr/refinement_dim.cc.o.d"
+  "libacq_expr.a"
+  "libacq_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_index.dir/index/grid_index.cc.o"
+  "CMakeFiles/acq_index.dir/index/grid_index.cc.o.d"
+  "libacq_index.a"
+  "libacq_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

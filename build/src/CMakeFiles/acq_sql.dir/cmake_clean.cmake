@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_sql.dir/sql/binder.cc.o"
+  "CMakeFiles/acq_sql.dir/sql/binder.cc.o.d"
+  "CMakeFiles/acq_sql.dir/sql/explain.cc.o"
+  "CMakeFiles/acq_sql.dir/sql/explain.cc.o.d"
+  "CMakeFiles/acq_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/acq_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/acq_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/acq_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/acq_sql.dir/sql/printer.cc.o"
+  "CMakeFiles/acq_sql.dir/sql/printer.cc.o.d"
+  "libacq_sql.a"
+  "libacq_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

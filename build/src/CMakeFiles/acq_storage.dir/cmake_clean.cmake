@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/acq_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/acq_storage.dir/storage/column.cc.o"
+  "CMakeFiles/acq_storage.dir/storage/column.cc.o.d"
+  "CMakeFiles/acq_storage.dir/storage/csv.cc.o"
+  "CMakeFiles/acq_storage.dir/storage/csv.cc.o.d"
+  "CMakeFiles/acq_storage.dir/storage/persistence.cc.o"
+  "CMakeFiles/acq_storage.dir/storage/persistence.cc.o.d"
+  "CMakeFiles/acq_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/acq_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/acq_storage.dir/storage/table.cc.o"
+  "CMakeFiles/acq_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/acq_storage.dir/storage/value.cc.o"
+  "CMakeFiles/acq_storage.dir/storage/value.cc.o.d"
+  "libacq_storage.a"
+  "libacq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

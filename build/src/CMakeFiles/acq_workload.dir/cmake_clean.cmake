@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_workload.dir/workload/tpch_gen.cc.o"
+  "CMakeFiles/acq_workload.dir/workload/tpch_gen.cc.o.d"
+  "CMakeFiles/acq_workload.dir/workload/users_gen.cc.o"
+  "CMakeFiles/acq_workload.dir/workload/users_gen.cc.o.d"
+  "CMakeFiles/acq_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/acq_workload.dir/workload/workload.cc.o.d"
+  "libacq_workload.a"
+  "libacq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

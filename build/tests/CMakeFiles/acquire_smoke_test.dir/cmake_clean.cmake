@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acquire_smoke_test.dir/acquire_smoke_test.cc.o"
+  "CMakeFiles/acquire_smoke_test.dir/acquire_smoke_test.cc.o.d"
+  "acquire_smoke_test"
+  "acquire_smoke_test.pdb"
+  "acquire_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acquire_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

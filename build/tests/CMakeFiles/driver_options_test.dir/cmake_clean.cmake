@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_options_test.dir/driver_options_test.cc.o"
+  "CMakeFiles/driver_options_test.dir/driver_options_test.cc.o.d"
+  "driver_options_test"
+  "driver_options_test.pdb"
+  "driver_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

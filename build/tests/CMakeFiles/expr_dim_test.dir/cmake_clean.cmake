@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_dim_test.dir/expr_dim_test.cc.o"
+  "CMakeFiles/expr_dim_test.dir/expr_dim_test.cc.o.d"
+  "expr_dim_test"
+  "expr_dim_test.pdb"
+  "expr_dim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_dim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_filter_test.dir/join_filter_test.cc.o"
+  "CMakeFiles/join_filter_test.dir/join_filter_test.cc.o.d"
+  "join_filter_test"
+  "join_filter_test.pdb"
+  "join_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

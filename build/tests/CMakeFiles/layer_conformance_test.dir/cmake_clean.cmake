@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_conformance_test.dir/layer_conformance_test.cc.o"
+  "CMakeFiles/layer_conformance_test.dir/layer_conformance_test.cc.o.d"
+  "layer_conformance_test"
+  "layer_conformance_test.pdb"
+  "layer_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

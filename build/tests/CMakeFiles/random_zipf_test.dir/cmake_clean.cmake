@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_zipf_test.dir/random_zipf_test.cc.o"
+  "CMakeFiles/random_zipf_test.dir/random_zipf_test.cc.o.d"
+  "random_zipf_test"
+  "random_zipf_test.pdb"
+  "random_zipf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refined_space_test.dir/refined_space_test.cc.o"
+  "CMakeFiles/refined_space_test.dir/refined_space_test.cc.o.d"
+  "refined_space_test"
+  "refined_space_test.pdb"
+  "refined_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refined_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

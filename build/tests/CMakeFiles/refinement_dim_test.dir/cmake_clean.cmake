@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_dim_test.dir/refinement_dim_test.cc.o"
+  "CMakeFiles/refinement_dim_test.dir/refinement_dim_test.cc.o.d"
+  "refinement_dim_test"
+  "refinement_dim_test.pdb"
+  "refinement_dim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_dim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_guarantee_test.dir/theorem_guarantee_test.cc.o"
+  "CMakeFiles/theorem_guarantee_test.dir/theorem_guarantee_test.cc.o.d"
+  "theorem_guarantee_test"
+  "theorem_guarantee_test.pdb"
+  "theorem_guarantee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_guarantee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
