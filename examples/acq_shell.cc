@@ -280,8 +280,7 @@ class Shell {
       return;
     }
     last_task_ = std::make_shared<AcqTask>(std::move(task).value());
-    CachedEvaluationLayer layer(last_task_.get());
-    auto outcome = ProcessAcq(*last_task_, &layer, options_);
+    auto outcome = ProcessAcq(*last_task_, options_);
     if (!outcome.ok()) {
       Report(outcome.status());
       return;

@@ -19,11 +19,15 @@
 #include "core/processor.h"             // ProcessAcq front door (Figure 2)
 #include "core/report.h"                // change reports + Pareto filtering
 #include "exec/approx_evaluation.h"     // sampling / histogram layers
+#include "exec/backend.h"               // evaluation backend selection
 #include "exec/materialize.h"           // refined-query result tuples
 #include "exec/parallel_evaluation.h"   // multi-threaded evaluation
 #include "exec/planner.h"               // programmatic QuerySpec API
+#include "exec/thread_pool.h"           // persistent worker pool
 #include "expr/custom_metric_dim.h"     // user-defined refinement metrics
 #include "expr/ontology.h"              // categorical roll-ups (Section 7.3)
+#include "index/backend_factory.h"      // EvalBackend -> layer
+#include "index/cell_sorted.h"          // CSR cell-sorted backend
 #include "index/grid_index.h"           // Section 7.4 grid index
 #include "sql/binder.h"                 // SQL -> AcqTask
 #include "sql/explain.h"                // plan introspection

@@ -57,6 +57,7 @@ Result<AcqTask> MakeContractionTask(const AcqTask& task) {
   out.relation = task.relation;
   out.agg = task.agg;
   out.constraint = task.constraint;
+  out.eval_backend = task.eval_backend;
   for (const RefinementDimPtr& dim : task.dims) {
     const auto* numeric = dynamic_cast<const NumericDim*>(dim.get());
     if (numeric == nullptr) {

@@ -1,10 +1,25 @@
 #include "core/processor.h"
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "core/refined_space.h"
+#include "index/backend_factory.h"
 
 namespace acquire {
+
+namespace {
+
+BackendOptions BackendOptionsFor(const AcqTask& task,
+                                 const AcquireOptions& options) {
+  BackendOptions backend_options;
+  backend_options.grid_step =
+      options.gamma / static_cast<double>(std::max<size_t>(task.d(), 1));
+  return backend_options;
+}
+
+}  // namespace
 
 const char* AcqModeToString(AcqMode mode) {
   switch (mode) {
@@ -58,11 +73,16 @@ Result<AcqOutcome> ProcessAcq(const AcqTask& task, EvaluationLayer* layer,
     ACQ_ASSIGN_OR_RETURN(AcqTask contraction, MakeContractionTask(task));
     outcome.contraction_task =
         std::make_shared<AcqTask>(std::move(contraction));
-    CachedEvaluationLayer contraction_layer(outcome.contraction_task.get());
+    ACQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<EvaluationLayer> contraction_layer,
+        MakeEvaluationLayer(
+            outcome.contraction_task.get(),
+            outcome.contraction_task->eval_backend,
+            BackendOptionsFor(*outcome.contraction_task, options)));
     ACQ_ASSIGN_OR_RETURN(
         outcome.result,
-        RunAcquireContract(*outcome.contraction_task, &contraction_layer,
-                           options));
+        RunAcquireContract(*outcome.contraction_task,
+                           contraction_layer.get(), options));
     return outcome;
   }
 
@@ -70,6 +90,15 @@ Result<AcqOutcome> ProcessAcq(const AcqTask& task, EvaluationLayer* layer,
   outcome.mode = AcqMode::kExpanded;
   ACQ_ASSIGN_OR_RETURN(outcome.result, RunAcquire(task, layer, options));
   return outcome;
+}
+
+Result<AcqOutcome> ProcessAcq(const AcqTask& task,
+                              const AcquireOptions& options) {
+  ACQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<EvaluationLayer> layer,
+      MakeEvaluationLayer(&task, task.eval_backend,
+                          BackendOptionsFor(task, options)));
+  return ProcessAcq(task, layer.get(), options);
 }
 
 }  // namespace acquire

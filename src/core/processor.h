@@ -38,6 +38,13 @@ struct AcqOutcome {
 Result<AcqOutcome> ProcessAcq(const AcqTask& task, EvaluationLayer* layer,
                               const AcquireOptions& options = {});
 
+/// Backend-driven front door: constructs the evaluation layer the task
+/// asks for (task.eval_backend via index/backend_factory.h, grid step
+/// options.gamma / d so cell-aligned fast paths fire) and runs ProcessAcq
+/// on it. This is what the SQL shell and drivers call.
+Result<AcqOutcome> ProcessAcq(const AcqTask& task,
+                              const AcquireOptions& options = {});
+
 }  // namespace acquire
 
 #endif  // ACQUIRE_CORE_PROCESSOR_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exec/aggregate.h"
+#include "exec/backend.h"
 #include "expr/refinement_dim.h"
 #include "storage/table.h"
 
@@ -28,6 +29,9 @@ struct AcqTask {
   std::vector<std::string> fixed_predicate_labels;
   /// FROM-clause table names of the original query (display only).
   std::vector<std::string> table_names;
+  /// Which evaluation backend the driver should run this task on
+  /// (index/backend_factory.h resolves it; kAuto lets the driver pick).
+  EvalBackend eval_backend = EvalBackend::kAuto;
 
   /// Number of refinable predicates d (the refined-space dimensionality).
   size_t d() const { return dims.size(); }

@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "exec/eval_kernel.h"
 
 namespace acquire {
 
@@ -24,15 +25,23 @@ Status SamplingEvaluationLayer::Prepare() {
   Rng rng(seed_);
   const size_t n = task_->relation->num_rows();
   const size_t d = task_->d();
-  std::vector<double> row_needed;
   for (size_t row = 0; row < n; ++row) {
-    if (!rng.NextBool(rate_)) continue;
-    sampled_rows_.push_back(static_cast<uint32_t>(row));
-    ComputeNeeded(*task_, row, &row_needed);
-    needed_.insert(needed_.end(), row_needed.begin(), row_needed.end());
-    agg_values_.push_back(task_->AggValue(row));
+    if (rng.NextBool(rate_)) sampled_rows_.push_back(static_cast<uint32_t>(row));
   }
-  (void)d;
+  matrix_.rows = sampled_rows_.size();
+  matrix_.dims = d;
+  matrix_.needed.resize(matrix_.rows * d);
+  matrix_.agg_values.resize(matrix_.rows);
+  for (size_t i = 0; i < d; ++i) {
+    const RefinementDim& dim = *task_->dims[i];
+    double* col = matrix_.mutable_dim(i);
+    for (size_t k = 0; k < sampled_rows_.size(); ++k) {
+      col[k] = dim.NeededPScore(*task_->relation, sampled_rows_[k]);
+    }
+  }
+  for (size_t k = 0; k < sampled_rows_.size(); ++k) {
+    matrix_.agg_values[k] = task_->AggValue(sampled_rows_[k]);
+  }
   prepared_ = true;
   return Status::OK();
 }
@@ -40,27 +49,11 @@ Status SamplingEvaluationLayer::Prepare() {
 Result<AggregateOps::State> SamplingEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
-  if (box.size() != task_->d()) {
-    return Status::InvalidArgument(
-        StringFormat("box has %zu ranges, task has %zu dimensions",
-                     box.size(), task_->d()));
-  }
+  ACQ_RETURN_IF_ERROR(CheckBox(box));
   ++stats_.queries;
-  const AggregateOps& ops = *task_->agg.ops;
-  AggregateOps::State state = ops.Init();
-  const size_t d = task_->d();
   stats_.tuples_scanned += sampled_rows_.size();
-  for (size_t i = 0; i < sampled_rows_.size(); ++i) {
-    const double* needed = &needed_[i * d];
-    bool admit = true;
-    for (size_t j = 0; j < d; ++j) {
-      if (!box[j].Admits(needed[j])) {
-        admit = false;
-        break;
-      }
-    }
-    if (admit) ops.Add(&state, agg_values_[i]);
-  }
+  ACQ_ASSIGN_OR_RETURN(AggregateOps::State state,
+                       ScanBoxOverMatrix(*task_->agg.ops, matrix_, box));
   // Horvitz-Thompson scale-up for extrapolatable aggregates. AVG scales
   // both numerator and denominator (a no-op on the final value but keeps
   // the embedded COUNT meaningful); MIN/MAX cannot be extrapolated.

@@ -38,8 +38,7 @@ class SamplingEvaluationLayer final : public EvaluationLayer {
   uint64_t seed_;
   bool prepared_ = false;
   std::vector<uint32_t> sampled_rows_;
-  std::vector<double> needed_;      // sample_size x d
-  std::vector<double> agg_values_;  // per sampled row
+  NeededMatrix matrix_;  // dimension-major over the sampled rows
 };
 
 /// Histogram-estimation layer for COUNT constraints: one equi-width

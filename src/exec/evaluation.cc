@@ -4,8 +4,20 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "exec/eval_kernel.h"
 
 namespace acquire {
+
+namespace {
+
+constexpr double kAlignEps = 1e-9;
+
+bool NearlyEqual(double a, double b) {
+  return std::fabs(a - b) <=
+         kAlignEps * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+}  // namespace
 
 void ComputeNeeded(const AcqTask& task, size_t row, std::vector<double>* out) {
   out->resize(task.d());
@@ -26,6 +38,42 @@ PScoreRange CellRangeForLevel(int64_t level, double step) {
                      static_cast<double>(level) * step};
 }
 
+int64_t AlignedGridMultiple(double v, double step) {
+  if (v < -kAlignEps) return -1;
+  double q = v / step;
+  int64_t u = static_cast<int64_t>(std::llround(q));
+  if (u < 0) return -1;
+  return NearlyEqual(static_cast<double>(u) * step, v) ? u : -1;
+}
+
+bool AlignedLevelBounds(const std::vector<PScoreRange>& box, double step,
+                        std::vector<int64_t>* lo, std::vector<int64_t>* hi) {
+  lo->resize(box.size());
+  hi->resize(box.size());
+  for (size_t i = 0; i < box.size(); ++i) {
+    int64_t hi_mult = AlignedGridMultiple(box[i].hi, step);
+    if (hi_mult < 0) return false;
+    (*hi)[i] = hi_mult;
+    if (box[i].lo < 0.0) {
+      (*lo)[i] = 0;
+    } else {
+      int64_t lo_mult = AlignedGridMultiple(box[i].lo, step);
+      if (lo_mult < 0 || lo_mult >= hi_mult) return false;
+      (*lo)[i] = lo_mult + 1;
+    }
+  }
+  return true;
+}
+
+Status EvaluationLayer::CheckBox(const std::vector<PScoreRange>& box) const {
+  if (box.size() != task_->d()) {
+    return Status::InvalidArgument(
+        StringFormat("box has %zu ranges, task has %zu dimensions",
+                     box.size(), task_->d()));
+  }
+  return Status::OK();
+}
+
 Result<double> EvaluationLayer::EvaluateQueryValue(
     const std::vector<double>& pscores) {
   std::vector<PScoreRange> box(pscores.size());
@@ -38,45 +86,36 @@ Result<double> EvaluationLayer::EvaluateQueryValue(
 
 Result<AggregateOps::State> DirectEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
-  if (box.size() != task_->d()) {
-    return Status::InvalidArgument(
-        StringFormat("box has %zu ranges, task has %zu dimensions",
-                     box.size(), task_->d()));
-  }
+  ACQ_RETURN_IF_ERROR(CheckBox(box));
   ++stats_.queries;
   const Table& rel = *task_->relation;
   const AggregateOps& ops = *task_->agg.ops;
-  AggregateOps::State state = ops.Init();
   const size_t n = rel.num_rows();
   const size_t d = task_->d();
   stats_.tuples_scanned += n;
-  for (size_t row = 0; row < n; ++row) {
-    bool admit = true;
-    for (size_t i = 0; i < d; ++i) {
-      double needed = task_->dims[i]->NeededPScore(rel, row);
-      if (!box[i].Admits(needed)) {
-        admit = false;
-        break;
-      }
+  // Same selection kernel as the prepared layers, but the per-dimension
+  // needed stream is recomputed on every call — that is this layer's cost
+  // model (one full SQL execution per box).
+  std::vector<uint8_t> select(n, uint8_t{1});
+  std::vector<double> stream(n);
+  for (size_t i = 0; i < d; ++i) {
+    const RefinementDim& dim = *task_->dims[i];
+    for (size_t row = 0; row < n; ++row) {
+      stream[row] = dim.NeededPScore(rel, row);
     }
-    if (admit) ops.Add(&state, task_->AggValue(row));
+    RefineSelection(stream.data(), n, box[i], select.data());
   }
+  for (size_t row = 0; row < n; ++row) {
+    stream[row] = task_->AggValue(row);
+  }
+  AggregateOps::State state = ops.Init();
+  FoldSelected(ops, stream.data(), select.data(), n, &state);
   return state;
 }
 
 Status CachedEvaluationLayer::Prepare() {
   if (prepared_) return Status::OK();
-  const size_t n = task_->relation->num_rows();
-  const size_t d = task_->d();
-  needed_.resize(n * d);
-  agg_values_.resize(n);
-  std::vector<double> row_needed;
-  for (size_t row = 0; row < n; ++row) {
-    ComputeNeeded(*task_, row, &row_needed);
-    std::copy(row_needed.begin(), row_needed.end(),
-              needed_.begin() + static_cast<ptrdiff_t>(row * d));
-    agg_values_[row] = task_->AggValue(row);
-  }
+  ACQ_RETURN_IF_ERROR(BuildNeededMatrix(*task_, /*pool=*/nullptr, &matrix_));
   prepared_ = true;
   return Status::OK();
 }
@@ -84,29 +123,10 @@ Status CachedEvaluationLayer::Prepare() {
 Result<AggregateOps::State> CachedEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
-  if (box.size() != task_->d()) {
-    return Status::InvalidArgument(
-        StringFormat("box has %zu ranges, task has %zu dimensions",
-                     box.size(), task_->d()));
-  }
+  ACQ_RETURN_IF_ERROR(CheckBox(box));
   ++stats_.queries;
-  const AggregateOps& ops = *task_->agg.ops;
-  AggregateOps::State state = ops.Init();
-  const size_t n = agg_values_.size();
-  const size_t d = task_->d();
-  stats_.tuples_scanned += n;
-  for (size_t row = 0; row < n; ++row) {
-    const double* needed = &needed_[row * d];
-    bool admit = true;
-    for (size_t i = 0; i < d; ++i) {
-      if (!box[i].Admits(needed[i])) {
-        admit = false;
-        break;
-      }
-    }
-    if (admit) ops.Add(&state, agg_values_[row]);
-  }
-  return state;
+  stats_.tuples_scanned += matrix_.rows;
+  return ScanBoxOverMatrix(*task_->agg.ops, matrix_, box);
 }
 
 }  // namespace acquire

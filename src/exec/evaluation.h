@@ -37,11 +37,27 @@ struct PScoreRange {
   bool Admits(double needed) const { return needed > lo && needed <= hi; }
 };
 
+/// The shared needed-PScore materialization every prepared evaluation layer
+/// sits on: a dimension-major (structure-of-arrays) tuple x dimension
+/// matrix plus the per-row aggregate input. Dimension-major because every
+/// box-query kernel walks one dimension across all rows at a time, so each
+/// dimension is one contiguous stream. Built by BuildNeededMatrix
+/// (exec/eval_kernel.h), optionally in parallel.
+struct NeededMatrix {
+  size_t rows = 0;
+  size_t dims = 0;
+  std::vector<double> needed;      // dims * rows, dimension-major
+  std::vector<double> agg_values;  // rows
+
+  const double* dim(size_t i) const { return needed.data() + i * rows; }
+  double* mutable_dim(size_t i) { return needed.data() + i * rows; }
+};
+
 /// The paper's modular evaluation layer (Section 3): the component that
 /// actually executes (sub-)queries against the data. ACQUIRE, the baselines
 /// and the repartitioner all talk to it through box queries in PScore space.
 ///
-/// Implementations:
+/// Implementations (see exec/backend.h for driver-level selection):
 ///  * DirectEvaluationLayer — recomputes per-tuple refinement distances on
 ///    every call; each call models one SQL execution in the paper's
 ///    Postgres back end (cost: one full scan of the base relation).
@@ -49,8 +65,14 @@ struct PScoreRange {
 ///    needed-PScore matrix once in Prepare(); calls still scan all tuples
 ///    but skip predicate-function evaluation. Models a DBMS with a
 ///    specialized access path.
+///  * ParallelEvaluationLayer (exec/parallel_evaluation.h) — the cached
+///    scan chunked across a persistent thread pool.
 ///  * GridIndexEvaluationLayer (index/grid_index.h) — Section 7.4's bitmap
 ///    grid index: cell-aligned boxes are answered in O(1).
+///  * CellSortedEvaluationLayer (index/cell_sorted.h) — rows counting-sorted
+///    into grid cells in a CSR layout: a cell query is one binary search
+///    plus a contiguous fold, an aligned box merges per-cell states in
+///    sorted key order.
 class EvaluationLayer {
  public:
   struct ExecStats {
@@ -81,6 +103,9 @@ class EvaluationLayer {
   void ResetStats() { stats_ = ExecStats{}; }
 
  protected:
+  /// Shared argument check for EvaluateBox implementations.
+  Status CheckBox(const std::vector<PScoreRange>& box) const;
+
   const AcqTask* task_;
   ExecStats stats_;
 };
@@ -106,14 +131,13 @@ class CachedEvaluationLayer final : public EvaluationLayer {
   Result<AggregateOps::State> EvaluateBox(
       const std::vector<PScoreRange>& box) override;
 
-  /// Row-major tuple x dimension matrix of needed PScores; exposed for the
-  /// grid index, which builds on the same materialization.
-  const std::vector<double>& needed_matrix() const { return needed_; }
+  /// The materialized tuple x dimension matrix (exposed for layers and
+  /// benches that build on the same materialization).
+  const NeededMatrix& matrix() const { return matrix_; }
 
  private:
   bool prepared_ = false;
-  std::vector<double> needed_;  // num_rows * d, row-major
-  std::vector<double> agg_values_;  // per-row aggregate input value
+  NeededMatrix matrix_;
 };
 
 /// Computes the needed-PScore vector of `row` under `task` (helper shared
@@ -128,6 +152,17 @@ int64_t PScoreLevel(double needed, double step);
 /// The cell box of grid level `level` at step `step` on one dimension
 /// (the inverse of PScoreLevel).
 PScoreRange CellRangeForLevel(int64_t level, double step);
+
+/// If `v` is (approximately) a non-negative integer multiple of `step`,
+/// returns that multiple; otherwise -1.
+int64_t AlignedGridMultiple(double v, double step);
+
+/// Decomposes `box` into inclusive grid-level bounds per dimension when
+/// every boundary is aligned to the `step` grid: dimension i covers levels
+/// lo[i]..hi[i]. Returns false (outputs unspecified) when any boundary is
+/// off-grid. A box that is exactly one cell yields lo == hi.
+bool AlignedLevelBounds(const std::vector<PScoreRange>& box, double step,
+                        std::vector<int64_t>* lo, std::vector<int64_t>* hi);
 
 }  // namespace acquire
 

@@ -1,35 +1,23 @@
 #include "exec/parallel_evaluation.h"
 
-#include <algorithm>
-#include <thread>
-
-#include "common/string_util.h"
+#include "exec/eval_kernel.h"
 
 namespace acquire {
 
 ParallelEvaluationLayer::ParallelEvaluationLayer(const AcqTask* task,
                                                  size_t threads)
-    : EvaluationLayer(task), threads_(threads) {
-  if (threads_ == 0) {
-    threads_ = std::max(2u, std::thread::hardware_concurrency());
+    : EvaluationLayer(task) {
+  if (threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &ThreadPool::Shared();
   }
 }
 
 Status ParallelEvaluationLayer::Prepare() {
   if (prepared_) return Status::OK();
-  const size_t n = task_->relation->num_rows();
-  const size_t d = task_->d();
-  needed_.resize(n * d);
-  agg_values_.resize(n);
-  // Single-threaded: some dimensions (CategoricalDim) memoize internally
-  // and are not safe to call concurrently.
-  std::vector<double> row_needed;
-  for (size_t row = 0; row < n; ++row) {
-    ComputeNeeded(*task_, row, &row_needed);
-    std::copy(row_needed.begin(), row_needed.end(),
-              needed_.begin() + static_cast<ptrdiff_t>(row * d));
-    agg_values_[row] = task_->AggValue(row);
-  }
+  ACQ_RETURN_IF_ERROR(BuildNeededMatrix(*task_, pool_, &matrix_));
   prepared_ = true;
   return Status::OK();
 }
@@ -37,63 +25,10 @@ Status ParallelEvaluationLayer::Prepare() {
 Result<AggregateOps::State> ParallelEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
-  if (box.size() != task_->d()) {
-    return Status::InvalidArgument(
-        StringFormat("box has %zu ranges, task has %zu dimensions",
-                     box.size(), task_->d()));
-  }
+  ACQ_RETURN_IF_ERROR(CheckBox(box));
   ++stats_.queries;
-  const AggregateOps& ops = *task_->agg.ops;
-  const size_t n = agg_values_.size();
-  const size_t d = task_->d();
-  stats_.tuples_scanned += n;
-
-  const size_t workers = std::min(threads_, std::max<size_t>(1, n / 4096));
-  if (workers <= 1) {
-    AggregateOps::State state = ops.Init();
-    for (size_t row = 0; row < n; ++row) {
-      const double* needed = &needed_[row * d];
-      bool admit = true;
-      for (size_t i = 0; i < d; ++i) {
-        if (!box[i].Admits(needed[i])) {
-          admit = false;
-          break;
-        }
-      }
-      if (admit) ops.Add(&state, agg_values_[row]);
-    }
-    return state;
-  }
-
-  std::vector<AggregateOps::State> partials(workers, ops.Init());
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  const size_t chunk = (n + workers - 1) / workers;
-  for (size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      const size_t begin = w * chunk;
-      const size_t end = std::min(n, begin + chunk);
-      AggregateOps::State& state = partials[w];
-      for (size_t row = begin; row < end; ++row) {
-        const double* needed = &needed_[row * d];
-        bool admit = true;
-        for (size_t i = 0; i < d; ++i) {
-          if (!box[i].Admits(needed[i])) {
-            admit = false;
-            break;
-          }
-        }
-        if (admit) ops.Add(&state, agg_values_[row]);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
-
-  AggregateOps::State merged = ops.Init();
-  for (const AggregateOps::State& partial : partials) {
-    ops.Merge(&merged, partial);  // OSP combine across disjoint partitions
-  }
-  return merged;
+  stats_.tuples_scanned += matrix_.rows;
+  return ScanBoxOverMatrix(*task_->agg.ops, matrix_, box, pool_);
 }
 
 }  // namespace acquire

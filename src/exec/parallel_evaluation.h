@@ -2,21 +2,29 @@
 #define ACQUIRE_EXEC_PARALLEL_EVALUATION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "exec/evaluation.h"
+#include "exec/thread_pool.h"
 
 namespace acquire {
 
 /// Multi-threaded evaluation layer: Prepare() materializes the per-tuple
-/// refinement-distance matrix once (like CachedEvaluationLayer), and every
-/// box query is folded in parallel over row partitions whose partial states
-/// are merged at the end. The merge is correct for exactly the aggregates
-/// ACQUIRE admits — Section 2.6's optimal substructure property is also
-/// what makes the evaluation embarrassingly parallel.
+/// refinement-distance matrix once (in parallel), and every box query is
+/// folded over row chunks on a persistent thread pool, with the per-chunk
+/// partial states merged in chunk order. The merge is correct for exactly
+/// the aggregates ACQUIRE admits — Section 2.6's optimal substructure
+/// property is also what makes the evaluation embarrassingly parallel —
+/// and the fixed chunking + merge order keeps results deterministic.
+///
+/// The pool outlives every box query (and is shared process-wide by
+/// default), replacing the original spawn-threads-per-EvaluateBox design
+/// whose thread-creation cost dwarfed the actual scan on small boxes.
 class ParallelEvaluationLayer final : public EvaluationLayer {
  public:
-  /// `threads` = 0 uses the hardware concurrency (at least 2).
+  /// `threads` = 0 shares the process-wide pool (hardware-sized); a
+  /// positive count gives this layer its own dedicated pool.
   explicit ParallelEvaluationLayer(const AcqTask* task, size_t threads = 0);
 
   Status Prepare() override;
@@ -24,13 +32,14 @@ class ParallelEvaluationLayer final : public EvaluationLayer {
   Result<AggregateOps::State> EvaluateBox(
       const std::vector<PScoreRange>& box) override;
 
-  size_t threads() const { return threads_; }
+  /// Worker count of the pool this layer submits to.
+  size_t threads() const { return pool_->num_threads(); }
 
  private:
-  size_t threads_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // set when threads > 0
+  ThreadPool* pool_;
   bool prepared_ = false;
-  std::vector<double> needed_;      // row-major tuple x dim matrix
-  std::vector<double> agg_values_;  // per-row aggregate input
+  NeededMatrix matrix_;
 };
 
 }  // namespace acquire

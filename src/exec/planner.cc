@@ -441,6 +441,7 @@ Result<AcqTask> PlanAcqTask(const Catalog& catalog, const QuerySpec& spec) {
   task.relation = std::move(relation);
   task.dims = std::move(dims);
   task.table_names = spec.tables;
+  task.eval_backend = spec.eval_backend;
   task.fixed_predicate_labels = std::move(fixed_join_labels);
   for (const SelectPredicateSpec& pred : spec.predicates) {
     if (!pred.refinable) {

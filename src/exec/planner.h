@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "exec/acq_task.h"
+#include "exec/backend.h"
 #include "expr/expr.h"
 #include "expr/ontology.h"
 #include "storage/catalog.h"
@@ -95,6 +96,9 @@ struct QuerySpec {
   std::string uda_name;    // for agg_kind == kUda
   ConstraintOp constraint_op = ConstraintOp::kEq;
   double target = 0.0;  // Aexp
+
+  /// Evaluation backend the driver should run the planned task on.
+  EvalBackend eval_backend = EvalBackend::kAuto;
 };
 
 /// Plans `spec` against `catalog` into an executable AcqTask:

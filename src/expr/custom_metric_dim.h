@@ -40,6 +40,10 @@ class CustomMetricDim final : public RefinementDim {
     return metric_(inner);
   }
 
+  Status PrecomputeNeeded(const Table& table) const override {
+    return inner_->PrecomputeNeeded(table);
+  }
+
   double MaxPScore() const override {
     double cap = inner_->MaxPScore();
     if (cap == kUnreachable) return kUnreachable;

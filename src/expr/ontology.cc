@@ -152,6 +152,18 @@ double CategoricalDim::NeededPScore(const Table& table, size_t row) const {
   return rollups * pscore_per_rollup_;
 }
 
+Status CategoricalDim::PrecomputeNeeded(const Table& table) const {
+  if (col_index_ < 0) {
+    return Status::Internal("CategoricalDim not bound before precompute");
+  }
+  // One serial pass touching every row fills rollups_ for every distinct
+  // value that can ever be queried; NeededPScore then only reads the map.
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    NeededPScore(table, row);
+  }
+  return Status::OK();
+}
+
 double CategoricalDim::MaxPScore() const {
   // Any value is covered by at most height() roll-ups (the root).
   return ontology_->height() * pscore_per_rollup_;

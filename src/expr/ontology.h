@@ -66,6 +66,7 @@ class CategoricalDim final : public RefinementDim {
 
   Status Bind(const Schema& schema) override;
   double NeededPScore(const Table& table, size_t row) const override;
+  Status PrecomputeNeeded(const Table& table) const override;
   double MaxPScore() const override;
   std::string DescribeAt(double pscore) const override;
   std::string label() const override;
@@ -79,7 +80,8 @@ class CategoricalDim final : public RefinementDim {
   const OntologyTree* ontology_;
   double pscore_per_rollup_;
   int col_index_ = -1;
-  // Per-distinct-value roll-up cache, filled lazily by NeededPScore.
+  // Per-distinct-value roll-up cache, filled lazily by NeededPScore (or in
+  // bulk by PrecomputeNeeded, after which concurrent lookups are safe).
   mutable std::unordered_map<std::string, int> rollups_;
 };
 

@@ -34,6 +34,15 @@ class RefinementDim {
   /// the refined predicate; 0 when the original predicate already holds.
   virtual double NeededPScore(const Table& table, size_t row) const = 0;
 
+  /// Pre-resolves any internal memoization for every row of `table` so that
+  /// subsequent NeededPScore calls over those rows are read-only and safe
+  /// to issue from multiple threads (the parallel needed-matrix build does
+  /// exactly that). Default: no-op — the numeric dimensions are stateless.
+  virtual Status PrecomputeNeeded(const Table& table) const {
+    (void)table;
+    return Status::OK();
+  }
+
   /// Largest meaningful PScore (further refinement cannot admit more
   /// tuples), bounded by the data domain and any user-set refinement cap.
   virtual double MaxPScore() const = 0;

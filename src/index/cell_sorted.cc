@@ -1,0 +1,193 @@
+#include "index/cell_sorted.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "exec/eval_kernel.h"
+
+namespace acquire {
+
+CellSortedEvaluationLayer::CellSortedEvaluationLayer(const AcqTask* task,
+                                                     double step,
+                                                     ThreadPool* pool)
+    : EvaluationLayer(task),
+      step_(step),
+      pool_(pool != nullptr ? pool : &ThreadPool::Shared()) {}
+
+Status CellSortedEvaluationLayer::Prepare() {
+  if (prepared_) return Status::OK();
+  if (step_ <= 0.0) {
+    return Status::InvalidArgument("cell-sorted layer requires a positive step");
+  }
+  NeededMatrix raw;
+  ACQ_RETURN_IF_ERROR(BuildNeededMatrix(*task_, pool_, &raw));
+  const size_t n = raw.rows;
+  const size_t d = raw.dims;
+
+  // Assign every row its grid cell; first-seen cell ids are temporary and
+  // replaced by the sorted order below. Unreachable rows (needed == inf on
+  // some dimension) are dropped: no PScoreRange admits infinity.
+  constexpr uint32_t kUnreachable = UINT32_MAX;
+  std::unordered_map<GridCoord, uint32_t, GridCoordHash> cell_ids;
+  std::vector<GridCoord> coords;        // by temporary cell id
+  std::vector<uint32_t> counts;         // by temporary cell id
+  std::vector<uint32_t> row_cell(n, kUnreachable);
+  GridCoord coord(d);
+  for (size_t row = 0; row < n; ++row) {
+    bool reachable = true;
+    for (size_t i = 0; i < d; ++i) {
+      int64_t level = PScoreLevel(raw.dim(i)[row], step_);
+      if (level < 0) {
+        reachable = false;
+        break;
+      }
+      coord[i] = static_cast<int32_t>(level);
+    }
+    if (!reachable) {
+      ++unreachable_rows_;
+      continue;
+    }
+    auto [it, inserted] =
+        cell_ids.try_emplace(coord, static_cast<uint32_t>(coords.size()));
+    if (inserted) {
+      coords.push_back(coord);
+      counts.push_back(0);
+    }
+    row_cell[row] = it->second;
+    ++counts[it->second];
+  }
+
+  // Sort the (small) set of distinct cells lexicographically, then
+  // counting-sort the rows into that order: prefix offsets + scatter.
+  const size_t m = coords.size();
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return coords[a] < coords[b];
+  });
+  std::vector<uint32_t> sorted_pos(m);
+  for (size_t s = 0; s < m; ++s) sorted_pos[order[s]] = static_cast<uint32_t>(s);
+
+  cell_keys_.resize(m * d);
+  cell_offsets_.assign(m + 1, 0);
+  for (size_t s = 0; s < m; ++s) {
+    const GridCoord& c = coords[order[s]];
+    std::copy(c.begin(), c.end(), cell_keys_.begin() + s * d);
+    cell_offsets_[s + 1] = cell_offsets_[s] + counts[order[s]];
+  }
+
+  const size_t reachable = n - unreachable_rows_;
+  matrix_.rows = reachable;
+  matrix_.dims = d;
+  matrix_.needed.resize(reachable * d);
+  matrix_.agg_values.resize(reachable);
+  std::vector<uint32_t> cursor(cell_offsets_.begin(), cell_offsets_.end() - 1);
+  for (size_t row = 0; row < n; ++row) {
+    if (row_cell[row] == kUnreachable) continue;
+    const uint32_t p = cursor[sorted_pos[row_cell[row]]]++;
+    for (size_t i = 0; i < d; ++i) {
+      matrix_.mutable_dim(i)[p] = raw.dim(i)[row];
+    }
+    matrix_.agg_values[p] = raw.agg_values[row];
+  }
+
+  // Per-cell aggregate states: fold each contiguous payload range.
+  const AggregateOps& ops = *task_->agg.ops;
+  cell_states_.resize(m);
+  for (size_t s = 0; s < m; ++s) {
+    cell_states_[s] = ops.Init();
+    FoldRange(ops, matrix_.agg_values.data() + cell_offsets_[s],
+              cell_offsets_[s + 1] - cell_offsets_[s], &cell_states_[s]);
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+size_t CellSortedEvaluationLayer::LowerBoundCell(const int32_t* key) const {
+  const size_t d = task_->d();
+  size_t lo = 0;
+  size_t hi = num_cells();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    const int32_t* cell = cell_keys_.data() + mid * d;
+    if (std::lexicographical_compare(cell, cell + d, key, key + d)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool CellSortedEvaluationLayer::IsCellAligned(
+    const std::vector<PScoreRange>& box, GridCoord* coord) const {
+  std::vector<int64_t> lo, hi;
+  if (!AlignedLevelBounds(box, step_, &lo, &hi)) return false;
+  coord->resize(box.size());
+  for (size_t i = 0; i < box.size(); ++i) {
+    if (lo[i] != hi[i]) return false;
+    (*coord)[i] = static_cast<int32_t>(hi[i]);
+  }
+  return true;
+}
+
+Result<AggregateOps::State> CellSortedEvaluationLayer::EvaluateBox(
+    const std::vector<PScoreRange>& box) {
+  if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
+  ACQ_RETURN_IF_ERROR(CheckBox(box));
+  ++stats_.queries;
+  const AggregateOps& ops = *task_->agg.ops;
+  const size_t d = task_->d();
+  const size_t m = num_cells();
+
+  std::vector<int64_t> lo_level, hi_level;
+  if (AlignedLevelBounds(box, step_, &lo_level, &hi_level)) {
+    // Clamp to int32 key space (coordinates were stored as int32).
+    std::vector<int32_t> lo32(d), hi32(d);
+    bool single_cell = true;
+    for (size_t i = 0; i < d; ++i) {
+      lo32[i] = static_cast<int32_t>(
+          std::min<int64_t>(lo_level[i], INT32_MAX));
+      hi32[i] = static_cast<int32_t>(
+          std::min<int64_t>(hi_level[i], INT32_MAX));
+      single_cell &= lo_level[i] == hi_level[i];
+    }
+    if (single_cell) {
+      // One binary search; the payload fold happened once in Prepare().
+      ++stats_.tuples_scanned;
+      const size_t s = LowerBoundCell(lo32.data());
+      if (s < m &&
+          std::equal(lo32.begin(), lo32.end(), cell_keys_.data() + s * d)) {
+        return cell_states_[s];
+      }
+      return ops.Init();
+    }
+    // Aligned box: only the sorted key range whose leading coordinate lies
+    // in [lo, hi] can intersect the box; walk it, filtering the remaining
+    // dimensions and merging per-cell states in key order (deterministic).
+    std::vector<int32_t> first(d, 0);
+    first[0] = lo32[0];  // smallest possible key in range
+    AggregateOps::State state = ops.Init();
+    for (size_t s = LowerBoundCell(first.data()); s < m; ++s) {
+      const int32_t* cell = cell_keys_.data() + s * d;
+      if (cell[0] > hi32[0]) break;
+      ++stats_.tuples_scanned;
+      bool inside = cell[0] >= lo32[0];
+      for (size_t i = 1; inside && i < d; ++i) {
+        inside = cell[i] >= lo32[i] && cell[i] <= hi32[i];
+      }
+      if (inside) ops.Merge(&state, cell_states_[s]);
+    }
+    return state;
+  }
+
+  // Off-grid box: branchless kernel scan over the permuted matrix, chunked
+  // across the persistent pool when large enough to pay off.
+  stats_.tuples_scanned += matrix_.rows;
+  return ScanBoxOverMatrix(ops, matrix_, box, pool_);
+}
+
+}  // namespace acquire

@@ -1,0 +1,75 @@
+#ifndef ACQUIRE_INDEX_CELL_SORTED_H_
+#define ACQUIRE_INDEX_CELL_SORTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/evaluation.h"
+#include "exec/thread_pool.h"
+
+namespace acquire {
+
+/// Cell-sorted columnar evaluation backend: the needed-PScore matrix is
+/// built once (in parallel, dimension-major) and its rows are
+/// counting-sorted into refined-space grid cells in a CSR layout —
+///
+///   cell_keys_    m x d grid coordinates, lexicographically sorted
+///   cell_offsets_ m + 1 prefix offsets into the permuted row payload
+///   matrix_       needed matrix + aggregate inputs, permuted to cell order
+///   cell_states_  per-cell OSP aggregate state (fold of its offset range)
+///
+/// so the queries Algorithm 3 actually issues are no longer scans:
+///  * a cell query is one binary search over the sorted keys plus a
+///    precomputed state (O(log m)),
+///  * a grid-aligned box query walks only the key range whose first
+///    coordinate overlaps the box, merging per-cell states in sorted key
+///    order (deterministic), instead of visiting every populated cell,
+///  * an off-grid box (repartition probes) falls back to the shared
+///    branchless kernel over the permuted matrix, chunked across the
+///    persistent thread pool.
+///
+/// `step` must match the refined space's grid step (gamma / d) for the
+/// aligned fast paths to fire; any other step is still correct, just slow.
+class CellSortedEvaluationLayer final : public EvaluationLayer {
+ public:
+  /// `pool` = nullptr uses the process-wide shared pool.
+  CellSortedEvaluationLayer(const AcqTask* task, double step,
+                            ThreadPool* pool = nullptr);
+
+  /// Builds the matrix and the CSR cell layout in one preparation pass.
+  Status Prepare() override;
+
+  Result<AggregateOps::State> EvaluateBox(
+      const std::vector<PScoreRange>& box) override;
+
+  double step() const { return step_; }
+  size_t num_cells() const { return cell_offsets_.empty()
+                                 ? 0
+                                 : cell_offsets_.size() - 1; }
+  /// Rows excluded from the layout because some dimension can never admit
+  /// them (needed == inf admits no box).
+  size_t unreachable_rows() const { return unreachable_rows_; }
+
+  /// True when every range in `box` is exactly one grid cell at this
+  /// layer's step (exposed for tests).
+  bool IsCellAligned(const std::vector<PScoreRange>& box,
+                     GridCoord* coord) const;
+
+ private:
+  /// Index of the first cell whose key is lexicographically >= `key`
+  /// (d() leading entries used); num_cells() when none.
+  size_t LowerBoundCell(const int32_t* key) const;
+
+  double step_;
+  ThreadPool* pool_;
+  bool prepared_ = false;
+  size_t unreachable_rows_ = 0;
+  NeededMatrix matrix_;                 // permuted to cell order
+  std::vector<int32_t> cell_keys_;      // m * d, cell-major, sorted
+  std::vector<uint32_t> cell_offsets_;  // m + 1
+  std::vector<AggregateOps::State> cell_states_;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_INDEX_CELL_SORTED_H_

@@ -3,28 +3,9 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "exec/eval_kernel.h"
 
 namespace acquire {
-
-namespace {
-
-constexpr double kAlignEps = 1e-9;
-
-bool NearlyEqual(double a, double b) {
-  return std::fabs(a - b) <= kAlignEps * std::max({1.0, std::fabs(a), std::fabs(b)});
-}
-
-// If `v` is (approximately) a non-negative integer multiple of `step`,
-// returns that multiple; otherwise -1.
-int64_t AlignedMultiple(double v, double step) {
-  if (v < -kAlignEps) return -1;
-  double q = v / step;
-  int64_t u = static_cast<int64_t>(std::llround(q));
-  if (u < 0) return -1;
-  return NearlyEqual(static_cast<double>(u) * step, v) ? u : -1;
-}
-
-}  // namespace
 
 GridIndexEvaluationLayer::GridIndexEvaluationLayer(const AcqTask* task,
                                                    double step)
@@ -35,21 +16,15 @@ Status GridIndexEvaluationLayer::Prepare() {
   if (step_ <= 0.0) {
     return Status::InvalidArgument("grid index requires a positive step");
   }
-  const size_t n = task_->relation->num_rows();
-  const size_t d = task_->d();
-  needed_.resize(n * d);
-  agg_values_.resize(n);
+  ACQ_RETURN_IF_ERROR(BuildNeededMatrix(*task_, /*pool=*/nullptr, &matrix_));
+  const size_t n = matrix_.rows;
+  const size_t d = matrix_.dims;
   const AggregateOps& ops = *task_->agg.ops;
-  std::vector<double> row_needed;
   GridCoord coord(d);
   for (size_t row = 0; row < n; ++row) {
-    ComputeNeeded(*task_, row, &row_needed);
-    std::copy(row_needed.begin(), row_needed.end(),
-              needed_.begin() + static_cast<ptrdiff_t>(row * d));
-    agg_values_[row] = task_->AggValue(row);
     bool reachable = true;
     for (size_t i = 0; i < d; ++i) {
-      int64_t level = PScoreLevel(row_needed[i], step_);
+      int64_t level = PScoreLevel(matrix_.dim(i)[row], step_);
       if (level < 0) {
         reachable = false;
         break;
@@ -58,7 +33,7 @@ Status GridIndexEvaluationLayer::Prepare() {
     }
     if (!reachable) continue;
     auto [it, inserted] = cells_.try_emplace(coord, ops.Init());
-    ops.Add(&it->second, agg_values_[row]);
+    ops.Add(&it->second, matrix_.agg_values[row]);
   }
   prepared_ = true;
   return Status::OK();
@@ -66,18 +41,15 @@ Status GridIndexEvaluationLayer::Prepare() {
 
 bool GridIndexEvaluationLayer::IsCellAligned(
     const std::vector<PScoreRange>& box, GridCoord* coord) const {
+  std::vector<int64_t> lo, hi;
+  if (!AlignedLevelBounds(box, step_, &lo, &hi)) return false;
   coord->resize(box.size());
   for (size_t i = 0; i < box.size(); ++i) {
-    const PScoreRange& r = box[i];
-    if (r.lo < 0.0) {
-      if (!NearlyEqual(r.hi, 0.0)) return false;
-      (*coord)[i] = 0;
-      continue;
-    }
-    int64_t hi_mult = AlignedMultiple(r.hi, step_);
-    int64_t lo_mult = AlignedMultiple(r.lo, step_);
-    if (hi_mult < 1 || lo_mult != hi_mult - 1) return false;
-    (*coord)[i] = static_cast<int32_t>(hi_mult);
+    // A cell is a box whose level range is a single level; the level-0 cell
+    // additionally requires the "from 0 inclusive" form (lo < 0), which
+    // AlignedLevelBounds already encodes as lo == hi == 0.
+    if (lo[i] != hi[i]) return false;
+    (*coord)[i] = static_cast<int32_t>(hi[i]);
   }
   return true;
 }
@@ -85,11 +57,7 @@ bool GridIndexEvaluationLayer::IsCellAligned(
 Result<AggregateOps::State> GridIndexEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
-  if (box.size() != task_->d()) {
-    return Status::InvalidArgument(
-        StringFormat("box has %zu ranges, task has %zu dimensions",
-                     box.size(), task_->d()));
-  }
+  ACQ_RETURN_IF_ERROR(CheckBox(box));
   ++stats_.queries;
   const AggregateOps& ops = *task_->agg.ops;
 
@@ -102,28 +70,8 @@ Result<AggregateOps::State> GridIndexEvaluationLayer::EvaluateBox(
   }
 
   // Fast path 2: a grid-aligned box -- merge the covered cells.
-  std::vector<int64_t> lo_level(box.size());
-  std::vector<int64_t> hi_level(box.size());
-  bool aligned = true;
-  for (size_t i = 0; i < box.size() && aligned; ++i) {
-    int64_t hi = AlignedMultiple(box[i].hi, step_);
-    if (hi < 0) {
-      aligned = false;
-      break;
-    }
-    hi_level[i] = hi;
-    if (box[i].lo < 0.0) {
-      lo_level[i] = 0;
-    } else {
-      int64_t lo = AlignedMultiple(box[i].lo, step_);
-      if (lo < 0) {
-        aligned = false;
-        break;
-      }
-      lo_level[i] = lo + 1;
-    }
-  }
-  if (aligned) {
+  std::vector<int64_t> lo_level, hi_level;
+  if (AlignedLevelBounds(box, step_, &lo_level, &hi_level)) {
     AggregateOps::State state = ops.Init();
     stats_.tuples_scanned += cells_.size();
     for (const auto& [cell, cell_state] : cells_) {
@@ -139,28 +87,10 @@ Result<AggregateOps::State> GridIndexEvaluationLayer::EvaluateBox(
     return state;
   }
 
-  return ScanFallback(box);
-}
-
-Result<AggregateOps::State> GridIndexEvaluationLayer::ScanFallback(
-    const std::vector<PScoreRange>& box) {
-  const AggregateOps& ops = *task_->agg.ops;
-  AggregateOps::State state = ops.Init();
-  const size_t n = agg_values_.size();
-  const size_t d = task_->d();
-  stats_.tuples_scanned += n;
-  for (size_t row = 0; row < n; ++row) {
-    const double* needed = &needed_[row * d];
-    bool admit = true;
-    for (size_t i = 0; i < d; ++i) {
-      if (!box[i].Admits(needed[i])) {
-        admit = false;
-        break;
-      }
-    }
-    if (admit) ops.Add(&state, agg_values_[row]);
-  }
-  return state;
+  // Off-grid box (e.g. repartition probes): scan the retained matrix with
+  // the shared kernel.
+  stats_.tuples_scanned += matrix_.rows;
+  return ScanBoxOverMatrix(ops, matrix_, box);
 }
 
 }  // namespace acquire

@@ -36,13 +36,10 @@ class GridIndexEvaluationLayer final : public EvaluationLayer {
                      GridCoord* coord) const;
 
  private:
-  Result<AggregateOps::State> ScanFallback(const std::vector<PScoreRange>& box);
-
   double step_;
   bool prepared_ = false;
   std::unordered_map<GridCoord, AggregateOps::State, GridCoordHash> cells_;
-  std::vector<double> needed_;      // row-major tuple x dim matrix
-  std::vector<double> agg_values_;  // per-row aggregate input
+  NeededMatrix matrix_;  // retained for the off-grid scan fallback
 };
 
 }  // namespace acquire

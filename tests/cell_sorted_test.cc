@@ -1,0 +1,191 @@
+// Structural tests for the cell-sorted CSR backend: layout invariants,
+// the three query paths (cell probe, aligned box walk, off-grid scan),
+// unreachable-row exclusion, and the backend factory that constructs it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "acquire.h"
+#include "test_util.h"
+
+namespace acquire {
+namespace {
+
+using test_util::MakeSyntheticTask;
+using test_util::SyntheticOptions;
+
+TEST(CellSortedTest, RejectsNonPositiveStep) {
+  SyntheticOptions options;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+  CellSortedEvaluationLayer layer(&fixture->task, 0.0);
+  EXPECT_FALSE(layer.Prepare().ok());
+}
+
+TEST(CellSortedTest, CellProbeTouchesOneCellNotTheData) {
+  SyntheticOptions options;
+  options.d = 2;
+  options.rows = 20000;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+  const double step = 5.0;
+  CellSortedEvaluationLayer layer(&fixture->task, step);
+  ASSERT_TRUE(layer.Prepare().ok());
+  EXPECT_GT(layer.num_cells(), 0u);
+
+  // A cell query costs one binary search, not a scan: tuples_scanned
+  // counts the single key looked at, regardless of n.
+  std::vector<PScoreRange> cell = {CellRangeForLevel(2, step),
+                                   CellRangeForLevel(3, step)};
+  GridCoord coord;
+  ASSERT_TRUE(layer.IsCellAligned(cell, &coord));
+  EXPECT_EQ(coord, (GridCoord{2, 3}));
+  layer.ResetStats();
+  ASSERT_TRUE(layer.EvaluateBox(cell).ok());
+  EXPECT_EQ(layer.stats().tuples_scanned, 1u);
+}
+
+TEST(CellSortedTest, AlignedBoxVisitsOnlyCandidateCells) {
+  SyntheticOptions options;
+  options.d = 2;
+  options.rows = 20000;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+  const double step = 5.0;
+  CellSortedEvaluationLayer layer(&fixture->task, step);
+  ASSERT_TRUE(layer.Prepare().ok());
+
+  // Box covering levels 0..3 on both dimensions: the walk may touch at
+  // most the populated cells, never the rows.
+  std::vector<PScoreRange> box = {PScoreRange{-1.0, 4 * step},
+                                  PScoreRange{-1.0, 4 * step}};
+  layer.ResetStats();
+  auto got = layer.EvaluateBox(box);
+  ASSERT_TRUE(got.ok());
+  EXPECT_LE(layer.stats().tuples_scanned, layer.num_cells());
+
+  DirectEvaluationLayer reference(&fixture->task);
+  auto expected = reference.EvaluateBox(box);
+  ASSERT_TRUE(expected.ok());
+  const AggregateOps& ops = *fixture->task.agg.ops;
+  EXPECT_DOUBLE_EQ(ops.Final(*got), ops.Final(*expected));
+}
+
+TEST(CellSortedTest, OffGridBoxFallsBackToExactScan) {
+  SyntheticOptions options;
+  options.d = 2;
+  options.rows = 10000;
+  options.agg = AggregateKind::kSum;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+  CellSortedEvaluationLayer layer(&fixture->task, 5.0);
+  ASSERT_TRUE(layer.Prepare().ok());
+
+  std::vector<PScoreRange> box = {PScoreRange{-1.0, 7.3},
+                                  PScoreRange{2.1, 13.9}};
+  GridCoord coord;
+  EXPECT_FALSE(layer.IsCellAligned(box, &coord));
+  auto got = layer.EvaluateBox(box);
+  DirectEvaluationLayer reference(&fixture->task);
+  auto expected = reference.EvaluateBox(box);
+  ASSERT_TRUE(got.ok() && expected.ok());
+  const AggregateOps& ops = *fixture->task.agg.ops;
+  EXPECT_NEAR(ops.Final(*got), ops.Final(*expected),
+              1e-9 * std::max(1.0, std::fabs(ops.Final(*expected))));
+}
+
+TEST(CellSortedTest, ExcludesUnreachableRows) {
+  // A tight per-predicate refinement cap makes every row needing more
+  // than the cap unreachable; those rows must be dropped from the layout
+  // and must not appear in any box answer.
+  SyntheticOptions options;
+  options.d = 1;
+  options.rows = 5000;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+  const double cap = 10.0;
+  auto* dim = dynamic_cast<NumericDim*>(fixture->task.dims[0].get());
+  ASSERT_NE(dim, nullptr);
+  dim->set_max_refinement(cap);
+
+  CellSortedEvaluationLayer layer(&fixture->task, 5.0);
+  ASSERT_TRUE(layer.Prepare().ok());
+  EXPECT_GT(layer.unreachable_rows(), 0u);
+  EXPECT_LT(layer.unreachable_rows(), options.rows);
+
+  // Full-space box == everything reachable; must match the direct layer
+  // (which recomputes the capped needed PScores per call).
+  DirectEvaluationLayer reference(&fixture->task);
+  std::vector<PScoreRange> everything = {PScoreRange{-1.0, 1e9}};
+  auto got = layer.EvaluateBox(everything);
+  auto expected = reference.EvaluateBox(everything);
+  ASSERT_TRUE(got.ok() && expected.ok());
+  const AggregateOps& ops = *fixture->task.agg.ops;
+  EXPECT_DOUBLE_EQ(ops.Final(*got), ops.Final(*expected));
+}
+
+TEST(BackendFactoryTest, ResolvesEveryBackend) {
+  SyntheticOptions options;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+  for (EvalBackend backend :
+       {EvalBackend::kAuto, EvalBackend::kDirect, EvalBackend::kCached,
+        EvalBackend::kParallel, EvalBackend::kGridIndex,
+        EvalBackend::kCellSorted}) {
+    auto layer = MakeEvaluationLayer(&fixture->task, backend);
+    ASSERT_TRUE(layer.ok()) << EvalBackendToString(backend);
+    ASSERT_NE(layer->get(), nullptr);
+    ASSERT_TRUE((*layer)->Prepare().ok()) << EvalBackendToString(backend);
+  }
+  // kAuto picks the cell-sorted backend.
+  auto layer = MakeEvaluationLayer(&fixture->task, EvalBackend::kAuto);
+  ASSERT_TRUE(layer.ok());
+  EXPECT_NE(dynamic_cast<CellSortedEvaluationLayer*>(layer->get()), nullptr);
+}
+
+TEST(BackendFactoryTest, NameRoundTrip) {
+  for (EvalBackend backend :
+       {EvalBackend::kAuto, EvalBackend::kDirect, EvalBackend::kCached,
+        EvalBackend::kParallel, EvalBackend::kGridIndex,
+        EvalBackend::kCellSorted}) {
+    auto parsed = EvalBackendFromString(EvalBackendToString(backend));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_FALSE(EvalBackendFromString("postgres").ok());
+}
+
+TEST(BackendFactoryTest, ProcessAcqRunsOnTaskSelectedBackend) {
+  // Every backend must drive the full Figure 2 pipeline to the same
+  // refinement (COUNT answers are exact on all of them).
+  SyntheticOptions options;
+  options.d = 2;
+  options.rows = 5000;
+  options.bound = 10.0;
+  options.target = 2000.0;
+  options.op = ConstraintOp::kGe;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+
+  AcquireOptions acq;
+  auto reference = ProcessAcq(fixture->task, acq);
+  ASSERT_TRUE(reference.ok());
+  for (EvalBackend backend :
+       {EvalBackend::kDirect, EvalBackend::kCached, EvalBackend::kParallel,
+        EvalBackend::kGridIndex, EvalBackend::kCellSorted}) {
+    fixture->task.eval_backend = backend;
+    auto outcome = ProcessAcq(fixture->task, acq);
+    ASSERT_TRUE(outcome.ok()) << EvalBackendToString(backend);
+    EXPECT_EQ(outcome->mode, reference->mode) << EvalBackendToString(backend);
+    EXPECT_DOUBLE_EQ(outcome->result.best.aggregate,
+                     reference->result.best.aggregate)
+        << EvalBackendToString(backend);
+    EXPECT_DOUBLE_EQ(outcome->result.best.qscore,
+                     reference->result.best.qscore)
+        << EvalBackendToString(backend);
+  }
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,7 +1,10 @@
 // Conformance suite for every exact evaluation layer: direct, cached,
-// parallel, grid index, and the sampling layer at rate 1.0 (a full
-// "sample" must be exact). All must return identical aggregate states for
-// identical box queries, across aggregates and random boxes.
+// parallel, grid index, cell-sorted, and the sampling layer at rate 1.0
+// (a full "sample" must be exact). All must return identical aggregate
+// states for identical box queries, across aggregates and random boxes.
+// COUNT/MIN/MAX must match bit-for-bit (no FP reassociation can change
+// them); SUM/AVG are compared with a tight relative tolerance because
+// chunked merges may re-associate the additions.
 
 #include <gtest/gtest.h>
 #include <cmath>
@@ -15,7 +18,14 @@ namespace {
 using test_util::MakeSyntheticTask;
 using test_util::SyntheticOptions;
 
-enum class LayerKind { kDirect, kCached, kParallel, kGridIndex, kFullSample };
+enum class LayerKind {
+  kDirect,
+  kCached,
+  kParallel,
+  kGridIndex,
+  kCellSorted,
+  kFullSample,
+};
 
 const char* LayerName(LayerKind kind) {
   switch (kind) {
@@ -27,6 +37,8 @@ const char* LayerName(LayerKind kind) {
       return "Parallel";
     case LayerKind::kGridIndex:
       return "GridIndex";
+    case LayerKind::kCellSorted:
+      return "CellSorted";
     case LayerKind::kFullSample:
       return "FullSample";
   }
@@ -44,10 +56,19 @@ std::unique_ptr<EvaluationLayer> MakeLayer(LayerKind kind,
       return std::make_unique<ParallelEvaluationLayer>(task, 4);
     case LayerKind::kGridIndex:
       return std::make_unique<GridIndexEvaluationLayer>(task, 5.0);
+    case LayerKind::kCellSorted:
+      return std::make_unique<CellSortedEvaluationLayer>(task, 5.0);
     case LayerKind::kFullSample:
       return std::make_unique<SamplingEvaluationLayer>(task, 1.0);
   }
   return nullptr;
+}
+
+/// COUNT, MIN and MAX admit no FP reassociation: every layer must agree
+/// with the reference bit-for-bit, however it chunks or reorders the scan.
+bool MustMatchExactly(AggregateKind agg) {
+  return agg == AggregateKind::kCount || agg == AggregateKind::kMin ||
+         agg == AggregateKind::kMax;
 }
 
 class LayerConformanceTest
@@ -90,12 +111,43 @@ TEST_P(LayerConformanceTest, MatchesDirectOnRandomBoxes) {
     ASSERT_TRUE(expected.ok() && got.ok()) << LayerName(kind);
     double e = ops.Final(*expected);
     double g = ops.Final(*got);
-    if (std::isinf(e)) {
+    if (std::isinf(e) || MustMatchExactly(agg)) {
       EXPECT_EQ(e, g) << LayerName(kind) << " trial " << trial;
     } else {
       EXPECT_NEAR(g, e, 1e-9 * std::max(1.0, std::fabs(e)))
           << LayerName(kind) << " trial " << trial;
     }
+  }
+}
+
+TEST_P(LayerConformanceTest, DeterministicAcrossRepeatedCalls) {
+  // The same layer asked the same box twice must answer bit-for-bit
+  // identically — chunk boundaries and merge order are functions of the
+  // input alone, never of scheduling.
+  auto [kind, agg] = GetParam();
+  SyntheticOptions options;
+  options.d = 3;
+  options.rows = 5000;
+  options.agg = agg;
+  options.target = 10.0;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+
+  std::unique_ptr<EvaluationLayer> layer = MakeLayer(kind, &fixture->task);
+  ASSERT_NE(layer, nullptr);
+  ASSERT_TRUE(layer->Prepare().ok());
+
+  Rng rng(13 + static_cast<uint64_t>(kind));
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<PScoreRange> box(3);
+    for (auto& r : box) {
+      double hi = rng.NextDouble(0.0, 60.0);
+      r = PScoreRange{rng.NextBool(0.5) ? -1.0 : hi / 2.0, hi};
+    }
+    auto first = layer->EvaluateBox(box);
+    auto second = layer->EvaluateBox(box);
+    ASSERT_TRUE(first.ok() && second.ok()) << LayerName(kind);
+    EXPECT_EQ(*first, *second) << LayerName(kind) << " trial " << trial;
   }
 }
 
@@ -105,6 +157,7 @@ INSTANTIATE_TEST_SUITE_P(
                                          LayerKind::kCached,
                                          LayerKind::kParallel,
                                          LayerKind::kGridIndex,
+                                         LayerKind::kCellSorted,
                                          LayerKind::kFullSample),
                        ::testing::Values(AggregateKind::kCount,
                                          AggregateKind::kSum,
