@@ -18,7 +18,7 @@
 //   \explain <sql>                show the planned task and grid geometry
 //   \report [i]                   per-predicate change report of answer i
 //   \materialize <i> <file>       execute answer i, write its tuples
-//   \set gamma|delta <value>      tune ACQUIRE's thresholds
+//   \set gamma|delta|batch <value>  tune ACQUIRE's thresholds / batching
 //   \help                         this text
 //   \quit                         exit
 // Anything else is parsed as ACQ SQL (CONSTRAINT / NOREFINE).
@@ -113,7 +113,7 @@ class Shell {
     if (name == "\\help") {
       printf("\\gen tpch|users|patients <rows>, \\load <t> <f> <schema>, "
              "\\save <t> <f>, \\savedb <dir>, \\loaddb <dir>, \\tables, "
-             "\\show <t> [n], \\explain <sql>, \\set gamma|delta <v>, "
+             "\\show <t> [n], \\explain <sql>, \\set gamma|delta|batch <v>, "
              "\\quit\n");
       return true;
     }
@@ -261,11 +261,19 @@ class Shell {
         options_.gamma = value;
       } else if (key == "delta" && value >= 0) {
         options_.delta = value;
+      } else if (key == "batch") {
+        options_.batch_explore =
+            value != 0.0 ? BatchExplore::kOn : BatchExplore::kOff;
       } else {
-        printf("usage: \\set gamma|delta <value>\n");
+        printf("usage: \\set gamma|delta|batch <value>\n");
         return true;
       }
-      printf("gamma=%.3f delta=%.4f\n", options_.gamma, options_.delta);
+      printf("gamma=%.3f delta=%.4f batch=%s\n", options_.gamma,
+             options_.delta,
+             options_.batch_explore == BatchExplore::kOff
+                 ? "off"
+                 : options_.batch_explore == BatchExplore::kOn ? "on"
+                                                               : "auto");
       return true;
     }
     printf("unknown command %s (try \\help)\n", name.c_str());

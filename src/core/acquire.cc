@@ -109,12 +109,12 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
     return Status::InvalidArgument("delta must be non-negative");
   }
 
-  Stopwatch sw;
   const ErrorFn error_fn =
       options.error_fn ? options.error_fn : ErrorFn(DefaultAggregateError);
   RefinedSpace space(&task, options.gamma, options.norm);
   ACQ_RETURN_IF_ERROR(layer->Prepare());
   layer->ResetStats();
+  Stopwatch sw;  // after Prepare: elapsed_ms times the search itself
 
   std::unique_ptr<QueryGenerator> generator = MakeGenerator(space, options);
   // Per-layer divergence detection only makes sense when the generator
@@ -126,7 +126,9 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
                           : SearchOrder::kBfs;
   }
   const bool discrete_layers = effective_order != SearchOrder::kBestFirst;
-  Explorer explorer(&space, layer);
+  const bool batched =
+      options.batch_explore == BatchExplore::kOn ||
+      (options.batch_explore == BatchExplore::kAuto && discrete_layers);
   AcquireResult result;
 
   // Algorithm 4's minRefLayer, in generator-score units. Once a hit occurs,
@@ -155,35 +157,35 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
   RefinedQuery best_offgrid;
   uint64_t stall = 0;  // queries since the best error last improved
 
-  GridCoord coord;
-  while (generator->Next(&coord)) {
-    const double score = generator->CurrentScore();
-    if (score > stop_score) break;
+  // Per-phase driver timings (ExecStats doc): generator, sub-query
+  // execution, Eq. 17 merges + per-coordinate bookkeeping (batched only).
+  double expand_ms = 0.0;
+  double explore_ms = 0.0;
+  double merge_ms = 0.0;
+  uint64_t total_cell_queries = 0;
 
-    if (discrete_layers && score != last_score) {
-      // A layer completed; update the divergence counter while no hit yet.
-      if (stop_score == kInf) {
-        if (layer_min_error > prev_layer_min_error) {
-          ++worse_layers;
-        } else if (layer_min_error < prev_layer_min_error) {
-          worse_layers = 0;
-        }
-        if (worse_layers >= options.divergence_patience) break;
+  // Layer-boundary bookkeeping (divergence detection across completed
+  // layers; see AcquireOptions). False stops the search.
+  auto close_layer = [&](double score) {
+    if (stop_score == kInf) {
+      if (layer_min_error > prev_layer_min_error) {
+        ++worse_layers;
+      } else if (layer_min_error < prev_layer_min_error) {
+        worse_layers = 0;
       }
-      prev_layer_min_error = layer_min_error;
-      layer_min_error = kInf;
-      last_score = score;
+      if (worse_layers >= options.divergence_patience) return false;
     }
+    prev_layer_min_error = layer_min_error;
+    layer_min_error = kInf;
+    last_score = score;
+    return true;
+  };
 
-    double aggregate;
-    if (options.use_incremental) {
-      ACQ_ASSIGN_OR_RETURN(aggregate, explorer.ComputeAggregate(coord));
-    } else {
-      // Ablation: full re-execution of the refined query.
-      ACQ_ASSIGN_OR_RETURN(AggregateOps::State state,
-                           layer->EvaluateBox(space.QueryBox(coord)));
-      aggregate = task.agg.ops->Final(state);
-    }
+  // The per-coordinate body shared by the sequential and batched drivers:
+  // record the aggregate of `coord`, repartition on an overshoot, apply the
+  // stall/max_explored stopping rules. False stops the search.
+  auto investigate = [&](const GridCoord& coord, double score,
+                         double aggregate) -> Result<bool> {
     ++result.queries_explored;
     const double err = error_fn(task.constraint, aggregate);
     layer_min_error = std::min(layer_min_error, err);
@@ -195,7 +197,7 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
       best_is_offgrid = false;
       stall = 0;
     } else if (++stall > options.stall_limit && stop_score == kInf) {
-      break;
+      return false;
     }
 
     if (err <= options.delta) {
@@ -224,7 +226,87 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
       }
     }
 
-    if (result.queries_explored >= options.max_explored) break;
+    return result.queries_explored < options.max_explored;
+  };
+
+  if (!batched) {
+    Explorer explorer(&space, layer);
+    GridCoord coord;
+    for (;;) {
+      Stopwatch t_next;
+      const bool have = generator->Next(&coord);
+      expand_ms += t_next.ElapsedMillis();
+      if (!have) break;
+      const double score = generator->CurrentScore();
+      if (score > stop_score) break;
+      if (discrete_layers && score != last_score && !close_layer(score)) {
+        break;
+      }
+
+      Stopwatch t_explore;
+      double aggregate;
+      if (options.use_incremental) {
+        ACQ_ASSIGN_OR_RETURN(aggregate, explorer.ComputeAggregate(coord));
+      } else {
+        // Ablation: full re-execution of the refined query.
+        ACQ_ASSIGN_OR_RETURN(AggregateOps::State state,
+                             layer->EvaluateBox(space.QueryBox(coord)));
+        aggregate = task.agg.ops->Final(state);
+      }
+      ACQ_ASSIGN_OR_RETURN(const bool keep,
+                           investigate(coord, score, aggregate));
+      explore_ms += t_explore.ElapsedMillis();
+      if (!keep) break;
+    }
+    total_cell_queries = explorer.cell_queries();
+  } else {
+    BatchExplorer batch(&space, layer, generator.get());
+    std::vector<AggregateOps::State> layer_states;  // non-incremental mode
+    bool running = true;
+    while (running && batch.NextLayer()) {
+      const double score = batch.layer_score();
+      if (score > stop_score) break;
+      if (discrete_layers && score != last_score && !close_layer(score)) {
+        break;
+      }
+
+      // Execute the whole layer's sub-queries up front (one parallel or
+      // natively merged batch), then drain in generation order.
+      if (options.use_incremental) {
+        ACQ_RETURN_IF_ERROR(batch.ExecuteLayer());
+      } else {
+        Stopwatch t_batch;
+        std::vector<std::vector<PScoreRange>> boxes;
+        boxes.reserve(batch.layer().size());
+        for (const GridCoord& c : batch.layer()) {
+          boxes.push_back(space.QueryBox(c));
+        }
+        ACQ_ASSIGN_OR_RETURN(layer_states, layer->EvaluateBoxes(boxes));
+        explore_ms += t_batch.ElapsedMillis();
+      }
+
+      Stopwatch t_merge;
+      for (size_t q = 0; q < batch.layer().size(); ++q) {
+        const GridCoord& coord = batch.layer()[q];
+        double aggregate;
+        if (options.use_incremental) {
+          ACQ_ASSIGN_OR_RETURN(aggregate,
+                               batch.explorer().ComputeAggregate(coord));
+        } else {
+          aggregate = task.agg.ops->Final(layer_states[q]);
+        }
+        ACQ_ASSIGN_OR_RETURN(const bool keep,
+                             investigate(coord, score, aggregate));
+        if (!keep) {
+          running = false;
+          break;
+        }
+      }
+      merge_ms += t_merge.ElapsedMillis();
+    }
+    total_cell_queries = batch.explorer().cell_queries();
+    expand_ms += batch.expand_ms();
+    explore_ms += batch.batch_ms();
   }
 
   result.satisfied = !result.queries.empty();
@@ -240,8 +322,11 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
             [](const RefinedQuery& a, const RefinedQuery& b) {
               return a.qscore < b.qscore;
             });
-  result.cell_queries = explorer.cell_queries();
+  result.cell_queries = total_cell_queries;
   result.exec_stats = layer->stats();
+  result.exec_stats.expand_ms = expand_ms;
+  result.exec_stats.explore_ms = explore_ms;
+  result.exec_stats.merge_ms = merge_ms;
   result.elapsed_ms = sw.ElapsedMillis();
   return result;
 }

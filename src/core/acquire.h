@@ -21,6 +21,19 @@ enum class SearchOrder {
   kBestFirst,  // exact-QScore priority order (ablation; not in the paper)
 };
 
+/// Layer-batched Explore (core/explore.h's BatchExplorer): drain an entire
+/// expand layer, execute its cell sub-queries in one EvaluateCells batch,
+/// then run the Eq. 17 merges sequentially in generation order. Aggregates,
+/// answer sets and cell-query counts are identical to the sequential
+/// explorer; only the wall clock changes.
+enum class BatchExplore {
+  kAuto,  // on for the discrete-layer generators (BFS, shell); off for
+          // best-first, whose scores are nearly unique so layers degenerate
+          // to single coordinates
+  kOn,
+  kOff,
+};
+
 /// Tunables of Algorithm 4 plus the extensions of Section 7.
 struct AcquireOptions {
   /// Refinement threshold gamma (Definition 1b): answers are guaranteed
@@ -34,6 +47,8 @@ struct AcquireOptions {
   Norm norm = Norm::L1();
 
   SearchOrder order = SearchOrder::kAuto;
+
+  BatchExplore batch_explore = BatchExplore::kAuto;
 
   /// Repartitioning depth b for cells that overshoot an equality constraint
   /// (Section 6); 0 disables repartitioning.
@@ -83,7 +98,14 @@ struct AcquireResult {
 
   uint64_t queries_explored = 0;  // grid queries investigated
   uint64_t cell_queries = 0;      // cell sub-queries actually executed
-  EvaluationLayer::ExecStats exec_stats;  // evaluation-layer counters
+
+  /// Evaluation-layer counters plus the driver's per-phase timings
+  /// (expand_ms / explore_ms / merge_ms; see ExecStats).
+  EvaluationLayer::ExecStats exec_stats;
+
+  /// Monotonic wall time of the search itself (steady clock), excluding
+  /// EvaluationLayer::Prepare so runs against pre-prepared and lazily
+  /// prepared layers report comparable numbers.
   double elapsed_ms = 0.0;
 };
 

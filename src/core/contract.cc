@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -119,12 +120,12 @@ Result<AcquireResult> RunAcquireContract(const AcqTask& task,
         "contraction targets equality constraints that overshoot");
   }
 
-  Stopwatch sw;
   const ErrorFn error_fn =
       options.error_fn ? options.error_fn : ErrorFn(DefaultAggregateError);
   RefinedSpace space(&task, options.gamma, options.norm);
   ACQ_RETURN_IF_ERROR(layer->Prepare());
   layer->ResetStats();
+  Stopwatch sw;  // after Prepare: elapsed_ms times the search itself
 
   const size_t d = task.d();
   std::vector<int32_t> caps(d);
@@ -198,46 +199,102 @@ Result<AcquireResult> RunAcquireContract(const AcqTask& task,
   // layer that contains an answer.
   Status inner_status;
   GridCoord coord(d);
+  double expand_ms = 0.0;
+  double explore_ms = 0.0;
+  double merge_ms = 0.0;
+  const bool batched = options.batch_explore != BatchExplore::kOff;
+  std::vector<GridCoord> layer_coords;
+  std::vector<std::vector<PScoreRange>> boxes;
+
+  // Per-coordinate body shared by the sequential and batched walks (the
+  // full-query aggregate is already evaluated). False stops the search.
+  auto visit_value = [&](const GridCoord& c, double aggregate) {
+    ++result.queries_explored;
+    double err = error_fn(task.constraint, aggregate);
+    bool layer_hit = false;
+    if (err < best_error) {
+      best_error = err;
+      result.best = make_answer(c, aggregate, err);
+    }
+    if (err <= options.delta) {
+      layer_hit = true;
+      result.queries.push_back(make_answer(c, aggregate, err));
+    } else if (options.repartition_iters > 0 &&
+               aggregate < task.constraint.target * (1.0 - options.delta)) {
+      // Contracted past the target: the answer lies between this
+      // coordinate and one grid step less contraction. Repartitioning
+      // (Section 6) stays sequential either way.
+      auto repartitioned = repartition(c);
+      if (!repartitioned.ok()) {
+        inner_status = repartitioned.status();
+        return std::make_pair(false, false);
+      }
+      if (repartitioned->has_value()) {
+        if ((*repartitioned)->error < best_error) {
+          best_error = (*repartitioned)->error;
+          result.best = **repartitioned;
+        }
+        layer_hit = true;
+        result.queries.push_back(**repartitioned);
+      }
+    }
+    return std::make_pair(result.queries_explored < options.max_explored,
+                          layer_hit);
+  };
+
   for (int64_t sum = max_sum; sum >= 0; --sum) {
     bool layer_hit = false;
-    bool keep_going = EnumerateLayer(
-        caps, suffix_caps, sum, 0, &coord, [&](const GridCoord& c) {
-          auto state = layer->EvaluateBox(space.QueryBox(c));
-          if (!state.ok()) {
-            inner_status = state.status();
-            return false;
-          }
-          double aggregate = task.agg.ops->Final(state.value());
-          ++result.queries_explored;
-          double err = error_fn(task.constraint, aggregate);
-          if (err < best_error) {
-            best_error = err;
-            result.best = make_answer(c, aggregate, err);
-          }
-          if (err <= options.delta) {
-            layer_hit = true;
-            result.queries.push_back(make_answer(c, aggregate, err));
-          } else if (options.repartition_iters > 0 &&
-                     aggregate <
-                         task.constraint.target * (1.0 - options.delta)) {
-            // Contracted past the target: the answer lies between this
-            // coordinate and one grid step less contraction.
-            auto repartitioned = repartition(c);
-            if (!repartitioned.ok()) {
-              inner_status = repartitioned.status();
+    bool keep_going = true;
+    if (batched) {
+      // Enumerate the layer, evaluate every full-query box in one batch
+      // (parallel when the layer supports concurrent evaluation), then
+      // apply the hit/repartition logic in enumeration order.
+      Stopwatch t_expand;
+      layer_coords.clear();
+      EnumerateLayer(caps, suffix_caps, sum, 0, &coord,
+                     [&](const GridCoord& c) {
+                       layer_coords.push_back(c);
+                       return true;
+                     });
+      expand_ms += t_expand.ElapsedMillis();
+
+      Stopwatch t_batch;
+      boxes.clear();
+      boxes.reserve(layer_coords.size());
+      for (const GridCoord& c : layer_coords) {
+        boxes.push_back(space.QueryBox(c));
+      }
+      ACQ_ASSIGN_OR_RETURN(std::vector<AggregateOps::State> states,
+                           layer->EvaluateBoxes(boxes));
+      explore_ms += t_batch.ElapsedMillis();
+
+      Stopwatch t_merge;
+      for (size_t q = 0; q < layer_coords.size(); ++q) {
+        auto [keep, hit] = visit_value(layer_coords[q],
+                                       task.agg.ops->Final(states[q]));
+        layer_hit |= hit;
+        if (!keep) {
+          keep_going = false;
+          break;
+        }
+      }
+      merge_ms += t_merge.ElapsedMillis();
+    } else {
+      Stopwatch t_layer;
+      keep_going = EnumerateLayer(
+          caps, suffix_caps, sum, 0, &coord, [&](const GridCoord& c) {
+            auto state = layer->EvaluateBox(space.QueryBox(c));
+            if (!state.ok()) {
+              inner_status = state.status();
               return false;
             }
-            if (repartitioned->has_value()) {
-              if ((*repartitioned)->error < best_error) {
-                best_error = (*repartitioned)->error;
-                result.best = **repartitioned;
-              }
-              layer_hit = true;
-              result.queries.push_back(**repartitioned);
-            }
-          }
-          return result.queries_explored < options.max_explored;
-        });
+            auto [keep, hit] =
+                visit_value(c, task.agg.ops->Final(state.value()));
+            layer_hit |= hit;
+            return keep;
+          });
+      explore_ms += t_layer.ElapsedMillis();
+    }
     ACQ_RETURN_IF_ERROR(inner_status);
     if (layer_hit || !keep_going) break;
   }
@@ -248,6 +305,9 @@ Result<AcquireResult> RunAcquireContract(const AcqTask& task,
               return a.qscore < b.qscore;
             });
   result.exec_stats = layer->stats();
+  result.exec_stats.expand_ms = expand_ms;
+  result.exec_stats.explore_ms = explore_ms;
+  result.exec_stats.merge_ms = merge_ms;
   result.elapsed_ms = sw.ElapsedMillis();
   return result;
 }

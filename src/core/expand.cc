@@ -1,34 +1,73 @@
 #include "core/expand.h"
 
 #include <algorithm>
-#include <numeric>
 
 namespace acquire {
 
 namespace {
-double CoordSum(const GridCoord& c) {
-  return std::accumulate(c.begin(), c.end(), 0.0);
+// Saturated number of cells in the whole grid: prod_i (MaxLevel(i) + 1).
+size_t TotalCells(const RefinedSpace& space, size_t cap) {
+  size_t total = 1;
+  for (size_t i = 0; i < space.d(); ++i) {
+    const size_t levels = static_cast<size_t>(space.MaxLevel(i)) + 1;
+    if (total >= cap / levels) return cap;
+    total *= levels;
+  }
+  return total;
 }
+
+// Upper bound on the cardinality of BFS layer k (coordinate sum == k) in d
+// dimensions, ignoring the per-axis caps: C(k + d - 1, d - 1), saturated.
+size_t LayerCardinalityBound(int64_t k, size_t d, size_t cap) {
+  double c = 1.0;
+  for (size_t i = 1; i < d; ++i) {
+    c *= static_cast<double>(k + static_cast<int64_t>(i)) /
+         static_cast<double>(i);
+    if (c >= static_cast<double>(cap)) return cap;
+  }
+  return static_cast<size_t>(c);
+}
+
 }  // namespace
 
 BfsGenerator::BfsGenerator(const RefinedSpace* space) : space_(space) {
-  GridCoord origin(space_->d(), 0);
-  seen_.insert(origin);
-  queue_.push_back(std::move(origin));
+  total_cells_ = TotalCells(*space_, size_t{1} << 26);
+  layer_.assign(space_->d(), 0);  // the origin
+  next_.reserve(space_->d() * space_->d());
 }
 
 bool BfsGenerator::Next(GridCoord* out) {
-  if (queue_.empty()) return false;
-  GridCoord cur = std::move(queue_.front());
-  queue_.pop_front();
-  for (size_t i = 0; i < cur.size(); ++i) {
-    if (cur[i] >= space_->MaxLevel(i)) continue;
-    GridCoord next = cur;
-    ++next[i];
-    if (seen_.insert(next).second) queue_.push_back(std::move(next));
+  const size_t d = space_->d();
+  if (pos_ * d == layer_.size()) {
+    if (next_.empty()) return false;
+    layer_.swap(next_);
+    next_.clear();
+    pos_ = 0;
+    score_ += 1.0;
+    // Coordinates appended while visiting layer k belong to layer k + 1.
+    next_.reserve(d * std::min(
+        LayerCardinalityBound(static_cast<int64_t>(score_) + 1, d,
+                              total_cells_),
+        total_cells_));
   }
-  score_ = CoordSum(cur);
-  *out = std::move(cur);
+  const int32_t* cur = layer_.data() + pos_ * d;
+  // Canonical-predecessor expansion: only increment dimensions at or after
+  // the last nonzero one, so each successor is generated exactly once (see
+  // the class comment) and no visited set is needed.
+  size_t first = 0;
+  for (size_t i = d; i-- > 0;) {
+    if (cur[i] > 0) {
+      first = i;
+      break;
+    }
+  }
+  for (size_t i = first; i < d; ++i) {
+    if (cur[i] >= space_->MaxLevel(i)) continue;
+    next_.insert(next_.end(), cur, cur + d);
+    ++next_[next_.size() - d + i];
+  }
+  ++pos_;
+  out->assign(cur, cur + d);
   return true;
 }
 
@@ -96,6 +135,7 @@ bool ShellGenerator::Next(GridCoord* out) {
 
 BestFirstGenerator::BestFirstGenerator(const RefinedSpace* space)
     : space_(space) {
+  seen_.reserve(std::min(TotalCells(*space_, size_t{1} << 26), size_t{4096}));
   GridCoord origin(space_->d(), 0);
   seen_.insert(origin);
   heap_.push(Entry{0.0, std::move(origin)});

@@ -1,7 +1,6 @@
 #ifndef ACQUIRE_CORE_EXPAND_H_
 #define ACQUIRE_CORE_EXPAND_H_
 
-#include <deque>
 #include <memory>
 #include <queue>
 #include <unordered_set>
@@ -33,6 +32,16 @@ class QueryGenerator {
 /// Algorithm 1: breadth-first search over the refined-space grid graph.
 /// Layers are sets of constant coordinate sum; for the (default) L1 norm a
 /// layer is exactly an equi-QScore plane.
+///
+/// The frontier needs no visited set: every coordinate u with sum k + 1 has
+/// exactly one canonical predecessor, u minus one on its last nonzero
+/// dimension, so generating cur + e_i only for i >= last_nonzero(cur)
+/// produces each coordinate exactly once (the per-axis caps preserve this —
+/// the canonical predecessor of an in-cap coordinate is itself in cap).
+/// That keeps expansion allocation-free per coordinate: layers live in two
+/// flat d-strided int32 arenas (current and next) pre-sized from the
+/// layer-cardinality estimate, and Next assigns into the caller's vector
+/// (which reuses its capacity) instead of handing out a fresh one.
 class BfsGenerator final : public QueryGenerator {
  public:
   explicit BfsGenerator(const RefinedSpace* space);
@@ -42,9 +51,11 @@ class BfsGenerator final : public QueryGenerator {
 
  private:
   const RefinedSpace* space_;
-  std::deque<GridCoord> queue_;
-  std::unordered_set<GridCoord, GridCoordHash> seen_;
+  std::vector<int32_t> layer_;  // current layer, d-strided, generation order
+  std::vector<int32_t> next_;   // successors of the layer_ coords visited
+  size_t pos_ = 0;              // next unvisited coordinate index in layer_
   double score_ = 0.0;
+  size_t total_cells_ = 0;      // saturated grid cardinality (reserve cap)
 };
 
 /// Algorithm 2: explicit enumeration of the L-shaped equi-L∞ shells

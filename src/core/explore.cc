@@ -1,57 +1,398 @@
 #include "core/explore.h"
 
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "exec/thread_pool.h"
+
 namespace acquire {
 
-Result<double> Explorer::ComputeAggregate(const GridCoord& coord) {
-  ACQ_RETURN_IF_ERROR(EnsureComputed(coord));
-  const AggregateStore::SubAggregates* states = store_.Find(coord);
-  const AggregateOps& ops = *space_->task().agg.ops;
-  // O_{d+1} is the whole refined query (Eq. 8).
-  return ops.Final(states->back());
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
 }
 
-Status Explorer::EnsureComputed(const GridCoord& coord) {
-  if (store_.Find(coord) != nullptr) return Status::OK();
+}  // namespace
+
+void AggregateStore::Configure(size_t d, size_t state_width) {
+  d_ = d;
+  state_width_ = state_width;
+  block_width_ = (d + 1) * state_width;
+}
+
+void AggregateStore::Reserve(size_t coords) {
+  if (coords == 0) return;
+  // Grow geometrically: reserving "just enough" on every per-layer call
+  // would reallocate — and copy the whole arena — once per layer.
+  if (coords * d_ > keys_.capacity()) {
+    keys_.reserve(std::max(coords * d_, keys_.capacity() * 2));
+  }
+  if (coords * block_width_ > arena_.capacity()) {
+    arena_.reserve(std::max(coords * block_width_, arena_.capacity() * 2));
+  }
+  // Keep the load factor under 3/4 for `coords` entries.
+  const size_t wanted = NextPowerOfTwo(coords * 4 / 3 + 1);
+  if (wanted > slots_.size()) Rehash(wanted);
+}
+
+size_t AggregateStore::ProbeSlot(const int32_t* key) const {
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(HashGridCoordSpan(key, d_)) & mask;
+  while (true) {
+    const uint32_t e = slots_[i];
+    if (e == 0) return i;
+    // Open-coded compare: d is 1..4 in practice, below memcmp's call cost.
+    const int32_t* entry = keys_.data() + (e - 1) * d_;
+    size_t j = 0;
+    while (j < d_ && entry[j] == key[j]) ++j;
+    if (j == d_) return i;
+    i = (i + 1) & mask;
+  }
+}
+
+void AggregateStore::Rehash(size_t slot_count) {
+  slots_.assign(slot_count, 0);
+  const size_t mask = slot_count - 1;
+  for (size_t e = 0; e < num_entries_; ++e) {
+    const int32_t* key = keys_.data() + e * d_;
+    size_t i = static_cast<size_t>(HashGridCoordSpan(key, d_)) & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = static_cast<uint32_t>(e + 1);
+  }
+}
+
+const double* AggregateStore::FindWithSlot(const GridCoord& coord,
+                                           size_t* slot) const {
+  if (slots_.empty()) {
+    *slot = kNoSlot;
+    return nullptr;
+  }
+  const size_t i = ProbeSlot(coord.data());
+  *slot = i;
+  const uint32_t e = slots_[i];
+  return e == 0 ? nullptr : arena_.data() + (e - 1) * block_width_;
+}
+
+double* AggregateStore::InsertHinted(const GridCoord& coord, size_t hint) {
+  if ((num_entries_ + 1) * 4 > slots_.size() * 3) {
+    Rehash(std::max<size_t>(slots_.size() * 2, 64));
+    hint = kNoSlot;  // the slots moved
+  }
+  const size_t slot = (hint < slots_.size() && slots_[hint] == 0)
+                          ? hint
+                          : ProbeSlot(coord.data());
+  keys_.insert(keys_.end(), coord.begin(), coord.end());
+  const size_t offset = num_entries_ * block_width_;
+  arena_.resize(offset + block_width_, 0.0);
+  slots_[slot] = static_cast<uint32_t>(++num_entries_);
+  return arena_.data() + offset;
+}
+
+Explorer::Explorer(const RefinedSpace* space, EvaluationLayer* layer)
+    : space_(space), layer_(layer) {
+  const AggregateOps& ops = *space_->task().agg.ops;
+  store_.Configure(space_->d(), ops.Init().size());
+  scratch_.resize(space_->d() + 1);
+}
+
+Result<double> Explorer::ComputeAggregate(const GridCoord& coord) {
+  const double* block = nullptr;
+  ACQ_RETURN_IF_ERROR(EnsureComputed(coord, &block));
   const size_t d = space_->d();
+  const size_t w = store_.state_width();
+  const AggregateOps& ops = *space_->task().agg.ops;
+  // O_{d+1} is the whole refined query (Eq. 8).
+  tmp_state_.assign(block + d * w, block + (d + 1) * w);
+  return ops.Final(tmp_state_);
+}
+
+void Explorer::SeedCellStates(const std::vector<GridCoord>& coords,
+                              std::vector<AggregateOps::State> states) {
+  seed_states_ = std::move(states);
+  seed_keys_.clear();
+  for (const GridCoord& c : coords) {
+    seed_keys_.insert(seed_keys_.end(), c.begin(), c.end());
+  }
+  seed_cursor_ = 0;
+  seed_index_built_ = false;
+  // The evaluation layer executed these in the batch; count them now so
+  // cell_queries() matches the layer's own query counter.
+  cell_queries_ += coords.size();
+}
+
+void Explorer::BuildSeedIndex() {
+  const size_t d = space_->d();
+  const size_t count = seed_states_.size();
+  seed_slots_.assign(std::max<size_t>(16, NextPowerOfTwo(count * 2)), 0);
+  const size_t mask = seed_slots_.size() - 1;
+  for (size_t e = 0; e < count; ++e) {
+    size_t i =
+        static_cast<size_t>(HashGridCoordSpan(seed_keys_.data() + e * d, d)) &
+        mask;
+    while (seed_slots_[i] != 0) i = (i + 1) & mask;
+    seed_slots_[i] = static_cast<uint32_t>(e + 1);
+  }
+  seed_index_built_ = true;
+}
+
+bool Explorer::TakeSeed(const GridCoord& coord, AggregateOps::State* out) {
+  if (seed_states_.empty()) return false;
+  const size_t d = space_->d();
+  // Consumed seeds are cleared below, so skipping empties finds the first
+  // live seed; in a layer drain it is exactly the requested coordinate.
+  while (seed_cursor_ < seed_states_.size() &&
+         seed_states_[seed_cursor_].empty()) {
+    ++seed_cursor_;
+  }
+  size_t e = seed_states_.size();
+  if (seed_cursor_ < seed_states_.size()) {
+    const int32_t* key = seed_keys_.data() + seed_cursor_ * d;
+    size_t j = 0;
+    while (j < d && key[j] == coord[j]) ++j;
+    if (j == d) e = seed_cursor_;
+  }
+  if (e == seed_states_.size()) {
+    if (!seed_index_built_) BuildSeedIndex();
+    const size_t mask = seed_slots_.size() - 1;
+    size_t i = static_cast<size_t>(HashGridCoordSpan(coord.data(), d)) & mask;
+    while (true) {
+      const uint32_t entry = seed_slots_[i];
+      if (entry == 0) return false;
+      const int32_t* key = seed_keys_.data() + (entry - 1) * d;
+      size_t j = 0;
+      while (j < d && key[j] == coord[j]) ++j;
+      if (j == d) {
+        if (seed_states_[entry - 1].empty()) return false;  // consumed
+        e = entry - 1;
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+  out->swap(seed_states_[e]);
+  seed_states_[e].clear();  // deterministic consumed marker
+  return true;
+}
+
+void Explorer::BeginLayerDrain(size_t lo, size_t hi) {
+  pred_lo_ = lo;
+  pred_hi_ = hi;
+  pred_cursor_.assign(space_->d(), lo);
+}
+
+const double* Explorer::FindPredInRange(size_t j, const int32_t* key) {
+  const size_t d = space_->d();
+  size_t e = pred_cursor_[j];
+  while (e < pred_hi_) {
+    const int32_t* entry = store_.KeyAt(e);
+    size_t i = 0;
+    while (i < d && entry[i] == key[i]) ++i;
+    if (i == d) {
+      // The next predecessor along j is strictly smaller, so this entry
+      // can never match again.
+      pred_cursor_[j] = e + 1;
+      return store_.BlockAt(e);
+    }
+    // Entries at or below `key` stay candidates for the (descending)
+    // future keys; entries above it never match again and are skipped for
+    // good, which bounds the total scan per layer at d * |range|.
+    if (entry[i] < key[i]) break;
+    ++e;
+  }
+  pred_cursor_[j] = e;
+  return nullptr;
+}
+
+Status Explorer::EnsureComputed(const GridCoord& coord, const double** block) {
+  if (const double* found = store_.Find(coord)) {
+    *block = found;
+    return Status::OK();
+  }
+  const size_t d = space_->d();
+  const size_t w = store_.state_width();
   const AggregateOps& ops = *space_->task().agg.ops;
 
-  std::vector<GridCoord> stack{coord};
-  GridCoord prev;
-  while (!stack.empty()) {
-    const GridCoord cur = stack.back();
-    if (store_.Find(cur) != nullptr) {
-      stack.pop_back();
-      continue;
-    }
-    // Every predecessor cur - e_j must be available first.
+  stack_.clear();
+  stack_.push_back(coord);
+  pred_blocks_.resize(d);
+  while (!stack_.empty()) {
+    GridCoord cur = std::move(stack_.back());
+    stack_.pop_back();
+    size_t slot_hint = AggregateStore::kNoSlot;
+    if (store_.FindWithSlot(cur, &slot_hint) != nullptr) continue;
+    // Every predecessor cur - e_j must be available first; probe each by
+    // decrementing cur in place. The lookups double as the merge inputs: a
+    // found block pointer stays valid through the merges below because
+    // nothing inserts into the store before then.
     bool missing = false;
     for (size_t j = 0; j < d; ++j) {
+      pred_blocks_[j] = nullptr;
       if (cur[j] == 0) continue;
-      prev = cur;
-      --prev[j];
-      if (store_.Find(prev) == nullptr) {
-        stack.push_back(prev);
-        missing = true;
+      --cur[j];
+      const double* prev_block =
+          pred_lo_ < pred_hi_ ? FindPredInRange(j, cur.data()) : nullptr;
+      if (prev_block == nullptr) prev_block = store_.Find(cur);
+      if (prev_block != nullptr) {
+        pred_blocks_[j] = prev_block;
+      } else {
+        if (!missing) {
+          missing = true;
+          ++cur[j];
+          stack_.push_back(cur);  // revisit once the predecessors resolve
+          --cur[j];
+        }
+        stack_.push_back(cur);  // the missing predecessor itself
       }
+      ++cur[j];
     }
     if (missing) continue;
 
-    // Algorithm 3. states[0] = the cell sub-query, executed for real;
-    // states[i] = O_{i+1} via Eq. 17.
-    AggregateStore::SubAggregates states(d + 1);
-    ACQ_ASSIGN_OR_RETURN(states[0], layer_->EvaluateBox(space_->CellBox(cur)));
-    ++cell_queries_;
-    for (size_t i = 1; i <= d; ++i) {
-      states[i] = states[i - 1];
-      if (cur[i - 1] == 0) continue;  // O_i(u - e_{i-1}) is empty
-      prev = cur;
-      --prev[i - 1];
-      const AggregateStore::SubAggregates* prev_states = store_.Find(prev);
-      ops.Merge(&states[i], (*prev_states)[i]);
+    // Algorithm 3. scratch_[0] = the cell sub-query — taken from the batch
+    // seed when one exists, executed for real otherwise; scratch_[i] =
+    // O_{i+1} via Eq. 17.
+    if (!TakeSeed(cur, &scratch_[0])) {
+      ACQ_ASSIGN_OR_RETURN(scratch_[0],
+                           layer_->EvaluateBox(space_->CellBox(cur)));
+      ++cell_queries_;
     }
-    store_.Put(cur, std::move(states));
-    stack.pop_back();
+    if (scratch_[0].size() != w) {
+      return Status::Internal(
+          "aggregate state width differs from ops.Init()");
+    }
+    for (size_t i = 1; i <= d; ++i) {
+      scratch_[i] = scratch_[i - 1];
+      const double* prev_block = pred_blocks_[i - 1];
+      if (prev_block == nullptr) continue;  // O_i(u - e_{i-1}) is empty
+      tmp_state_.assign(prev_block + i * w, prev_block + (i + 1) * w);
+      ops.Merge(&scratch_[i], tmp_state_);
+    }
+    double* inserted = store_.InsertHinted(cur, slot_hint);
+    for (size_t i = 0; i <= d; ++i) {
+      std::copy(scratch_[i].begin(), scratch_[i].end(), inserted + i * w);
+    }
+    // `coord` sits at the bottom of the dependency stack, so the insert
+    // that empties the stack is coord's own block.
+    *block = inserted;
   }
+  return Status::OK();
+}
+
+BatchExplorer::BatchExplorer(const RefinedSpace* space, EvaluationLayer* layer,
+                             QueryGenerator* generator)
+    : space_(space),
+      layer_(layer),
+      generator_(generator),
+      explorer_(space, layer) {}
+
+BatchExplorer::~BatchExplorer() {
+  if (prefetch_.valid()) prefetch_.wait();
+}
+
+void BatchExplorer::GenerateLayer() {
+  Stopwatch sw;
+  next_valid_ = false;
+  if (!primed_) {
+    if (exhausted_ || !generator_->Next(&lookahead_)) {
+      exhausted_ = true;
+      next_coords_.clear();
+      expand_ms_ += sw.ElapsedMillis();
+      return;
+    }
+    lookahead_score_ = generator_->CurrentScore();
+    primed_ = true;
+  }
+  next_score_ = lookahead_score_;
+  // next_coords_ holds the layer drained two swaps ago; swapping its
+  // elements out instead of clearing hands their buffers back to
+  // lookahead_ (and from there to the generator's assign), so steady-state
+  // layer turnover allocates only when a layer outgrows the previous ones.
+  size_t n = 0;
+  do {
+    if (n < next_coords_.size()) {
+      next_coords_[n].swap(lookahead_);
+    } else {
+      next_coords_.push_back(std::move(lookahead_));
+    }
+    ++n;
+    if (!generator_->Next(&lookahead_)) {
+      primed_ = false;
+      exhausted_ = true;
+      break;
+    }
+    lookahead_score_ = generator_->CurrentScore();
+  } while (lookahead_score_ == next_score_);
+  next_coords_.resize(n);
+  next_valid_ = true;
+  expand_ms_ += sw.ElapsedMillis();
+}
+
+void BatchExplorer::StartPrefetch() {
+  // A single-worker pool has nothing to overlap the prefetch with: the
+  // generator work would just move to another thread and come back with
+  // hand-off latency and cold caches. Leave the future invalid there and
+  // let NextLayer generate inline.
+  ThreadPool& pool = ThreadPool::Shared();
+  if (pool.num_threads() > 1) {
+    prefetch_ = pool.Submit([this] { GenerateLayer(); });
+  }
+}
+
+bool BatchExplorer::NextLayer() {
+  if (prefetch_.valid()) {
+    prefetch_.get();  // hand-over: next_* written before this join
+  } else {
+    GenerateLayer();  // first layer (or single-core pool): inline
+  }
+  if (!next_valid_) return false;
+  layer_coords_.swap(next_coords_);
+  layer_score_ = next_score_;
+  // Generate the following layer while the caller evaluates, merges and
+  // investigates this one. The generator only depends on the space, never
+  // on the store, so it can run ahead of the investigation.
+  StartPrefetch();
+  return true;
+}
+
+Status BatchExplorer::ExecuteLayer() {
+  Stopwatch sw;
+  // The store only ever holds handed-out coordinates (predecessor fills
+  // resolve within the layers drained so far), so when its size equals the
+  // count handed out in previous layers, nothing of this fresh layer can be
+  // stored and the layer is used in place. Any mismatch — a caller
+  // re-running or abandoning a layer, or exploring around the drain — runs
+  // the per-coordinate filter, keeping "at most one execution per
+  // coordinate" unconditional.
+  const std::vector<GridCoord>* coords = &layer_coords_;
+  const bool in_sync = explorer_.store().size() == drained_total_;
+  if (!in_sync) {
+    batch_.clear();
+    for (const GridCoord& c : layer_coords_) {
+      if (!explorer_.IsStored(c)) batch_.push_back(c);
+    }
+    coords = &batch_;
+  }
+  // In sync, store entries [drained_total_ - prev_layer_size_,
+  // drained_total_) are exactly the previous layer in drain order — arm
+  // the explorer's sequential predecessor cursors over that range.
+  if (in_sync) {
+    explorer_.BeginLayerDrain(drained_total_ - prev_layer_size_,
+                              drained_total_);
+  } else {
+    explorer_.BeginLayerDrain(0, 0);
+  }
+  prev_layer_size_ = layer_coords_.size();
+  drained_total_ += layer_coords_.size();
+  explorer_.ReserveAdditional(coords->size());
+  if (!coords->empty()) {
+    ACQ_ASSIGN_OR_RETURN(
+        std::vector<AggregateOps::State> states,
+        layer_->EvaluateCells(coords->data(), coords->size(), space_->step()));
+    explorer_.SeedCellStates(*coords, std::move(states));
+  }
+  batch_ms_ += sw.ElapsedMillis();
   return Status::OK();
 }
 

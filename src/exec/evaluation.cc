@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/string_util.h"
 #include "exec/eval_kernel.h"
+#include "exec/thread_pool.h"
 
 namespace acquire {
 
@@ -74,6 +76,55 @@ Status EvaluationLayer::CheckBox(const std::vector<PScoreRange>& box) const {
   return Status::OK();
 }
 
+Result<std::vector<AggregateOps::State>> EvaluationLayer::EvaluateBoxes(
+    const std::vector<std::vector<PScoreRange>>& boxes) {
+  std::vector<AggregateOps::State> states(boxes.size());
+  if (boxes.empty()) return states;
+  if (boxes.size() == 1 || !SupportsConcurrentEvaluate()) {
+    for (size_t q = 0; q < boxes.size(); ++q) {
+      ACQ_ASSIGN_OR_RETURN(states[q], EvaluateBox(boxes[q]));
+    }
+    return states;
+  }
+  // Each box is evaluated exactly as in the serial path — only the order
+  // the independent calls run in changes, so results stay bit-identical.
+  std::mutex mu;
+  Status first_error;
+  ThreadPool::Shared().ParallelFor(
+      boxes.size(), /*min_chunk=*/1,
+      [&](size_t, size_t begin, size_t end) {
+        for (size_t q = begin; q < end; ++q) {
+          auto state = EvaluateBox(boxes[q]);
+          if (!state.ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (first_error.ok()) first_error = state.status();
+            return;
+          }
+          states[q] = std::move(state).value();
+        }
+      });
+  ACQ_RETURN_IF_ERROR(first_error);
+  return states;
+}
+
+Result<std::vector<AggregateOps::State>> EvaluationLayer::EvaluateCells(
+    const GridCoord* coords, size_t count, double step) {
+  const size_t d = task_->d();
+  std::vector<std::vector<PScoreRange>> boxes(count);
+  for (size_t q = 0; q < count; ++q) {
+    if (coords[q].size() != d) {
+      return Status::InvalidArgument(
+          StringFormat("cell coordinate has %zu levels, task has %zu "
+                       "dimensions", coords[q].size(), d));
+    }
+    boxes[q].resize(d);
+    for (size_t i = 0; i < d; ++i) {
+      boxes[q][i] = CellRangeForLevel(coords[q][i], step);
+    }
+  }
+  return EvaluateBoxes(boxes);
+}
+
 Result<double> EvaluationLayer::EvaluateQueryValue(
     const std::vector<double>& pscores) {
   std::vector<PScoreRange> box(pscores.size());
@@ -87,12 +138,12 @@ Result<double> EvaluationLayer::EvaluateQueryValue(
 Result<AggregateOps::State> DirectEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
   ACQ_RETURN_IF_ERROR(CheckBox(box));
-  ++stats_.queries;
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
   const Table& rel = *task_->relation;
   const AggregateOps& ops = *task_->agg.ops;
   const size_t n = rel.num_rows();
   const size_t d = task_->d();
-  stats_.tuples_scanned += n;
+  stats_.tuples_scanned.fetch_add(n, std::memory_order_relaxed);
   // Same selection kernel as the prepared layers, but the per-dimension
   // needed stream is recomputed on every call — that is this layer's cost
   // model (one full SQL execution per box).
@@ -124,8 +175,8 @@ Result<AggregateOps::State> CachedEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
   ACQ_RETURN_IF_ERROR(CheckBox(box));
-  ++stats_.queries;
-  stats_.tuples_scanned += matrix_.rows;
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  stats_.tuples_scanned.fetch_add(matrix_.rows, std::memory_order_relaxed);
   return ScanBoxOverMatrix(*task_->agg.ops, matrix_, box);
 }
 

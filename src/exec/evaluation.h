@@ -1,6 +1,7 @@
 #ifndef ACQUIRE_EXEC_EVALUATION_H_
 #define ACQUIRE_EXEC_EVALUATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -14,15 +15,26 @@ namespace acquire {
 /// dimension; Section 4's grid queries).
 using GridCoord = std::vector<int32_t>;
 
+/// Hash of a grid coordinate stored as `d` contiguous int32 levels.
+/// Multiply-xor per lane plus a final avalanche. Plain FNV-1a (the previous
+/// hash) leaves the high bits almost untouched for the small dense levels
+/// the expand phase actually produces (0..k on every axis), so
+/// power-of-two tables saw clustered buckets and long probe chains; the
+/// final mix spreads every input bit across the whole word.
+inline uint64_t HashGridCoordSpan(const int32_t* v, size_t d) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL ^ static_cast<uint64_t>(d);
+  for (size_t i = 0; i < d; ++i) {
+    h = (h ^ static_cast<uint32_t>(v[i])) * 0x9DDFEA08EB382D69ULL;
+    h ^= h >> 29;
+  }
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 32;
+  return h;
+}
+
 struct GridCoordHash {
   size_t operator()(const GridCoord& c) const {
-    // FNV-1a over the raw level values.
-    uint64_t h = 1469598103934665603ULL;
-    for (int32_t v : c) {
-      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
-      h *= 1099511628211ULL;
-    }
-    return static_cast<size_t>(h);
+    return static_cast<size_t>(HashGridCoordSpan(c.data(), c.size()));
   }
 };
 
@@ -78,6 +90,16 @@ class EvaluationLayer {
   struct ExecStats {
     uint64_t queries = 0;         // box queries executed
     uint64_t tuples_scanned = 0;  // tuples touched while answering them
+
+    /// Per-phase driver timings, filled by RunAcquire / RunAcquireContract
+    /// (never by the layer itself): generator time, cell/box execution
+    /// time, and Eq. 17 merge time. The sequential explorer folds merges
+    /// into explore_ms; only the batched explorer splits merge_ms out, and
+    /// it overlaps expand with the other phases (layer prefetch), so the
+    /// three can sum past elapsed_ms.
+    double expand_ms = 0.0;
+    double explore_ms = 0.0;
+    double merge_ms = 0.0;
   };
 
   explicit EvaluationLayer(const AcqTask* task) : task_(task) {}
@@ -94,20 +116,60 @@ class EvaluationLayer {
   virtual Result<AggregateOps::State> EvaluateBox(
       const std::vector<PScoreRange>& box) = 0;
 
+  /// Batch cell-query API for the Explore phase: the aggregate states of
+  /// `count` grid cells at grid step `step`, where cell `u` covers
+  /// ((u_i - 1) * step, u_i * step] on every dimension (CellRangeForLevel;
+  /// identical to RefinedSpace::CellBox). Results are in input order and
+  /// bit-identical to calling EvaluateBox on each cell box. The base
+  /// implementation fans the per-cell calls out on the shared thread pool
+  /// when the layer permits concurrent evaluation, else answers serially;
+  /// indexed backends override it to answer the whole batch natively
+  /// (CellSortedEvaluationLayer sweeps its CSR key array once).
+  virtual Result<std::vector<AggregateOps::State>> EvaluateCells(
+      const GridCoord* coords, size_t count, double step);
+
+  /// Evaluates independent box queries, results in input order; fans out
+  /// across the shared pool when SupportsConcurrentEvaluate() allows it,
+  /// else evaluates serially. Per-box results are bit-identical to
+  /// EvaluateBox either way.
+  Result<std::vector<AggregateOps::State>> EvaluateBoxes(
+      const std::vector<std::vector<PScoreRange>>& boxes);
+
+  /// True when EvaluateBox may be called from several threads at once —
+  /// in practice: the layer is prepared and everything behind EvaluateBox
+  /// is read-only except the atomic counters.
+  virtual bool SupportsConcurrentEvaluate() const { return false; }
+
   /// Full refined query at per-dimension PScores `pscores`: box
   /// (-inf, pscores_i]. Returns the *final* aggregate value.
   Result<double> EvaluateQueryValue(const std::vector<double>& pscores);
 
   const AcqTask& task() const { return *task_; }
-  const ExecStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ExecStats{}; }
+  ExecStats stats() const {
+    ExecStats s;
+    s.queries = stats_.queries.load(std::memory_order_relaxed);
+    s.tuples_scanned = stats_.tuples_scanned.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    stats_.queries.store(0, std::memory_order_relaxed);
+    stats_.tuples_scanned.store(0, std::memory_order_relaxed);
+  }
 
  protected:
+  /// Counters updated while answering queries. Atomic (relaxed) because
+  /// EvaluateCells / EvaluateBoxes run concurrent EvaluateBox calls on the
+  /// pool for layers that opt in via SupportsConcurrentEvaluate().
+  struct AtomicExecStats {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> tuples_scanned{0};
+  };
+
   /// Shared argument check for EvaluateBox implementations.
   Status CheckBox(const std::vector<PScoreRange>& box) const;
 
   const AcqTask* task_;
-  ExecStats stats_;
+  AtomicExecStats stats_;
 };
 
 /// Scan-per-call layer; see EvaluationLayer docs.
@@ -130,6 +192,9 @@ class CachedEvaluationLayer final : public EvaluationLayer {
 
   Result<AggregateOps::State> EvaluateBox(
       const std::vector<PScoreRange>& box) override;
+
+  /// Once the matrix is materialized, EvaluateBox only reads it.
+  bool SupportsConcurrentEvaluate() const override { return prepared_; }
 
   /// The materialized tuple x dimension matrix (exposed for layers and
   /// benches that build on the same materialization).

@@ -26,8 +26,8 @@ Result<AggregateOps::State> ParallelEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
   ACQ_RETURN_IF_ERROR(CheckBox(box));
-  ++stats_.queries;
-  stats_.tuples_scanned += matrix_.rows;
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  stats_.tuples_scanned.fetch_add(matrix_.rows, std::memory_order_relaxed);
   return ScanBoxOverMatrix(*task_->agg.ops, matrix_, box, pool_);
 }
 

@@ -117,6 +117,18 @@ void ThreadPool::ParallelFor(
   }
 }
 
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back([packaged] { (*packaged)(); });
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
 ThreadPool& ThreadPool::Shared() {
   static ThreadPool* shared = new ThreadPool();
   return *shared;

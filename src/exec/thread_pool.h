@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -46,6 +47,13 @@ class ThreadPool {
   /// n == 0 is a no-op.
   void ParallelFor(size_t n, size_t min_chunk,
                    const std::function<void(size_t, size_t, size_t)>& body);
+
+  /// Enqueues one task for a worker and returns immediately; the future
+  /// becomes ready (rethrowing any exception) when the task finishes.
+  /// Unlike ParallelFor the calling thread does not participate — this is
+  /// for overlapping independent work with the caller's own (e.g. the
+  /// batched explorer prefetching the next expand layer).
+  std::future<void> Submit(std::function<void()> task);
 
   /// Process-wide default pool (hardware-sized, created on first use and
   /// intentionally never destroyed so late static destructors can use it).

@@ -122,6 +122,120 @@ size_t CellSortedEvaluationLayer::LowerBoundCell(const int32_t* key) const {
   return lo;
 }
 
+size_t CellSortedEvaluationLayer::GallopLowerBound(size_t from,
+                                                   const int32_t* key) const {
+  const size_t d = task_->d();
+  const size_t m = num_cells();
+  auto less = [&](size_t s) {
+    const int32_t* cell = cell_keys_.data() + s * d;
+    return std::lexicographical_compare(cell, cell + d, key, key + d);
+  };
+  if (from >= m || !less(from)) return from;
+  // Exponential probe: bracket the answer in (from + step/2, from + step].
+  size_t step = 1;
+  size_t lo = from;
+  while (from + step < m && less(from + step)) {
+    lo = from + step;
+    step *= 2;
+  }
+  size_t hi = std::min(from + step, m);
+  ++lo;  // cells at or before `lo` all compare less
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (less(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Result<std::vector<AggregateOps::State>>
+CellSortedEvaluationLayer::EvaluateCells(const GridCoord* coords, size_t count,
+                                         double step) {
+  if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
+  // A foreign step means the requested cells are not this layout's cells;
+  // the generic path decomposes them into box queries as usual.
+  if (step != step_) {
+    return EvaluationLayer::EvaluateCells(coords, count, step);
+  }
+  const size_t d = task_->d();
+  const AggregateOps& ops = *task_->agg.ops;
+  std::vector<AggregateOps::State> states(count);
+  if (count == 0) return states;
+  for (size_t q = 0; q < count; ++q) {
+    if (coords[q].size() != d) {
+      return Status::InvalidArgument(
+          StringFormat("cell coordinate has %zu levels, task has %zu "
+                       "dimensions", coords[q].size(), d));
+    }
+  }
+  stats_.queries.fetch_add(count, std::memory_order_relaxed);
+  stats_.tuples_scanned.fetch_add(count, std::memory_order_relaxed);
+
+  // Answer the whole batch in merged sweeps: visit the requests in sorted
+  // key order, advancing a cursor over the sorted CSR keys with galloping
+  // lower bounds (never rewinding, never restarting the binary search from
+  // the top). Large batches split into deterministic contiguous chunks of
+  // the sorted order across the pool — each chunk sweeps independently with
+  // its own cursor, and every answer is a copy of the per-cell fold from
+  // Prepare(), so the result is bit-identical to a single sweep.
+  std::vector<uint32_t> req(count);
+  std::iota(req.begin(), req.end(), 0u);
+  // BFS layers arrive in descending key order (canonical-predecessor
+  // enumeration), so detect the two already-sorted cases in O(count * d)
+  // before paying for a comparison sort.
+  bool ascending = true;
+  bool descending = true;
+  for (size_t q = 1; q < count && (ascending || descending); ++q) {
+    if (coords[q - 1] < coords[q]) {
+      descending = false;
+    } else if (coords[q] < coords[q - 1]) {
+      ascending = false;
+    }
+  }
+  if (descending && !ascending) {
+    std::reverse(req.begin(), req.end());
+  } else if (!ascending) {
+    std::sort(req.begin(), req.end(), [&](uint32_t a, uint32_t b) {
+      return coords[a] < coords[b];
+    });
+  }
+  const size_t m = num_cells();
+  auto sweep = [&](size_t, size_t begin, size_t end) {
+    size_t cursor = 0;
+    const int32_t* prev_key = nullptr;
+    uint32_t prev_qi = 0;
+    for (size_t r = begin; r < end; ++r) {
+      const uint32_t qi = req[r];
+      const int32_t* key = coords[qi].data();
+      if (prev_key != nullptr && std::equal(key, key + d, prev_key)) {
+        // Duplicate request: reuse the previous answer.
+        states[qi] = states[prev_qi];
+      } else {
+        cursor = GallopLowerBound(cursor, key);
+        if (cursor < m &&
+            std::equal(key, key + d, cell_keys_.data() + cursor * d)) {
+          states[qi] = cell_states_[cursor];
+        } else {
+          states[qi] = ops.Init();
+        }
+        prev_key = key;
+      }
+      prev_qi = qi;
+    }
+  };
+  // A single-worker pool would still split the sweep in two and pay the
+  // queue hand-off for no concurrency; one full sweep is strictly cheaper.
+  if (pool_->num_threads() > 1) {
+    pool_->ParallelFor(count, /*min_chunk=*/128, sweep);
+  } else {
+    sweep(0, 0, count);
+  }
+  return states;
+}
+
 bool CellSortedEvaluationLayer::IsCellAligned(
     const std::vector<PScoreRange>& box, GridCoord* coord) const {
   std::vector<int64_t> lo, hi;
@@ -138,7 +252,7 @@ Result<AggregateOps::State> CellSortedEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
   ACQ_RETURN_IF_ERROR(CheckBox(box));
-  ++stats_.queries;
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
   const AggregateOps& ops = *task_->agg.ops;
   const size_t d = task_->d();
   const size_t m = num_cells();
@@ -157,7 +271,7 @@ Result<AggregateOps::State> CellSortedEvaluationLayer::EvaluateBox(
     }
     if (single_cell) {
       // One binary search; the payload fold happened once in Prepare().
-      ++stats_.tuples_scanned;
+      stats_.tuples_scanned.fetch_add(1, std::memory_order_relaxed);
       const size_t s = LowerBoundCell(lo32.data());
       if (s < m &&
           std::equal(lo32.begin(), lo32.end(), cell_keys_.data() + s * d)) {
@@ -171,22 +285,24 @@ Result<AggregateOps::State> CellSortedEvaluationLayer::EvaluateBox(
     std::vector<int32_t> first(d, 0);
     first[0] = lo32[0];  // smallest possible key in range
     AggregateOps::State state = ops.Init();
+    uint64_t cells_walked = 0;
     for (size_t s = LowerBoundCell(first.data()); s < m; ++s) {
       const int32_t* cell = cell_keys_.data() + s * d;
       if (cell[0] > hi32[0]) break;
-      ++stats_.tuples_scanned;
+      ++cells_walked;
       bool inside = cell[0] >= lo32[0];
       for (size_t i = 1; inside && i < d; ++i) {
         inside = cell[i] >= lo32[i] && cell[i] <= hi32[i];
       }
       if (inside) ops.Merge(&state, cell_states_[s]);
     }
+    stats_.tuples_scanned.fetch_add(cells_walked, std::memory_order_relaxed);
     return state;
   }
 
   // Off-grid box: branchless kernel scan over the permuted matrix, chunked
   // across the persistent pool when large enough to pay off.
-  stats_.tuples_scanned += matrix_.rows;
+  stats_.tuples_scanned.fetch_add(matrix_.rows, std::memory_order_relaxed);
   return ScanBoxOverMatrix(ops, matrix_, box, pool_);
 }
 

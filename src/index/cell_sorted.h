@@ -42,6 +42,20 @@ class CellSortedEvaluationLayer final : public EvaluationLayer {
   Result<AggregateOps::State> EvaluateBox(
       const std::vector<PScoreRange>& box) override;
 
+  /// Native batched cell queries: the requested coordinates are sorted and
+  /// answered in forward sweeps over the sorted CSR key array — a
+  /// binary-search start, then galloping advances, so a layer of k cells
+  /// costs O(k log(m/k)) key comparisons instead of k independent O(log m)
+  /// searches. Large batches sweep deterministic contiguous chunks of the
+  /// sorted order in parallel on the pool (bit-identical results; every
+  /// answer is a copy of the precomputed per-cell state). Falls back to the
+  /// generic path when `step` differs from the layout step.
+  Result<std::vector<AggregateOps::State>> EvaluateCells(
+      const GridCoord* coords, size_t count, double step) override;
+
+  /// CSR layout, key array and per-cell states are read-only once built.
+  bool SupportsConcurrentEvaluate() const override { return prepared_; }
+
   double step() const { return step_; }
   size_t num_cells() const { return cell_offsets_.empty()
                                  ? 0
@@ -59,6 +73,11 @@ class CellSortedEvaluationLayer final : public EvaluationLayer {
   /// Index of the first cell whose key is lexicographically >= `key`
   /// (d() leading entries used); num_cells() when none.
   size_t LowerBoundCell(const int32_t* key) const;
+
+  /// LowerBoundCell restricted to [from, num_cells()): gallops forward from
+  /// `from` (exponential probe, then binary search in the bracket), so a
+  /// run of nearby lookups in sorted order costs O(log gap) each.
+  size_t GallopLowerBound(size_t from, const int32_t* key) const;
 
   double step_;
   ThreadPool* pool_;

@@ -58,13 +58,13 @@ Result<AggregateOps::State> GridIndexEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
   ACQ_RETURN_IF_ERROR(CheckBox(box));
-  ++stats_.queries;
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
   const AggregateOps& ops = *task_->agg.ops;
 
   // Fast path 1: a single grid cell -- one hash probe.
   GridCoord coord;
   if (IsCellAligned(box, &coord)) {
-    ++stats_.tuples_scanned;
+    stats_.tuples_scanned.fetch_add(1, std::memory_order_relaxed);
     auto it = cells_.find(coord);
     return it == cells_.end() ? ops.Init() : it->second;
   }
@@ -73,7 +73,7 @@ Result<AggregateOps::State> GridIndexEvaluationLayer::EvaluateBox(
   std::vector<int64_t> lo_level, hi_level;
   if (AlignedLevelBounds(box, step_, &lo_level, &hi_level)) {
     AggregateOps::State state = ops.Init();
-    stats_.tuples_scanned += cells_.size();
+    stats_.tuples_scanned.fetch_add(cells_.size(), std::memory_order_relaxed);
     for (const auto& [cell, cell_state] : cells_) {
       bool inside = true;
       for (size_t i = 0; i < cell.size(); ++i) {
@@ -89,7 +89,7 @@ Result<AggregateOps::State> GridIndexEvaluationLayer::EvaluateBox(
 
   // Off-grid box (e.g. repartition probes): scan the retained matrix with
   // the shared kernel.
-  stats_.tuples_scanned += matrix_.rows;
+  stats_.tuples_scanned.fetch_add(matrix_.rows, std::memory_order_relaxed);
   return ScanBoxOverMatrix(ops, matrix_, box);
 }
 

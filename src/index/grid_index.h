@@ -27,6 +27,9 @@ class GridIndexEvaluationLayer final : public EvaluationLayer {
   Result<AggregateOps::State> EvaluateBox(
       const std::vector<PScoreRange>& box) override;
 
+  /// The cell map and the retained matrix are read-only once built.
+  bool SupportsConcurrentEvaluate() const override { return prepared_; }
+
   double step() const { return step_; }
   size_t num_populated_cells() const { return cells_.size(); }
 

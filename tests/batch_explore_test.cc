@@ -1,0 +1,266 @@
+// Equivalence suite for the layer-batched Explore pipeline: RunAcquire with
+// batch_explore on must produce bit-identical aggregates, identical answer
+// sets, and identical cell-query counts to the sequential explorer, for
+// every search order and every exact evaluation layer. The batched driver
+// only reorders the independent O_1 cell executions — the Eq. 17 merges run
+// in the same order either way — so even SUM/AVG must match exactly.
+
+#include <gtest/gtest.h>
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "acquire.h"
+#include "test_util.h"
+
+namespace acquire {
+namespace {
+
+using test_util::MakeSyntheticTask;
+using test_util::SyntheticOptions;
+
+enum class LayerKind {
+  kDirect,
+  kCached,
+  kParallel,
+  kGridIndex,
+  kCellSorted,
+};
+
+const char* LayerName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kDirect:
+      return "Direct";
+    case LayerKind::kCached:
+      return "Cached";
+    case LayerKind::kParallel:
+      return "Parallel";
+    case LayerKind::kGridIndex:
+      return "GridIndex";
+    case LayerKind::kCellSorted:
+      return "CellSorted";
+  }
+  return "?";
+}
+
+std::unique_ptr<EvaluationLayer> MakeLayer(LayerKind kind, const AcqTask* task,
+                                           double step) {
+  switch (kind) {
+    case LayerKind::kDirect:
+      return std::make_unique<DirectEvaluationLayer>(task);
+    case LayerKind::kCached:
+      return std::make_unique<CachedEvaluationLayer>(task);
+    case LayerKind::kParallel:
+      return std::make_unique<ParallelEvaluationLayer>(task, 4);
+    case LayerKind::kGridIndex:
+      return std::make_unique<GridIndexEvaluationLayer>(task, step);
+    case LayerKind::kCellSorted:
+      return std::make_unique<CellSortedEvaluationLayer>(task, step);
+  }
+  return nullptr;
+}
+
+const char* OrderName(SearchOrder order) {
+  switch (order) {
+    case SearchOrder::kAuto:
+      return "Auto";
+    case SearchOrder::kBfs:
+      return "Bfs";
+    case SearchOrder::kShell:
+      return "Shell";
+    case SearchOrder::kBestFirst:
+      return "BestFirst";
+  }
+  return "?";
+}
+
+void ExpectSameResult(const AcquireResult& seq, const AcquireResult& bat,
+                      const std::string& label) {
+  EXPECT_EQ(seq.satisfied, bat.satisfied) << label;
+  EXPECT_EQ(seq.queries_explored, bat.queries_explored) << label;
+  EXPECT_EQ(seq.cell_queries, bat.cell_queries) << label;
+  EXPECT_EQ(seq.exec_stats.queries, bat.exec_stats.queries) << label;
+  ASSERT_EQ(seq.queries.size(), bat.queries.size()) << label;
+  for (size_t i = 0; i < seq.queries.size(); ++i) {
+    EXPECT_EQ(seq.queries[i].coord, bat.queries[i].coord)
+        << label << " answer " << i;
+    EXPECT_EQ(seq.queries[i].pscores, bat.queries[i].pscores)
+        << label << " answer " << i;
+    // Bit-exact: same cell states merged in the same order.
+    EXPECT_EQ(seq.queries[i].aggregate, bat.queries[i].aggregate)
+        << label << " answer " << i;
+    EXPECT_EQ(seq.queries[i].error, bat.queries[i].error)
+        << label << " answer " << i;
+    EXPECT_EQ(seq.queries[i].qscore, bat.queries[i].qscore)
+        << label << " answer " << i;
+  }
+  EXPECT_EQ(seq.best.coord, bat.best.coord) << label;
+  EXPECT_EQ(seq.best.aggregate, bat.best.aggregate) << label;
+  EXPECT_EQ(seq.best.error, bat.best.error) << label;
+}
+
+class BatchExploreEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<SearchOrder, LayerKind>> {};
+
+TEST_P(BatchExploreEquivalenceTest, BatchedMatchesSequential) {
+  auto [order, kind] = GetParam();
+  SyntheticOptions topt;
+  topt.d = 3;
+  topt.rows = 4000;
+  topt.agg = AggregateKind::kSum;  // FP-sensitive: catches any reordering
+  topt.target = 240000.0;         // forces several expansion layers
+  auto fixture = MakeSyntheticTask(topt);
+  ASSERT_NE(fixture, nullptr);
+
+  AcquireOptions options;
+  options.gamma = 12.0;  // grid step 4.0 with d = 3
+  options.delta = 0.02;
+  options.order = order;
+  const double step = options.gamma / static_cast<double>(topt.d);
+  const std::string label =
+      std::string(OrderName(order)) + "/" + LayerName(kind);
+
+  auto seq_layer = MakeLayer(kind, &fixture->task, step);
+  auto bat_layer = MakeLayer(kind, &fixture->task, step);
+  ASSERT_NE(seq_layer, nullptr);
+  ASSERT_NE(bat_layer, nullptr);
+
+  options.batch_explore = BatchExplore::kOff;
+  auto seq = RunAcquire(fixture->task, seq_layer.get(), options);
+  options.batch_explore = BatchExplore::kOn;  // forced even for best-first
+  auto bat = RunAcquire(fixture->task, bat_layer.get(), options);
+  ASSERT_TRUE(seq.ok() && bat.ok()) << label;
+  ExpectSameResult(*seq, *bat, label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrdersAllLayers, BatchExploreEquivalenceTest,
+    ::testing::Combine(::testing::Values(SearchOrder::kAuto, SearchOrder::kBfs,
+                                         SearchOrder::kShell,
+                                         SearchOrder::kBestFirst),
+                       ::testing::Values(LayerKind::kDirect, LayerKind::kCached,
+                                         LayerKind::kParallel,
+                                         LayerKind::kGridIndex,
+                                         LayerKind::kCellSorted)),
+    [](const auto& info) {
+      return std::string(OrderName(std::get<0>(info.param))) + "_" +
+             LayerName(std::get<1>(info.param));
+    });
+
+TEST(BatchExploreTest, CollectWithinGammaMatches) {
+  // The within-gamma sweep keeps exploring past the hit layer; layer
+  // accounting (stop_score at layer granularity) must agree across modes.
+  SyntheticOptions topt;
+  topt.d = 2;
+  topt.rows = 3000;
+  topt.agg = AggregateKind::kCount;
+  topt.target = 900.0;
+  auto fixture = MakeSyntheticTask(topt);
+  ASSERT_NE(fixture, nullptr);
+  CachedEvaluationLayer seq_layer(&fixture->task);
+  CachedEvaluationLayer bat_layer(&fixture->task);
+
+  AcquireOptions options;
+  options.gamma = 10.0;
+  options.delta = 0.03;
+  options.collect_within_gamma = true;
+  options.batch_explore = BatchExplore::kOff;
+  auto seq = RunAcquire(fixture->task, &seq_layer, options);
+  options.batch_explore = BatchExplore::kOn;
+  auto bat = RunAcquire(fixture->task, &bat_layer, options);
+  ASSERT_TRUE(seq.ok() && bat.ok());
+  ExpectSameResult(*seq, *bat, "within_gamma");
+  EXPECT_TRUE(seq->satisfied);
+}
+
+TEST(BatchExploreTest, NonIncrementalAblationMatches) {
+  // With use_incremental off the batched driver batches the full-query
+  // boxes instead of cell sub-queries; results must still be identical.
+  SyntheticOptions topt;
+  topt.d = 2;
+  topt.rows = 2000;
+  topt.agg = AggregateKind::kAvg;
+  topt.target = 480.0;
+  auto fixture = MakeSyntheticTask(topt);
+  ASSERT_NE(fixture, nullptr);
+  CachedEvaluationLayer seq_layer(&fixture->task);
+  CachedEvaluationLayer bat_layer(&fixture->task);
+
+  AcquireOptions options;
+  options.gamma = 10.0;
+  options.use_incremental = false;
+  options.batch_explore = BatchExplore::kOff;
+  auto seq = RunAcquire(fixture->task, &seq_layer, options);
+  options.batch_explore = BatchExplore::kOn;
+  auto bat = RunAcquire(fixture->task, &bat_layer, options);
+  ASSERT_TRUE(seq.ok() && bat.ok());
+  ExpectSameResult(*seq, *bat, "non_incremental");
+  EXPECT_EQ(seq->cell_queries, 0u);
+}
+
+TEST(BatchExploreTest, BestFirstDefaultsToSequential) {
+  // kAuto must not batch the best-first order (nearly unique scores make
+  // layers degenerate), but forcing kOn still has to work — covered above.
+  SyntheticOptions topt;
+  topt.d = 2;
+  topt.rows = 1000;
+  topt.target = 600.0;
+  auto fixture = MakeSyntheticTask(topt);
+  ASSERT_NE(fixture, nullptr);
+  CachedEvaluationLayer layer(&fixture->task);
+  AcquireOptions options;
+  options.order = SearchOrder::kBestFirst;
+  options.batch_explore = BatchExplore::kAuto;
+  auto result = RunAcquire(fixture->task, &layer, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cell_queries, result->queries_explored);
+}
+
+TEST(BatchExploreTest, ContractionBatchedMatchesSequential) {
+  // Overshooting equality target routes ProcessAcq into contraction; the
+  // batched layer walk there must agree with the sequential one.
+  SyntheticOptions topt;
+  topt.d = 2;
+  topt.rows = 3000;
+  topt.agg = AggregateKind::kCount;
+  topt.bound = 80.0;    // wide original query ...
+  topt.target = 500.0;  // ... already exceeds the target: contraction
+  auto fixture = MakeSyntheticTask(topt);
+  ASSERT_NE(fixture, nullptr);
+
+  AcquireOptions options;
+  options.gamma = 10.0;
+  options.delta = 0.02;
+  options.batch_explore = BatchExplore::kOff;
+  CachedEvaluationLayer seq_layer(&fixture->task);
+  auto seq = ProcessAcq(fixture->task, &seq_layer, options);
+  options.batch_explore = BatchExplore::kOn;
+  CachedEvaluationLayer bat_layer(&fixture->task);
+  auto bat = ProcessAcq(fixture->task, &bat_layer, options);
+  ASSERT_TRUE(seq.ok() && bat.ok());
+  ASSERT_EQ(seq->mode, AcqMode::kContracted);
+  ASSERT_EQ(bat->mode, AcqMode::kContracted);
+  ExpectSameResult(seq->result, bat->result, "contraction");
+}
+
+TEST(BatchExploreTest, PhaseTimingsAreReported) {
+  SyntheticOptions topt;
+  topt.d = 2;
+  topt.rows = 2000;
+  topt.target = 900.0;
+  auto fixture = MakeSyntheticTask(topt);
+  ASSERT_NE(fixture, nullptr);
+  CachedEvaluationLayer layer(&fixture->task);
+  AcquireOptions options;
+  options.batch_explore = BatchExplore::kOn;
+  auto result = RunAcquire(fixture->task, &layer, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->exec_stats.expand_ms, 0.0);
+  EXPECT_GT(result->exec_stats.explore_ms, 0.0);
+  EXPECT_GE(result->exec_stats.merge_ms, 0.0);
+  EXPECT_GE(result->elapsed_ms,
+            0.0);  // monotonic stopwatch can never go negative
+}
+
+}  // namespace
+}  // namespace acquire

@@ -128,15 +128,46 @@ TEST(ExplorerTest, ShellOrderWorksDespiteInShellDependencies) {
   }
 }
 
-TEST(AggregateStoreTest, PutFindRoundTrip) {
+TEST(AggregateStoreTest, InsertFindRoundTrip) {
   AggregateStore store;
+  store.Configure(/*d=*/2, /*state_width=*/1);
   EXPECT_EQ(store.Find({1, 2}), nullptr);
-  store.Put({1, 2}, {{1.0}, {2.0}, {3.0}});
-  const auto* states = store.Find({1, 2});
-  ASSERT_NE(states, nullptr);
-  EXPECT_EQ(states->size(), 3u);
-  EXPECT_DOUBLE_EQ((*states)[2][0], 3.0);
+  double* block = store.Insert({1, 2});
+  ASSERT_NE(block, nullptr);
+  // d + 1 = 3 states of width 1, zero-initialized on insert.
+  EXPECT_EQ(store.block_width(), 3u);
+  EXPECT_DOUBLE_EQ(block[2], 0.0);
+  block[0] = 1.0;
+  block[1] = 2.0;
+  block[2] = 3.0;
+  const double* found = store.Find({1, 2});
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found[2], 3.0);
   EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Find({2, 1}), nullptr);
+}
+
+TEST(AggregateStoreTest, SurvivesRehashAndArenaGrowth) {
+  AggregateStore store;
+  store.Configure(/*d=*/3, /*state_width=*/2);
+  store.Reserve(16);  // deliberately too small for the 1000 inserts below
+  for (int32_t i = 0; i < 1000; ++i) {
+    GridCoord c{i, i % 7, i % 13};
+    ASSERT_EQ(store.Find(c), nullptr) << i;
+    double* block = store.Insert(c);
+    for (size_t j = 0; j < store.block_width(); ++j) {
+      block[j] = static_cast<double>(i) + 0.25 * static_cast<double>(j);
+    }
+  }
+  EXPECT_EQ(store.size(), 1000u);
+  for (int32_t i = 0; i < 1000; ++i) {
+    const double* block = store.Find({i, i % 7, i % 13});
+    ASSERT_NE(block, nullptr) << i;
+    for (size_t j = 0; j < store.block_width(); ++j) {
+      EXPECT_DOUBLE_EQ(block[j],
+                       static_cast<double>(i) + 0.25 * static_cast<double>(j));
+    }
+  }
 }
 
 }  // namespace

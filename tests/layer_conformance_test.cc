@@ -151,6 +151,52 @@ TEST_P(LayerConformanceTest, DeterministicAcrossRepeatedCalls) {
   }
 }
 
+TEST_P(LayerConformanceTest, EvaluateCellsMatchesPerCellBoxes) {
+  // The batch cell API must be bit-identical to evaluating each cell box
+  // with EvaluateBox, at the layer's native step (merged-sweep / parallel
+  // fast paths) and at a foreign step (generic fallback).
+  auto [kind, agg] = GetParam();
+  SyntheticOptions options;
+  options.d = 3;
+  options.rows = 5000;
+  options.agg = agg;
+  options.target = 10.0;
+  auto fixture = MakeSyntheticTask(options);
+  ASSERT_NE(fixture, nullptr);
+
+  std::unique_ptr<EvaluationLayer> layer = MakeLayer(kind, &fixture->task);
+  ASSERT_NE(layer, nullptr);
+  ASSERT_TRUE(layer->Prepare().ok());
+
+  Rng rng(97 + static_cast<uint64_t>(kind) * 17 +
+          static_cast<uint64_t>(agg) * 5);
+  for (double step : {5.0, 2.5}) {  // native layout step, then foreign
+    std::vector<GridCoord> coords;
+    for (int q = 0; q < 40; ++q) {
+      GridCoord c(3);
+      // Mostly small dense coordinates (what expand layers produce), some
+      // far out (guaranteed-empty cells).
+      for (auto& v : c) {
+        v = static_cast<int32_t>(rng.NextBounded(rng.NextBool(0.9) ? 8 : 64));
+      }
+      coords.push_back(std::move(c));
+    }
+    auto batch = layer->EvaluateCells(coords.data(), coords.size(), step);
+    ASSERT_TRUE(batch.ok()) << LayerName(kind) << " step " << step;
+    ASSERT_EQ(batch->size(), coords.size());
+    for (size_t q = 0; q < coords.size(); ++q) {
+      std::vector<PScoreRange> box(3);
+      for (size_t i = 0; i < 3; ++i) {
+        box[i] = CellRangeForLevel(coords[q][i], step);
+      }
+      auto expected = layer->EvaluateBox(box);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ((*batch)[q], *expected)
+          << LayerName(kind) << " step " << step << " cell " << q;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllLayersAllAggregates, LayerConformanceTest,
     ::testing::Combine(::testing::Values(LayerKind::kDirect,
