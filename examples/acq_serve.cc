@@ -1,0 +1,127 @@
+// ACQ service daemon: serves the newline-delimited JSON protocol of
+// server/server.h over a catalog that is generated or loaded at startup
+// and then treated as read-only.
+//
+//   ./build/examples/acq_serve --gen users --rows 50000
+//   ./build/examples/acq_serve --loaddb /path/to/db --port 7411
+//
+// Talk to it with anything that speaks line-delimited JSON, e.g.:
+//
+//   printf '%s\n' '{"cmd":"SUBMIT","wait":true,"sql":"SELECT * FROM users
+//     CONSTRAINT COUNT(*) >= 2000 WHERE age <= 30 AND income >= 60000;"}'
+//     | nc 127.0.0.1 7411            (one line, pipe into nc)
+//
+// Flags:
+//   --port N               listen port (default 7411; 0 = ephemeral)
+//   --gen tpch|users|patients   generate a synthetic catalog
+//   --rows N               generator size (default 20000)
+//   --loaddb DIR           load a catalog saved by acq_shell's \savedb
+//   --max-running N        concurrent runs admitted (default: half the pool)
+//   --max-queue N          queued requests beyond that (default 64)
+//   --default-timeout-ms N deadline for SUBMITs without one (default: none)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+#include "storage/persistence.h"
+#include "workload/tpch_gen.h"
+#include "workload/users_gen.h"
+
+using namespace acquire;  // NOLINT — brevity in example code
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "acq_serve: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  options.port = 7411;
+  std::string gen;
+  std::string loaddb;
+  size_t rows = 20000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (flag == "--port" && (value = next())) {
+      options.port = std::atoi(value);
+    } else if (flag == "--gen" && (value = next())) {
+      gen = value;
+    } else if (flag == "--rows" && (value = next())) {
+      rows = static_cast<size_t>(std::atoll(value));
+    } else if (flag == "--loaddb" && (value = next())) {
+      loaddb = value;
+    } else if (flag == "--max-running" && (value = next())) {
+      options.max_running = static_cast<size_t>(std::atoll(value));
+    } else if (flag == "--max-queue" && (value = next())) {
+      options.max_queued = static_cast<size_t>(std::atoll(value));
+    } else if (flag == "--default-timeout-ms" && (value = next())) {
+      options.default_timeout_ms = std::atof(value);
+    } else {
+      return Fail("unknown or incomplete flag: " + flag +
+                  " (see the header of acq_serve.cc)");
+    }
+  }
+  if (gen.empty() == loaddb.empty()) {
+    return Fail("exactly one of --gen or --loaddb is required");
+  }
+
+  Catalog catalog;
+  Status load = Status::OK();
+  if (!loaddb.empty()) {
+    load = LoadCatalog(loaddb, &catalog);
+  } else if (gen == "tpch") {
+    TpchOptions tpch;
+    tpch.lineitems = rows;
+    tpch.suppliers = std::max<size_t>(100, rows / 200);
+    tpch.parts = std::max<size_t>(200, rows / 100);
+    load = GenerateTpch(tpch, &catalog);
+  } else if (gen == "users") {
+    UsersOptions users;
+    users.users = rows;
+    load = GenerateUsers(users, &catalog);
+  } else if (gen == "patients") {
+    PatientsOptions patients;
+    patients.patients = rows;
+    load = GeneratePatients(patients, &catalog);
+  } else {
+    return Fail("unknown generator '" + gen + "' (tpch|users|patients)");
+  }
+  if (!load.ok()) return Fail(load.ToString());
+  for (const std::string& name : catalog.TableNames()) {
+    auto table = catalog.GetTable(name);
+    std::printf("table %s: %zu rows\n", name.c_str(), (*table)->num_rows());
+  }
+
+  AcqServer server(&catalog, options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started.ToString());
+  std::printf("acq_serve listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) pause();
+  std::printf("shutting down\n");
+  server.Stop();
+  return 0;
+}

@@ -18,7 +18,7 @@
 //   \explain <sql>                show the planned task and grid geometry
 //   \report [i]                   per-predicate change report of answer i
 //   \materialize <i> <file>       execute answer i, write its tuples
-//   \set gamma|delta|batch <value>  tune ACQUIRE's thresholds / batching
+//   \set gamma|delta|batch|max_explored <value>  tune thresholds / budget
 //   \help                         this text
 //   \quit                         exit
 // Anything else is parsed as ACQ SQL (CONSTRAINT / NOREFINE).
@@ -113,7 +113,7 @@ class Shell {
     if (name == "\\help") {
       printf("\\gen tpch|users|patients <rows>, \\load <t> <f> <schema>, "
              "\\save <t> <f>, \\savedb <dir>, \\loaddb <dir>, \\tables, "
-             "\\show <t> [n], \\explain <sql>, \\set gamma|delta|batch <v>, "
+             "\\show <t> [n], \\explain <sql>, \\set gamma|delta|batch|max_explored <v>, "
              "\\quit\n");
       return true;
     }
@@ -264,12 +264,15 @@ class Shell {
       } else if (key == "batch") {
         options_.batch_explore =
             value != 0.0 ? BatchExplore::kOn : BatchExplore::kOff;
+      } else if (key == "max_explored" && value >= 0) {
+        options_.max_explored = static_cast<uint64_t>(value);
       } else {
-        printf("usage: \\set gamma|delta|batch <value>\n");
+        printf("usage: \\set gamma|delta|batch|max_explored <value>\n");
         return true;
       }
-      printf("gamma=%.3f delta=%.4f batch=%s\n", options_.gamma,
-             options_.delta,
+      printf("gamma=%.3f delta=%.4f max_explored=%llu batch=%s\n",
+             options_.gamma, options_.delta,
+             static_cast<unsigned long long>(options_.max_explored),
              options_.batch_explore == BatchExplore::kOff
                  ? "off"
                  : options_.batch_explore == BatchExplore::kOn ? "on"
@@ -299,6 +302,13 @@ class Shell {
            last_task_->constraint.target,
            AcqModeToString(outcome->mode));
     const AcquireResult& result = outcome->result;
+    if (result.termination != RunTermination::kCompleted) {
+      // Distinguishes "searched everything, no answer" from "ran out of
+      // budget/time": a truncated or interrupted result is best-so-far.
+      printf("search stopped early (%s) after %llu refined queries\n",
+             RunTerminationToString(result.termination),
+             static_cast<unsigned long long>(result.queries_explored));
+    }
     if (!result.satisfied) {
       printf("constraint not reachable; closest:\n  %s\n",
              result.best.ToString().c_str());

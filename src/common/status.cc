@@ -33,6 +33,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "TypeError";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -93,6 +99,15 @@ Status Status::TypeError(std::string msg) {
 }
 Status Status::Unsupported(std::string msg) {
   return Status(StatusCode::kUnsupported, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status Status::Cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
+Status Status::Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
 }
 
 }  // namespace acquire

@@ -21,6 +21,9 @@ enum class StatusCode {
   kParseError,
   kTypeError,
   kUnsupported,
+  kDeadlineExceeded,
+  kCancelled,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -51,6 +54,9 @@ class Status {
   static Status ParseError(std::string msg);
   static Status TypeError(std::string msg);
   static Status Unsupported(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
+  static Status Cancelled(std::string msg);
+  static Status Unavailable(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -62,6 +68,11 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -184,9 +184,14 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
   // The per-coordinate body shared by the sequential and batched drivers:
   // record the aggregate of `coord`, repartition on an overshoot, apply the
   // stall/max_explored stopping rules. False stops the search.
+  RunContext* ctx = options.run_ctx;
   auto investigate = [&](const GridCoord& coord, double score,
                          double aggregate) -> Result<bool> {
     ++result.queries_explored;
+    if (ctx != nullptr) {
+      ctx->queries_explored.store(result.queries_explored,
+                                  std::memory_order_relaxed);
+    }
     const double err = error_fn(task.constraint, aggregate);
     layer_min_error = std::min(layer_min_error, err);
 
@@ -226,13 +231,28 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
       }
     }
 
-    return result.queries_explored < options.max_explored;
+    if (result.queries_explored >= options.max_explored) {
+      // Budget exhausted, not a verdict about the space: report distinctly
+      // so callers can tell "no answer found" from "ran out of budget".
+      result.termination = RunTermination::kTruncated;
+      return false;
+    }
+    return true;
+  };
+
+  // Cooperative interruption poll shared by both drivers. True stops the
+  // search, recording why; the partial best-so-far is still returned.
+  auto interrupted = [&]() {
+    if (ctx == nullptr || !ctx->ShouldStop()) return false;
+    result.termination = ctx->Interruption();
+    return result.termination != RunTermination::kCompleted;
   };
 
   if (!batched) {
     Explorer explorer(&space, layer);
     GridCoord coord;
     for (;;) {
+      if (interrupted()) break;
       Stopwatch t_next;
       const bool have = generator->Next(&coord);
       expand_ms += t_next.ElapsedMillis();
@@ -256,14 +276,18 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
       ACQ_ASSIGN_OR_RETURN(const bool keep,
                            investigate(coord, score, aggregate));
       explore_ms += t_explore.ElapsedMillis();
+      if (ctx != nullptr) {
+        ctx->cell_queries.store(explorer.cell_queries(),
+                                std::memory_order_relaxed);
+      }
       if (!keep) break;
     }
     total_cell_queries = explorer.cell_queries();
   } else {
-    BatchExplorer batch(&space, layer, generator.get());
+    BatchExplorer batch(&space, layer, generator.get(), ctx);
     std::vector<AggregateOps::State> layer_states;  // non-incremental mode
     bool running = true;
-    while (running && batch.NextLayer()) {
+    while (running && !interrupted() && batch.NextLayer()) {
       const double score = batch.layer_score();
       if (score > stop_score) break;
       if (discrete_layers && score != last_score && !close_layer(score)) {
@@ -303,6 +327,10 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
         }
       }
       merge_ms += t_merge.ElapsedMillis();
+      if (ctx != nullptr) {
+        ctx->cell_queries.store(batch.explorer().cell_queries(),
+                                std::memory_order_relaxed);
+      }
     }
     total_cell_queries = batch.explorer().cell_queries();
     expand_ms += batch.expand_ms();

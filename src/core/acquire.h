@@ -9,6 +9,7 @@
 #include "core/explore.h"
 #include "core/norms.h"
 #include "core/refined_query.h"
+#include "core/run_context.h"
 #include "exec/evaluation.h"
 
 namespace acquire {
@@ -79,6 +80,13 @@ struct AcquireOptions {
 
   /// Aggregate error function; DefaultAggregateError when unset.
   ErrorFn error_fn;
+
+  /// Optional cooperative deadline / cancellation token (core/run_context.h).
+  /// Not owned; must outlive the run. When set, the drivers poll it (per
+  /// coordinate sequentially, per layer batched) and stop early with
+  /// AcquireResult::termination = kDeadlineExceeded / kCancelled, returning
+  /// the best-so-far partial result instead of an error.
+  RunContext* run_ctx = nullptr;
 };
 
 /// Outcome of one ACQUIRE run.
@@ -92,6 +100,14 @@ struct AcquireResult {
   /// False when the space was exhausted (or a stopping rule fired) without
   /// reaching the constraint; `best` then carries the closest query found.
   bool satisfied = false;
+
+  /// Why the search stopped. kCompleted covers the search's own stopping
+  /// rules (hit layer exhausted, space exhausted, divergence/stall);
+  /// kTruncated means options.max_explored ran out — i.e. "budget
+  /// exhausted", not "no answer" — and kDeadlineExceeded / kCancelled mean
+  /// options.run_ctx interrupted the run, with everything below holding the
+  /// best-so-far partial answer.
+  RunTermination termination = RunTermination::kCompleted;
 
   /// Closest query found overall (minimum error, ties by QScore).
   RefinedQuery best;

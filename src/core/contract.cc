@@ -206,10 +206,22 @@ Result<AcquireResult> RunAcquireContract(const AcqTask& task,
   std::vector<GridCoord> layer_coords;
   std::vector<std::vector<PScoreRange>> boxes;
 
+  RunContext* ctx = options.run_ctx;
+  // Cooperative interruption poll (see RunAcquire); true stops the walk.
+  auto interrupted = [&]() {
+    if (ctx == nullptr || !ctx->ShouldStop()) return false;
+    result.termination = ctx->Interruption();
+    return result.termination != RunTermination::kCompleted;
+  };
+
   // Per-coordinate body shared by the sequential and batched walks (the
   // full-query aggregate is already evaluated). False stops the search.
   auto visit_value = [&](const GridCoord& c, double aggregate) {
     ++result.queries_explored;
+    if (ctx != nullptr) {
+      ctx->queries_explored.store(result.queries_explored,
+                                  std::memory_order_relaxed);
+    }
     double err = error_fn(task.constraint, aggregate);
     bool layer_hit = false;
     if (err < best_error) {
@@ -238,11 +250,13 @@ Result<AcquireResult> RunAcquireContract(const AcqTask& task,
         result.queries.push_back(**repartitioned);
       }
     }
-    return std::make_pair(result.queries_explored < options.max_explored,
-                          layer_hit);
+    bool keep = result.queries_explored < options.max_explored;
+    if (!keep) result.termination = RunTermination::kTruncated;
+    return std::make_pair(keep, layer_hit);
   };
 
   for (int64_t sum = max_sum; sum >= 0; --sum) {
+    if (interrupted()) break;
     bool layer_hit = false;
     bool keep_going = true;
     if (batched) {
@@ -283,6 +297,7 @@ Result<AcquireResult> RunAcquireContract(const AcqTask& task,
       Stopwatch t_layer;
       keep_going = EnumerateLayer(
           caps, suffix_caps, sum, 0, &coord, [&](const GridCoord& c) {
+            if (interrupted()) return false;
             auto state = layer->EvaluateBox(space.QueryBox(c));
             if (!state.ok()) {
               inner_status = state.status();

@@ -281,14 +281,23 @@ Status Explorer::EnsureComputed(const GridCoord& coord, const double** block) {
 }
 
 BatchExplorer::BatchExplorer(const RefinedSpace* space, EvaluationLayer* layer,
-                             QueryGenerator* generator)
+                             QueryGenerator* generator, RunContext* ctx)
     : space_(space),
       layer_(layer),
       generator_(generator),
+      ctx_(ctx),
       explorer_(space, layer) {}
 
 BatchExplorer::~BatchExplorer() {
-  if (prefetch_.valid()) prefetch_.wait();
+  if (prefetch_.valid()) {
+    // Helping join (see NextLayer): the destructor may run on a pool
+    // worker whose prefetch task is still queued behind other work.
+    try {
+      ThreadPool::Shared().HelpWhileWaiting(prefetch_);
+    } catch (...) {
+      // Generator failures surface through NextLayer, never from here.
+    }
+  }
 }
 
 void BatchExplorer::GenerateLayer() {
@@ -317,6 +326,17 @@ void BatchExplorer::GenerateLayer() {
       next_coords_.push_back(std::move(lookahead_));
     }
     ++n;
+    // Interrupted runs stop draining mid-layer: the truncated layer is
+    // handed over as-is (still valid coordinates of this score). The
+    // lookahead coordinate was just placed into the layer, so the primed
+    // invariant (lookahead_ holds a fetched-but-unplaced coordinate) no
+    // longer holds -- if a later call generates another layer before the
+    // driver's own (strided) poll stops the search, it must re-prime from
+    // the generator instead of replaying the consumed lookahead.
+    if (ctx_ != nullptr && (n & 0xFF) == 0 && ctx_->ShouldStop()) {
+      primed_ = false;
+      break;
+    }
     if (!generator_->Next(&lookahead_)) {
       primed_ = false;
       exhausted_ = true;
@@ -342,7 +362,10 @@ void BatchExplorer::StartPrefetch() {
 
 bool BatchExplorer::NextLayer() {
   if (prefetch_.valid()) {
-    prefetch_.get();  // hand-over: next_* written before this join
+    // Hand-over: next_* written before this join. The helping join keeps
+    // the wait deadlock-free when this run itself occupies a pool worker
+    // (the server schedules whole runs onto the shared pool).
+    ThreadPool::Shared().HelpWhileWaiting(prefetch_);
   } else {
     GenerateLayer();  // first layer (or single-core pool): inline
   }

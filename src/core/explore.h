@@ -7,6 +7,7 @@
 
 #include "core/expand.h"
 #include "core/refined_space.h"
+#include "core/run_context.h"
 #include "exec/evaluation.h"
 
 namespace acquire {
@@ -210,8 +211,14 @@ class Explorer {
 /// hand-over), so results are unchanged.
 class BatchExplorer {
  public:
+  /// `ctx` (optional, not owned) lets a huge layer generation stop early:
+  /// GenerateLayer polls it every few hundred coordinates and truncates the
+  /// layer, so a cancelled run is not stuck expanding a d-dimensional layer
+  /// to completion first. The driver re-polls before consuming the layer,
+  /// so a truncated layer is never mistaken for a complete one on an
+  /// uninterrupted run (ctx == nullptr is byte-identical behavior).
   BatchExplorer(const RefinedSpace* space, EvaluationLayer* layer,
-                QueryGenerator* generator);
+                QueryGenerator* generator, RunContext* ctx = nullptr);
 
   /// Joins an in-flight layer prefetch.
   ~BatchExplorer();
@@ -251,6 +258,7 @@ class BatchExplorer {
   const RefinedSpace* space_;
   EvaluationLayer* layer_;
   QueryGenerator* generator_;
+  RunContext* ctx_;
   Explorer explorer_;
   std::vector<GridCoord> layer_coords_;
   double layer_score_ = 0.0;

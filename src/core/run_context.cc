@@ -1,0 +1,32 @@
+#include "core/run_context.h"
+
+namespace acquire {
+
+const char* RunTerminationToString(RunTermination t) {
+  switch (t) {
+    case RunTermination::kCompleted:
+      return "completed";
+    case RunTermination::kTruncated:
+      return "truncated";
+    case RunTermination::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case RunTermination::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+Status TerminationToStatus(RunTermination t) {
+  switch (t) {
+    case RunTermination::kCompleted:
+    case RunTermination::kTruncated:
+      return Status::OK();
+    case RunTermination::kDeadlineExceeded:
+      return Status::DeadlineExceeded("run deadline exceeded");
+    case RunTermination::kCancelled:
+      return Status::Cancelled("run cancelled");
+  }
+  return Status::OK();
+}
+
+}  // namespace acquire

@@ -1,0 +1,121 @@
+#ifndef ACQUIRE_CORE_RUN_CONTEXT_H_
+#define ACQUIRE_CORE_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace acquire {
+
+/// How a search run ended. Every value except kCompleted means the result
+/// is a *partial* answer: the search stopped before its own stopping rules
+/// (first hit layer / exhaustion / divergence) concluded, and `best` holds
+/// the closest query found so far. Distinguishing these matters for the
+/// serving path — "no answer exists within the explored region" and "the
+/// budget ran out before we could tell" call for different client actions.
+enum class RunTermination {
+  kCompleted,         // the search's own stopping rules concluded
+  kTruncated,         // AcquireOptions.max_explored exhausted
+  kDeadlineExceeded,  // RunContext deadline passed
+  kCancelled,         // RunContext::RequestCancel observed
+};
+
+/// Stable lowercase name ("completed", "truncated", "deadline_exceeded",
+/// "cancelled") — also the wire form the ACQ server reports.
+const char* RunTerminationToString(RunTermination t);
+
+/// Converts a non-kCompleted termination to the matching error Status
+/// (OK for kCompleted / kTruncated, which still carry a usable result).
+Status TerminationToStatus(RunTermination t);
+
+/// Cooperative deadline + cancellation token + progress counters threaded
+/// through one ACQUIRE run (RunAcquire / RunAcquireContract / ProcessAcq via
+/// AcquireOptions::run_ctx).
+///
+/// Threading model: one thread drives the run and is the only writer of
+/// the progress counters; ShouldStop may additionally be polled by the
+/// run's layer-prefetch worker, and any number of other threads may call
+/// RequestCancel and read the progress counters concurrently. Deadline
+/// setters are not thread-safe — arm them before the run starts. The
+/// drivers poll at coordinate
+/// granularity in the sequential explorer and at layer granularity in the
+/// batched one, so an in-flight run stops within one layer's worth of work
+/// and returns its best-so-far partial answer instead of blocking the
+/// worker it runs on.
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunContext() = default;
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Arms the deadline. Call before the run starts.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Convenience: deadline = now + `ms` (non-positive arms an
+  /// already-expired deadline, so the run stops at its first poll).
+  void SetTimeoutMillis(double ms) {
+    set_deadline(Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Thread-safe; idempotent. The run observes it at the next poll.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// The driver's fast poll: the cancellation flag is read every call, the
+  /// clock only every kDeadlineStride calls (a steady_clock read costs an
+  /// order of magnitude more than a relaxed load, and sequential Explore
+  /// polls per coordinate). Safe to call from the run thread and its layer
+  /// prefetch worker concurrently.
+  bool ShouldStop() {
+    if (cancel_requested()) return true;
+    if (!has_deadline_) return false;
+    if (poll_count_.fetch_add(1, std::memory_order_relaxed) %
+            kDeadlineStride !=
+        0) {
+      return false;
+    }
+    return Clock::now() >= deadline_;
+  }
+
+  /// Definitive classification for the result: cancellation wins over the
+  /// deadline (it is the more specific user action), and the clock is
+  /// always consulted. kCompleted when nothing fired.
+  RunTermination Interruption() const {
+    if (cancel_requested()) return RunTermination::kCancelled;
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return RunTermination::kDeadlineExceeded;
+    }
+    return RunTermination::kCompleted;
+  }
+
+  /// Progress counters, written (relaxed) by the run thread as the search
+  /// advances and read by observers (the server's STATUS handler).
+  std::atomic<uint64_t> queries_explored{0};
+  std::atomic<uint64_t> cell_queries{0};
+
+ private:
+  static constexpr uint64_t kDeadlineStride = 32;
+
+  std::atomic<bool> cancel_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  std::atomic<uint64_t> poll_count_{0};
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_RUN_CONTEXT_H_

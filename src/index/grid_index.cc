@@ -1,9 +1,12 @@
 #include "index/grid_index.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/string_util.h"
 #include "exec/eval_kernel.h"
+#include "exec/thread_pool.h"
 
 namespace acquire {
 
@@ -91,6 +94,78 @@ Result<AggregateOps::State> GridIndexEvaluationLayer::EvaluateBox(
   // the shared kernel.
   stats_.tuples_scanned.fetch_add(matrix_.rows, std::memory_order_relaxed);
   return ScanBoxOverMatrix(ops, matrix_, box);
+}
+
+Result<std::vector<AggregateOps::State>> GridIndexEvaluationLayer::EvaluateCells(
+    const GridCoord* coords, size_t count, double step) {
+  if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
+  // A foreign step means the requested cells are not this index's cells;
+  // the generic path decomposes them into box queries as usual.
+  if (step != step_) {
+    return EvaluationLayer::EvaluateCells(coords, count, step);
+  }
+  const size_t d = task_->d();
+  const AggregateOps& ops = *task_->agg.ops;
+  std::vector<AggregateOps::State> states(count);
+  if (count == 0) return states;
+  for (size_t q = 0; q < count; ++q) {
+    if (coords[q].size() != d) {
+      return Status::InvalidArgument(
+          StringFormat("cell coordinate has %zu levels, task has %zu "
+                       "dimensions", coords[q].size(), d));
+    }
+  }
+  stats_.queries.fetch_add(count, std::memory_order_relaxed);
+  stats_.tuples_scanned.fetch_add(count, std::memory_order_relaxed);
+
+  // Probe in sorted key order: adjacent layer coordinates differ in one
+  // trailing level, so consecutive probes of the same coordinate collapse
+  // to one lookup and nearby keys revisit warm buckets. The expand layers
+  // arrive already sorted (BFS emits descending keys), so the sort is a
+  // reverse or a no-op in the common case.
+  std::vector<uint32_t> req(count);
+  std::iota(req.begin(), req.end(), 0u);
+  bool ascending = true;
+  bool descending = true;
+  for (size_t q = 1; q < count && (ascending || descending); ++q) {
+    if (coords[q - 1] < coords[q]) {
+      descending = false;
+    } else if (coords[q] < coords[q - 1]) {
+      ascending = false;
+    }
+  }
+  if (descending && !ascending) {
+    std::reverse(req.begin(), req.end());
+  } else if (!ascending) {
+    std::stable_sort(req.begin(), req.end(), [&](uint32_t a, uint32_t b) {
+      return coords[a] < coords[b];
+    });
+  }
+
+  // Each chunk of the sorted order probes independently; a duplicate pair
+  // straddling a chunk boundary just probes twice, which only costs time.
+  auto probe_range = [&](size_t begin, size_t end) {
+    const AggregateOps::State* hit = nullptr;
+    const GridCoord* prev = nullptr;
+    for (size_t i = begin; i < end; ++i) {
+      const GridCoord& c = coords[req[i]];
+      if (prev == nullptr || c != *prev) {
+        auto it = cells_.find(c);
+        hit = it == cells_.end() ? nullptr : &it->second;
+        prev = &c;
+      }
+      states[req[i]] = hit != nullptr ? *hit : ops.Init();
+    }
+  };
+  constexpr size_t kParallelCutoff = 4096;
+  if (count >= kParallelCutoff) {
+    ThreadPool::Shared().ParallelFor(
+        count, /*min_chunk=*/1024,
+        [&](size_t, size_t begin, size_t end) { probe_range(begin, end); });
+  } else {
+    probe_range(0, count);
+  }
+  return states;
 }
 
 }  // namespace acquire

@@ -27,6 +27,19 @@ class GridIndexEvaluationLayer final : public EvaluationLayer {
   Result<AggregateOps::State> EvaluateBox(
       const std::vector<PScoreRange>& box) override;
 
+  /// Native batch path for the Explore phase: instead of fanning out one
+  /// EvaluateBox per cell (each paying box construction, argument checks
+  /// and the cell-alignment decode), the requested coordinates are sorted
+  /// and the cell map is probed directly in key order — duplicate requests
+  /// collapse to one probe, runs of nearby keys probe warm buckets, and
+  /// large batches split into deterministic contiguous chunks of the
+  /// sorted order across the pool. Results are in input order and
+  /// bit-identical to per-cell EvaluateBox (every answer is a copy of the
+  /// per-cell state from Prepare, or the empty state). Falls back to the
+  /// generic path when `step` differs from the index step.
+  Result<std::vector<AggregateOps::State>> EvaluateCells(
+      const GridCoord* coords, size_t count, double step) override;
+
   /// The cell map and the retained matrix are read-only once built.
   bool SupportsConcurrentEvaluate() const override { return prepared_; }
 

@@ -1,0 +1,107 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+LineClient::~LineClient() { Close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status LineClient::Connect(const std::string& host, int port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StringFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StringFormat("not an IPv4 address: '%s'", host.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::IOError(StringFormat(
+        "connect %s:%d: %s", host.c_str(), port, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<JsonValue> LineClient::Call(const JsonValue& request) {
+  ACQ_ASSIGN_OR_RETURN(std::string line, CallRaw(request.Dump()));
+  return JsonValue::Parse(line);
+}
+
+Result<std::string> LineClient::CallRaw(const std::string& line) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  std::string out = line;
+  out.push_back('\n');
+  size_t sent = 0;
+  while (sent < out.size()) {
+    ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError(StringFormat("send: %s", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  for (;;) {
+    size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string response = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      return response;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IOError(StringFormat("recv: %s", std::strerror(errno)));
+    }
+    if (n == 0) return Status::IOError("connection closed by server");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace acquire

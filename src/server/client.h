@@ -1,0 +1,44 @@
+#ifndef ACQUIRE_SERVER_CLIENT_H_
+#define ACQUIRE_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "server/json.h"
+
+namespace acquire {
+
+/// Blocking client for AcqServer's newline-delimited JSON protocol: one
+/// request line out, one response line back, in lockstep. Not thread-safe;
+/// use one client per thread (the server happily serves many connections).
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+
+  /// Connects to host:port (host is a dotted-quad address, e.g. 127.0.0.1).
+  Status Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends `request` as one line and parses the response line. Transport
+  /// failures are IOError; protocol-level failures still return the
+  /// server's {"ok":false,...} object for the caller to inspect.
+  Result<JsonValue> Call(const JsonValue& request);
+
+  /// Raw round trip for protocol tests (e.g. sending malformed JSON).
+  Result<std::string> CallRaw(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last response line
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SERVER_CLIENT_H_

@@ -1,0 +1,363 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/processor.h"
+#include "exec/thread_pool.h"
+#include "sql/printer.h"
+
+namespace acquire {
+
+namespace {
+
+JsonValue ErrorResponse(const Status& status) {
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(false));
+  response.Set("code", JsonValue::Str(StatusCodeToString(status.code())));
+  response.Set("error", JsonValue::Str(status.message()));
+  return response;
+}
+
+JsonValue ErrorResponse(Status (*factory)(std::string), std::string message) {
+  return ErrorResponse(factory(std::move(message)));
+}
+
+Result<SearchOrder> ParseOrder(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "auto") return SearchOrder::kAuto;
+  if (lower == "bfs") return SearchOrder::kBfs;
+  if (lower == "shell") return SearchOrder::kShell;
+  if (lower == "best_first" || lower == "best-first") {
+    return SearchOrder::kBestFirst;
+  }
+  return Status::InvalidArgument(
+      StringFormat("unknown order '%s' (auto|bfs|shell|best_first)",
+                   name.c_str()));
+}
+
+JsonValue RefinedQueryToJson(const AcqTask* task, const RefinedQuery& query) {
+  JsonValue out = JsonValue::Object();
+  if (task != nullptr) {
+    out.Set("sql", JsonValue::Str(RenderRefinedSql(*task, query)));
+  }
+  out.Set("predicates", JsonValue::Str(query.description));
+  out.Set("aggregate", JsonValue::Number(query.aggregate));
+  out.Set("qscore", JsonValue::Number(query.qscore));
+  out.Set("error", JsonValue::Number(query.error));
+  return out;
+}
+
+/// The terminal (or in-flight) state of one session as a protocol object.
+JsonValue SessionToJson(const Session& session) {
+  const Session::View view = session.Snapshot();
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("id", JsonValue::Str(session.id()));
+  out.Set("state", JsonValue::Str(SessionStateToString(view.state)));
+  out.Set("queries_explored",
+          JsonValue::Number(static_cast<double>(view.queries_explored)));
+  out.Set("cell_queries",
+          JsonValue::Number(static_cast<double>(view.cell_queries)));
+  if (view.state == SessionState::kFailed) {
+    out.Set("code", JsonValue::Str(StatusCodeToString(view.error.code())));
+    out.Set("error", JsonValue::Str(view.error.message()));
+    return out;
+  }
+  if (!view.has_outcome) return out;
+
+  const AcqOutcome& outcome = view.outcome;
+  const AcquireResult& result = outcome.result;
+  // Contracted runs express their answers in the contraction task's
+  // dimensions; render against that task so the SQL is runnable.
+  const AcqTask* display_task = outcome.mode == AcqMode::kContracted
+                                    ? outcome.contraction_task.get()
+                                    : view.task.get();
+  JsonValue report = JsonValue::Object();
+  report.Set("mode", JsonValue::Str(AcqModeToString(outcome.mode)));
+  report.Set("termination",
+             JsonValue::Str(RunTerminationToString(result.termination)));
+  report.Set("satisfied", JsonValue::Bool(result.satisfied));
+  report.Set("original_aggregate",
+             JsonValue::Number(outcome.original_aggregate));
+  report.Set("best", RefinedQueryToJson(display_task, result.best));
+  JsonValue answers = JsonValue::Array();
+  for (const RefinedQuery& query : result.queries) {
+    answers.Append(RefinedQueryToJson(display_task, query));
+  }
+  report.Set("answers", std::move(answers));
+  report.Set("queries_explored",
+             JsonValue::Number(static_cast<double>(result.queries_explored)));
+  report.Set("cell_queries",
+             JsonValue::Number(static_cast<double>(result.cell_queries)));
+  report.Set("elapsed_ms", JsonValue::Number(result.elapsed_ms));
+  report.Set("wall_ms", JsonValue::Number(view.wall_ms));
+  out.Set("report", std::move(report));
+  return out;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+AcqServer::AcqServer(const Catalog* catalog, ServerOptions options)
+    : options_(options),
+      manager_(catalog, SessionManagerOptions{options.max_running,
+                                              options.max_queued}) {}
+
+AcqServer::~AcqServer() { Stop(); }
+
+Status AcqServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(StringFormat("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::IOError(
+        StringFormat("bind 127.0.0.1:%d: %s", options_.port,
+                     std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status status =
+        Status::IOError(StringFormat("listen: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  started_ = true;
+  accept_thread_ = std::thread(&AcqServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void AcqServer::Stop() {
+  // Serializes concurrent/repeat Stop calls (e.g. the destructor after an
+  // explicit Stop): the second caller waits for the first to finish joining
+  // and then returns.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    // Unblocks accept(); the listening fd is closed after the join.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& thread : conn_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  manager_.Shutdown();
+}
+
+void AcqServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    size_t slot = conn_fds_.size();
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(&AcqServer::ServeConnection, this, slot, fd);
+  }
+}
+
+void AcqServer::ServeConnection(size_t slot, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while (open && (pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (Trim(line).empty()) continue;
+      open = SendAll(fd, HandleRequestLine(line) + "\n");
+    }
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  ::close(fd);
+  conn_fds_[slot] = -1;
+}
+
+std::string AcqServer::HandleRequestLine(const std::string& line) {
+  Result<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) return ErrorResponse(parsed.status()).Dump();
+  if (!parsed->is_object()) {
+    return ErrorResponse(Status::InvalidArgument,
+                         "request must be a JSON object")
+        .Dump();
+  }
+  return Dispatch(*parsed).Dump();
+}
+
+JsonValue AcqServer::Dispatch(const JsonValue& request) {
+  const std::string cmd = ToUpper(request.GetString("cmd"));
+  if (cmd == "SUBMIT") return HandleSubmit(request);
+  if (cmd == "STATUS") return HandleStatus(request);
+  if (cmd == "CANCEL") return HandleCancel(request);
+  if (cmd == "STATS") return HandleStats();
+  return ErrorResponse(
+      Status::InvalidArgument,
+      StringFormat("unknown cmd '%s' (SUBMIT|STATUS|CANCEL|STATS)",
+                   cmd.c_str()));
+}
+
+JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
+  const JsonValue* sql = request.Get("sql");
+  if (sql == nullptr || !sql->is_string() || sql->AsString().empty()) {
+    return ErrorResponse(Status::InvalidArgument,
+                         "SUBMIT requires a non-empty string field 'sql'");
+  }
+
+  AcquireOptions options;
+  options.gamma = request.GetNumber("gamma", options.gamma);
+  options.delta = request.GetNumber("delta", options.delta);
+  options.max_explored = static_cast<uint64_t>(request.GetNumber(
+      "max_explored", static_cast<double>(options.max_explored)));
+  options.collect_within_gamma =
+      request.GetBool("collect_within_gamma", options.collect_within_gamma);
+  options.repartition_iters = static_cast<int>(request.GetNumber(
+      "repartition_iters", options.repartition_iters));
+  options.stall_limit = static_cast<uint64_t>(request.GetNumber(
+      "stall_limit", static_cast<double>(options.stall_limit)));
+  options.divergence_patience = static_cast<int>(request.GetNumber(
+      "divergence_patience", options.divergence_patience));
+  if (options.gamma <= 0.0) {
+    return ErrorResponse(Status::InvalidArgument, "gamma must be positive");
+  }
+  if (options.delta < 0.0) {
+    return ErrorResponse(Status::InvalidArgument,
+                         "delta must be non-negative");
+  }
+  if (const JsonValue* order = request.Get("order"); order != nullptr) {
+    if (!order->is_string()) {
+      return ErrorResponse(Status::InvalidArgument,
+                           "'order' must be a string");
+    }
+    Result<SearchOrder> parsed = ParseOrder(order->AsString());
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    options.order = *parsed;
+  }
+  EvalBackend backend = EvalBackend::kAuto;
+  if (const JsonValue* b = request.Get("backend"); b != nullptr) {
+    if (!b->is_string()) {
+      return ErrorResponse(Status::InvalidArgument,
+                           "'backend' must be a string");
+    }
+    Result<EvalBackend> parsed = EvalBackendFromString(b->AsString());
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    backend = *parsed;
+  }
+  const double timeout_ms =
+      request.GetNumber("timeout_ms", options_.default_timeout_ms);
+
+  Result<SessionPtr> submitted = manager_.Submit(
+      sql->AsString(), std::move(options), timeout_ms, backend);
+  if (!submitted.ok()) return ErrorResponse(submitted.status());
+  const SessionPtr& session = *submitted;
+  if (request.GetBool("wait", false)) session->WaitDone();
+  return SessionToJson(*session);
+}
+
+JsonValue AcqServer::HandleStatus(const JsonValue& request) {
+  Result<SessionPtr> session = manager_.Find(request.GetString("id"));
+  if (!session.ok()) return ErrorResponse(session.status());
+  if (request.GetBool("wait", false)) (*session)->WaitDone();
+  return SessionToJson(**session);
+}
+
+JsonValue AcqServer::HandleCancel(const JsonValue& request) {
+  Result<SessionPtr> session = manager_.Cancel(request.GetString("id"));
+  if (!session.ok()) return ErrorResponse(session.status());
+  if (request.GetBool("wait", false)) (*session)->WaitDone();
+  return SessionToJson(**session);
+}
+
+JsonValue AcqServer::HandleStats() {
+  const ServerCounters counters = manager_.counters();
+  JsonValue stats = JsonValue::Object();
+  auto set = [&stats](const char* key, uint64_t value) {
+    stats.Set(key, JsonValue::Number(static_cast<double>(value)));
+  };
+  set("submitted", counters.submitted);
+  set("rejected", counters.rejected);
+  set("completed", counters.completed);
+  set("truncated", counters.truncated);
+  set("deadline_exceeded", counters.deadline_exceeded);
+  set("cancelled", counters.cancelled);
+  set("failed", counters.failed);
+  set("queries_explored", counters.queries_explored);
+  set("cell_queries", counters.cell_queries);
+  set("eval_queries", counters.eval_queries);
+  set("tuples_scanned", counters.tuples_scanned);
+  stats.Set("run_ms",
+            JsonValue::Number(static_cast<double>(counters.run_micros) /
+                              1000.0));
+  set("running", manager_.num_running());
+  set("queued", manager_.num_queued());
+  set("pool_threads", ThreadPool::Shared().num_threads());
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("stats", std::move(stats));
+  return out;
+}
+
+}  // namespace acquire

@@ -1,0 +1,106 @@
+#ifndef ACQUIRE_SERVER_SERVER_H_
+#define ACQUIRE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/json.h"
+#include "server/session.h"
+
+namespace acquire {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back with
+  /// port() after Start).
+  int port = 0;
+  /// Admission control (see SessionManagerOptions).
+  size_t max_running = 0;
+  size_t max_queued = 64;
+  /// Deadline applied to SUBMITs that carry no timeout_ms of their own;
+  /// 0 means such requests run without a deadline.
+  double default_timeout_ms = 0.0;
+};
+
+/// TCP front end for the ACQ engine: a newline-delimited JSON protocol over
+/// a shared read-only Catalog. One JSON object per line in, one per line
+/// out; requests are dispatched by their "cmd" field:
+///
+///   SUBMIT  {"cmd":"SUBMIT","sql":"...ACQ SQL...",
+///            "gamma":?, "delta":?, "order":"auto|bfs|shell|best_first",
+///            "backend":"auto|direct|cached|parallel|grid|cell_sorted",
+///            "max_explored":?, "timeout_ms":?, "wait":bool}
+///           -> {"ok":true,"id":"s-1","state":...}; with "wait":true the
+///           response is the terminal STATUS report instead.
+///   STATUS  {"cmd":"STATUS","id":"s-1"} -> state, live progress counters
+///           and, once terminal, the run report (mode, termination,
+///           satisfied, answers as runnable SQL, timings).
+///   CANCEL  {"cmd":"CANCEL","id":"s-1"} -> requests cooperative
+///           cancellation; the run stops at its next poll with a partial
+///           report.
+///   STATS   {"cmd":"STATS"} -> server-wide counters and admission state.
+///
+/// Failures are {"ok":false,"code":"InvalidArgument",...,"error":"..."};
+/// admission rejections use code "Unavailable". Connections are served by
+/// one thread each; the runs themselves execute on the shared ThreadPool
+/// under the SessionManager's admission policy.
+class AcqServer {
+ public:
+  /// The catalog must outlive the server and must not be mutated while
+  /// serving.
+  explicit AcqServer(const Catalog* catalog, ServerOptions options = {});
+  ~AcqServer();
+
+  AcqServer(const AcqServer&) = delete;
+  AcqServer& operator=(const AcqServer&) = delete;
+
+  /// Binds 127.0.0.1:port, starts the accept loop. IOError when the socket
+  /// cannot be bound.
+  Status Start();
+
+  /// Stops accepting, shuts down live connections, cancels and drains all
+  /// sessions. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (meaningful after Start; resolves port 0 requests).
+  int port() const { return port_; }
+
+  /// Protocol entry without a socket: handles one request line and returns
+  /// the response line (no trailing newline). This is exactly what each
+  /// connection thread calls per line; tests use it to exercise the
+  /// protocol deterministically.
+  std::string HandleRequestLine(const std::string& line);
+
+  SessionManager& sessions() { return manager_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(size_t slot, int fd);
+
+  JsonValue Dispatch(const JsonValue& request);
+  JsonValue HandleSubmit(const JsonValue& request);
+  JsonValue HandleStatus(const JsonValue& request);
+  JsonValue HandleCancel(const JsonValue& request);
+  JsonValue HandleStats();
+
+  const ServerOptions options_;
+  SessionManager manager_;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;
+  bool stopped_ = false;  // under stop_mu_
+  bool started_ = false;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;  // slot -> fd; -1 once the owner closed it
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SERVER_SERVER_H_

@@ -1,0 +1,322 @@
+#include "server/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/string_util.h"
+#include "exec/thread_pool.h"
+#include "sql/binder.h"
+
+namespace acquire {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool IsTerminal(SessionState state) {
+  return state == SessionState::kDone || state == SessionState::kCancelled ||
+         state == SessionState::kFailed;
+}
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* SessionStateToString(SessionState state) {
+  switch (state) {
+    case SessionState::kQueued:
+      return "queued";
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kDone:
+      return "done";
+    case SessionState::kCancelled:
+      return "cancelled";
+    case SessionState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Session::Session(std::string id, std::string sql, AcquireOptions options)
+    : id_(std::move(id)),
+      sql_(std::move(sql)),
+      options_(std::move(options)),
+      submitted_at_(Clock::now()) {
+  options_.run_ctx = &ctx_;
+}
+
+SessionState Session::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void Session::WaitDone() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return IsTerminal(state_); });
+}
+
+bool Session::RequestCancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (IsTerminal(state_)) return false;
+  }
+  ctx_.RequestCancel();
+  return true;
+}
+
+Session::View Session::Snapshot() const {
+  View view;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    view.state = state_;
+    view.error = error_;
+    view.has_outcome = has_outcome_;
+    if (has_outcome_) view.outcome = outcome_;
+    view.task = task_;
+    view.wall_ms = wall_ms_;
+  }
+  view.queries_explored = ctx_.queries_explored.load(std::memory_order_relaxed);
+  view.cell_queries = ctx_.cell_queries.load(std::memory_order_relaxed);
+  return view;
+}
+
+SessionManager::SessionManager(const Catalog* catalog,
+                               SessionManagerOptions options)
+    : catalog_(catalog),
+      options_(options),
+      max_running_(options.max_running != 0
+                       ? options.max_running
+                       : std::max<size_t>(
+                             1, ThreadPool::Shared().num_threads() / 2)) {}
+
+SessionManager::~SessionManager() { Shutdown(); }
+
+Result<SessionPtr> SessionManager::Submit(std::string sql,
+                                          AcquireOptions options,
+                                          double timeout_ms,
+                                          EvalBackend backend) {
+  SessionPtr session;
+  bool launch = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::Unavailable("session manager shut down");
+    if (running_ >= max_running_ && queue_.size() >= options_.max_queued) {
+      std::lock_guard<std::mutex> clock(counters_mu_);
+      ++counters_.rejected;
+      return Status::Unavailable(
+          StringFormat("admission queue full (%zu running, %zu queued)",
+                       running_, queue_.size()));
+    }
+    std::string id = StringFormat("s-%llu",
+                                  static_cast<unsigned long long>(next_id_++));
+    session = std::make_shared<Session>(std::move(id), std::move(sql),
+                                        std::move(options));
+    session->backend_ = backend;
+    // The deadline clock starts at admission, so queue wait counts against
+    // the caller's budget -- a request that waited out its deadline in the
+    // queue finishes immediately as kDeadlineExceeded instead of running.
+    if (timeout_ms > 0.0) session->ctx_.SetTimeoutMillis(timeout_ms);
+    sessions_.emplace(session->id(), session);
+    if (running_ < max_running_) {
+      ++running_;
+      launch = true;
+    } else {
+      queue_.push_back(session);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> clock(counters_mu_);
+    ++counters_.submitted;
+  }
+  if (launch) Launch(session);
+  return session;
+}
+
+Result<SessionPtr> SessionManager::Find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StringFormat("no session '%s'", id.c_str()));
+  }
+  return it->second;
+}
+
+Result<SessionPtr> SessionManager::Cancel(const std::string& id) {
+  ACQ_ASSIGN_OR_RETURN(SessionPtr session, Find(id));
+  session->RequestCancel();
+  return session;
+}
+
+void SessionManager::Shutdown() {
+  std::vector<SessionPtr> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    to_cancel.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) to_cancel.push_back(session);
+  }
+  for (const SessionPtr& session : to_cancel) session->RequestCancel();
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
+}
+
+ServerCounters SessionManager::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+size_t SessionManager::num_running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t SessionManager::num_queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void SessionManager::Launch(SessionPtr session) {
+  // The runner owns one of the max_running_ slots for its whole lifetime:
+  // after finishing a session it pulls the next queued one directly instead
+  // of resubmitting to the pool, so a burst of queued requests costs one
+  // pool task, and the slot is released (with idle_cv_ notified) only when
+  // the queue is empty.
+  ThreadPool::Shared().Submit([this, session = std::move(session)]() mutable {
+    while (session != nullptr) {
+      SessionPtr next;
+      RunSession(session, &next);
+      // Once RunSession released the slot (next == nullptr and the queue
+      // was empty), Shutdown may return and destroy the manager, so the
+      // loop must not touch `this` again on that path.
+      session = std::move(next);
+    }
+  });
+}
+
+void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
+  const Clock::time_point start = session->submitted_at_;
+
+  SessionState state = SessionState::kFailed;
+  Status error;
+  bool has_outcome = false;
+  AcqOutcome outcome;
+  std::shared_ptr<AcqTask> task;
+  bool interrupted_in_queue = false;
+
+  // A cancel (or manager shutdown) that arrived while queued wins without
+  // running; a deadline that expired in the queue likewise resolves here
+  // with an empty partial report.
+  if (session->ctx_.ShouldStop()) {
+    interrupted_in_queue = true;
+    const bool was_cancel = session->ctx_.cancel_requested();
+    {
+      std::lock_guard<std::mutex> clock(counters_mu_);
+      if (was_cancel) {
+        ++counters_.cancelled;
+      } else {
+        ++counters_.deadline_exceeded;
+      }
+    }
+    if (!was_cancel) {
+      outcome.result.termination = RunTermination::kDeadlineExceeded;
+      has_outcome = true;
+    }
+    state = was_cancel ? SessionState::kCancelled : SessionState::kDone;
+  }
+
+  if (!interrupted_in_queue) {
+    {
+      std::lock_guard<std::mutex> lock(session->mu_);
+      session->state_ = SessionState::kRunning;
+    }
+
+    // Bind + plan against the shared read-only catalog, then run. The task
+    // outlives the outcome (answer rendering needs its dimensions), so it
+    // lives in a shared_ptr on the session.
+    Binder binder(catalog_);
+    Result<AcqTask> planned = binder.PlanSql(session->sql());
+    if (!planned.ok()) {
+      error = planned.status();
+    } else {
+      task = std::make_shared<AcqTask>(std::move(*planned));
+      if (session->backend_ != EvalBackend::kAuto) {
+        task->eval_backend = session->backend_;
+      }
+      Result<AcqOutcome> ran = ProcessAcq(*task, session->options_);
+      if (!ran.ok()) {
+        error = ran.status();
+      } else {
+        outcome = std::move(*ran);
+        has_outcome = true;
+        state = outcome.result.termination == RunTermination::kCancelled
+                    ? SessionState::kCancelled
+                    : SessionState::kDone;
+      }
+    }
+
+    // Counters first: a waiter released by the notify below must already
+    // see this run reflected in STATS.
+    {
+      std::lock_guard<std::mutex> clock(counters_mu_);
+      if (!has_outcome) {
+        ++counters_.failed;
+      } else {
+        switch (outcome.result.termination) {
+          case RunTermination::kCompleted:
+            ++counters_.completed;
+            break;
+          case RunTermination::kTruncated:
+            ++counters_.truncated;
+            break;
+          case RunTermination::kDeadlineExceeded:
+            ++counters_.deadline_exceeded;
+            break;
+          case RunTermination::kCancelled:
+            ++counters_.cancelled;
+            break;
+        }
+        const AcquireResult& result = outcome.result;
+        counters_.queries_explored += result.queries_explored;
+        counters_.cell_queries += result.cell_queries;
+        counters_.eval_queries += result.exec_stats.queries;
+        counters_.tuples_scanned += result.exec_stats.tuples_scanned;
+        counters_.run_micros +=
+            static_cast<uint64_t>(result.elapsed_ms * 1000.0);
+      }
+    }
+  }
+
+  // Slot bookkeeping before the terminal publish: a waiter released by the
+  // notify below must see the slot already handed to the next queued
+  // session or released in num_running()/num_queued(). The idle_cv_ notify
+  // can let Shutdown (and the manager destructor) proceed, so from here on
+  // only the session itself may be touched.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!queue_.empty()) {
+      *next = queue_.front();
+      queue_.pop_front();
+    } else {
+      --running_;
+      idle_cv_.notify_all();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(session->mu_);
+  session->state_ = state;
+  session->error_ = error;
+  if (has_outcome) {
+    session->outcome_ = std::move(outcome);
+    session->has_outcome_ = true;
+    session->task_ = std::move(task);
+  }
+  session->wall_ms_ = MillisSince(start);
+  session->cv_.notify_all();
+}
+
+}  // namespace acquire

@@ -1,0 +1,185 @@
+#ifndef ACQUIRE_SERVER_SESSION_H_
+#define ACQUIRE_SERVER_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/processor.h"
+#include "core/run_context.h"
+#include "storage/catalog.h"
+
+namespace acquire {
+
+/// Lifecycle of one submitted ACQ. Terminal states are kDone (a report is
+/// available — including deadline-exceeded and truncated runs, whose
+/// reports are partial; see AcquireResult::termination), kCancelled (a
+/// CANCEL was observed, queued or mid-run; a mid-run cancel still carries
+/// the partial report) and kFailed (bind/plan/execution error).
+enum class SessionState { kQueued, kRunning, kDone, kCancelled, kFailed };
+
+const char* SessionStateToString(SessionState state);
+
+/// One admitted ACQ request: the SQL text, the per-run options, the
+/// RunContext the drivers poll, and — once terminal — the outcome.
+/// State transitions happen under `mu` and are announced on `cv`.
+class Session {
+ public:
+  Session(std::string id, std::string sql, AcquireOptions options);
+
+  const std::string& id() const { return id_; }
+  const std::string& sql() const { return sql_; }
+
+  /// Thread-safe snapshot accessors.
+  SessionState state() const;
+  /// Blocks until the session reaches a terminal state.
+  void WaitDone();
+
+  /// Requests cooperative cancellation; the run (if any) observes it at
+  /// its next poll. Returns false when the session was already terminal.
+  bool RequestCancel();
+
+  /// Consistent copy for protocol rendering: terminal details (error /
+  /// outcome / task for answer rendering) plus live progress counters, which
+  /// are meaningful for running sessions too.
+  struct View {
+    SessionState state = SessionState::kQueued;
+    Status error;
+    bool has_outcome = false;
+    AcqOutcome outcome;
+    std::shared_ptr<const AcqTask> task;
+    double wall_ms = 0.0;
+    uint64_t queries_explored = 0;
+    uint64_t cell_queries = 0;
+  };
+  View Snapshot() const;
+
+  RunContext& ctx() { return ctx_; }
+
+ private:
+  friend class SessionManager;
+
+  const std::string id_;
+  const std::string sql_;
+  AcquireOptions options_;  // run_ctx is pointed at ctx_ before the run
+  EvalBackend backend_ = EvalBackend::kAuto;
+  RunContext ctx_;
+  const RunContext::Clock::time_point submitted_at_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  SessionState state_ = SessionState::kQueued;
+  Status error_;                            // when kFailed
+  AcqOutcome outcome_;                      // when kDone / mid-run kCancelled
+  bool has_outcome_ = false;                // outcome_ is meaningful
+  std::shared_ptr<AcqTask> task_;           // keeps rendering inputs alive
+  double wall_ms_ = 0.0;                    // submit -> terminal
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+/// Server-wide monotonic counters, readable while serving (STATS verb).
+struct ServerCounters {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;   // admission queue full
+  uint64_t completed = 0;  // kDone with termination == completed
+  uint64_t truncated = 0;  // kDone with termination == truncated
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  uint64_t failed = 0;
+  /// Per-run ExecStats / result counters folded together across finished
+  /// runs — the serving system's cumulative work.
+  uint64_t queries_explored = 0;
+  uint64_t cell_queries = 0;
+  uint64_t eval_queries = 0;    // evaluation-layer box queries
+  uint64_t tuples_scanned = 0;
+  uint64_t run_micros = 0;      // summed AcquireResult::elapsed_ms
+};
+
+struct SessionManagerOptions {
+  /// Runs executing concurrently on the shared thread pool. 0 sizes to
+  /// half the pool (at least 1): each run fans its own layer batches out
+  /// across the same pool, so saturating it with run bodies would leave no
+  /// headroom for the data-parallel leaves.
+  size_t max_running = 0;
+  /// Admitted-but-not-yet-running bound; beyond it SUBMIT is rejected
+  /// with kUnavailable (backpressure instead of unbounded memory).
+  size_t max_queued = 64;
+};
+
+/// Binds sessions against a shared read-only Catalog and schedules them
+/// onto the process-wide persistent ThreadPool with bounded admission:
+/// at most `max_running` run bodies occupy pool tasks at once, at most
+/// `max_queued` admitted requests wait behind them, and everything beyond
+/// that is rejected immediately. The catalog must not be mutated while a
+/// manager serves from it.
+class SessionManager {
+ public:
+  SessionManager(const Catalog* catalog, SessionManagerOptions options);
+
+  /// Cancels everything and waits for in-flight runs to drain.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Admission: schedules or queues the request, or fails with
+  /// kUnavailable when the queue is full. `options.run_ctx` is overwritten
+  /// to point at the session's own context. `backend` (when not kAuto)
+  /// overrides the planned task's evaluation backend.
+  Result<SessionPtr> Submit(std::string sql, AcquireOptions options,
+                            double timeout_ms,
+                            EvalBackend backend = EvalBackend::kAuto);
+
+  /// NotFound for unknown ids.
+  Result<SessionPtr> Find(const std::string& id) const;
+
+  /// Cancels a session by id: a queued session finishes as kCancelled
+  /// without running; a running one is interrupted at its next poll.
+  Result<SessionPtr> Cancel(const std::string& id);
+
+  /// Cancels every non-terminal session and blocks until no session is
+  /// queued or running (pool tasks all returned — nothing leaks).
+  void Shutdown();
+
+  ServerCounters counters() const;
+  size_t num_running() const;
+  size_t num_queued() const;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  /// Submits a runner-loop pool task for `session`; the runner keeps its
+  /// running slot and drains the queue before releasing it.
+  void Launch(SessionPtr session);
+  /// Runs one session to its terminal state. Hands back the next queued
+  /// session (or releases the running slot) in `*next` BEFORE publishing
+  /// the terminal state, so a waiter released by the notify observes the
+  /// slot already accounted for in num_running()/num_queued().
+  void RunSession(const SessionPtr& session, SessionPtr* next);
+
+  const Catalog* catalog_;
+  const SessionManagerOptions options_;
+  const size_t max_running_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;  // signalled when running+queued drops
+  uint64_t next_id_ = 1;
+  size_t running_ = 0;
+  bool shutdown_ = false;
+  std::deque<SessionPtr> queue_;
+  std::map<std::string, SessionPtr> sessions_;
+
+  mutable std::mutex counters_mu_;
+  ServerCounters counters_;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SERVER_SESSION_H_

@@ -117,6 +117,97 @@ TEST_F(GridIndexTest, EmptyCellAnsweredWithoutTouchingData) {
   EXPECT_EQ(index.stats().tuples_scanned, 1u);  // one hash probe
 }
 
+TEST_F(GridIndexTest, EvaluateCellsMatchesPerCellEvaluateBox) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  GridIndexEvaluationLayer reference(task_.get(), kStep);
+  // A batch mixing populated cells, empty cells, duplicates and an
+  // unsorted arrival order.
+  std::vector<GridCoord> coords;
+  for (int32_t u0 = 6; u0 >= 0; --u0) {
+    for (int32_t u1 = 0; u1 <= 6; ++u1) coords.push_back({u0, u1});
+  }
+  coords.push_back({3, 3});     // duplicate of an earlier coordinate
+  coords.push_back({100, 90});  // far-out empty cell
+  coords.push_back({0, 0});     // duplicate, out of order
+  auto batch = index.EvaluateCells(coords.data(), coords.size(), kStep);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), coords.size());
+  const AggregateOps& ops = *task_->agg.ops;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    std::vector<PScoreRange> cell = {CellRangeForLevel(coords[i][0], kStep),
+                                     CellRangeForLevel(coords[i][1], kStep)};
+    auto expected = reference.EvaluateBox(cell);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(ops.Final((*batch)[i]), ops.Final(*expected))
+        << coords[i][0] << "," << coords[i][1];
+  }
+}
+
+TEST_F(GridIndexTest, EvaluateCellsBatchUsesOneProbePerCell) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  ASSERT_TRUE(index.Prepare().ok());
+  index.ResetStats();
+  std::vector<GridCoord> coords;
+  for (int32_t u = 0; u < 32; ++u) coords.push_back({u, u});
+  ASSERT_TRUE(index.EvaluateCells(coords.data(), coords.size(), kStep).ok());
+  // The native path touches one hash bucket per requested cell -- no box
+  // decomposition, no matrix scan.
+  EXPECT_EQ(index.stats().queries, coords.size());
+  EXPECT_EQ(index.stats().tuples_scanned, coords.size());
+}
+
+TEST_F(GridIndexTest, EvaluateCellsLargeBatchParallelMatchesSerial) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  // Above the parallel cutoff (4096) with many duplicates spanning chunk
+  // boundaries; results must stay in input order and bit-identical.
+  std::vector<GridCoord> coords;
+  coords.reserve(10000);
+  for (int32_t i = 0; i < 10000; ++i) coords.push_back({i % 7, (i / 3) % 7});
+  auto batch = index.EvaluateCells(coords.data(), coords.size(), kStep);
+  ASSERT_TRUE(batch.ok());
+  const AggregateOps& ops = *task_->agg.ops;
+  GridIndexEvaluationLayer reference(task_.get(), kStep);
+  for (size_t i = 0; i < coords.size(); i += 997) {
+    std::vector<PScoreRange> cell = {CellRangeForLevel(coords[i][0], kStep),
+                                     CellRangeForLevel(coords[i][1], kStep)};
+    auto expected = reference.EvaluateBox(cell);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(ops.Final((*batch)[i]), ops.Final(*expected));
+  }
+}
+
+TEST_F(GridIndexTest, EvaluateCellsForeignStepFallsBack) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  DirectEvaluationLayer direct(task_.get());
+  const double foreign = 7.5;  // not this index's step
+  std::vector<GridCoord> coords = {{0, 0}, {1, 2}, {2, 1}};
+  auto batch = index.EvaluateCells(coords.data(), coords.size(), foreign);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  const AggregateOps& ops = *task_->agg.ops;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    std::vector<PScoreRange> cell = {
+        CellRangeForLevel(coords[i][0], foreign),
+        CellRangeForLevel(coords[i][1], foreign)};
+    auto expected = direct.EvaluateBox(cell);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_DOUBLE_EQ(ops.Final((*batch)[i]), ops.Final(*expected));
+  }
+}
+
+TEST_F(GridIndexTest, EvaluateCellsRejectsWrongDimensionality) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  std::vector<GridCoord> coords = {{1, 2, 3}};  // task has d = 2
+  EXPECT_FALSE(
+      index.EvaluateCells(coords.data(), coords.size(), kStep).ok());
+}
+
+TEST_F(GridIndexTest, EvaluateCellsEmptyBatch) {
+  GridIndexEvaluationLayer index(task_.get(), kStep);
+  auto batch = index.EvaluateCells(nullptr, 0, kStep);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
 TEST_F(GridIndexTest, InvalidStepRejected) {
   GridIndexEvaluationLayer index(task_.get(), 0.0);
   EXPECT_FALSE(index.Prepare().ok());

@@ -1,0 +1,180 @@
+// Deadline / cancellation semantics of RunContext-driven runs (the service
+// layer's interruption machinery): interrupted runs stop quickly at layer
+// granularity, return well-formed best-so-far partial results with the
+// matching RunTermination, and release their pool resources. Also covers
+// the max_explored budget reporting as kTruncated (distinct from a search
+// that genuinely exhausted the space).
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/processor.h"
+#include "core/run_context.h"
+#include "exec/thread_pool.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace acquire {
+namespace {
+
+using test_util::MakeSyntheticTask;
+using test_util::SyntheticOptions;
+
+double MillisBetween(std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+// Sanitizer instrumentation inflates wall clock ~10x; the strict latency
+// bound is a plain-build guarantee, sanitized runs only check semantics.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr double kInterruptBudgetMs = 500.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr double kInterruptBudgetMs = 500.0;
+#else
+constexpr double kInterruptBudgetMs = 50.0;
+#endif
+#else
+constexpr double kInterruptBudgetMs = 50.0;
+#endif
+
+// A d=4 task whose constraint is unreachable, so the search would explore
+// the whole (100 / (gamma/d))^4 grid if nothing stopped it.
+std::unique_ptr<test_util::SyntheticTask> MakeBigTask() {
+  SyntheticOptions options;
+  options.rows = 20000;
+  options.d = 4;
+  options.op = ConstraintOp::kGe;
+  options.target = 1e9;  // COUNT can never reach this
+  options.bound = 10.0;
+  return MakeSyntheticTask(options);
+}
+
+TEST(RunContextTest, DefaultIsCompleted) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.cancel_requested());
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.Interruption(), RunTermination::kCompleted);
+}
+
+TEST(RunContextTest, CancelWinsOverDeadline) {
+  RunContext ctx;
+  ctx.set_deadline(RunContext::Clock::now() - std::chrono::seconds(1));
+  ctx.RequestCancel();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.Interruption(), RunTermination::kCancelled);
+}
+
+TEST(RunContextTest, ExpiredDeadlineStops) {
+  RunContext ctx;
+  ctx.SetTimeoutMillis(0.01);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // The deadline is checked on a stride; poll until the clock read lands.
+  bool stopped = false;
+  for (int i = 0; i < 64 && !stopped; ++i) stopped = ctx.ShouldStop();
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(ctx.Interruption(), RunTermination::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, TerminationToStatusMapping) {
+  EXPECT_TRUE(TerminationToStatus(RunTermination::kCompleted).ok());
+  EXPECT_TRUE(TerminationToStatus(RunTermination::kTruncated).ok());
+  EXPECT_TRUE(TerminationToStatus(RunTermination::kDeadlineExceeded)
+                  .IsDeadlineExceeded());
+  EXPECT_TRUE(TerminationToStatus(RunTermination::kCancelled).IsCancelled());
+}
+
+TEST(RunContextTest, OneMillisecondDeadlineReturnsPartialQuickly) {
+  auto fixture = MakeBigTask();
+  ASSERT_NE(fixture, nullptr);
+  RunContext ctx;
+  ctx.SetTimeoutMillis(1.0);
+  AcquireOptions options;
+  options.run_ctx = &ctx;
+  const auto start = std::chrono::steady_clock::now();
+  auto outcome = ProcessAcq(fixture->task, options);
+  const double wall = MillisBetween(start, std::chrono::steady_clock::now());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->result.termination, RunTermination::kDeadlineExceeded);
+  // Interruption is cooperative (layer granularity), but on this task it
+  // must land orders of magnitude before the ~full-grid run would.
+  EXPECT_LT(wall, kInterruptBudgetMs);
+  // The partial report is well-formed: not satisfied, and the progress
+  // counters reflect the work actually done.
+  EXPECT_FALSE(outcome->result.satisfied);
+  EXPECT_EQ(outcome->result.queries_explored,
+            ctx.queries_explored.load(std::memory_order_relaxed));
+  EXPECT_GT(wall, 0.0);
+}
+
+TEST(RunContextTest, CrossThreadCancelStopsRun) {
+  auto fixture = MakeBigTask();
+  ASSERT_NE(fixture, nullptr);
+  RunContext ctx;
+  AcquireOptions options;
+  options.run_ctx = &ctx;
+  Result<AcqOutcome> outcome = Status::Internal("not run");
+  std::thread runner([&] { outcome = ProcessAcq(fixture->task, options); });
+  // Let the run get into Explore, then cancel from this thread.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ctx.RequestCancel();
+  runner.join();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // The run may legitimately have finished a stopping rule first, but on
+  // this unreachable-target task the full search takes far longer than the
+  // cancel latency, so we expect the interruption to have landed.
+  EXPECT_EQ(outcome->result.termination, RunTermination::kCancelled);
+  EXPECT_FALSE(outcome->result.satisfied);
+}
+
+TEST(RunContextTest, MaxExploredReportsTruncated) {
+  auto fixture = MakeBigTask();
+  ASSERT_NE(fixture, nullptr);
+  AcquireOptions options;
+  options.max_explored = 64;
+  auto outcome = ProcessAcq(fixture->task, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->result.termination, RunTermination::kTruncated);
+  EXPECT_FALSE(outcome->result.satisfied);
+  EXPECT_GE(outcome->result.queries_explored, 1u);
+}
+
+TEST(RunContextTest, ExhaustiveRunStaysCompleted) {
+  SyntheticOptions small;
+  small.rows = 500;
+  small.d = 2;
+  small.op = ConstraintOp::kGe;
+  small.target = 1e9;  // unreachable, but the d=2 grid is fully searchable
+  auto fixture = MakeSyntheticTask(small);
+  ASSERT_NE(fixture, nullptr);
+  auto outcome = ProcessAcq(fixture->task, AcquireOptions{});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // "no answer" after a finished search is kCompleted, not kTruncated.
+  EXPECT_EQ(outcome->result.termination, RunTermination::kCompleted);
+  EXPECT_FALSE(outcome->result.satisfied);
+}
+
+TEST(RunContextTest, InterruptedRunReleasesPoolSlots) {
+  auto fixture = MakeBigTask();
+  ASSERT_NE(fixture, nullptr);
+  RunContext ctx;
+  ctx.SetTimeoutMillis(1.0);
+  AcquireOptions options;
+  options.run_ctx = &ctx;
+  auto outcome = ProcessAcq(fixture->task, options);
+  ASSERT_TRUE(outcome.ok());
+  // The pool must be fully serviceable afterwards: a ParallelFor over all
+  // workers completes (it would hang if an interrupted run leaked a task).
+  std::atomic<size_t> touched{0};
+  ThreadPool::Shared().ParallelFor(
+      1000, 1, [&](size_t, size_t begin, size_t end) {
+        touched.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+  EXPECT_EQ(touched.load(), 1000u);
+}
+
+}  // namespace
+}  // namespace acquire

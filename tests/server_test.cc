@@ -1,0 +1,365 @@
+// The ACQ service layer end to end: protocol grammar, session lifecycle,
+// admission control, deadlines/cancellation, and — the core guarantee —
+// that answers served over the wire are bit-identical to direct ProcessAcq
+// runs against the same catalog, including under concurrent clients.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/processor.h"
+#include "gtest/gtest.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sql/binder.h"
+#include "sql/printer.h"
+#include "workload/users_gen.h"
+
+namespace acquire {
+namespace {
+
+// One catalog for the whole suite: the server treats it as read-only, so
+// sharing it across tests mirrors production use.
+Catalog* SharedCatalog() {
+  static Catalog* catalog = [] {
+    auto* c = new Catalog();
+    UsersOptions options;
+    options.users = 3000;
+    EXPECT_TRUE(GenerateUsers(options, c).ok());
+    return c;
+  }();
+  return catalog;
+}
+
+// A query whose expansion can never satisfy its constraint; with the stall
+// guard effectively disabled it keeps exploring until interrupted. The
+// 30s deadline is a backstop so a broken cancel fails the test instead of
+// hanging it.
+JsonValue SlowSubmit() {
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(
+                         "SELECT * FROM users CONSTRAINT COUNT(*) >= "
+                         "1000000000 WHERE age <= 20 AND income <= 30000 "
+                         "AND engagement <= 1.0 AND "
+                         "account_age_days <= 100"));
+  request.Set("stall_limit", JsonValue::Number(1e15));
+  request.Set("divergence_patience", JsonValue::Number(1000000));
+  request.Set("max_explored", JsonValue::Number(4e9));
+  request.Set("timeout_ms", JsonValue::Number(30000.0));
+  return request;
+}
+
+JsonValue MustParse(const std::string& line) {
+  Result<JsonValue> parsed = JsonValue::Parse(line);
+  EXPECT_TRUE(parsed.ok()) << line;
+  return parsed.ok() ? *parsed : JsonValue::Null();
+}
+
+// Runs the same SQL directly (no server) with default options.
+Result<AcqOutcome> DirectRun(const std::string& sql,
+                             std::shared_ptr<AcqTask>* task_out) {
+  Binder binder(SharedCatalog());
+  ACQ_ASSIGN_OR_RETURN(AcqTask task, binder.PlanSql(sql));
+  auto task_ptr = std::make_shared<AcqTask>(std::move(task));
+  ACQ_ASSIGN_OR_RETURN(AcqOutcome outcome,
+                       ProcessAcq(*task_ptr, AcquireOptions{}));
+  *task_out = task_ptr;
+  return outcome;
+}
+
+// Asserts the server's report is bit-identical to the direct outcome:
+// same mode/termination/satisfied, exactly equal doubles, and the same
+// rendered SQL for every answer.
+void ExpectReportMatchesDirect(const JsonValue& response,
+                               const AcqOutcome& direct,
+                               const AcqTask& direct_task) {
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  const JsonValue* report = response.Get("report");
+  ASSERT_NE(report, nullptr) << response.Dump();
+  EXPECT_EQ(report->GetString("mode"), AcqModeToString(direct.mode));
+  EXPECT_EQ(report->GetString("termination"),
+            RunTerminationToString(direct.result.termination));
+  EXPECT_EQ(report->GetBool("satisfied", !direct.result.satisfied),
+            direct.result.satisfied);
+  EXPECT_EQ(report->GetNumber("original_aggregate", -1.0),
+            direct.original_aggregate);
+  EXPECT_EQ(report->GetNumber("queries_explored", -1.0),
+            static_cast<double>(direct.result.queries_explored));
+  EXPECT_EQ(report->GetNumber("cell_queries", -1.0),
+            static_cast<double>(direct.result.cell_queries));
+  const AcqTask& display_task = direct.mode == AcqMode::kContracted
+                                    ? *direct.contraction_task
+                                    : direct_task;
+  const JsonValue* answers = report->Get("answers");
+  ASSERT_NE(answers, nullptr);
+  ASSERT_TRUE(answers->is_array());
+  ASSERT_EQ(answers->size(), direct.result.queries.size());
+  for (size_t i = 0; i < direct.result.queries.size(); ++i) {
+    const RefinedQuery& expected = direct.result.queries[i];
+    const JsonValue& got = answers->AsArray()[i];
+    EXPECT_EQ(got.GetString("sql"),
+              RenderRefinedSql(display_task, expected));
+    EXPECT_EQ(got.GetString("predicates"), expected.description);
+    EXPECT_EQ(got.GetNumber("aggregate", -1.0), expected.aggregate);
+    EXPECT_EQ(got.GetNumber("qscore", -1.0), expected.qscore);
+    EXPECT_EQ(got.GetNumber("error", -1.0), expected.error);
+  }
+  const JsonValue* best = report->Get("best");
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->GetNumber("aggregate", -1.0), direct.result.best.aggregate);
+  EXPECT_EQ(best->GetNumber("qscore", -1.0), direct.result.best.qscore);
+}
+
+TEST(ServerProtocolTest, RejectsMalformedRequests) {
+  AcqServer server(SharedCatalog());
+  struct Case {
+    const char* line;
+    const char* code;
+  } cases[] = {
+      {"this is not json", "ParseError"},
+      {"[1,2,3]", "InvalidArgument"},
+      {"{\"cmd\":\"NOPE\"}", "InvalidArgument"},
+      {"{\"cmd\":\"SUBMIT\"}", "InvalidArgument"},
+      {"{\"cmd\":\"SUBMIT\",\"sql\":42}", "InvalidArgument"},
+      {"{\"cmd\":\"SUBMIT\",\"sql\":\"SELECT * FROM users CONSTRAINT "
+       "COUNT(*) >= 1 WHERE age <= 30\",\"gamma\":-1}",
+       "InvalidArgument"},
+      {"{\"cmd\":\"SUBMIT\",\"sql\":\"x\",\"order\":\"sideways\"}",
+       "InvalidArgument"},
+      {"{\"cmd\":\"SUBMIT\",\"sql\":\"x\",\"backend\":\"abacus\"}",
+       "InvalidArgument"},
+      {"{\"cmd\":\"STATUS\",\"id\":\"s-999\"}", "NotFound"},
+      {"{\"cmd\":\"CANCEL\",\"id\":\"nope\"}", "NotFound"},
+  };
+  for (const Case& c : cases) {
+    JsonValue response = MustParse(server.HandleRequestLine(c.line));
+    EXPECT_FALSE(response.GetBool("ok", true)) << c.line;
+    EXPECT_EQ(response.GetString("code"), c.code) << c.line;
+    EXPECT_FALSE(response.GetString("error").empty()) << c.line;
+  }
+}
+
+TEST(ServerProtocolTest, PlanningErrorFailsSession) {
+  AcqServer server(SharedCatalog());
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str("SELECT * FROM missing_table "
+                                    "CONSTRAINT COUNT(*) >= 1 "
+                                    "WHERE x <= 1"));
+  request.Set("wait", JsonValue::Bool(true));
+  JsonValue response = MustParse(server.HandleRequestLine(request.Dump()));
+  EXPECT_TRUE(response.GetBool("ok", false));
+  EXPECT_EQ(response.GetString("state"), "failed");
+  EXPECT_FALSE(response.GetString("error").empty());
+}
+
+TEST(ServerTest, SubmitWaitMatchesDirectRun) {
+  // Learn the original aggregate cheaply, then target 20% above it so the
+  // run actually expands.
+  std::shared_ptr<AcqTask> probe_task;
+  auto probe = DirectRun(
+      "SELECT * FROM users CONSTRAINT COUNT(*) >= 1 "
+      "WHERE age <= 30 AND income >= 60000",
+      &probe_task);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const int target =
+      static_cast<int>(probe->original_aggregate * 1.2) + 1;
+  const std::string sql = StringFormat(
+      "SELECT * FROM users CONSTRAINT COUNT(*) >= %d "
+      "WHERE age <= 30 AND income >= 60000",
+      target);
+  std::shared_ptr<AcqTask> task;
+  auto direct = DirectRun(sql, &task);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  AcqServer server(SharedCatalog());
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(sql));
+  request.Set("wait", JsonValue::Bool(true));
+  JsonValue response = MustParse(server.HandleRequestLine(request.Dump()));
+  EXPECT_EQ(response.GetString("state"), "done");
+  ExpectReportMatchesDirect(response, *direct, *task);
+}
+
+TEST(ServerTest, EightConcurrentClientsBitIdenticalOverTcp) {
+  constexpr int kClients = 8;
+  // Distinct queries per client, solved directly first (serially).
+  std::vector<std::string> sqls;
+  std::vector<AcqOutcome> direct(kClients);
+  std::vector<std::shared_ptr<AcqTask>> tasks(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    sqls.push_back(StringFormat(
+        "SELECT * FROM users CONSTRAINT COUNT(*) >= %d "
+        "WHERE age <= %d AND income >= %d",
+        200 + 25 * i, 24 + i, 55000 + 1000 * i));
+    auto outcome = DirectRun(sqls.back(), &tasks[i]);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    direct[i] = std::move(*outcome);
+  }
+
+  AcqServer server(SharedCatalog());
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<JsonValue> responses(kClients);
+  std::vector<Status> failures(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      LineClient client;
+      Status connected = client.Connect("127.0.0.1", server.port());
+      if (!connected.ok()) {
+        failures[i] = connected;
+        return;
+      }
+      JsonValue request = JsonValue::Object();
+      request.Set("cmd", JsonValue::Str("SUBMIT"));
+      request.Set("sql", JsonValue::Str(sqls[i]));
+      request.Set("wait", JsonValue::Bool(true));
+      Result<JsonValue> response = client.Call(request);
+      if (!response.ok()) {
+        failures[i] = response.status();
+        return;
+      }
+      responses[i] = std::move(*response);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(failures[i].ok()) << failures[i].ToString();
+    EXPECT_EQ(responses[i].GetString("state"), "done") << sqls[i];
+    ExpectReportMatchesDirect(responses[i], direct[i], *tasks[i]);
+  }
+}
+
+TEST(ServerTest, CancelMidExploreReturnsPartialReport) {
+  AcqServer server(SharedCatalog());
+  JsonValue submitted =
+      MustParse(server.HandleRequestLine(SlowSubmit().Dump()));
+  ASSERT_TRUE(submitted.GetBool("ok", false)) << submitted.Dump();
+  const std::string id = submitted.GetString("id");
+  ASSERT_FALSE(id.empty());
+
+  // Wait until the run is demonstrably mid-Explore.
+  JsonValue status;
+  for (int i = 0; i < 2000; ++i) {
+    status = MustParse(server.HandleRequestLine(
+        StringFormat("{\"cmd\":\"STATUS\",\"id\":\"%s\"}", id.c_str())));
+    if (status.GetString("state") == "running" &&
+        status.GetNumber("queries_explored", 0.0) > 0.0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(status.GetString("state"), "running") << status.Dump();
+
+  JsonValue cancelled = MustParse(server.HandleRequestLine(StringFormat(
+      "{\"cmd\":\"CANCEL\",\"id\":\"%s\",\"wait\":true}", id.c_str())));
+  ASSERT_TRUE(cancelled.GetBool("ok", false)) << cancelled.Dump();
+  EXPECT_EQ(cancelled.GetString("state"), "cancelled");
+  const JsonValue* report = cancelled.Get("report");
+  ASSERT_NE(report, nullptr) << cancelled.Dump();
+  EXPECT_EQ(report->GetString("termination"), "cancelled");
+  EXPECT_FALSE(report->GetBool("satisfied", true));
+  EXPECT_GT(report->GetNumber("queries_explored", 0.0), 0.0);
+
+  // The run released its admission slot and pool task.
+  for (int i = 0; i < 2000 && server.sessions().num_running() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.sessions().num_running(), 0u);
+}
+
+TEST(ServerTest, AdmissionRejectsWhenSaturated) {
+  ServerOptions options;
+  options.max_running = 1;
+  options.max_queued = 1;
+  AcqServer server(SharedCatalog(), options);
+  JsonValue first = MustParse(server.HandleRequestLine(SlowSubmit().Dump()));
+  JsonValue second = MustParse(server.HandleRequestLine(SlowSubmit().Dump()));
+  JsonValue third = MustParse(server.HandleRequestLine(SlowSubmit().Dump()));
+  ASSERT_TRUE(first.GetBool("ok", false));
+  ASSERT_TRUE(second.GetBool("ok", false));
+  EXPECT_FALSE(third.GetBool("ok", true));
+  EXPECT_EQ(third.GetString("code"), "Unavailable");
+
+  for (const JsonValue* response : {&first, &second}) {
+    const std::string id = response->GetString("id");
+    JsonValue cancelled = MustParse(server.HandleRequestLine(StringFormat(
+        "{\"cmd\":\"CANCEL\",\"id\":\"%s\",\"wait\":true}", id.c_str())));
+    EXPECT_EQ(cancelled.GetString("state"), "cancelled") << cancelled.Dump();
+  }
+
+  JsonValue stats = MustParse(server.HandleRequestLine("{\"cmd\":\"STATS\"}"));
+  const JsonValue* counters = stats.Get("stats");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetNumber("submitted", -1.0), 2.0);
+  EXPECT_EQ(counters->GetNumber("rejected", -1.0), 1.0);
+  EXPECT_EQ(counters->GetNumber("cancelled", -1.0), 2.0);
+}
+
+TEST(ServerTest, DeadlineOverServerReturnsPartialDone) {
+  AcqServer server(SharedCatalog());
+  JsonValue request = SlowSubmit();
+  request.Set("timeout_ms", JsonValue::Number(1.0));
+  request.Set("wait", JsonValue::Bool(true));
+  JsonValue response = MustParse(server.HandleRequestLine(request.Dump()));
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  EXPECT_EQ(response.GetString("state"), "done");
+  const JsonValue* report = response.Get("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->GetString("termination"), "deadline_exceeded");
+  EXPECT_FALSE(report->GetBool("satisfied", true));
+}
+
+TEST(ServerTest, StatsAggregateAcrossRuns) {
+  AcqServer server(SharedCatalog());
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(
+                         "SELECT * FROM users CONSTRAINT COUNT(*) >= 1 "
+                         "WHERE age <= 40"));
+  request.Set("wait", JsonValue::Bool(true));
+  JsonValue response = MustParse(server.HandleRequestLine(request.Dump()));
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  EXPECT_EQ(response.GetString("state"), "done");
+
+  JsonValue stats = MustParse(server.HandleRequestLine("{\"cmd\":\"STATS\"}"));
+  ASSERT_TRUE(stats.GetBool("ok", false));
+  const JsonValue* counters = stats.Get("stats");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetNumber("submitted", -1.0), 1.0);
+  EXPECT_EQ(counters->GetNumber("completed", -1.0), 1.0);
+  EXPECT_EQ(counters->GetNumber("running", -1.0), 0.0);
+  EXPECT_EQ(counters->GetNumber("queued", -1.0), 0.0);
+  EXPECT_GE(counters->GetNumber("pool_threads", 0.0), 1.0);
+}
+
+TEST(ServerTest, MultipleRequestsOnOneConnection) {
+  AcqServer server(SharedCatalog());
+  ASSERT_TRUE(server.Start().ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Malformed line gets an error response, connection stays usable.
+  auto raw = client.CallRaw("{{{{");
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  JsonValue error = MustParse(*raw);
+  EXPECT_FALSE(error.GetBool("ok", true));
+
+  JsonValue stats_request = JsonValue::Object();
+  stats_request.Set("cmd", JsonValue::Str("STATS"));
+  auto stats = client.Call(stats_request);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->GetBool("ok", false));
+  client.Close();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace acquire
