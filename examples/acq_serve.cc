@@ -19,6 +19,18 @@
 //   --max-running N        concurrent runs admitted (default: half the pool)
 //   --max-queue N          queued requests beyond that (default 64)
 //   --default-timeout-ms N deadline for SUBMITs without one (default: none)
+//   --memory-budget-bytes N  soft per-run memory budget for SUBMITs without
+//                          one; budget-stopped runs report resource_exhausted
+//   --idle-timeout-ms N    close connections idle longer than this (default:
+//                          never)
+//   --max-line-bytes N     reject request lines longer than this (default
+//                          1 MiB; 0 = unbounded)
+//   --failpoints SPEC      arm fault-injection sites, e.g.
+//                          "server.recv=p:0.05;server.admit=every:100"
+//                          (also honours the ACQUIRE_FAILPOINTS env var)
+//
+// Exit status: 0 clean shutdown, 1 startup error, 4 when any run ended
+// resource_exhausted (so harnesses notice budget-degraded service).
 
 #include <unistd.h>
 
@@ -29,6 +41,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/failpoint.h"
 #include "server/server.h"
 #include "storage/persistence.h"
 #include "workload/tpch_gen.h"
@@ -76,6 +89,20 @@ int main(int argc, char** argv) {
       options.max_queued = static_cast<size_t>(std::atoll(value));
     } else if (flag == "--default-timeout-ms" && (value = next())) {
       options.default_timeout_ms = std::atof(value);
+    } else if (flag == "--memory-budget-bytes" && (value = next())) {
+      options.default_memory_budget_bytes =
+          static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--idle-timeout-ms" && (value = next())) {
+      options.idle_timeout_ms = std::atof(value);
+    } else if (flag == "--max-line-bytes" && (value = next())) {
+      options.max_line_bytes = static_cast<size_t>(std::atoll(value));
+    } else if (flag == "--failpoints" && (value = next())) {
+      if (!FailpointRegistry::compiled_in()) {
+        return Fail("--failpoints: this build compiled failpoints out "
+                    "(-DACQUIRE_FAILPOINTS_ENABLED=OFF)");
+      }
+      Status armed = FailpointRegistry::Global().ConfigureFromSpec(value);
+      if (!armed.ok()) return Fail(armed.ToString());
     } else {
       return Fail("unknown or incomplete flag: " + flag +
                   " (see the header of acq_serve.cc)");
@@ -123,5 +150,28 @@ int main(int argc, char** argv) {
   while (g_stop == 0) pause();
   std::printf("shutting down\n");
   server.Stop();
-  return 0;
+
+  const ServerCounters counters = server.sessions().counters();
+  std::printf(
+      "served: %llu submitted, %llu completed, %llu truncated, "
+      "%llu deadline_exceeded, %llu cancelled, %llu resource_exhausted, "
+      "%llu failed, %llu rejected\n",
+      static_cast<unsigned long long>(counters.submitted),
+      static_cast<unsigned long long>(counters.completed),
+      static_cast<unsigned long long>(counters.truncated),
+      static_cast<unsigned long long>(counters.deadline_exceeded),
+      static_cast<unsigned long long>(counters.cancelled),
+      static_cast<unsigned long long>(counters.resource_exhausted),
+      static_cast<unsigned long long>(counters.failed),
+      static_cast<unsigned long long>(counters.rejected));
+  if (FailpointRegistry::compiled_in()) {
+    const uint64_t hits = FailpointRegistry::Global().TotalHits();
+    if (hits > 0) {
+      std::printf("failpoint hits: %llu\n",
+                  static_cast<unsigned long long>(hits));
+    }
+  }
+  // Distinct exit status when service degraded under its memory budget, so
+  // wrapping harnesses can tell "served everything" from "shed load".
+  return counters.resource_exhausted > 0 ? 4 : 0;
 }

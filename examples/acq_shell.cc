@@ -18,10 +18,15 @@
 //   \explain <sql>                show the planned task and grid geometry
 //   \report [i]                   per-predicate change report of answer i
 //   \materialize <i> <file>       execute answer i, write its tuples
-//   \set gamma|delta|batch|max_explored <value>  tune thresholds / budget
+//   \set gamma|delta|batch|max_explored|memory_budget <value>
+//                                 tune thresholds / budgets (memory_budget
+//                                 in bytes, 0 = unlimited)
 //   \help                         this text
 //   \quit                         exit
 // Anything else is parsed as ACQ SQL (CONSTRAINT / NOREFINE).
+//
+// Exit status: 0, or 4 when any run stopped with resource_exhausted (its
+// best-so-far answer was still printed).
 
 #include <unistd.h>
 
@@ -80,7 +85,7 @@ class Shell {
       std::string_view trimmed = Trim(line);
       if (trimmed.empty()) continue;
       if (trimmed[0] == '\\') {
-        if (!HandleCommand(std::string(trimmed))) return 0;
+        if (!HandleCommand(std::string(trimmed))) return exit_code_;
         continue;
       }
       // SQL statements may span lines; a terminating ';' submits.
@@ -91,7 +96,7 @@ class Shell {
       statement.clear();
     }
     if (!Trim(statement).empty()) RunSql(statement);
-    return 0;
+    return exit_code_;
   }
 
  private:
@@ -113,7 +118,8 @@ class Shell {
     if (name == "\\help") {
       printf("\\gen tpch|users|patients <rows>, \\load <t> <f> <schema>, "
              "\\save <t> <f>, \\savedb <dir>, \\loaddb <dir>, \\tables, "
-             "\\show <t> [n], \\explain <sql>, \\set gamma|delta|batch|max_explored <v>, "
+             "\\show <t> [n], \\explain <sql>, "
+             "\\set gamma|delta|batch|max_explored|memory_budget <v>, "
              "\\quit\n");
       return true;
     }
@@ -266,13 +272,18 @@ class Shell {
             value != 0.0 ? BatchExplore::kOn : BatchExplore::kOff;
       } else if (key == "max_explored" && value >= 0) {
         options_.max_explored = static_cast<uint64_t>(value);
+      } else if (key == "memory_budget" && value >= 0) {
+        options_.memory_budget_bytes = static_cast<uint64_t>(value);
       } else {
-        printf("usage: \\set gamma|delta|batch|max_explored <value>\n");
+        printf("usage: \\set gamma|delta|batch|max_explored|memory_budget "
+               "<value>\n");
         return true;
       }
-      printf("gamma=%.3f delta=%.4f max_explored=%llu batch=%s\n",
+      printf("gamma=%.3f delta=%.4f max_explored=%llu memory_budget=%llu "
+             "batch=%s\n",
              options_.gamma, options_.delta,
              static_cast<unsigned long long>(options_.max_explored),
+             static_cast<unsigned long long>(options_.memory_budget_bytes),
              options_.batch_explore == BatchExplore::kOff
                  ? "off"
                  : options_.batch_explore == BatchExplore::kOn ? "on"
@@ -302,7 +313,15 @@ class Shell {
            last_task_->constraint.target,
            AcqModeToString(outcome->mode));
     const AcquireResult& result = outcome->result;
-    if (result.termination != RunTermination::kCompleted) {
+    if (result.termination == RunTermination::kResourceExhausted) {
+      // Memory budget ran out mid-search: the answer below is best-so-far,
+      // and the shell's exit status records the degradation (sticky 4).
+      printf("memory budget exhausted after %llu refined queries; "
+             "reporting best-so-far (raise \\set memory_budget to search "
+             "further)\n",
+             static_cast<unsigned long long>(result.queries_explored));
+      exit_code_ = 4;
+    } else if (result.termination != RunTermination::kCompleted) {
       // Distinguishes "searched everything, no answer" from "ran out of
       // budget/time": a truncated or interrupted result is best-so-far.
       printf("search stopped early (%s) after %llu refined queries\n",
@@ -339,6 +358,7 @@ class Shell {
   std::shared_ptr<AcqTask> last_task_;
   AcquireResult last_result_;
   bool interactive_ = isatty(fileno(stdin)) != 0;
+  int exit_code_ = 0;  // sticky 4 once any run ends resource_exhausted
 };
 
 }  // namespace

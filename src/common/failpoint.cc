@@ -1,0 +1,206 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace acquire {
+
+namespace {
+
+// Stable per-site RNG seed: FNV-1a over the name, so a given
+// ACQUIRE_FAILPOINTS spec reproduces the same fault schedule per site
+// regardless of registration order.
+uint64_t SeedFor(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h | 1;
+}
+
+}  // namespace
+
+Failpoint::Failpoint(std::string name)
+    : name_(std::move(name)), rng_(SeedFor(name_)) {}
+
+bool Failpoint::Fire() {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (mode_) {
+      case Mode::kOff:
+        break;
+      case Mode::kProbability:
+        fired = rng_.NextBool(probability_);
+        break;
+      case Mode::kCount:
+        if (remaining_ > 0) {
+          fired = true;
+          if (--remaining_ == 0) {
+            mode_ = Mode::kOff;
+            armed_.store(false, std::memory_order_relaxed);
+          }
+        }
+        break;
+      case Mode::kEveryNth:
+        if (++since_fire_ >= period_) {
+          since_fire_ = 0;
+          fired = true;
+        }
+        break;
+    }
+  }
+  if (fired) hits_.fetch_add(1, std::memory_order_relaxed);
+  return fired;
+}
+
+std::string Failpoint::spec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (mode_) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kProbability:
+      return StringFormat("p:%g", probability_);
+    case Mode::kCount:
+      return StringFormat("count:%llu",
+                          static_cast<unsigned long long>(remaining_));
+    case Mode::kEveryNth:
+      return StringFormat("every:%llu",
+                          static_cast<unsigned long long>(period_));
+  }
+  return "off";
+}
+
+Status Failpoint::Configure(const std::string& spec) {
+  const std::string lower = ToLower(Trim(spec));
+  Mode mode;
+  double probability = 0.0;
+  uint64_t n = 0;
+  if (lower == "off") {
+    mode = Mode::kOff;
+  } else {
+    const size_t colon = lower.find(':');
+    const std::string kind = lower.substr(0, colon);
+    const std::string arg =
+        colon == std::string::npos ? "" : lower.substr(colon + 1);
+    char* end = nullptr;
+    if (kind == "p") {
+      probability = std::strtod(arg.c_str(), &end);
+      if (arg.empty() || *end != '\0' || probability < 0.0 ||
+          probability > 1.0) {
+        return Status::InvalidArgument(StringFormat(
+            "failpoint '%s': p wants a probability in [0,1], got '%s'",
+            name_.c_str(), arg.c_str()));
+      }
+      mode = Mode::kProbability;
+    } else if (kind == "count" || kind == "every") {
+      n = std::strtoull(arg.c_str(), &end, 10);
+      if (arg.empty() || *end != '\0' || n == 0) {
+        return Status::InvalidArgument(StringFormat(
+            "failpoint '%s': %s wants a positive integer, got '%s'",
+            name_.c_str(), kind.c_str(), arg.c_str()));
+      }
+      mode = kind == "count" ? Mode::kCount : Mode::kEveryNth;
+    } else {
+      return Status::InvalidArgument(StringFormat(
+          "failpoint '%s': unknown trigger '%s' (off|p:<prob>|count:<n>|"
+          "every:<n>)",
+          name_.c_str(), spec.c_str()));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = mode;
+  probability_ = probability;
+  remaining_ = mode == Mode::kCount ? n : 0;
+  period_ = mode == Mode::kEveryNth ? n : 0;
+  since_fire_ = 0;
+  armed_.store(mode != Mode::kOff, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kOff;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  // Leaked intentionally (like ThreadPool::Shared) so sites cached in
+  // function-local statics stay valid through late static destructors.
+  static FailpointRegistry* const registry = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* env = std::getenv("ACQUIRE_FAILPOINTS")) {
+      Status armed = r->ConfigureFromSpec(env);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "ACQUIRE_FAILPOINTS ignored: %s\n",
+                     armed.ToString().c_str());
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Failpoint* FailpointRegistry::Site(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_.emplace(name, std::unique_ptr<Failpoint>(new Failpoint(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Status FailpointRegistry::Configure(const std::string& name,
+                                    const std::string& spec) {
+  const std::string site(Trim(name));
+  if (site.empty()) {
+    return Status::InvalidArgument("failpoint name must be non-empty");
+  }
+  return Site(site)->Configure(spec);
+}
+
+Status FailpointRegistry::ConfigureFromSpec(const std::string& multi_spec) {
+  for (const std::string& entry : Split(multi_spec, ';')) {
+    if (Trim(entry).empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(StringFormat(
+          "failpoint entry '%s' is not name=spec", entry.c_str()));
+    }
+    ACQ_RETURN_IF_ERROR(
+        Configure(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) site->Disarm();
+}
+
+std::vector<FailpointRegistry::SiteInfo> FailpointRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteInfo> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    out.push_back(
+        SiteInfo{name, site->spec(), site->hits(), site->evaluations()});
+  }
+  return out;
+}
+
+uint64_t FailpointRegistry::TotalHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, site] : sites_) total += site->hits();
+  return total;
+}
+
+}  // namespace acquire

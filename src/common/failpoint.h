@@ -1,0 +1,143 @@
+#ifndef ACQUIRE_COMMON_FAILPOINT_H_
+#define ACQUIRE_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+// Compile-time gate for the fault-injection sites. The build defines
+// ACQUIRE_FAILPOINTS_ENABLED=0/1 (CMake option of the same name, ON by
+// default); when 0 every ACQ_FAILPOINT expands to a constant false and the
+// instrumented branches fold away entirely.
+#ifndef ACQUIRE_FAILPOINTS_ENABLED
+#define ACQUIRE_FAILPOINTS_ENABLED 1
+#endif
+
+namespace acquire {
+
+/// One named fault-injection site. Disarmed sites cost a relaxed load (plus
+/// a relaxed counter bump) per evaluation; armed sites take a mutex to run
+/// their trigger, which is fine — every instrumented seam is an I/O or
+/// allocation-growth path, never a per-tuple loop.
+///
+/// Trigger specs (the wire/env grammar, parsed by Configure):
+///   off        disarm
+///   p:0.05     fire each evaluation with probability 0.05
+///   count:3    fire the next 3 evaluations, then disarm
+///   every:100  fire every 100th evaluation (the 100th, 200th, ...)
+class Failpoint {
+ public:
+  /// Evaluates the trigger. True means the caller should take its injected
+  /// failure branch. Thread-safe.
+  bool Fire();
+
+  const std::string& name() const { return name_; }
+  /// Times Fire() returned true / was called, since process start.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  /// Current trigger in spec grammar ("off", "p:0.05", ...).
+  std::string spec() const;
+
+ private:
+  friend class FailpointRegistry;
+
+  enum class Mode { kOff, kProbability, kCount, kEveryNth };
+
+  explicit Failpoint(std::string name);
+
+  Status Configure(const std::string& spec);
+  void Disarm();
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> evaluations_{0};
+
+  mutable std::mutex mu_;  // trigger state below
+  Mode mode_ = Mode::kOff;
+  double probability_ = 0.0;
+  uint64_t remaining_ = 0;    // kCount: fires left
+  uint64_t period_ = 0;       // kEveryNth
+  uint64_t since_fire_ = 0;   // kEveryNth: evaluations since the last fire
+  Rng rng_;
+};
+
+/// Process-wide registry of failpoints, keyed by site name. Sites register
+/// lazily on first evaluation (the ACQ_FAILPOINT macro) or eagerly when
+/// configured by name; both resolve to the same object, so a site can be
+/// armed before or after the instrumented code first runs.
+///
+/// On first access the registry arms itself from the ACQUIRE_FAILPOINTS
+/// environment variable: a ';'-separated list of name=spec entries, e.g.
+///   ACQUIRE_FAILPOINTS="server.recv=p:0.05;explore.arena_grow=count:1"
+/// The ACQ server additionally exposes the same grammar at runtime through
+/// its FAILPOINT admin verb.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  /// Whether the ACQ_FAILPOINT sites were compiled in. The registry itself
+  /// always exists (so STATS/FAILPOINT can report the build mode), but with
+  /// the sites compiled out arming it has no effect.
+  static constexpr bool compiled_in() { return ACQUIRE_FAILPOINTS_ENABLED != 0; }
+
+  /// The site named `name`, created disarmed on first use. The pointer is
+  /// stable for the process lifetime.
+  Failpoint* Site(const std::string& name);
+
+  /// Arms/disarms one site from a trigger spec (see Failpoint).
+  Status Configure(const std::string& name, const std::string& spec);
+
+  /// Applies a ';'-separated "name=spec" list (the env-var grammar).
+  /// Stops at the first malformed entry.
+  Status ConfigureFromSpec(const std::string& multi_spec);
+
+  /// Disarms every site (hit/evaluation counters are kept).
+  void DisarmAll();
+
+  struct SiteInfo {
+    std::string name;
+    std::string spec;
+    uint64_t hits = 0;
+    uint64_t evaluations = 0;
+  };
+  /// Every registered site, in name order.
+  std::vector<SiteInfo> List() const;
+
+  /// Total injected failures across all sites (the STATS counter).
+  uint64_t TotalHits() const;
+
+ private:
+  FailpointRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>> sites_;
+};
+
+}  // namespace acquire
+
+// Evaluates the failpoint `name` (a string literal): true when an injected
+// failure should be taken. Each call site caches its registry lookup in a
+// function-local static, so steady-state cost is one branch + two relaxed
+// atomics. Compiled to a constant false when ACQUIRE_FAILPOINTS_ENABLED=0.
+#if ACQUIRE_FAILPOINTS_ENABLED
+#define ACQ_FAILPOINT(name)                                        \
+  ([]() -> bool {                                                  \
+    static ::acquire::Failpoint* const acq_failpoint_site =        \
+        ::acquire::FailpointRegistry::Global().Site(name);         \
+    return acq_failpoint_site->Fire();                             \
+  }())
+#else
+#define ACQ_FAILPOINT(name) (false)
+#endif
+
+#endif  // ACQUIRE_COMMON_FAILPOINT_H_

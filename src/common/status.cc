@@ -39,6 +39,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -108,6 +110,9 @@ Status Status::Cancelled(std::string msg) {
 }
 Status Status::Unavailable(std::string msg) {
   return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 
 }  // namespace acquire

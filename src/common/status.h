@@ -24,6 +24,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kUnavailable,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -57,6 +58,7 @@ class Status {
   static Status DeadlineExceeded(std::string msg);
   static Status Cancelled(std::string msg);
   static Status Unavailable(std::string msg);
+  static Status ResourceExhausted(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -73,6 +75,9 @@ class Status {
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

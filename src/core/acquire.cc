@@ -73,7 +73,8 @@ Result<std::optional<RefinedQuery>> RepartitionCell(
 }
 
 std::unique_ptr<QueryGenerator> MakeGenerator(const RefinedSpace& space,
-                                              const AcquireOptions& options) {
+                                              const AcquireOptions& options,
+                                              MemoryBudget* budget) {
   SearchOrder order = options.order;
   if (order == SearchOrder::kAuto) {
     order = options.norm.kind() == NormKind::kLInf ? SearchOrder::kShell
@@ -81,14 +82,15 @@ std::unique_ptr<QueryGenerator> MakeGenerator(const RefinedSpace& space,
   }
   switch (order) {
     case SearchOrder::kShell:
+      // O(d) state — nothing worth metering.
       return std::make_unique<ShellGenerator>(&space);
     case SearchOrder::kBestFirst:
-      return std::make_unique<BestFirstGenerator>(&space);
+      return std::make_unique<BestFirstGenerator>(&space, budget);
     case SearchOrder::kAuto:
     case SearchOrder::kBfs:
       break;
   }
-  return std::make_unique<BfsGenerator>(&space);
+  return std::make_unique<BfsGenerator>(&space, budget);
 }
 
 }  // namespace
@@ -116,7 +118,19 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
   layer->ResetStats();
   Stopwatch sw;  // after Prepare: elapsed_ms times the search itself
 
-  std::unique_ptr<QueryGenerator> generator = MakeGenerator(space, options);
+  // Resolve the interruption context. A memory budget needs a context to
+  // latch exhaustion into, so budget-only runs get a local one.
+  RunContext local_ctx;
+  RunContext* ctx = options.run_ctx;
+  if (ctx == nullptr && options.memory_budget_bytes > 0) ctx = &local_ctx;
+  if (ctx != nullptr && options.memory_budget_bytes > 0 &&
+      ctx->budget().limit() == 0) {
+    ctx->budget().set_limit(options.memory_budget_bytes);
+  }
+  MemoryBudget* budget = ctx != nullptr ? &ctx->budget() : nullptr;
+
+  std::unique_ptr<QueryGenerator> generator =
+      MakeGenerator(space, options, budget);
   // Per-layer divergence detection only makes sense when the generator
   // emits discrete layers; best-first scores are (nearly) unique per coord.
   SearchOrder effective_order = options.order;
@@ -184,7 +198,6 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
   // The per-coordinate body shared by the sequential and batched drivers:
   // record the aggregate of `coord`, repartition on an overshoot, apply the
   // stall/max_explored stopping rules. False stops the search.
-  RunContext* ctx = options.run_ctx;
   auto investigate = [&](const GridCoord& coord, double score,
                          double aggregate) -> Result<bool> {
     ++result.queries_explored;
@@ -249,7 +262,7 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
   };
 
   if (!batched) {
-    Explorer explorer(&space, layer);
+    Explorer explorer(&space, layer, budget);
     GridCoord coord;
     for (;;) {
       if (interrupted()) break;

@@ -67,6 +67,15 @@ struct AcquireOptions {
   /// Hard cap on investigated grid queries (safety valve).
   uint64_t max_explored = 2'000'000;
 
+  /// Soft cap on the search-side working set (aggregate-store arena plus
+  /// expand layer arenas), in bytes; 0 = unlimited. Enforcement is
+  /// cooperative (see MemoryBudget): the run stops at the next poll after
+  /// growth crosses the limit and returns termination = kResourceExhausted
+  /// with the best-so-far partial answer — never an allocation failure.
+  /// When run_ctx is provided its budget is used (and this limit is applied
+  /// to it if the context has none); otherwise an internal context is used.
+  uint64_t memory_budget_bytes = 0;
+
   /// After this many consecutive completed layers whose best error got
   /// strictly worse, the search concludes the aggregate is diverging from
   /// the target (e.g. the origin already overshot an equality constraint)
@@ -104,8 +113,9 @@ struct AcquireResult {
   /// Why the search stopped. kCompleted covers the search's own stopping
   /// rules (hit layer exhausted, space exhausted, divergence/stall);
   /// kTruncated means options.max_explored ran out — i.e. "budget
-  /// exhausted", not "no answer" — and kDeadlineExceeded / kCancelled mean
-  /// options.run_ctx interrupted the run, with everything below holding the
+  /// exhausted", not "no answer" — and kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted mean the run context (deadline, cancellation, or
+  /// memory budget) interrupted the run, with everything below holding the
   /// best-so-far partial answer.
   RunTermination termination = RunTermination::kCompleted;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace acquire {
 
 namespace {
@@ -30,10 +32,23 @@ size_t LayerCardinalityBound(int64_t k, size_t d, size_t cap) {
 
 }  // namespace
 
-BfsGenerator::BfsGenerator(const RefinedSpace* space) : space_(space) {
+BfsGenerator::BfsGenerator(const RefinedSpace* space, MemoryBudget* budget)
+    : space_(space), budget_(budget) {
   total_cells_ = TotalCells(*space_, size_t{1} << 26);
   layer_.assign(space_->d(), 0);  // the origin
   next_.reserve(space_->d() * space_->d());
+  ChargeGrowth();
+}
+
+void BfsGenerator::ChargeGrowth() {
+  const size_t bytes =
+      (layer_.capacity() + next_.capacity()) * sizeof(int32_t);
+  if (bytes <= charged_bytes_) return;
+  const size_t delta = bytes - charged_bytes_;
+  charged_bytes_ = bytes;
+  if (budget_ == nullptr) return;
+  budget_->Charge(delta);
+  if (ACQ_FAILPOINT("expand.layer_alloc")) budget_->MarkExhausted();
 }
 
 bool BfsGenerator::Next(GridCoord* out) {
@@ -49,6 +64,7 @@ bool BfsGenerator::Next(GridCoord* out) {
         LayerCardinalityBound(static_cast<int64_t>(score_) + 1, d,
                               total_cells_),
         total_cells_));
+    ChargeGrowth();
   }
   const int32_t* cur = layer_.data() + pos_ * d;
   // Canonical-predecessor expansion: only increment dimensions at or after
@@ -66,6 +82,7 @@ bool BfsGenerator::Next(GridCoord* out) {
     next_.insert(next_.end(), cur, cur + d);
     ++next_[next_.size() - d + i];
   }
+  ChargeGrowth();  // reserve underestimates occasionally force a regrow
   ++pos_;
   out->assign(cur, cur + d);
   return true;
@@ -133,8 +150,9 @@ bool ShellGenerator::Next(GridCoord* out) {
   return false;
 }
 
-BestFirstGenerator::BestFirstGenerator(const RefinedSpace* space)
-    : space_(space) {
+BestFirstGenerator::BestFirstGenerator(const RefinedSpace* space,
+                                       MemoryBudget* budget)
+    : space_(space), budget_(budget) {
   seen_.reserve(std::min(TotalCells(*space_, size_t{1} << 26), size_t{4096}));
   GridCoord origin(space_->d(), 0);
   seen_.insert(origin);
@@ -153,6 +171,16 @@ bool BestFirstGenerator::Next(GridCoord* out) {
       double q = space_->QScoreOf(next);
       heap_.push(Entry{q, std::move(next)});
     }
+  }
+  if (budget_ != nullptr && seen_.size() > charged_coords_) {
+    // Each frontier coordinate lives once in seen_ and (while queued) once
+    // in the heap: roughly two d-length int32 vectors plus bucket overhead.
+    const size_t per_coord =
+        2 * (sizeof(GridCoord) + top.coord.size() * sizeof(int32_t)) +
+        2 * sizeof(void*);
+    budget_->Charge((seen_.size() - charged_coords_) * per_coord);
+    charged_coords_ = seen_.size();
+    if (ACQ_FAILPOINT("expand.layer_alloc")) budget_->MarkExhausted();
   }
   score_ = top.qscore;
   *out = std::move(top.coord);

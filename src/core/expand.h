@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/refined_space.h"
+#include "core/run_context.h"
 
 namespace acquire {
 
@@ -44,18 +45,28 @@ class QueryGenerator {
 /// (which reuses its capacity) instead of handing out a fresh one.
 class BfsGenerator final : public QueryGenerator {
  public:
-  explicit BfsGenerator(const RefinedSpace* space);
+  /// `budget` (optional, not owned) meters the flat layer arenas — in high
+  /// dimensions a single BFS layer can dwarf the aggregate store, so layer
+  /// growth past the budget (or an injected "expand.layer_alloc" failpoint
+  /// hit) latches budget exhaustion for the driver to observe.
+  explicit BfsGenerator(const RefinedSpace* space,
+                        MemoryBudget* budget = nullptr);
 
   bool Next(GridCoord* out) override;
   double CurrentScore() const override { return score_; }
 
  private:
+  /// Charges layer-arena capacity growth since the last call.
+  void ChargeGrowth();
+
   const RefinedSpace* space_;
   std::vector<int32_t> layer_;  // current layer, d-strided, generation order
   std::vector<int32_t> next_;   // successors of the layer_ coords visited
   size_t pos_ = 0;              // next unvisited coordinate index in layer_
   double score_ = 0.0;
   size_t total_cells_ = 0;      // saturated grid cardinality (reserve cap)
+  MemoryBudget* budget_;        // not owned; nullptr = untracked
+  size_t charged_bytes_ = 0;    // arena capacity bytes already charged
 };
 
 /// Algorithm 2: explicit enumeration of the L-shaped equi-L∞ shells
@@ -84,7 +95,10 @@ class ShellGenerator final : public QueryGenerator {
 /// heap.
 class BestFirstGenerator final : public QueryGenerator {
  public:
-  explicit BestFirstGenerator(const RefinedSpace* space);
+  /// `budget` (optional, not owned) meters the heap + visited set, which
+  /// grow with the explored frontier like the BFS layer arenas do.
+  explicit BestFirstGenerator(const RefinedSpace* space,
+                              MemoryBudget* budget = nullptr);
 
   bool Next(GridCoord* out) override;
   double CurrentScore() const override { return score_; }
@@ -100,6 +114,8 @@ class BestFirstGenerator final : public QueryGenerator {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
   std::unordered_set<GridCoord, GridCoordHash> seen_;
   double score_ = 0.0;
+  MemoryBudget* budget_;      // not owned; nullptr = untracked
+  size_t charged_coords_ = 0; // frontier coordinates already charged
 };
 
 }  // namespace acquire

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "exec/thread_pool.h"
 
@@ -36,6 +37,19 @@ void AggregateStore::Reserve(size_t coords) {
   // Keep the load factor under 3/4 for `coords` entries.
   const size_t wanted = NextPowerOfTwo(coords * 4 / 3 + 1);
   if (wanted > slots_.size()) Rehash(wanted);
+  ChargeGrowth();
+}
+
+void AggregateStore::ChargeGrowth() {
+  const size_t bytes = MemoryBytes();
+  if (bytes <= charged_bytes_) return;
+  const size_t delta = bytes - charged_bytes_;
+  charged_bytes_ = bytes;
+  if (budget_ == nullptr) return;
+  budget_->Charge(delta);
+  // Injected allocation failure on the growth path: indistinguishable from
+  // a real budget overrun downstream (best-so-far kResourceExhausted).
+  if (ACQ_FAILPOINT("explore.arena_grow")) budget_->MarkExhausted();
 }
 
 size_t AggregateStore::ProbeSlot(const int32_t* key) const {
@@ -88,13 +102,16 @@ double* AggregateStore::InsertHinted(const GridCoord& coord, size_t hint) {
   const size_t offset = num_entries_ * block_width_;
   arena_.resize(offset + block_width_, 0.0);
   slots_[slot] = static_cast<uint32_t>(++num_entries_);
+  ChargeGrowth();
   return arena_.data() + offset;
 }
 
-Explorer::Explorer(const RefinedSpace* space, EvaluationLayer* layer)
+Explorer::Explorer(const RefinedSpace* space, EvaluationLayer* layer,
+                   MemoryBudget* budget)
     : space_(space), layer_(layer) {
   const AggregateOps& ops = *space_->task().agg.ops;
   store_.Configure(space_->d(), ops.Init().size());
+  store_.set_budget(budget);
   scratch_.resize(space_->d() + 1);
 }
 
@@ -286,7 +303,7 @@ BatchExplorer::BatchExplorer(const RefinedSpace* space, EvaluationLayer* layer,
       layer_(layer),
       generator_(generator),
       ctx_(ctx),
-      explorer_(space, layer) {}
+      explorer_(space, layer, ctx != nullptr ? &ctx->budget() : nullptr) {}
 
 BatchExplorer::~BatchExplorer() {
   if (prefetch_.valid()) {

@@ -30,6 +30,20 @@ class AggregateStore {
   /// number of doubles per aggregate state (== ops.Init().size()).
   void Configure(size_t d, size_t state_width);
 
+  /// Charges the store's capacity growth (keys, arena, slot table) against
+  /// `budget` (not owned; may be nullptr). Growth past the budget — or an
+  /// injected "explore.arena_grow" failpoint hit — latches the budget's
+  /// exhausted flag; the store itself keeps functioning (soft enforcement,
+  /// see MemoryBudget) so the driver can stop cleanly at its next poll.
+  void set_budget(MemoryBudget* budget) { budget_ = budget; }
+
+  /// Current reserved footprint in bytes (capacity, not size).
+  size_t MemoryBytes() const {
+    return keys_.capacity() * sizeof(int32_t) +
+           arena_.capacity() * sizeof(double) +
+           slots_.capacity() * sizeof(uint32_t);
+  }
+
   /// Pre-sizes the table and arena for `coords` total entries.
   void Reserve(size_t coords);
 
@@ -78,6 +92,8 @@ class AggregateStore {
   /// Slot holding the coordinate, or the empty slot where it would go.
   size_t ProbeSlot(const int32_t* key) const;
   void Rehash(size_t slot_count);
+  /// Charges any capacity growth since the last call against budget_.
+  void ChargeGrowth();
 
   size_t d_ = 0;
   size_t state_width_ = 0;
@@ -86,6 +102,8 @@ class AggregateStore {
   std::vector<uint32_t> slots_;  // entry index + 1; 0 = empty
   std::vector<int32_t> keys_;    // num_entries * d, entry-major
   std::vector<double> arena_;    // num_entries * block_width
+  MemoryBudget* budget_ = nullptr;  // not owned; nullptr = untracked
+  size_t charged_bytes_ = 0;        // capacity bytes already charged
 };
 
 /// The Explore phase (Section 5): Incremental Aggregate Computation.
@@ -103,7 +121,10 @@ class AggregateStore {
 /// execution per coordinate).
 class Explorer {
  public:
-  Explorer(const RefinedSpace* space, EvaluationLayer* layer);
+  /// `budget` (optional, not owned) meters the aggregate store's arena
+  /// growth — see AggregateStore::set_budget.
+  Explorer(const RefinedSpace* space, EvaluationLayer* layer,
+           MemoryBudget* budget = nullptr);
 
   Explorer(const Explorer&) = delete;
   Explorer& operator=(const Explorer&) = delete;

@@ -12,6 +12,8 @@ const char* RunTerminationToString(RunTermination t) {
       return "deadline_exceeded";
     case RunTermination::kCancelled:
       return "cancelled";
+    case RunTermination::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "?";
 }
@@ -25,6 +27,8 @@ Status TerminationToStatus(RunTermination t) {
       return Status::DeadlineExceeded("run deadline exceeded");
     case RunTermination::kCancelled:
       return Status::Cancelled("run cancelled");
+    case RunTermination::kResourceExhausted:
+      return Status::ResourceExhausted("run memory budget exhausted");
   }
   return Status::OK();
 }

@@ -16,19 +16,66 @@ namespace acquire {
 /// serving path — "no answer exists within the explored region" and "the
 /// budget ran out before we could tell" call for different client actions.
 enum class RunTermination {
-  kCompleted,         // the search's own stopping rules concluded
-  kTruncated,         // AcquireOptions.max_explored exhausted
-  kDeadlineExceeded,  // RunContext deadline passed
-  kCancelled,         // RunContext::RequestCancel observed
+  kCompleted,          // the search's own stopping rules concluded
+  kTruncated,          // AcquireOptions.max_explored exhausted
+  kDeadlineExceeded,   // RunContext deadline passed
+  kCancelled,          // RunContext::RequestCancel observed
+  kResourceExhausted,  // MemoryBudget limit hit (or injected exhaustion)
 };
 
 /// Stable lowercase name ("completed", "truncated", "deadline_exceeded",
-/// "cancelled") — also the wire form the ACQ server reports.
+/// "cancelled", "resource_exhausted") — also the wire form the ACQ server
+/// reports.
 const char* RunTerminationToString(RunTermination t);
 
 /// Converts a non-kCompleted termination to the matching error Status
 /// (OK for kCompleted / kTruncated, which still carry a usable result).
 Status TerminationToStatus(RunTermination t);
+
+/// Cooperative memory budget for one run's search-side allocations (the
+/// aggregate-store arena and the expand layer arenas — the structures that
+/// grow with the explored space, as opposed to the prepared evaluation
+/// layer, whose footprint is fixed before the search starts).
+///
+/// Enforcement is soft: Charge never blocks an allocation, it latches
+/// exhausted() once the running total would cross the limit (or a fault is
+/// injected), and the drivers poll that flag at the same granularity as
+/// deadlines, stopping with RunTermination::kResourceExhausted and the
+/// best-so-far partial answer. The overshoot is therefore bounded by one
+/// geometric growth step plus one poll interval — never an OOM abort.
+class MemoryBudget {
+ public:
+  /// 0 means unlimited (charges are still tallied). Set before the run.
+  void set_limit(uint64_t bytes) { limit_ = bytes; }
+  uint64_t limit() const { return limit_; }
+
+  /// Bytes charged so far. Thread-safe.
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  bool exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+  /// Latches exhaustion directly (failpoints and external monitors).
+  void MarkExhausted() { exhausted_.store(true, std::memory_order_relaxed); }
+
+  /// Tallies `bytes` of additional reservation; false (latching
+  /// exhausted()) when a limit is set and the total crosses it.
+  bool Charge(uint64_t bytes) {
+    const uint64_t total =
+        used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limit_ != 0 && total > limit_) {
+      MarkExhausted();
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  uint64_t limit_ = 0;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<bool> exhausted_{false};
+};
 
 /// Cooperative deadline + cancellation token + progress counters threaded
 /// through one ACQUIRE run (RunAcquire / RunAcquireContract / ProcessAcq via
@@ -82,6 +129,7 @@ class RunContext {
   /// prefetch worker concurrently.
   bool ShouldStop() {
     if (cancel_requested()) return true;
+    if (budget_.exhausted()) return true;
     if (!has_deadline_) return false;
     if (poll_count_.fetch_add(1, std::memory_order_relaxed) %
             kDeadlineStride !=
@@ -91,16 +139,25 @@ class RunContext {
     return Clock::now() >= deadline_;
   }
 
-  /// Definitive classification for the result: cancellation wins over the
-  /// deadline (it is the more specific user action), and the clock is
-  /// always consulted. kCompleted when nothing fired.
+  /// Definitive classification for the result: cancellation wins over
+  /// resource exhaustion (the more specific user action), which wins over
+  /// the deadline (it names the actual cause; a budget-stopped run usually
+  /// blows its deadline while draining too). The clock is always consulted.
+  /// kCompleted when nothing fired.
   RunTermination Interruption() const {
     if (cancel_requested()) return RunTermination::kCancelled;
+    if (budget_.exhausted()) return RunTermination::kResourceExhausted;
     if (has_deadline_ && Clock::now() >= deadline_) {
       return RunTermination::kDeadlineExceeded;
     }
     return RunTermination::kCompleted;
   }
+
+  /// The run's cooperative memory budget (see MemoryBudget). Configure the
+  /// limit before the run; the drivers wire it into the aggregate store and
+  /// the expand generator, and fold exhaustion into ShouldStop.
+  MemoryBudget& budget() { return budget_; }
+  const MemoryBudget& budget() const { return budget_; }
 
   /// Progress counters, written (relaxed) by the run thread as the search
   /// advances and read by observers (the server's STATUS handler).
@@ -114,6 +171,7 @@ class RunContext {
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
   std::atomic<uint64_t> poll_count_{0};
+  MemoryBudget budget_;
 };
 
 }  // namespace acquire

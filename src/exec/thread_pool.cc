@@ -6,6 +6,8 @@
 #include <exception>
 #include <memory>
 
+#include "common/failpoint.h"
+
 namespace acquire {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -53,7 +55,9 @@ void ThreadPool::ParallelFor(
     const std::function<void(size_t, size_t, size_t)>& body) {
   const size_t chunks = NumChunks(n, min_chunk);
   if (chunks == 0) return;
-  if (chunks == 1) {
+  // Injected scheduling fault: degrade to the serial path. Results are
+  // unchanged — only the execution strategy differs.
+  if (chunks == 1 || ACQ_FAILPOINT("exec.parallel_for")) {
     body(0, 0, n);
     return;
   }

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "exec/eval_kernel.h"
 
@@ -156,8 +157,9 @@ CellSortedEvaluationLayer::EvaluateCells(const GridCoord* coords, size_t count,
                                          double step) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
   // A foreign step means the requested cells are not this layout's cells;
-  // the generic path decomposes them into box queries as usual.
-  if (step != step_) {
+  // the generic path decomposes them into box queries as usual. The
+  // failpoint injects the same (bit-identical) fallback on native batches.
+  if (step != step_ || ACQ_FAILPOINT("index.batch_eval")) {
     return EvaluationLayer::EvaluateCells(coords, count, step);
   }
   const size_t d = task_->d();

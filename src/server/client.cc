@@ -5,8 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/string_util.h"
@@ -16,7 +19,11 @@ namespace acquire {
 LineClient::~LineClient() { Close(); }
 
 LineClient::LineClient(LineClient&& other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    : fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      retries_(other.retries_) {
   other.fd_ = -1;
 }
 
@@ -25,6 +32,9 @@ LineClient& LineClient::operator=(LineClient&& other) noexcept {
     Close();
     fd_ = other.fd_;
     buffer_ = std::move(other.buffer_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    retries_ = other.retries_;
     other.fd_ = -1;
   }
   return *this;
@@ -51,6 +61,8 @@ Status LineClient::Connect(const std::string& host, int port) {
     return status;
   }
   fd_ = fd;
+  host_ = host;
+  port_ = port;
   return Status::OK();
 }
 
@@ -65,6 +77,40 @@ void LineClient::Close() {
 Result<JsonValue> LineClient::Call(const JsonValue& request) {
   ACQ_ASSIGN_OR_RETURN(std::string line, CallRaw(request.Dump()));
   return JsonValue::Parse(line);
+}
+
+Result<JsonValue> LineClient::CallWithRetry(const JsonValue& request,
+                                            const RetryOptions& retry) {
+  const int attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
+  double backoff_ms = retry.initial_backoff_ms;
+  Result<JsonValue> last = Status::IOError("client is not connected");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+      backoff_ms = std::min(backoff_ms * retry.backoff_multiplier,
+                            retry.max_backoff_ms);
+      if (retry.reconnect && !connected() && !host_.empty()) {
+        // Best effort: a failed reconnect just burns this attempt.
+        if (!Connect(host_, port_).ok()) continue;
+      }
+    }
+    last = Call(request);
+    if (!last.ok()) {
+      // Transport failure: the lockstep framing is gone, so the connection
+      // cannot be reused even if the socket survived.
+      Close();
+      continue;
+    }
+    const bool unavailable = last->is_object() &&
+                             !last->GetBool("ok", true) &&
+                             last->GetString("code") == "Unavailable";
+    if (!unavailable) return last;
+  }
+  return last;
 }
 
 Result<std::string> LineClient::CallRaw(const std::string& line) {

@@ -1,11 +1,28 @@
 #ifndef ACQUIRE_SERVER_CLIENT_H_
 #define ACQUIRE_SERVER_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "server/json.h"
 
 namespace acquire {
+
+/// Retry policy for LineClient::CallWithRetry. Transient failures —
+/// transport IOErrors (connection dropped, injected recv/send faults) and
+/// protocol-level {"ok":false,"code":"Unavailable"} rejections (admission
+/// backpressure) — are retried with exponential backoff; everything else is
+/// returned to the caller on the first attempt.
+struct RetryOptions {
+  int max_attempts = 5;           // total tries, including the first
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Reconnect before a retry whenever the transport failed (a half-sent
+  /// request leaves the lockstep protocol unsynchronized, so the old
+  /// connection is unusable anyway).
+  bool reconnect = true;
+};
 
 /// Blocking client for AcqServer's newline-delimited JSON protocol: one
 /// request line out, one response line back, in lockstep. Not thread-safe;
@@ -21,6 +38,7 @@ class LineClient {
   LineClient& operator=(LineClient&& other) noexcept;
 
   /// Connects to host:port (host is a dotted-quad address, e.g. 127.0.0.1).
+  /// The endpoint is remembered for CallWithRetry reconnects.
   Status Connect(const std::string& host, int port);
 
   bool connected() const { return fd_ >= 0; }
@@ -31,12 +49,26 @@ class LineClient {
   /// server's {"ok":false,...} object for the caller to inspect.
   Result<JsonValue> Call(const JsonValue& request);
 
+  /// Call with transient-failure retries (see RetryOptions). Note that a
+  /// retried SUBMIT may run twice server-side when the failure hit the
+  /// response path — fine for idempotent read-only ACQs, which is all this
+  /// protocol serves.
+  Result<JsonValue> CallWithRetry(const JsonValue& request,
+                                  const RetryOptions& retry = {});
+
   /// Raw round trip for protocol tests (e.g. sending malformed JSON).
   Result<std::string> CallRaw(const std::string& line);
+
+  /// Cumulative retries performed by CallWithRetry (reconnect attempts
+  /// count once per retried call).
+  uint64_t retries() const { return retries_; }
 
  private:
   int fd_ = -1;
   std::string buffer_;  // bytes received past the last response line
+  std::string host_;    // remembered endpoint for reconnects
+  int port_ = 0;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace acquire

@@ -2,12 +2,15 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "core/processor.h"
 #include "exec/thread_pool.h"
@@ -102,7 +105,23 @@ JsonValue SessionToJson(const Session& session) {
   return out;
 }
 
-bool SendAll(int fd, const std::string& data) {
+/// Suppresses SIGPIPE for writes to `fd`, in preference order: per-call
+/// MSG_NOSIGNAL (Linux), per-socket SO_NOSIGPIPE (BSD/macOS), and a
+/// process-wide SIGPIPE ignore as the last resort — a dead peer must
+/// surface as an EPIPE errno, never as a process-killing signal.
+void SuppressSigpipe(int fd) {
+#ifdef MSG_NOSIGNAL
+  (void)fd;  // handled per send() call
+#elif defined(SO_NOSIGPIPE)
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+  ::signal(SIGPIPE, SIG_IGN);
+#endif
+}
+
+bool SendAll(int fd, const std::string& data, int* error_out) {
   size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
@@ -114,6 +133,7 @@ bool SendAll(int fd, const std::string& data) {
     );
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (error_out != nullptr) *error_out = n < 0 ? errno : EPIPE;
       return false;
     }
     sent += static_cast<size_t>(n);
@@ -214,14 +234,44 @@ void AcqServer::AcceptLoop() {
   }
 }
 
+bool AcqServer::SendLine(int fd, const std::string& line) {
+  if (ACQ_FAILPOINT("server.send")) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;  // simulated transport failure: drop the connection
+  }
+  int err = 0;
+  if (SendAll(fd, line + "\n", &err)) return true;
+  // EPIPE / ECONNRESET is the peer hanging up mid-reply — a clean teardown
+  // of this connection, not a server fault.
+  if (err != EPIPE && err != ECONNRESET) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
 void AcqServer::ServeConnection(size_t slot, int fd) {
+  SuppressSigpipe(fd);
+  if (options_.idle_timeout_ms > 0.0) {
+    timeval tv{};
+    const long total_us = static_cast<long>(options_.idle_timeout_ms * 1000.0);
+    tv.tv_sec = total_us / 1000000;
+    tv.tv_usec = total_us % 1000000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  const size_t max_line = options_.max_line_bytes;
   std::string buffer;
   char chunk[4096];
   bool open = true;
   while (open) {
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired: the peer went quiet mid-frame (or forever).
+      idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
     if (n <= 0) break;
+    if (ACQ_FAILPOINT("server.recv")) break;  // simulated read failure
     buffer.append(chunk, static_cast<size_t>(n));
     size_t pos;
     while (open && (pos = buffer.find('\n')) != std::string::npos) {
@@ -229,7 +279,28 @@ void AcqServer::ServeConnection(size_t slot, int fd) {
       buffer.erase(0, pos + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (Trim(line).empty()) continue;
-      open = SendAll(fd, HandleRequestLine(line) + "\n");
+      if (max_line != 0 && line.size() > max_line) {
+        oversize_lines_.fetch_add(1, std::memory_order_relaxed);
+        SendLine(fd, ErrorResponse(Status::InvalidArgument,
+                                   StringFormat(
+                                       "request line exceeds %zu bytes",
+                                       max_line))
+                         .Dump());
+        open = false;
+        break;
+      }
+      open = SendLine(fd, HandleRequestLine(line));
+    }
+    // A partial line may never see its newline; bound it too so a client
+    // streaming newline-free garbage cannot grow the buffer without limit.
+    if (open && max_line != 0 && buffer.size() > max_line) {
+      oversize_lines_.fetch_add(1, std::memory_order_relaxed);
+      SendLine(fd, ErrorResponse(Status::InvalidArgument,
+                                 StringFormat(
+                                     "request line exceeds %zu bytes",
+                                     max_line))
+                       .Dump());
+      open = false;
     }
   }
   std::lock_guard<std::mutex> lock(conn_mu_);
@@ -238,6 +309,13 @@ void AcqServer::ServeConnection(size_t slot, int fd) {
 }
 
 std::string AcqServer::HandleRequestLine(const std::string& line) {
+  if (ACQ_FAILPOINT("server.parse")) {
+    // Injected decoder fault: the response must still be a well-formed
+    // protocol error so the client's retry logic sees a normal rejection.
+    return ErrorResponse(Status::ParseError,
+                         "injected parse failure (failpoint server.parse)")
+        .Dump();
+  }
   Result<JsonValue> parsed = JsonValue::Parse(line);
   if (!parsed.ok()) return ErrorResponse(parsed.status()).Dump();
   if (!parsed->is_object()) {
@@ -254,9 +332,10 @@ JsonValue AcqServer::Dispatch(const JsonValue& request) {
   if (cmd == "STATUS") return HandleStatus(request);
   if (cmd == "CANCEL") return HandleCancel(request);
   if (cmd == "STATS") return HandleStats();
+  if (cmd == "FAILPOINT") return HandleFailpoint(request);
   return ErrorResponse(
       Status::InvalidArgument,
-      StringFormat("unknown cmd '%s' (SUBMIT|STATUS|CANCEL|STATS)",
+      StringFormat("unknown cmd '%s' (SUBMIT|STATUS|CANCEL|STATS|FAILPOINT)",
                    cmd.c_str()));
 }
 
@@ -306,6 +385,14 @@ JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
     if (!parsed.ok()) return ErrorResponse(parsed.status());
     backend = *parsed;
   }
+  const double budget_bytes = request.GetNumber(
+      "memory_budget_bytes",
+      static_cast<double>(options_.default_memory_budget_bytes));
+  if (budget_bytes < 0.0) {
+    return ErrorResponse(Status::InvalidArgument,
+                         "memory_budget_bytes must be non-negative");
+  }
+  options.memory_budget_bytes = static_cast<uint64_t>(budget_bytes);
   const double timeout_ms =
       request.GetNumber("timeout_ms", options_.default_timeout_ms);
 
@@ -343,6 +430,7 @@ JsonValue AcqServer::HandleStats() {
   set("truncated", counters.truncated);
   set("deadline_exceeded", counters.deadline_exceeded);
   set("cancelled", counters.cancelled);
+  set("resource_exhausted", counters.resource_exhausted);
   set("failed", counters.failed);
   set("queries_explored", counters.queries_explored);
   set("cell_queries", counters.cell_queries);
@@ -354,9 +442,64 @@ JsonValue AcqServer::HandleStats() {
   set("running", manager_.num_running());
   set("queued", manager_.num_queued());
   set("pool_threads", ThreadPool::Shared().num_threads());
+  // Connection-hardening and fault-injection counters.
+  set("oversize_lines", oversize_lines_.load(std::memory_order_relaxed));
+  set("idle_disconnects", idle_disconnects_.load(std::memory_order_relaxed));
+  set("io_errors", io_errors_.load(std::memory_order_relaxed));
+  stats.Set("failpoints_enabled",
+            JsonValue::Bool(FailpointRegistry::compiled_in()));
+  set("failpoint_hits", FailpointRegistry::Global().TotalHits());
   JsonValue out = JsonValue::Object();
   out.Set("ok", JsonValue::Bool(true));
   out.Set("stats", std::move(stats));
+  return out;
+}
+
+JsonValue AcqServer::HandleFailpoint(const JsonValue& request) {
+  if (const JsonValue* set = request.Get("set"); set != nullptr) {
+    if (!set->is_string()) {
+      return ErrorResponse(Status::InvalidArgument,
+                           "'set' must be a string \"name=spec;...\"");
+    }
+    if (!FailpointRegistry::compiled_in()) {
+      return ErrorResponse(Status::Unsupported,
+                           "failpoints compiled out "
+                           "(-DACQUIRE_FAILPOINTS_ENABLED=OFF)");
+    }
+    Status status =
+        FailpointRegistry::Global().ConfigureFromSpec(set->AsString());
+    if (!status.ok()) return ErrorResponse(status);
+  }
+  if (const JsonValue* clear = request.Get("clear"); clear != nullptr) {
+    if (clear->is_string()) {
+      Status status = FailpointRegistry::Global().Configure(
+          clear->AsString(), "off");
+      if (!status.ok()) return ErrorResponse(status);
+    } else if (clear->is_bool() && clear->AsBool()) {
+      FailpointRegistry::Global().DisarmAll();
+    } else {
+      return ErrorResponse(Status::InvalidArgument,
+                           "'clear' must be true or a site name");
+    }
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("enabled", JsonValue::Bool(FailpointRegistry::compiled_in()));
+  JsonValue sites = JsonValue::Array();
+  for (const FailpointRegistry::SiteInfo& info :
+       FailpointRegistry::Global().List()) {
+    JsonValue site = JsonValue::Object();
+    site.Set("name", JsonValue::Str(info.name));
+    site.Set("spec", JsonValue::Str(info.spec));
+    site.Set("hits", JsonValue::Number(static_cast<double>(info.hits)));
+    site.Set("evaluations",
+             JsonValue::Number(static_cast<double>(info.evaluations)));
+    sites.Append(std::move(site));
+  }
+  out.Set("sites", std::move(sites));
+  out.Set("total_hits",
+          JsonValue::Number(
+              static_cast<double>(FailpointRegistry::Global().TotalHits())));
   return out;
 }
 

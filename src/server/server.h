@@ -22,6 +22,19 @@ struct ServerOptions {
   /// Deadline applied to SUBMITs that carry no timeout_ms of their own;
   /// 0 means such requests run without a deadline.
   double default_timeout_ms = 0.0;
+  /// Memory budget applied to SUBMITs that carry no memory_budget_bytes of
+  /// their own; 0 means such runs are unmetered.
+  uint64_t default_memory_budget_bytes = 0;
+  /// A request line (or a partial line with no newline yet) longer than
+  /// this is answered with kInvalidArgument and the connection is closed —
+  /// a client streaming garbage can no longer grow the line buffer without
+  /// bound. 0 disables the cap.
+  size_t max_line_bytes = size_t{1} << 20;
+  /// Per-connection read deadline (SO_RCVTIMEO): a connection idle for
+  /// longer than this between bytes is closed (counted as idle_disconnect
+  /// in STATS), so abandoned half-open connections cannot pin their
+  /// serving threads forever. 0 disables the deadline.
+  double idle_timeout_ms = 0.0;
 };
 
 /// TCP front end for the ACQ engine: a newline-delimited JSON protocol over
@@ -41,9 +54,15 @@ struct ServerOptions {
 ///           cancellation; the run stops at its next poll with a partial
 ///           report.
 ///   STATS   {"cmd":"STATS"} -> server-wide counters and admission state.
+///   FAILPOINT {"cmd":"FAILPOINT"} -> lists fault-injection sites;
+///           {"cmd":"FAILPOINT","set":"name=spec;..."} arms sites (spec
+///           grammar in common/failpoint.h), {"cmd":"FAILPOINT",
+///           "clear":true} / {"clear":"name"} disarms. kUnsupported when
+///           the build compiled failpoints out.
 ///
 /// Failures are {"ok":false,"code":"InvalidArgument",...,"error":"..."};
-/// admission rejections use code "Unavailable". Connections are served by
+/// admission rejections use code "Unavailable" and budget-stopped runs
+/// report termination "resource_exhausted". Connections are served by
 /// one thread each; the runs themselves execute on the shared ThreadPool
 /// under the SessionManager's admission policy.
 class AcqServer {
@@ -78,15 +97,27 @@ class AcqServer {
  private:
   void AcceptLoop();
   void ServeConnection(size_t slot, int fd);
+  /// EPIPE-safe framed send (MSG_NOSIGNAL / SO_NOSIGPIPE / SIGPIPE-ignore
+  /// fallback): false closes the connection. A peer that vanished mid-reply
+  /// (EPIPE/ECONNRESET) is a clean teardown; other errors count as
+  /// io_errors in STATS.
+  bool SendLine(int fd, const std::string& line);
 
   JsonValue Dispatch(const JsonValue& request);
   JsonValue HandleSubmit(const JsonValue& request);
   JsonValue HandleStatus(const JsonValue& request);
   JsonValue HandleCancel(const JsonValue& request);
   JsonValue HandleStats();
+  JsonValue HandleFailpoint(const JsonValue& request);
 
   const ServerOptions options_;
   SessionManager manager_;
+
+  /// Connection-level hardening counters (the session-level ones live in
+  /// ServerCounters); surfaced by STATS.
+  std::atomic<uint64_t> oversize_lines_{0};
+  std::atomic<uint64_t> idle_disconnects_{0};
+  std::atomic<uint64_t> io_errors_{0};
 
   std::atomic<bool> stopping_{false};
   std::mutex stop_mu_;

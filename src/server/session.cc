@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "exec/thread_pool.h"
 #include "sql/binder.h"
@@ -100,6 +101,12 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
                                           AcquireOptions options,
                                           double timeout_ms,
                                           EvalBackend backend) {
+  if (ACQ_FAILPOINT("server.admit")) {
+    std::lock_guard<std::mutex> clock(counters_mu_);
+    ++counters_.rejected;
+    return Status::Unavailable(
+        "injected admission rejection (failpoint server.admit)");
+  }
   SessionPtr session;
   bool launch = false;
   {
@@ -186,6 +193,41 @@ void SessionManager::Launch(SessionPtr session) {
   // of resubmitting to the pool, so a burst of queued requests costs one
   // pool task, and the slot is released (with idle_cv_ notified) only when
   // the queue is empty.
+  // Injected enqueue failure: the pool refused the runner task, so the
+  // session fails terminally without running — with the same bookkeeping
+  // order as RunSession's tail (counters, then slot handoff, then terminal
+  // publish). The loop keeps the slot and retries the enqueue for the next
+  // queued session; each retry re-evaluates the failpoint.
+  while (ACQ_FAILPOINT("server.pool_enqueue")) {
+    {
+      std::lock_guard<std::mutex> clock(counters_mu_);
+      ++counters_.failed;
+    }
+    SessionPtr next;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        next = queue_.front();
+        queue_.pop_front();
+      } else {
+        --running_;
+        idle_cv_.notify_all();
+      }
+    }
+    // After releasing the slot, Shutdown may destroy the manager: only the
+    // session may be touched past this point on the next == nullptr path.
+    {
+      std::lock_guard<std::mutex> lock(session->mu_);
+      session->state_ = SessionState::kFailed;
+      session->error_ = Status::Unavailable(
+          "injected thread-pool enqueue failure "
+          "(failpoint server.pool_enqueue)");
+      session->wall_ms_ = MillisSince(session->submitted_at_);
+      session->cv_.notify_all();
+    }
+    if (next == nullptr) return;
+    session = std::move(next);
+  }
   ThreadPool::Shared().Submit([this, session = std::move(session)]() mutable {
     while (session != nullptr) {
       SessionPtr next;
@@ -278,6 +320,9 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
             break;
           case RunTermination::kCancelled:
             ++counters_.cancelled;
+            break;
+          case RunTermination::kResourceExhausted:
+            ++counters_.resource_exhausted;
             break;
         }
         const AcquireResult& result = outcome.result;

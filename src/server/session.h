@@ -92,6 +92,7 @@ struct ServerCounters {
   uint64_t truncated = 0;  // kDone with termination == truncated
   uint64_t deadline_exceeded = 0;
   uint64_t cancelled = 0;
+  uint64_t resource_exhausted = 0;  // kDone with termination == resource_exhausted
   uint64_t failed = 0;
   /// Per-run ExecStats / result counters folded together across finished
   /// runs — the serving system's cumulative work.

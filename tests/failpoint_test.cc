@@ -1,0 +1,170 @@
+// The fault-injection framework (common/failpoint.h): trigger spec grammar,
+// count/every/probability semantics, registry arming/disarming, and the
+// ACQ_FAILPOINT macro's disarmed fast path. Sites live in the process-wide
+// registry, so each test uses its own site names.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "gtest/gtest.h"
+
+namespace acquire {
+namespace {
+
+TEST(FailpointTest, CompiledInMatchesBuildFlag) {
+  // The default build compiles the sites in (CMake option
+  // ACQUIRE_FAILPOINTS_ENABLED=ON); the chaos suite depends on it. An
+  // =OFF build must agree with the macro so callers can gate on it.
+  EXPECT_EQ(FailpointRegistry::compiled_in(), ACQUIRE_FAILPOINTS_ENABLED != 0);
+}
+
+// The macro-behaviour tests below need real sites; in an =OFF build
+// ACQ_FAILPOINT compiles to (false) and they skip.
+#define SKIP_IF_COMPILED_OUT()                   \
+  if (!FailpointRegistry::compiled_in()) {       \
+    GTEST_SKIP() << "failpoints compiled out";   \
+  }
+
+TEST(FailpointTest, DisarmedSiteNeverFiresButCountsEvaluations) {
+  SKIP_IF_COMPILED_OUT();
+  Failpoint* site = FailpointRegistry::Global().Site("test.disarmed");
+  const uint64_t before = site->evaluations();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ACQ_FAILPOINT("test.disarmed"));
+  }
+  EXPECT_EQ(site->hits(), 0u);
+  EXPECT_EQ(site->evaluations(), before + 100);
+  EXPECT_EQ(site->spec(), "off");
+}
+
+TEST(FailpointTest, CountFiresExactlyNThenDisarms) {
+  SKIP_IF_COMPILED_OUT();
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("test.count", "count:3").ok());
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (ACQ_FAILPOINT("test.count")) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(registry.Site("test.count")->hits(), 3u);
+  // Self-disarmed after the last fire.
+  EXPECT_EQ(registry.Site("test.count")->spec(), "off");
+}
+
+TEST(FailpointTest, EveryNthFiresPeriodically) {
+  SKIP_IF_COMPILED_OUT();
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("test.every", "every:4").ok());
+  std::vector<int> fired_at;
+  for (int i = 1; i <= 12; ++i) {
+    if (ACQ_FAILPOINT("test.every")) fired_at.push_back(i);
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{4, 8, 12}));
+  ASSERT_TRUE(registry.Configure("test.every", "off").ok());
+}
+
+TEST(FailpointTest, ProbabilityExtremes) {
+  SKIP_IF_COMPILED_OUT();
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("test.p0", "p:0").ok());
+  ASSERT_TRUE(registry.Configure("test.p1", "p:1").ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(ACQ_FAILPOINT("test.p0"));
+    EXPECT_TRUE(ACQ_FAILPOINT("test.p1"));
+  }
+  registry.DisarmAll();
+}
+
+TEST(FailpointTest, ProbabilityMidFiresSometimes) {
+  SKIP_IF_COMPILED_OUT();
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("test.p_half", "p:0.5").ok());
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (ACQ_FAILPOINT("test.p_half")) ++fired;
+  }
+  // Deterministic per-site schedule (seeded from the name); generous
+  // bounds in case the seeding ever changes.
+  EXPECT_GT(fired, 300);
+  EXPECT_LT(fired, 700);
+  ASSERT_TRUE(registry.Configure("test.p_half", "off").ok());
+}
+
+TEST(FailpointTest, SpecGrammarRejectsGarbage) {
+  auto& registry = FailpointRegistry::Global();
+  for (const char* bad : {"p:", "p:2", "p:-0.5", "p:x", "count:", "count:0",
+                          "count:abc", "every:0", "maybe", "p"}) {
+    EXPECT_FALSE(registry.Configure("test.grammar", bad).ok()) << bad;
+  }
+  EXPECT_FALSE(registry.Configure("", "off").ok());
+  // A rejected spec leaves the site disarmed.
+  EXPECT_FALSE(ACQ_FAILPOINT("test.grammar"));
+}
+
+TEST(FailpointTest, ConfigureFromSpecParsesMultipleEntries) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry
+                  .ConfigureFromSpec(
+                      "test.multi_a=count:1; test.multi_b=every:2 ;;")
+                  .ok());
+  EXPECT_EQ(registry.Site("test.multi_a")->spec(), "count:1");
+  EXPECT_EQ(registry.Site("test.multi_b")->spec(), "every:2");
+  // Malformed entries fail the whole spec.
+  EXPECT_FALSE(registry.ConfigureFromSpec("test.multi_c").ok());
+  EXPECT_FALSE(registry.ConfigureFromSpec("test.multi_d=p:9").ok());
+  registry.DisarmAll();
+  EXPECT_EQ(registry.Site("test.multi_a")->spec(), "off");
+  EXPECT_EQ(registry.Site("test.multi_b")->spec(), "off");
+}
+
+TEST(FailpointTest, ListReportsSitesInNameOrder) {
+  auto& registry = FailpointRegistry::Global();
+  registry.Site("test.zz_list");
+  registry.Site("test.aa_list");
+  std::vector<FailpointRegistry::SiteInfo> sites = registry.List();
+  ASSERT_GE(sites.size(), 2u);
+  for (size_t i = 1; i < sites.size(); ++i) {
+    EXPECT_LT(sites[i - 1].name, sites[i].name);
+  }
+  bool saw_aa = false;
+  for (const auto& info : sites) saw_aa |= info.name == "test.aa_list";
+  EXPECT_TRUE(saw_aa);
+}
+
+TEST(FailpointTest, TotalHitsSumsAcrossSites) {
+  SKIP_IF_COMPILED_OUT();
+  auto& registry = FailpointRegistry::Global();
+  const uint64_t before = registry.TotalHits();
+  ASSERT_TRUE(registry.Configure("test.sum_a", "count:2").ok());
+  ASSERT_TRUE(registry.Configure("test.sum_b", "count:3").ok());
+  for (int i = 0; i < 5; ++i) {
+    ACQ_FAILPOINT("test.sum_a");
+    ACQ_FAILPOINT("test.sum_b");
+  }
+  EXPECT_EQ(registry.TotalHits(), before + 5);
+}
+
+TEST(FailpointTest, ConcurrentCountNeverOverfires) {
+  SKIP_IF_COMPILED_OUT();
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("test.race", "count:100").ok());
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (ACQ_FAILPOINT("test.race")) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(fired.load(), 100);
+}
+
+}  // namespace
+}  // namespace acquire

@@ -28,16 +28,19 @@ double MillisBetween(std::chrono::steady_clock::time_point start,
 
 // Sanitizer instrumentation inflates wall clock ~10x; the strict latency
 // bound is a plain-build guarantee, sanitized runs only check semantics.
+// The plain bound tolerates `ctest -j` CPU contention (a single contended
+// layer evaluation can take >100ms) while still sitting orders of
+// magnitude below the multi-second full-grid run it guards against.
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
-constexpr double kInterruptBudgetMs = 500.0;
+constexpr double kInterruptBudgetMs = 1000.0;
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
-constexpr double kInterruptBudgetMs = 500.0;
+constexpr double kInterruptBudgetMs = 1000.0;
 #else
-constexpr double kInterruptBudgetMs = 50.0;
+constexpr double kInterruptBudgetMs = 250.0;
 #endif
 #else
-constexpr double kInterruptBudgetMs = 50.0;
+constexpr double kInterruptBudgetMs = 250.0;
 #endif
 
 // A d=4 task whose constraint is unreachable, so the search would explore
@@ -85,6 +88,72 @@ TEST(RunContextTest, TerminationToStatusMapping) {
   EXPECT_TRUE(TerminationToStatus(RunTermination::kDeadlineExceeded)
                   .IsDeadlineExceeded());
   EXPECT_TRUE(TerminationToStatus(RunTermination::kCancelled).IsCancelled());
+  EXPECT_TRUE(TerminationToStatus(RunTermination::kResourceExhausted)
+                  .IsResourceExhausted());
+}
+
+TEST(MemoryBudgetTest, ChargeTalliesAndLatchesPastTheLimit) {
+  MemoryBudget budget;
+  // No limit: charges are tallied but never latch.
+  EXPECT_TRUE(budget.Charge(uint64_t{1} << 20));
+  EXPECT_EQ(budget.used(), uint64_t{1} << 20);
+  EXPECT_FALSE(budget.exhausted());
+
+  budget.set_limit(uint64_t{2} << 20);
+  EXPECT_TRUE(budget.Charge(uint64_t{1} << 20));  // exactly at the limit
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_FALSE(budget.Charge(1));  // crosses it
+  EXPECT_TRUE(budget.exhausted());
+}
+
+TEST(MemoryBudgetTest, ExhaustionStopsTheContextAndClassifies) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.ShouldStop());
+  ctx.budget().MarkExhausted();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.Interruption(), RunTermination::kResourceExhausted);
+  // Cancellation is the more specific user action and wins.
+  ctx.RequestCancel();
+  EXPECT_EQ(ctx.Interruption(), RunTermination::kCancelled);
+}
+
+TEST(MemoryBudgetTest, TinyBudgetReturnsBestSoFarReport) {
+  auto fixture = MakeBigTask();
+  ASSERT_NE(fixture, nullptr);
+  AcquireOptions options;
+  // Shrink the step so the grid (and the search-side working set) is far
+  // larger than this budget; the run must degrade, not crash.
+  options.gamma = 1.0;
+  options.memory_budget_bytes = 256 * 1024;
+  auto outcome = ProcessAcq(fixture->task, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->result.termination, RunTermination::kResourceExhausted);
+  EXPECT_FALSE(outcome->result.satisfied);
+  EXPECT_GE(outcome->result.queries_explored, 1u);
+  // Well-formed best-so-far partial answer.
+  EXPECT_FALSE(outcome->result.best.pscores.empty());
+}
+
+TEST(MemoryBudgetTest, BudgetedRunMatchesUnbudgetedWhenUnderLimit) {
+  SyntheticOptions small;
+  small.rows = 500;
+  small.d = 2;
+  small.op = ConstraintOp::kGe;
+  small.target = 1e9;
+  auto fixture = MakeSyntheticTask(small);
+  ASSERT_NE(fixture, nullptr);
+  auto plain = ProcessAcq(fixture->task, AcquireOptions{});
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  AcquireOptions budgeted;
+  budgeted.memory_budget_bytes = uint64_t{1} << 30;  // far above any use
+  auto metered = ProcessAcq(fixture->task, budgeted);
+  ASSERT_TRUE(metered.ok()) << metered.status().ToString();
+  // Metering must be an observer: identical termination, counters and best.
+  EXPECT_EQ(metered->result.termination, plain->result.termination);
+  EXPECT_EQ(metered->result.queries_explored, plain->result.queries_explored);
+  EXPECT_EQ(metered->result.cell_queries, plain->result.cell_queries);
+  EXPECT_EQ(metered->result.best.error, plain->result.best.error);
+  EXPECT_EQ(metered->result.best.qscore, plain->result.best.qscore);
 }
 
 TEST(RunContextTest, OneMillisecondDeadlineReturnsPartialQuickly) {

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "core/processor.h"
 #include "gtest/gtest.h"
@@ -338,6 +339,263 @@ TEST(ServerTest, StatsAggregateAcrossRuns) {
   EXPECT_EQ(counters->GetNumber("running", -1.0), 0.0);
   EXPECT_EQ(counters->GetNumber("queued", -1.0), 0.0);
   EXPECT_GE(counters->GetNumber("pool_threads", 0.0), 1.0);
+}
+
+TEST(ServerTest, SubmitWithMemoryBudgetReportsResourceExhausted) {
+  AcqServer server(SharedCatalog());
+  JsonValue request = SlowSubmit();
+  // A budget far below the search's working set: the run must degrade to a
+  // well-formed resource_exhausted report, never crash or hang.
+  request.Set("memory_budget_bytes", JsonValue::Number(64 * 1024));
+  request.Set("wait", JsonValue::Bool(true));
+  JsonValue response = MustParse(server.HandleRequestLine(request.Dump()));
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  EXPECT_EQ(response.GetString("state"), "done");
+  const JsonValue* report = response.Get("report");
+  ASSERT_NE(report, nullptr) << response.Dump();
+  EXPECT_EQ(report->GetString("termination"), "resource_exhausted");
+  EXPECT_FALSE(report->GetBool("satisfied", true));
+  EXPECT_GE(report->GetNumber("queries_explored", 0.0), 1.0);
+  ASSERT_NE(report->Get("best"), nullptr);
+
+  JsonValue stats = MustParse(server.HandleRequestLine("{\"cmd\":\"STATS\"}"));
+  const JsonValue* counters = stats.Get("stats");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetNumber("resource_exhausted", -1.0), 1.0);
+}
+
+TEST(ServerTest, NegativeMemoryBudgetRejected) {
+  AcqServer server(SharedCatalog());
+  JsonValue request = SlowSubmit();
+  request.Set("memory_budget_bytes", JsonValue::Number(-1.0));
+  JsonValue response = MustParse(server.HandleRequestLine(request.Dump()));
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(response.GetString("code"), "InvalidArgument");
+}
+
+TEST(ServerProtocolTest, FailpointVerbListsArmsAndClears) {
+  AcqServer server(SharedCatalog());
+  JsonValue listed =
+      MustParse(server.HandleRequestLine("{\"cmd\":\"FAILPOINT\"}"));
+  ASSERT_TRUE(listed.GetBool("ok", false)) << listed.Dump();
+  EXPECT_EQ(listed.GetBool("enabled", false),
+            FailpointRegistry::compiled_in());
+  ASSERT_NE(listed.Get("sites"), nullptr);
+
+  if (!FailpointRegistry::compiled_in()) {
+    JsonValue armed = MustParse(server.HandleRequestLine(
+        "{\"cmd\":\"FAILPOINT\",\"set\":\"server.admit=count:1\"}"));
+    EXPECT_EQ(armed.GetString("code"), "Unsupported");
+    return;
+  }
+  JsonValue armed = MustParse(server.HandleRequestLine(
+      "{\"cmd\":\"FAILPOINT\",\"set\":\"server.admit=count:1\"}"));
+  ASSERT_TRUE(armed.GetBool("ok", false)) << armed.Dump();
+
+  // The armed admission site rejects exactly the next SUBMIT.
+  JsonValue rejected = MustParse(server.HandleRequestLine(SlowSubmit().Dump()));
+  EXPECT_FALSE(rejected.GetBool("ok", true));
+  EXPECT_EQ(rejected.GetString("code"), "Unavailable");
+
+  JsonValue bad_spec = MustParse(server.HandleRequestLine(
+      "{\"cmd\":\"FAILPOINT\",\"set\":\"server.admit=p:7\"}"));
+  EXPECT_FALSE(bad_spec.GetBool("ok", true));
+  EXPECT_EQ(bad_spec.GetString("code"), "InvalidArgument");
+
+  JsonValue cleared = MustParse(
+      server.HandleRequestLine("{\"cmd\":\"FAILPOINT\",\"clear\":true}"));
+  ASSERT_TRUE(cleared.GetBool("ok", false)) << cleared.Dump();
+  JsonValue accepted = MustParse(server.HandleRequestLine(SlowSubmit().Dump()));
+  ASSERT_TRUE(accepted.GetBool("ok", false)) << accepted.Dump();
+  JsonValue cancelled = MustParse(server.HandleRequestLine(StringFormat(
+      "{\"cmd\":\"CANCEL\",\"id\":\"%s\",\"wait\":true}",
+      accepted.GetString("id").c_str())));
+  EXPECT_EQ(cancelled.GetString("state"), "cancelled");
+
+  // STATS surfaces the injected-failure tally.
+  JsonValue stats = MustParse(server.HandleRequestLine("{\"cmd\":\"STATS\"}"));
+  const JsonValue* counters = stats.Get("stats");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->GetNumber("failpoint_hits", -1.0), 1.0);
+}
+
+TEST(ServerTest, OversizedLineRejectedAndConnectionClosed) {
+  ServerOptions options;
+  options.max_line_bytes = 1024;
+  AcqServer server(SharedCatalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto raw = client.CallRaw(std::string(4096, 'x'));
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  JsonValue response = MustParse(*raw);
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(response.GetString("code"), "InvalidArgument");
+  // The server closes after the rejection: the next call fails.
+  EXPECT_FALSE(client.Call(JsonValue::Object()).ok());
+  server.Stop();
+}
+
+TEST(ServerTest, NewlineFreeGarbageCannotGrowBufferUnbounded) {
+  ServerOptions options;
+  options.max_line_bytes = 1024;
+  AcqServer server(SharedCatalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // Binary garbage with no terminating newline: the server must cap its
+  // partial-line buffer, answer once, and drop the connection.
+  std::string garbage(8192, '\0');
+  for (size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<char>(i * 131 + 7);
+    if (garbage[i] == '\n') garbage[i] = ' ';
+  }
+  auto raw = client.CallRaw(garbage.substr(0, garbage.size() - 1));
+  // CallRaw appends '\n' itself; either the rejection line came back or the
+  // server already closed mid-send. Both are acceptable; a hang is not.
+  if (raw.ok()) {
+    JsonValue response = MustParse(*raw);
+    EXPECT_FALSE(response.GetBool("ok", true));
+  }
+  server.Stop();
+}
+
+TEST(ServerTest, HalfOpenConnectionDoesNotWedgeServer) {
+  AcqServer server(SharedCatalog());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    // Connect, send half a frame, vanish without the newline.
+    LineClient half;
+    ASSERT_TRUE(half.Connect("127.0.0.1", server.port()).ok());
+    // (CallRaw would block on the response; just drop the connection.)
+    half.Close();
+  }
+  // The server keeps serving new connections afterwards.
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  JsonValue stats_request = JsonValue::Object();
+  stats_request.Set("cmd", JsonValue::Str("STATS"));
+  auto stats = client.Call(stats_request);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->GetBool("ok", false));
+  server.Stop();
+}
+
+TEST(ServerTest, IdleConnectionReapedByReadDeadline) {
+  ServerOptions options;
+  options.idle_timeout_ms = 50.0;
+  AcqServer server(SharedCatalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // Go quiet past the deadline; the server must reap the connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  JsonValue stats_request = JsonValue::Object();
+  stats_request.Set("cmd", JsonValue::Str("STATS"));
+  // Either the send fails outright or the response never comes (the recv
+  // sees the server's close). A fresh connection then shows the reap.
+  (void)client.Call(stats_request);
+  LineClient fresh;
+  ASSERT_TRUE(fresh.Connect("127.0.0.1", server.port()).ok());
+  auto stats = fresh.Call(stats_request);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const JsonValue* counters = stats->Get("stats");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->GetNumber("idle_disconnects", 0.0), 1.0);
+  fresh.Close();
+  server.Stop();
+}
+
+TEST(ServerTest, DisconnectBetweenSubmitAndStatus) {
+  AcqServer server(SharedCatalog());
+  ASSERT_TRUE(server.Start().ok());
+  std::string id;
+  {
+    LineClient submitter;
+    ASSERT_TRUE(submitter.Connect("127.0.0.1", server.port()).ok());
+    auto submitted = submitter.Call(SlowSubmit());
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    ASSERT_TRUE(submitted->GetBool("ok", false)) << submitted->Dump();
+    id = submitted->GetString("id");
+    submitter.Close();  // vanish with the run still going
+  }
+  // Sessions survive their submitting connection: a different client can
+  // observe and cancel the run.
+  LineClient observer;
+  ASSERT_TRUE(observer.Connect("127.0.0.1", server.port()).ok());
+  auto cancelled = observer.Call(MustParse(StringFormat(
+      "{\"cmd\":\"CANCEL\",\"id\":\"%s\",\"wait\":true}", id.c_str())));
+  ASSERT_TRUE(cancelled.ok()) << cancelled.status().ToString();
+  EXPECT_EQ(cancelled->GetString("state"), "cancelled");
+  observer.Close();
+  server.Stop();
+}
+
+TEST(ServerTest, WrongTypedFieldsRejectedNotCrashed) {
+  AcqServer server(SharedCatalog());
+  const char* cases[] = {
+      "{\"cmd\":\"SUBMIT\",\"sql\":[1,2]}",
+      "{\"cmd\":\"SUBMIT\",\"sql\":{\"a\":1}}",
+      "{\"cmd\":\"SUBMIT\",\"sql\":true}",
+      "{\"cmd\":\"SUBMIT\",\"sql\":\"x\",\"order\":7}",
+      "{\"cmd\":\"SUBMIT\",\"sql\":\"x\",\"backend\":[]}",
+      "{\"cmd\":\"FAILPOINT\",\"set\":42}",
+      "{\"cmd\":\"FAILPOINT\",\"clear\":1.5}",
+      "{\"cmd\":3}",
+  };
+  for (const char* line : cases) {
+    JsonValue response = MustParse(server.HandleRequestLine(line));
+    EXPECT_FALSE(response.GetBool("ok", true)) << line;
+    EXPECT_FALSE(response.GetString("error").empty()) << line;
+  }
+}
+
+TEST(ClientTest, RetriesReconnectAfterServerSideDrop) {
+  if (!FailpointRegistry::compiled_in()) GTEST_SKIP();
+  AcqServer server(SharedCatalog());
+  ASSERT_TRUE(server.Start().ok());
+  // Drop the next server->client send mid-protocol; the client's retry
+  // must reconnect and complete.
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .Configure("server.send", "count:1")
+                  .ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  JsonValue stats_request = JsonValue::Object();
+  stats_request.Set("cmd", JsonValue::Str("STATS"));
+  auto stats = client.CallWithRetry(stats_request);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->GetBool("ok", false));
+  EXPECT_GE(client.retries(), 1u);
+  FailpointRegistry::Global().DisarmAll();
+  client.Close();
+  server.Stop();
+}
+
+TEST(ClientTest, RetriesUnavailableUntilAdmitted) {
+  if (!FailpointRegistry::compiled_in()) GTEST_SKIP();
+  AcqServer server(SharedCatalog());
+  ASSERT_TRUE(server.Start().ok());
+  // Two injected admission rejections, then the SUBMIT goes through.
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .Configure("server.admit", "count:2")
+                  .ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(
+                         "SELECT * FROM users CONSTRAINT COUNT(*) >= 1 "
+                         "WHERE age <= 40"));
+  request.Set("wait", JsonValue::Bool(true));
+  auto response = client.CallWithRetry(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->GetBool("ok", false)) << response->Dump();
+  EXPECT_EQ(response->GetString("state"), "done");
+  EXPECT_GE(client.retries(), 2u);
+  FailpointRegistry::Global().DisarmAll();
+  client.Close();
+  server.Stop();
 }
 
 TEST(ServerTest, MultipleRequestsOnOneConnection) {
