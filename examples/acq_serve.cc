@@ -21,6 +21,10 @@
 //   --default-timeout-ms N deadline for SUBMITs without one (default: none)
 //   --memory-budget-bytes N  soft per-run memory budget for SUBMITs without
 //                          one; budget-stopped runs report resource_exhausted
+//   --cache-bytes N        result-cache byte limit; repeat SUBMITs of a
+//                          completed task answer from the cache and
+//                          identical in-flight tasks dedup onto one run
+//                          (default 0 = cache off)
 //   --idle-timeout-ms N    close connections idle longer than this (default:
 //                          never)
 //   --max-line-bytes N     reject request lines longer than this (default
@@ -92,6 +96,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--memory-budget-bytes" && (value = next())) {
       options.default_memory_budget_bytes =
           static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--cache-bytes" && (value = next())) {
+      options.cache_bytes = static_cast<uint64_t>(std::atoll(value));
     } else if (flag == "--idle-timeout-ms" && (value = next())) {
       options.idle_timeout_ms = std::atof(value);
     } else if (flag == "--max-line-bytes" && (value = next())) {
@@ -164,6 +170,18 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(counters.resource_exhausted),
       static_cast<unsigned long long>(counters.failed),
       static_cast<unsigned long long>(counters.rejected));
+  if (options.cache_bytes > 0) {
+    const ResultCacheStats cache = server.sessions().cache().stats();
+    std::printf(
+        "cache: %llu hits, %llu misses, %llu inflight joins, %llu evictions, "
+        "%llu entries / %llu bytes retained\n",
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(counters.cache_inflight_joins),
+        static_cast<unsigned long long>(cache.evictions),
+        static_cast<unsigned long long>(cache.entries),
+        static_cast<unsigned long long>(cache.bytes));
+  }
   if (FailpointRegistry::compiled_in()) {
     const uint64_t hits = FailpointRegistry::Global().TotalHits();
     if (hits > 0) {

@@ -18,9 +18,14 @@
 //   \explain <sql>                show the planned task and grid geometry
 //   \report [i]                   per-predicate change report of answer i
 //   \materialize <i> <file>       execute answer i, write its tuples
-//   \set gamma|delta|batch|max_explored|memory_budget <value>
+//   \set gamma|delta|batch|max_explored|memory_budget|cache <value>
 //                                 tune thresholds / budgets (memory_budget
-//                                 in bytes, 0 = unlimited)
+//                                 and cache in bytes, 0 = unlimited /
+//                                 cache off). With cache on, re-running a
+//                                 query whose task fingerprints identically
+//                                 (core/fingerprint.h) replays the stored
+//                                 transcript of the completed run instead
+//                                 of searching again.
 //   \help                         this text
 //   \quit                         exit
 // Anything else is parsed as ACQ SQL (CONSTRAINT / NOREFINE).
@@ -31,16 +36,20 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <deque>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "common/string_util.h"
+#include "core/fingerprint.h"
 #include "core/processor.h"
 #include "core/report.h"
 #include "exec/materialize.h"
 #include "sql/binder.h"
 #include "sql/explain.h"
+#include "sql/parser.h"
 #include "sql/printer.h"
 #include "storage/csv.h"
 #include "storage/persistence.h"
@@ -119,7 +128,7 @@ class Shell {
       printf("\\gen tpch|users|patients <rows>, \\load <t> <f> <schema>, "
              "\\save <t> <f>, \\savedb <dir>, \\loaddb <dir>, \\tables, "
              "\\show <t> [n], \\explain <sql>, "
-             "\\set gamma|delta|batch|max_explored|memory_budget <v>, "
+             "\\set gamma|delta|batch|max_explored|memory_budget|cache <v>, "
              "\\quit\n");
       return true;
     }
@@ -274,27 +283,74 @@ class Shell {
         options_.max_explored = static_cast<uint64_t>(value);
       } else if (key == "memory_budget" && value >= 0) {
         options_.memory_budget_bytes = static_cast<uint64_t>(value);
+      } else if (key == "cache" && value >= 0) {
+        cache_bytes_ = static_cast<uint64_t>(value);
+        if (cache_bytes_ == 0) {
+          cache_.clear();
+          cache_order_.clear();
+          cache_used_ = 0;
+        }
+        EvictCache();
       } else {
-        printf("usage: \\set gamma|delta|batch|max_explored|memory_budget "
-               "<value>\n");
+        printf("usage: \\set gamma|delta|batch|max_explored|memory_budget"
+               "|cache <value>\n");
         return true;
       }
       printf("gamma=%.3f delta=%.4f max_explored=%llu memory_budget=%llu "
-             "batch=%s\n",
+             "batch=%s cache=%llu\n",
              options_.gamma, options_.delta,
              static_cast<unsigned long long>(options_.max_explored),
              static_cast<unsigned long long>(options_.memory_budget_bytes),
              options_.batch_explore == BatchExplore::kOff
                  ? "off"
                  : options_.batch_explore == BatchExplore::kOn ? "on"
-                                                               : "auto");
+                                                               : "auto",
+             static_cast<unsigned long long>(cache_bytes_));
       return true;
     }
     printf("unknown command %s (try \\help)\n", name.c_str());
     return true;
   }
 
+  /// Fingerprint of `sql` under the current catalog/options, or "" when
+  /// uncacheable (parse/bind failure, custom error fn, UDA). Hex so the
+  /// shell's text cache never depends on the binary key layout.
+  std::string CacheKey(const std::string& sql) {
+    if (cache_bytes_ == 0) return "";
+    auto ast = ParseAcqSql(sql);
+    if (!ast.ok()) return "";
+    Binder binder(&catalog_);
+    auto spec = binder.BindQuery(*ast);
+    if (!spec.ok()) return "";
+    auto fp = FingerprintTask(catalog_, *spec, options_);
+    return fp.ok() ? fp->ToHex() : "";
+  }
+
+  void EvictCache() {
+    while (cache_used_ > cache_bytes_ && !cache_order_.empty()) {
+      auto victim = cache_.find(cache_order_.front());
+      cache_order_.pop_front();
+      if (victim == cache_.end()) continue;
+      cache_used_ -= victim->second.size();
+      cache_.erase(victim);
+    }
+  }
+
   void RunSql(const std::string& sql) {
+    // Result-cache probe (\set cache): a query whose task fingerprints
+    // identically to a completed run replays that run's transcript —
+    // timings included, since the transcript is the seeding run's output.
+    // last_task_ / last_result_ are left untouched on a hit, so \report and
+    // \materialize keep addressing the last *fresh* run.
+    const std::string key = CacheKey(sql);
+    if (!key.empty()) {
+      auto hit = cache_.find(key);
+      if (hit != cache_.end()) {
+        printf("%s(cached)\n", hit->second.c_str());
+        return;
+      }
+    }
+
     Binder binder(&catalog_);
     auto task = binder.PlanSql(sql);
     if (!task.ok()) {
@@ -307,30 +363,35 @@ class Shell {
       Report(outcome.status());
       return;
     }
-    printf("original aggregate: %g (target %s %g) -> %s\n",
-           outcome->original_aggregate,
-           ConstraintOpToString(last_task_->constraint.op),
-           last_task_->constraint.target,
-           AcqModeToString(outcome->mode));
+    // The transcript is accumulated and printed once at the end, so a
+    // completed run's exact output can be stored for cache replay.
+    std::string out = StringFormat(
+        "original aggregate: %g (target %s %g) -> %s\n",
+        outcome->original_aggregate,
+        ConstraintOpToString(last_task_->constraint.op),
+        last_task_->constraint.target, AcqModeToString(outcome->mode));
     const AcquireResult& result = outcome->result;
     if (result.termination == RunTermination::kResourceExhausted) {
       // Memory budget ran out mid-search: the answer below is best-so-far,
       // and the shell's exit status records the degradation (sticky 4).
-      printf("memory budget exhausted after %llu refined queries; "
-             "reporting best-so-far (raise \\set memory_budget to search "
-             "further)\n",
-             static_cast<unsigned long long>(result.queries_explored));
+      out += StringFormat(
+          "memory budget exhausted after %llu refined queries; "
+          "reporting best-so-far (raise \\set memory_budget to search "
+          "further)\n",
+          static_cast<unsigned long long>(result.queries_explored));
       exit_code_ = 4;
     } else if (result.termination != RunTermination::kCompleted) {
       // Distinguishes "searched everything, no answer" from "ran out of
       // budget/time": a truncated or interrupted result is best-so-far.
-      printf("search stopped early (%s) after %llu refined queries\n",
-             RunTerminationToString(result.termination),
-             static_cast<unsigned long long>(result.queries_explored));
+      out += StringFormat(
+          "search stopped early (%s) after %llu refined queries\n",
+          RunTerminationToString(result.termination),
+          static_cast<unsigned long long>(result.queries_explored));
     }
     if (!result.satisfied) {
-      printf("constraint not reachable; closest:\n  %s\n",
-             result.best.ToString().c_str());
+      out += StringFormat("constraint not reachable; closest:\n  %s\n",
+                          result.best.ToString().c_str());
+      FinishSql(key, result, std::move(out));
       return;
     }
     const AcqTask& display_task = outcome->mode == AcqMode::kContracted
@@ -343,20 +404,46 @@ class Shell {
     last_result_ = result;
     size_t shown = 0;
     for (const RefinedQuery& q : result.queries) {
-      printf("-- aggregate=%g refinement=%.2f error=%.4f\n%s\n", q.aggregate,
-             q.qscore, q.error, RenderRefinedSql(display_task, q).c_str());
+      out += StringFormat("-- aggregate=%g refinement=%.2f error=%.4f\n%s\n",
+                          q.aggregate, q.qscore, q.error,
+                          RenderRefinedSql(display_task, q).c_str());
       if (++shown == 5) break;
     }
-    printf("(%zu answers, %llu refined queries examined, %.1f ms)\n",
-           result.queries.size(),
-           static_cast<unsigned long long>(result.queries_explored),
-           result.elapsed_ms);
+    out += StringFormat(
+        "(%zu answers, %llu refined queries examined, %.1f ms)\n",
+        result.queries.size(),
+        static_cast<unsigned long long>(result.queries_explored),
+        result.elapsed_ms);
+    FinishSql(key, result, std::move(out));
+  }
+
+  /// Prints the run transcript and, for completed cacheable runs, stores it
+  /// for replay. Interrupted/truncated runs are never cached — their output
+  /// depends on when they were stopped, not just on the task.
+  void FinishSql(const std::string& key, const AcquireResult& result,
+                 std::string out) {
+    printf("%s", out.c_str());
+    if (key.empty() || result.termination != RunTermination::kCompleted) {
+      return;
+    }
+    auto [it, inserted] = cache_.emplace(key, std::move(out));
+    if (inserted) {
+      cache_order_.push_back(key);
+      cache_used_ += it->second.size();
+      EvictCache();
+    }
   }
 
   Catalog catalog_;
   AcquireOptions options_;
   std::shared_ptr<AcqTask> last_task_;
   AcquireResult last_result_;
+  /// \set cache: completed-run transcripts keyed by task fingerprint hex,
+  /// FIFO-evicted once the stored text exceeds cache_bytes_.
+  uint64_t cache_bytes_ = 0;
+  uint64_t cache_used_ = 0;
+  std::unordered_map<std::string, std::string> cache_;
+  std::deque<std::string> cache_order_;
   bool interactive_ = isatty(fileno(stdin)) != 0;
   int exit_code_ = 0;  // sticky 4 once any run ends resource_exhausted
 };

@@ -1,7 +1,9 @@
 #include "common/failpoint.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "common/result.h"
 #include "common/string_util.h"
@@ -31,6 +33,7 @@ bool Failpoint::Fire() {
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   if (!armed_.load(std::memory_order_relaxed)) return false;
   bool fired = false;
+  uint64_t sleep_ms = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     switch (mode_) {
@@ -54,9 +57,19 @@ bool Failpoint::Fire() {
           fired = true;
         }
         break;
+      case Mode::kSleep:
+        fired = true;
+        sleep_ms = sleep_ms_;
+        break;
     }
   }
   if (fired) hits_.fetch_add(1, std::memory_order_relaxed);
+  if (sleep_ms > 0) {
+    // The delay is the injected fault; the caller still takes its success
+    // path, so report "not fired" after serving it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    return false;
+  }
   return fired;
 }
 
@@ -73,6 +86,9 @@ std::string Failpoint::spec() const {
     case Mode::kEveryNth:
       return StringFormat("every:%llu",
                           static_cast<unsigned long long>(period_));
+    case Mode::kSleep:
+      return StringFormat("sleep:%llu",
+                          static_cast<unsigned long long>(sleep_ms_));
   }
   return "off";
 }
@@ -89,6 +105,9 @@ Status Failpoint::Configure(const std::string& spec) {
     const std::string kind = lower.substr(0, colon);
     const std::string arg =
         colon == std::string::npos ? "" : lower.substr(colon + 1);
+    // strtoull silently wraps negatives to huge values; reject them up
+    // front so "count:-5" / "sleep:-5" are grammar errors, not overflows.
+    const bool negative = !arg.empty() && arg[0] == '-';
     char* end = nullptr;
     if (kind == "p") {
       probability = std::strtod(arg.c_str(), &end);
@@ -101,16 +120,24 @@ Status Failpoint::Configure(const std::string& spec) {
       mode = Mode::kProbability;
     } else if (kind == "count" || kind == "every") {
       n = std::strtoull(arg.c_str(), &end, 10);
-      if (arg.empty() || *end != '\0' || n == 0) {
+      if (arg.empty() || negative || *end != '\0' || n == 0) {
         return Status::InvalidArgument(StringFormat(
             "failpoint '%s': %s wants a positive integer, got '%s'",
             name_.c_str(), kind.c_str(), arg.c_str()));
       }
       mode = kind == "count" ? Mode::kCount : Mode::kEveryNth;
+    } else if (kind == "sleep") {
+      n = std::strtoull(arg.c_str(), &end, 10);
+      if (arg.empty() || negative || *end != '\0' || n == 0) {
+        return Status::InvalidArgument(StringFormat(
+            "failpoint '%s': sleep wants a positive delay in ms, got '%s'",
+            name_.c_str(), arg.c_str()));
+      }
+      mode = Mode::kSleep;
     } else {
       return Status::InvalidArgument(StringFormat(
           "failpoint '%s': unknown trigger '%s' (off|p:<prob>|count:<n>|"
-          "every:<n>)",
+          "every:<n>|sleep:<ms>)",
           name_.c_str(), spec.c_str()));
     }
   }
@@ -120,6 +147,7 @@ Status Failpoint::Configure(const std::string& spec) {
   remaining_ = mode == Mode::kCount ? n : 0;
   period_ = mode == Mode::kEveryNth ? n : 0;
   since_fire_ = 0;
+  sleep_ms_ = mode == Mode::kSleep ? n : 0;
   armed_.store(mode != Mode::kOff, std::memory_order_relaxed);
   return Status::OK();
 }

@@ -32,14 +32,23 @@ namespace acquire {
 ///   p:0.05     fire each evaluation with probability 0.05
 ///   count:3    fire the next 3 evaluations, then disarm
 ///   every:100  fire every 100th evaluation (the 100th, 200th, ...)
+///   sleep:250  delay every evaluation by 250 ms, then proceed normally
+///
+/// sleep: injects latency rather than failure: Fire() blocks the calling
+/// thread for the configured delay and returns false, so the instrumented
+/// code continues down its success path. It exists to widen timing windows
+/// deterministically in tests (e.g. holding a server run in flight while
+/// duplicate submissions pile up behind it).
 class Failpoint {
  public:
   /// Evaluates the trigger. True means the caller should take its injected
-  /// failure branch. Thread-safe.
+  /// failure branch (always false for sleep: triggers, which delay instead).
+  /// Thread-safe; a sleep: delay is served outside the trigger mutex so
+  /// concurrent evaluations and Configure calls are not blocked by it.
   bool Fire();
 
   const std::string& name() const { return name_; }
-  /// Times Fire() returned true / was called, since process start.
+  /// Times the trigger fired (injected failures and injected delays).
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t evaluations() const {
     return evaluations_.load(std::memory_order_relaxed);
@@ -50,7 +59,7 @@ class Failpoint {
  private:
   friend class FailpointRegistry;
 
-  enum class Mode { kOff, kProbability, kCount, kEveryNth };
+  enum class Mode { kOff, kProbability, kCount, kEveryNth, kSleep };
 
   explicit Failpoint(std::string name);
 
@@ -68,6 +77,7 @@ class Failpoint {
   uint64_t remaining_ = 0;    // kCount: fires left
   uint64_t period_ = 0;       // kEveryNth
   uint64_t since_fire_ = 0;   // kEveryNth: evaluations since the last fire
+  uint64_t sleep_ms_ = 0;     // kSleep: delay per evaluation
   Rng rng_;
 };
 

@@ -114,11 +114,11 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
   const ErrorFn error_fn =
       options.error_fn ? options.error_fn : ErrorFn(DefaultAggregateError);
   RefinedSpace space(&task, options.gamma, options.norm);
-  ACQ_RETURN_IF_ERROR(layer->Prepare());
-  layer->ResetStats();
-  Stopwatch sw;  // after Prepare: elapsed_ms times the search itself
 
-  // Resolve the interruption context. A memory budget needs a context to
+  // Resolve the interruption context BEFORE Prepare: the evaluation layer
+  // charges its materialization (and any charges deferred from a lazy
+  // Prepare the processor triggered earlier) against the run's budget, so
+  // the budget must be attached first. A memory budget needs a context to
   // latch exhaustion into, so budget-only runs get a local one.
   RunContext local_ctx;
   RunContext* ctx = options.run_ctx;
@@ -128,6 +128,11 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
     ctx->budget().set_limit(options.memory_budget_bytes);
   }
   MemoryBudget* budget = ctx != nullptr ? &ctx->budget() : nullptr;
+  if (budget != nullptr) layer->set_memory_budget(budget);
+
+  ACQ_RETURN_IF_ERROR(layer->Prepare());
+  layer->ResetStats();
+  Stopwatch sw;  // after Prepare: elapsed_ms times the search itself
 
   std::unique_ptr<QueryGenerator> generator =
       MakeGenerator(space, options, budget);
@@ -261,7 +266,20 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
     return result.termination != RunTermination::kCompleted;
   };
 
-  if (!batched) {
+  // Prepare alone can exhaust a tight budget (the materialized matrix is
+  // charged there). Still answer the origin — the original query, one box —
+  // so the caller gets a meaningful best-so-far instead of an empty report,
+  // then stop with the budget verdict.
+  const bool pre_exhausted = budget != nullptr && budget->exhausted();
+  if (pre_exhausted) {
+    const GridCoord origin(task.d(), 0);
+    ACQ_ASSIGN_OR_RETURN(AggregateOps::State state,
+                         layer->EvaluateBox(space.QueryBox(origin)));
+    ACQ_ASSIGN_OR_RETURN(const bool keep_unused,
+                         investigate(origin, 0.0, task.agg.ops->Final(state)));
+    (void)keep_unused;
+    result.termination = ctx->Interruption();
+  } else if (!batched) {
     Explorer explorer(&space, layer, budget);
     GridCoord coord;
     for (;;) {

@@ -123,6 +123,22 @@ Result<AcquireResult> RunAcquireContract(const AcqTask& task,
   const ErrorFn error_fn =
       options.error_fn ? options.error_fn : ErrorFn(DefaultAggregateError);
   RefinedSpace space(&task, options.gamma, options.norm);
+
+  // Budget resolution mirrors RunAcquire: attach before Prepare so the
+  // contraction layer's materialization is charged against the run too.
+  RunContext contract_local_ctx;
+  RunContext* resolved_ctx = options.run_ctx;
+  if (resolved_ctx == nullptr && options.memory_budget_bytes > 0) {
+    resolved_ctx = &contract_local_ctx;
+  }
+  if (resolved_ctx != nullptr && options.memory_budget_bytes > 0 &&
+      resolved_ctx->budget().limit() == 0) {
+    resolved_ctx->budget().set_limit(options.memory_budget_bytes);
+  }
+  if (resolved_ctx != nullptr) {
+    layer->set_memory_budget(&resolved_ctx->budget());
+  }
+
   ACQ_RETURN_IF_ERROR(layer->Prepare());
   layer->ResetStats();
   Stopwatch sw;  // after Prepare: elapsed_ms times the search itself
@@ -206,7 +222,7 @@ Result<AcquireResult> RunAcquireContract(const AcqTask& task,
   std::vector<GridCoord> layer_coords;
   std::vector<std::vector<PScoreRange>> boxes;
 
-  RunContext* ctx = options.run_ctx;
+  RunContext* ctx = resolved_ctx;
   // Cooperative interruption poll (see RunAcquire); true stops the walk.
   auto interrupted = [&]() {
     if (ctx == nullptr || !ctx->ShouldStop()) return false;

@@ -1,0 +1,75 @@
+#ifndef ACQUIRE_CORE_FINGERPRINT_H_
+#define ACQUIRE_CORE_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/acquire.h"
+#include "exec/planner.h"
+#include "storage/catalog.h"
+
+namespace acquire {
+
+/// Canonical 128-bit identity of one ACQ task: "would two submissions
+/// produce bit-identical results?" Equal fingerprints are the result
+/// cache's hit condition, so the key must cover exactly the inputs the
+/// deterministic refinement search depends on:
+///
+///   - the catalog identity (generation counter, load parameters, and each
+///     referenced table's name / row count / schema — not table contents,
+///     which the generation counter stands in for),
+///   - the bound plan (the full QuerySpec: predicates, joins, categorical
+///     roll-ups, fixed filters, aggregate and constraint — canonicalized,
+///     so two SQL spellings that bind identically share a key), and
+///   - every result-affecting AcquireOptions field, with kAuto choices
+///     resolved to their effective value so e.g. order=auto and order=bfs
+///     on an L1 task hit the same entry.
+///
+/// Excluded on purpose (they change *whether/when* a run finishes, never
+/// what a completed run returns): deadlines / run_ctx, memory budgets, and
+/// failpoints. The cache only stores completed runs, so a task that would
+/// have been interrupted simply misses.
+struct TaskFingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const TaskFingerprint& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const TaskFingerprint& other) const {
+    return !(*this == other);
+  }
+  bool operator<(const TaskFingerprint& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  /// 32 lowercase hex digits, hi first.
+  std::string ToHex() const;
+};
+
+struct TaskFingerprintHash {
+  size_t operator()(const TaskFingerprint& fp) const {
+    return static_cast<size_t>(fp.lo ^ (fp.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// The human-readable serialization the fingerprint hashes — exposed so
+/// tests can assert exactly which fields are covered. Fails with
+/// kUnimplemented for tasks whose semantics the key cannot capture (a
+/// custom options.error_fn, UDA aggregates) and propagates catalog lookup
+/// errors for unknown tables; callers treat any failure as "uncacheable"
+/// and fall back to a fresh run.
+Result<std::string> CanonicalTaskKey(const Catalog& catalog,
+                                     const QuerySpec& spec,
+                                     const AcquireOptions& options);
+
+/// Hashes CanonicalTaskKey into the 128-bit fingerprint.
+Result<TaskFingerprint> FingerprintTask(const Catalog& catalog,
+                                        const QuerySpec& spec,
+                                        const AcquireOptions& options);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_FINGERPRINT_H_

@@ -144,6 +144,13 @@ Result<AggregateOps::State> DirectEvaluationLayer::EvaluateBox(
   const size_t n = rel.num_rows();
   const size_t d = task_->d();
   stats_.tuples_scanned.fetch_add(n, std::memory_order_relaxed);
+  // The selection vector and needed/aggregate stream are reallocated per
+  // call but bounded by one row-sized pair, so their footprint is charged
+  // once, not per query.
+  if (!scratch_charged_) {
+    scratch_charged_ = true;
+    ChargeBudget(n * (sizeof(uint8_t) + sizeof(double)));
+  }
   // Same selection kernel as the prepared layers, but the per-dimension
   // needed stream is recomputed on every call — that is this layer's cost
   // model (one full SQL execution per box).
@@ -167,6 +174,8 @@ Result<AggregateOps::State> DirectEvaluationLayer::EvaluateBox(
 Status CachedEvaluationLayer::Prepare() {
   if (prepared_) return Status::OK();
   ACQ_RETURN_IF_ERROR(BuildNeededMatrix(*task_, /*pool=*/nullptr, &matrix_));
+  ChargeBudget((matrix_.needed.size() + matrix_.agg_values.size()) *
+               sizeof(double));
   prepared_ = true;
   return Status::OK();
 }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "exec/acq_task.h"
 
@@ -144,6 +145,20 @@ class EvaluationLayer {
   /// (-inf, pscores_i]. Returns the *final* aggregate value.
   Result<double> EvaluateQueryValue(const std::vector<double>& pscores);
 
+  /// Attaches the memory budget this layer's materializations and per-call
+  /// scratch are charged against (nullptr detaches). Charges accumulated
+  /// while no budget was attached — e.g. a lazy Prepare() triggered by the
+  /// processor's origin evaluation before the driver resolved the run's
+  /// budget — are flushed to the new budget immediately, so the prepared
+  /// footprint is never lost to attachment order.
+  void set_memory_budget(MemoryBudget* budget) {
+    budget_ = budget;
+    if (budget_ != nullptr && pending_budget_bytes_ > 0) {
+      budget_->Charge(pending_budget_bytes_);
+      pending_budget_bytes_ = 0;
+    }
+  }
+
   const AcqTask& task() const { return *task_; }
   ExecStats stats() const {
     ExecStats s;
@@ -168,8 +183,23 @@ class EvaluationLayer {
   /// Shared argument check for EvaluateBox implementations.
   Status CheckBox(const std::vector<PScoreRange>& box) const;
 
+  /// Tallies `bytes` of layer-owned memory (prepared materializations,
+  /// selection scratch) against the attached budget, or defers the charge
+  /// until set_memory_budget attaches one. Never fails: exhaustion latches
+  /// in the budget and the driver stops at its next poll.
+  void ChargeBudget(uint64_t bytes) {
+    if (bytes == 0) return;
+    if (budget_ != nullptr) {
+      budget_->Charge(bytes);
+    } else {
+      pending_budget_bytes_ += bytes;
+    }
+  }
+
   const AcqTask* task_;
   AtomicExecStats stats_;
+  MemoryBudget* budget_ = nullptr;
+  uint64_t pending_budget_bytes_ = 0;
 };
 
 /// Scan-per-call layer; see EvaluationLayer docs.
@@ -180,6 +210,9 @@ class DirectEvaluationLayer final : public EvaluationLayer {
 
   Result<AggregateOps::State> EvaluateBox(
       const std::vector<PScoreRange>& box) override;
+
+ private:
+  bool scratch_charged_ = false;  // per-call vectors, charged once
 };
 
 /// Needed-PScore-matrix layer; see EvaluationLayer docs.

@@ -18,6 +18,8 @@ ParallelEvaluationLayer::ParallelEvaluationLayer(const AcqTask* task,
 Status ParallelEvaluationLayer::Prepare() {
   if (prepared_) return Status::OK();
   ACQ_RETURN_IF_ERROR(BuildNeededMatrix(*task_, pool_, &matrix_));
+  ChargeBudget((matrix_.needed.size() + matrix_.agg_values.size()) *
+               sizeof(double));
   prepared_ = true;
   return Status::OK();
 }

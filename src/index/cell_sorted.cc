@@ -103,6 +103,13 @@ Status CellSortedEvaluationLayer::Prepare() {
     FoldRange(ops, matrix_.agg_values.data() + cell_offsets_[s],
               cell_offsets_[s + 1] - cell_offsets_[s], &cell_states_[s]);
   }
+  // Retained footprint only (the raw matrix and sort scratch are freed on
+  // return): sorted matrix, CSR keys/offsets, per-cell states.
+  ChargeBudget((matrix_.needed.size() + matrix_.agg_values.size()) *
+                   sizeof(double) +
+               cell_keys_.size() * sizeof(int32_t) +
+               cell_offsets_.size() * sizeof(uint32_t) +
+               cell_states_.size() * sizeof(AggregateOps::State));
   prepared_ = true;
   return Status::OK();
 }

@@ -39,6 +39,12 @@ Status GridIndexEvaluationLayer::Prepare() {
     auto [it, inserted] = cells_.try_emplace(coord, ops.Init());
     ops.Add(&it->second, matrix_.agg_values[row]);
   }
+  // The matrix is exact; the hash map's footprint is estimated as key
+  // storage plus per-node overhead.
+  ChargeBudget((matrix_.needed.size() + matrix_.agg_values.size()) *
+                   sizeof(double) +
+               cells_.size() *
+                   (d * sizeof(int32_t) + sizeof(AggregateOps::State) + 64));
   prepared_ = true;
   return Status::OK();
 }

@@ -48,6 +48,11 @@ class JsonValue {
   /// Get returns nullptr when `key` is absent (or this is not an object).
   const JsonValue* Get(const std::string& key) const;
   void Set(std::string key, JsonValue value);
+  /// Object members in insertion order (empty for non-objects); lets tests
+  /// compare two protocol replies field-by-field (e.g. modulo "id").
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const {
+    return members_;
+  }
   size_t size() const {
     return kind_ == Kind::kArray ? array_.size() : members_.size();
   }

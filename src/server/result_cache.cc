@@ -1,0 +1,138 @@
+#include "server/result_cache.h"
+
+#include <utility>
+
+#include "sql/printer.h"
+
+namespace acquire {
+
+namespace {
+
+JsonValue RefinedQueryToJson(const AcqTask* task, const RefinedQuery& query) {
+  JsonValue out = JsonValue::Object();
+  if (task != nullptr) {
+    out.Set("sql", JsonValue::Str(RenderRefinedSql(*task, query)));
+  }
+  out.Set("predicates", JsonValue::Str(query.description));
+  out.Set("aggregate", JsonValue::Number(query.aggregate));
+  out.Set("qscore", JsonValue::Number(query.qscore));
+  out.Set("error", JsonValue::Number(query.error));
+  return out;
+}
+
+}  // namespace
+
+JsonValue BuildReportJson(const AcqOutcome& outcome, const AcqTask* task,
+                          double wall_ms) {
+  const AcquireResult& result = outcome.result;
+  // Contracted runs express their answers in the contraction task's
+  // dimensions; render against that task so the SQL is runnable.
+  const AcqTask* display_task = outcome.mode == AcqMode::kContracted
+                                    ? outcome.contraction_task.get()
+                                    : task;
+  JsonValue report = JsonValue::Object();
+  report.Set("mode", JsonValue::Str(AcqModeToString(outcome.mode)));
+  report.Set("termination",
+             JsonValue::Str(RunTerminationToString(result.termination)));
+  report.Set("satisfied", JsonValue::Bool(result.satisfied));
+  report.Set("original_aggregate",
+             JsonValue::Number(outcome.original_aggregate));
+  report.Set("best", RefinedQueryToJson(display_task, result.best));
+  JsonValue answers = JsonValue::Array();
+  for (const RefinedQuery& query : result.queries) {
+    answers.Append(RefinedQueryToJson(display_task, query));
+  }
+  report.Set("answers", std::move(answers));
+  report.Set("queries_explored",
+             JsonValue::Number(static_cast<double>(result.queries_explored)));
+  report.Set("cell_queries",
+             JsonValue::Number(static_cast<double>(result.cell_queries)));
+  report.Set("elapsed_ms", JsonValue::Number(result.elapsed_ms));
+  report.Set("wall_ms", JsonValue::Number(wall_ms));
+  return report;
+}
+
+ResultCache::ResultCache(uint64_t limit_bytes) : limit_(limit_bytes) {}
+
+void ResultCache::set_limit_bytes(uint64_t bytes) {
+  limit_.store(bytes, std::memory_order_relaxed);
+  if (bytes == 0) {
+    Clear();
+    return;
+  }
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EvictLocked(&shard);
+  }
+}
+
+CachedResultPtr ResultCache::Lookup(const TaskFingerprint& fp) {
+  if (!enabled()) return nullptr;
+  Shard& shard = ShardFor(fp);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(fp);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->result;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void ResultCache::Insert(const TaskFingerprint& fp, CachedResultPtr result) {
+  if (!enabled() || result == nullptr) return;
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(fp);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->result->bytes;
+    shard.bytes += result->bytes;
+    it->second->result = std::move(result);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.bytes += result->bytes;
+    shard.lru.push_front(Entry{fp, std::move(result)});
+    shard.index.emplace(fp, shard.lru.begin());
+  }
+  EvictLocked(&shard);
+}
+
+void ResultCache::EvictLocked(Shard* shard) {
+  const uint64_t shard_limit =
+      limit_.load(std::memory_order_relaxed) / kShards;
+  while (!shard->lru.empty() && shard->bytes > shard_limit) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.result->bytes;
+    shard->index.erase(victim.fp);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.limit_bytes = limit_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.lru.size();
+    stats.bytes += shard.bytes;
+  }
+  return stats;
+}
+
+}  // namespace acquire

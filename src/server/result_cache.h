@@ -1,0 +1,116 @@
+#ifndef ACQUIRE_SERVER_RESULT_CACHE_H_
+#define ACQUIRE_SERVER_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/fingerprint.h"
+#include "core/processor.h"
+#include "server/json.h"
+
+namespace acquire {
+
+/// Renders the protocol "report" object for a terminal outcome — the shared
+/// serializer behind STATUS/SUBMIT replies and the result cache, so a cached
+/// reply is byte-identical to the reply the seeding run produced. `task` is
+/// the session's planned task (may be null when planning never ran);
+/// contracted outcomes render against their contraction task so the answer
+/// SQL is runnable.
+JsonValue BuildReportJson(const AcqOutcome& outcome, const AcqTask* task,
+                          double wall_ms);
+
+/// One completed run's reply, shared by the run's own session, its
+/// in-flight followers, and every later cache hit. The report is rendered
+/// exactly once (wall_ms and elapsed_ms included), which is what makes
+/// cached replies bit-exact. Immutable after construction.
+struct CachedResult {
+  JsonValue report;
+  /// The seeding run's RunContext progress counters — cache-served sessions
+  /// adopt them so the reply envelope matches the fresh one too.
+  uint64_t queries_explored = 0;
+  uint64_t cell_queries = 0;
+  /// Approximate retained footprint, charged against the byte limit.
+  size_t bytes = 0;
+};
+using CachedResultPtr = std::shared_ptr<const CachedResult>;
+
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  uint64_t limit_bytes = 0;
+};
+
+/// Sharded, byte-bounded LRU over completed-run replies, keyed by the
+/// 128-bit task fingerprint (core/fingerprint.h). Thread-safe: each shard
+/// has its own mutex and LRU list, hit/miss/eviction counters are atomics,
+/// and entries are immutable shared_ptrs, so a Lookup winner keeps its
+/// result alive across a concurrent Clear or eviction.
+///
+/// A limit of 0 disables the cache entirely: Lookup always misses (without
+/// counting), Insert is a no-op, and nothing is retained. Shrinking the
+/// limit evicts immediately.
+class ResultCache {
+ public:
+  explicit ResultCache(uint64_t limit_bytes = 0);
+
+  bool enabled() const {
+    return limit_.load(std::memory_order_relaxed) > 0;
+  }
+  uint64_t limit_bytes() const {
+    return limit_.load(std::memory_order_relaxed);
+  }
+  /// 0 clears and disables. Shrinking evicts down to the new limit.
+  void set_limit_bytes(uint64_t bytes);
+
+  /// Counted hit (entry moved to the front of its shard's LRU) or miss.
+  CachedResultPtr Lookup(const TaskFingerprint& fp);
+
+  /// Inserts/refreshes, then evicts least-recently-used entries while the
+  /// shard is over its share of the byte limit. No-op when disabled.
+  void Insert(const TaskFingerprint& fp, CachedResultPtr result);
+
+  /// Drops every entry. Monotonic counters (hits/misses/evictions) survive;
+  /// cleared entries do not count as evictions.
+  void Clear();
+
+  ResultCacheStats stats() const;
+
+ private:
+  struct Entry {
+    TaskFingerprint fp;
+    CachedResultPtr result;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<TaskFingerprint, std::list<Entry>::iterator,
+                       TaskFingerprintHash>
+        index;
+    uint64_t bytes = 0;
+  };
+  static constexpr size_t kShards = 8;
+
+  Shard& ShardFor(const TaskFingerprint& fp) {
+    // hi is already avalanche-mixed; its low bits pick the shard.
+    return shards_[fp.hi & (kShards - 1)];
+  }
+  /// Requires shard.mu. Evicts from the LRU tail while over budget.
+  void EvictLocked(Shard* shard);
+
+  std::atomic<uint64_t> limit_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  Shard shards_[kShards];
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SERVER_RESULT_CACHE_H_

@@ -14,7 +14,7 @@
 #include "common/string_util.h"
 #include "core/processor.h"
 #include "exec/thread_pool.h"
-#include "sql/printer.h"
+#include "server/result_cache.h"
 
 namespace acquire {
 
@@ -45,18 +45,6 @@ Result<SearchOrder> ParseOrder(const std::string& name) {
                    name.c_str()));
 }
 
-JsonValue RefinedQueryToJson(const AcqTask* task, const RefinedQuery& query) {
-  JsonValue out = JsonValue::Object();
-  if (task != nullptr) {
-    out.Set("sql", JsonValue::Str(RenderRefinedSql(*task, query)));
-  }
-  out.Set("predicates", JsonValue::Str(query.description));
-  out.Set("aggregate", JsonValue::Number(query.aggregate));
-  out.Set("qscore", JsonValue::Number(query.qscore));
-  out.Set("error", JsonValue::Number(query.error));
-  return out;
-}
-
 /// The terminal (or in-flight) state of one session as a protocol object.
 JsonValue SessionToJson(const Session& session) {
   const Session::View view = session.Snapshot();
@@ -73,35 +61,16 @@ JsonValue SessionToJson(const Session& session) {
     out.Set("error", JsonValue::Str(view.error.message()));
     return out;
   }
-  if (!view.has_outcome) return out;
-
-  const AcqOutcome& outcome = view.outcome;
-  const AcquireResult& result = outcome.result;
-  // Contracted runs express their answers in the contraction task's
-  // dimensions; render against that task so the SQL is runnable.
-  const AcqTask* display_task = outcome.mode == AcqMode::kContracted
-                                    ? outcome.contraction_task.get()
-                                    : view.task.get();
-  JsonValue report = JsonValue::Object();
-  report.Set("mode", JsonValue::Str(AcqModeToString(outcome.mode)));
-  report.Set("termination",
-             JsonValue::Str(RunTerminationToString(result.termination)));
-  report.Set("satisfied", JsonValue::Bool(result.satisfied));
-  report.Set("original_aggregate",
-             JsonValue::Number(outcome.original_aggregate));
-  report.Set("best", RefinedQueryToJson(display_task, result.best));
-  JsonValue answers = JsonValue::Array();
-  for (const RefinedQuery& query : result.queries) {
-    answers.Append(RefinedQueryToJson(display_task, query));
+  // Cache-served sessions (and the seeding leader itself) reply with the
+  // report rendered once at the leader's completion — byte-identical across
+  // every hit; only the outer "id" differs.
+  if (view.cached != nullptr) {
+    out.Set("report", JsonValue(view.cached->report));
+    return out;
   }
-  report.Set("answers", std::move(answers));
-  report.Set("queries_explored",
-             JsonValue::Number(static_cast<double>(result.queries_explored)));
-  report.Set("cell_queries",
-             JsonValue::Number(static_cast<double>(result.cell_queries)));
-  report.Set("elapsed_ms", JsonValue::Number(result.elapsed_ms));
-  report.Set("wall_ms", JsonValue::Number(view.wall_ms));
-  out.Set("report", std::move(report));
+  if (!view.has_outcome) return out;
+  out.Set("report", BuildReportJson(view.outcome, view.task.get(),
+                                    view.wall_ms));
   return out;
 }
 
@@ -146,7 +115,8 @@ bool SendAll(int fd, const std::string& data, int* error_out) {
 AcqServer::AcqServer(const Catalog* catalog, ServerOptions options)
     : options_(options),
       manager_(catalog, SessionManagerOptions{options.max_running,
-                                              options.max_queued}) {}
+                                              options.max_queued,
+                                              options.cache_bytes}) {}
 
 AcqServer::~AcqServer() { Stop(); }
 
@@ -333,10 +303,12 @@ JsonValue AcqServer::Dispatch(const JsonValue& request) {
   if (cmd == "CANCEL") return HandleCancel(request);
   if (cmd == "STATS") return HandleStats();
   if (cmd == "FAILPOINT") return HandleFailpoint(request);
+  if (cmd == "CACHE") return HandleCache(request);
   return ErrorResponse(
       Status::InvalidArgument,
-      StringFormat("unknown cmd '%s' (SUBMIT|STATUS|CANCEL|STATS|FAILPOINT)",
-                   cmd.c_str()));
+      StringFormat(
+          "unknown cmd '%s' (SUBMIT|STATUS|CANCEL|STATS|FAILPOINT|CACHE)",
+          cmd.c_str()));
 }
 
 JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
@@ -384,6 +356,30 @@ JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
     Result<EvalBackend> parsed = EvalBackendFromString(b->AsString());
     if (!parsed.ok()) return ErrorResponse(parsed.status());
     backend = *parsed;
+  }
+  if (const JsonValue* batch = request.Get("batch_explore");
+      batch != nullptr) {
+    if (batch->is_bool()) {
+      options.batch_explore =
+          batch->AsBool() ? BatchExplore::kOn : BatchExplore::kOff;
+    } else if (batch->is_string()) {
+      const std::string lower = ToLower(batch->AsString());
+      if (lower == "auto") {
+        options.batch_explore = BatchExplore::kAuto;
+      } else if (lower == "on") {
+        options.batch_explore = BatchExplore::kOn;
+      } else if (lower == "off") {
+        options.batch_explore = BatchExplore::kOff;
+      } else {
+        return ErrorResponse(
+            Status::InvalidArgument,
+            StringFormat("unknown batch_explore '%s' (auto|on|off)",
+                         batch->AsString().c_str()));
+      }
+    } else {
+      return ErrorResponse(Status::InvalidArgument,
+                           "'batch_explore' must be a bool or a string");
+    }
   }
   const double budget_bytes = request.GetNumber(
       "memory_budget_bytes",
@@ -442,6 +438,15 @@ JsonValue AcqServer::HandleStats() {
   set("running", manager_.num_running());
   set("queued", manager_.num_queued());
   set("pool_threads", ThreadPool::Shared().num_threads());
+  // Result-cache state (all zero while cache_bytes is 0 / disabled).
+  const ResultCacheStats cache = manager_.cache().stats();
+  set("cache_hits", cache.hits);
+  set("cache_misses", cache.misses);
+  set("cache_inflight_joins", counters.cache_inflight_joins);
+  set("cache_evictions", cache.evictions);
+  set("cache_entries", cache.entries);
+  set("cache_bytes", cache.bytes);
+  set("cache_limit_bytes", cache.limit_bytes);
   // Connection-hardening and fault-injection counters.
   set("oversize_lines", oversize_lines_.load(std::memory_order_relaxed));
   set("idle_disconnects", idle_disconnects_.load(std::memory_order_relaxed));
@@ -500,6 +505,41 @@ JsonValue AcqServer::HandleFailpoint(const JsonValue& request) {
   out.Set("total_hits",
           JsonValue::Number(
               static_cast<double>(FailpointRegistry::Global().TotalHits())));
+  return out;
+}
+
+JsonValue AcqServer::HandleCache(const JsonValue& request) {
+  ResultCache& cache = manager_.cache();
+  if (const JsonValue* limit = request.Get("limit"); limit != nullptr) {
+    if (!limit->is_number() || limit->AsDouble() < 0.0) {
+      return ErrorResponse(Status::InvalidArgument,
+                           "'limit' must be a non-negative byte count");
+    }
+    cache.set_limit_bytes(static_cast<uint64_t>(limit->AsDouble()));
+  }
+  if (const JsonValue* clear = request.Get("clear"); clear != nullptr) {
+    if (!clear->is_bool()) {
+      return ErrorResponse(Status::InvalidArgument, "'clear' must be a bool");
+    }
+    if (clear->AsBool()) cache.Clear();
+  }
+  const ResultCacheStats stats = cache.stats();
+  const ServerCounters counters = manager_.counters();
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("enabled", JsonValue::Bool(cache.enabled()));
+  JsonValue body = JsonValue::Object();
+  auto set = [&body](const char* key, uint64_t value) {
+    body.Set(key, JsonValue::Number(static_cast<double>(value)));
+  };
+  set("hits", stats.hits);
+  set("misses", stats.misses);
+  set("inflight_joins", counters.cache_inflight_joins);
+  set("evictions", stats.evictions);
+  set("entries", stats.entries);
+  set("bytes", stats.bytes);
+  set("limit_bytes", stats.limit_bytes);
+  out.Set("cache", std::move(body));
   return out;
 }
 

@@ -25,6 +25,9 @@ struct ServerOptions {
   /// Memory budget applied to SUBMITs that carry no memory_budget_bytes of
   /// their own; 0 means such runs are unmetered.
   uint64_t default_memory_budget_bytes = 0;
+  /// Result-cache byte limit (see SessionManagerOptions::cache_bytes);
+  /// 0 (the default) disables the cache and in-flight deduplication.
+  uint64_t cache_bytes = 0;
   /// A request line (or a partial line with no newline yet) longer than
   /// this is answered with kInvalidArgument and the connection is closed —
   /// a client streaming garbage can no longer grow the line buffer without
@@ -44,9 +47,14 @@ struct ServerOptions {
 ///   SUBMIT  {"cmd":"SUBMIT","sql":"...ACQ SQL...",
 ///            "gamma":?, "delta":?, "order":"auto|bfs|shell|best_first",
 ///            "backend":"auto|direct|cached|parallel|grid|cell_sorted",
+///            "batch_explore":"auto|on|off",
 ///            "max_explored":?, "timeout_ms":?, "wait":bool}
 ///           -> {"ok":true,"id":"s-1","state":...}; with "wait":true the
-///           response is the terminal STATUS report instead.
+///           response is the terminal STATUS report instead. With the
+///           result cache enabled (cache_bytes > 0), a SUBMIT matching a
+///           completed run is answered from the cache (no slot consumed,
+///           report byte-identical to the seeding reply) and one matching
+///           an in-flight run joins it instead of re-running.
 ///   STATUS  {"cmd":"STATUS","id":"s-1"} -> state, live progress counters
 ///           and, once terminal, the run report (mode, termination,
 ///           satisfied, answers as runnable SQL, timings).
@@ -59,6 +67,9 @@ struct ServerOptions {
 ///           grammar in common/failpoint.h), {"cmd":"FAILPOINT",
 ///           "clear":true} / {"clear":"name"} disarms. kUnsupported when
 ///           the build compiled failpoints out.
+///   CACHE   {"cmd":"CACHE"} -> result-cache stats; {"cmd":"CACHE",
+///           "clear":true} drops every entry, {"cmd":"CACHE","limit":N}
+///           resizes the byte limit (0 clears and disables).
 ///
 /// Failures are {"ok":false,"code":"InvalidArgument",...,"error":"..."};
 /// admission rejections use code "Unavailable" and budget-stopped runs
@@ -109,6 +120,7 @@ class AcqServer {
   JsonValue HandleCancel(const JsonValue& request);
   JsonValue HandleStats();
   JsonValue HandleFailpoint(const JsonValue& request);
+  JsonValue HandleCache(const JsonValue& request);
 
   const ServerOptions options_;
   SessionManager manager_;

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "exec/thread_pool.h"
 #include "sql/binder.h"
+#include "sql/parser.h"
 
 namespace acquire {
 
@@ -79,6 +80,7 @@ Session::View Session::Snapshot() const {
     view.has_outcome = has_outcome_;
     if (has_outcome_) view.outcome = outcome_;
     view.task = task_;
+    view.cached = cached_;
     view.wall_ms = wall_ms_;
   }
   view.queries_explored = ctx_.queries_explored.load(std::memory_order_relaxed);
@@ -93,7 +95,8 @@ SessionManager::SessionManager(const Catalog* catalog,
       max_running_(options.max_running != 0
                        ? options.max_running
                        : std::max<size_t>(
-                             1, ThreadPool::Shared().num_threads() / 2)) {}
+                             1, ThreadPool::Shared().num_threads() / 2)),
+      cache_(options.cache_bytes) {}
 
 SessionManager::~SessionManager() { Shutdown(); }
 
@@ -107,41 +110,177 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
     return Status::Unavailable(
         "injected admission rejection (failpoint server.admit)");
   }
+
+  // Fingerprint before taking mu_: parsing/binding is pure and touches only
+  // the read-only catalog. Any failure just means "uncacheable" and the
+  // submission proceeds exactly as it did before the cache existed.
+  TaskFingerprint fp;
+  const bool has_fp =
+      cache_.enabled() && ComputeFingerprint(sql, options, backend, &fp);
+
+  // Cache hit: finish immediately from the stored reply — no running slot,
+  // no queue entry, no deadline (the work is already done).
+  if (has_fp) {
+    if (CachedResultPtr cached = cache_.Lookup(fp)) {
+      SessionPtr session;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shutdown_) return Status::Unavailable("session manager shut down");
+        std::string id = StringFormat(
+            "s-%llu", static_cast<unsigned long long>(next_id_++));
+        session = std::make_shared<Session>(std::move(id), std::move(sql),
+                                            std::move(options));
+        session->backend_ = backend;
+        session->fp_ = fp;
+        session->has_fp_ = true;
+        sessions_.emplace(session->id(), session);
+      }
+      {
+        std::lock_guard<std::mutex> clock(counters_mu_);
+        ++counters_.submitted;
+      }
+      PublishFromCache(session, cached);
+      return session;
+    }
+  }
+
   SessionPtr session;
   bool launch = false;
+  bool joined = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) return Status::Unavailable("session manager shut down");
-    if (running_ >= max_running_ && queue_.size() >= options_.max_queued) {
-      std::lock_guard<std::mutex> clock(counters_mu_);
-      ++counters_.rejected;
-      return Status::Unavailable(
-          StringFormat("admission queue full (%zu running, %zu queued)",
-                       running_, queue_.size()));
-    }
-    std::string id = StringFormat("s-%llu",
-                                  static_cast<unsigned long long>(next_id_++));
-    session = std::make_shared<Session>(std::move(id), std::move(sql),
-                                        std::move(options));
-    session->backend_ = backend;
-    // The deadline clock starts at admission, so queue wait counts against
-    // the caller's budget -- a request that waited out its deadline in the
-    // queue finishes immediately as kDeadlineExceeded instead of running.
-    if (timeout_ms > 0.0) session->ctx_.SetTimeoutMillis(timeout_ms);
-    sessions_.emplace(session->id(), session);
-    if (running_ < max_running_) {
-      ++running_;
-      launch = true;
+
+    // Identical task already in flight: join it as a follower instead of
+    // running again. Followers hold no slot and no queue entry (they are
+    // pure waiters), so they bypass the admission-full check.
+    auto inflight_it =
+        has_fp ? inflight_.find(fp) : inflight_.end();
+    if (inflight_it != inflight_.end()) {
+      std::string id = StringFormat(
+          "s-%llu", static_cast<unsigned long long>(next_id_++));
+      session = std::make_shared<Session>(std::move(id), std::move(sql),
+                                          std::move(options));
+      session->backend_ = backend;
+      session->fp_ = fp;
+      session->has_fp_ = true;
+      if (timeout_ms > 0.0) session->ctx_.SetTimeoutMillis(timeout_ms);
+      sessions_.emplace(session->id(), session);
+      inflight_it->second.followers.push_back(session);
+      joined = true;
     } else {
-      queue_.push_back(session);
+      if (running_ >= max_running_ && queue_.size() >= options_.max_queued) {
+        std::lock_guard<std::mutex> clock(counters_mu_);
+        ++counters_.rejected;
+        return Status::Unavailable(
+            StringFormat("admission queue full (%zu running, %zu queued)",
+                         running_, queue_.size()));
+      }
+      std::string id = StringFormat(
+          "s-%llu", static_cast<unsigned long long>(next_id_++));
+      session = std::make_shared<Session>(std::move(id), std::move(sql),
+                                          std::move(options));
+      session->backend_ = backend;
+      if (has_fp) {
+        session->fp_ = fp;
+        session->has_fp_ = true;
+        inflight_.emplace(fp, Inflight{session, {}});
+      }
+      // The deadline clock starts at admission, so queue wait counts against
+      // the caller's budget -- a request that waited out its deadline in the
+      // queue finishes immediately as kDeadlineExceeded instead of running.
+      if (timeout_ms > 0.0) session->ctx_.SetTimeoutMillis(timeout_ms);
+      sessions_.emplace(session->id(), session);
+      if (running_ < max_running_) {
+        ++running_;
+        launch = true;
+      } else {
+        queue_.push_back(session);
+      }
     }
   }
   {
     std::lock_guard<std::mutex> clock(counters_mu_);
     ++counters_.submitted;
+    if (joined) ++counters_.cache_inflight_joins;
   }
   if (launch) Launch(session);
   return session;
+}
+
+bool SessionManager::ComputeFingerprint(const std::string& sql,
+                                        const AcquireOptions& options,
+                                        EvalBackend backend,
+                                        TaskFingerprint* fp) const {
+  Result<AstQuery> ast = ParseAcqSql(sql);
+  if (!ast.ok()) return false;
+  Binder binder(catalog_);
+  Result<QuerySpec> spec = binder.BindQuery(*ast);
+  if (!spec.ok()) return false;
+  // A SUBMIT-level backend override beats the spec's choice at run time
+  // (RunSession applies it to the planned task), so it must key the cache.
+  if (backend != EvalBackend::kAuto) spec->eval_backend = backend;
+  Result<TaskFingerprint> result = FingerprintTask(*catalog_, *spec, options);
+  if (!result.ok()) return false;
+  *fp = *result;
+  return true;
+}
+
+void SessionManager::PublishFromCache(const SessionPtr& session,
+                                      const CachedResultPtr& cached) {
+  // Adopt the seeding run's progress counters first, so a STATUS racing the
+  // notify never reports done with zero progress.
+  session->ctx_.queries_explored.store(cached->queries_explored,
+                                       std::memory_order_relaxed);
+  session->ctx_.cell_queries.store(cached->cell_queries,
+                                   std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(session->mu_);
+  if (IsTerminal(session->state_)) return;
+  session->state_ = SessionState::kDone;
+  session->cached_ = cached;
+  session->wall_ms_ = MillisSince(session->submitted_at_);
+  session->cv_.notify_all();
+}
+
+void SessionManager::PublishCancelled(const SessionPtr& session) {
+  std::lock_guard<std::mutex> lock(session->mu_);
+  if (IsTerminal(session->state_)) return;
+  session->state_ = SessionState::kCancelled;
+  session->wall_ms_ = MillisSince(session->submitted_at_);
+  session->cv_.notify_all();
+}
+
+void SessionManager::ResolveInflightLocked(const SessionPtr& session,
+                                           const CachedResultPtr& cached,
+                                           SessionPtr* promoted,
+                                           std::vector<SessionPtr>* serve,
+                                           std::vector<SessionPtr>* cancel) {
+  if (!session->has_fp_) return;
+  auto it = inflight_.find(session->fp_);
+  if (it == inflight_.end() || it->second.leader != session) return;
+  std::vector<SessionPtr> followers = std::move(it->second.followers);
+  inflight_.erase(it);
+  if (cached != nullptr) {
+    cache_.Insert(session->fp_, cached);
+    *serve = std::move(followers);
+    return;
+  }
+  if (followers.empty()) return;
+  if (!shutdown_) {
+    // The leader didn't complete (failed / cancelled / truncated /
+    // exhausted), so its reply must not stand in for the followers': the
+    // oldest follower runs fresh on the slot the leader is vacating, and the
+    // rest wait on it.
+    *promoted = std::move(followers.front());
+    followers.erase(followers.begin());
+    inflight_.emplace(session->fp_, Inflight{*promoted, std::move(followers)});
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> clock(counters_mu_);
+    counters_.cancelled += followers.size();
+  }
+  *cancel = std::move(followers);
 }
 
 Result<SessionPtr> SessionManager::Find(const std::string& id) const {
@@ -155,6 +294,30 @@ Result<SessionPtr> SessionManager::Find(const std::string& id) const {
 
 Result<SessionPtr> SessionManager::Cancel(const std::string& id) {
   ACQ_ASSIGN_OR_RETURN(SessionPtr session, Find(id));
+  // A follower holds no slot and no run: cancelling it just detaches it
+  // from the leader it was waiting on. The leader (and any other follower)
+  // is untouched — cancelling one duplicate never poisons the rest.
+  bool was_follower = false;
+  if (session->has_fp_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(session->fp_);
+    if (it != inflight_.end() && it->second.leader != session) {
+      auto& followers = it->second.followers;
+      auto pos = std::find(followers.begin(), followers.end(), session);
+      if (pos != followers.end()) {
+        followers.erase(pos);
+        was_follower = true;
+      }
+    }
+  }
+  if (was_follower) {
+    {
+      std::lock_guard<std::mutex> clock(counters_mu_);
+      ++counters_.cancelled;
+    }
+    PublishCancelled(session);
+    return session;
+  }
   session->RequestCancel();
   return session;
 }
@@ -204,9 +367,18 @@ void SessionManager::Launch(SessionPtr session) {
       ++counters_.failed;
     }
     SessionPtr next;
+    std::vector<SessionPtr> cancel_followers;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!queue_.empty()) {
+      // A failed leader must not strand its followers: promote one onto
+      // this slot (it becomes `next`) or, on shutdown, cancel them.
+      SessionPtr promoted;
+      std::vector<SessionPtr> serve_unused;
+      ResolveInflightLocked(session, nullptr, &promoted, &serve_unused,
+                            &cancel_followers);
+      if (promoted != nullptr) {
+        next = std::move(promoted);
+      } else if (!queue_.empty()) {
         next = queue_.front();
         queue_.pop_front();
       } else {
@@ -214,8 +386,8 @@ void SessionManager::Launch(SessionPtr session) {
         idle_cv_.notify_all();
       }
     }
-    // After releasing the slot, Shutdown may destroy the manager: only the
-    // session may be touched past this point on the next == nullptr path.
+    // After releasing the slot, Shutdown may destroy the manager: only
+    // sessions may be touched past this point on the next == nullptr path.
     {
       std::lock_guard<std::mutex> lock(session->mu_);
       session->state_ = SessionState::kFailed;
@@ -224,6 +396,9 @@ void SessionManager::Launch(SessionPtr session) {
           "(failpoint server.pool_enqueue)");
       session->wall_ms_ = MillisSince(session->submitted_at_);
       session->cv_.notify_all();
+    }
+    for (const SessionPtr& follower : cancel_followers) {
+      PublishCancelled(follower);
     }
     if (next == nullptr) return;
     session = std::move(next);
@@ -279,9 +454,15 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
 
     // Bind + plan against the shared read-only catalog, then run. The task
     // outlives the outcome (answer rendering needs its dimensions), so it
-    // lives in a shared_ptr on the session.
+    // lives in a shared_ptr on the session. The failpoint sits in front of
+    // the whole body: a `sleep:` spec stretches the run (widening the
+    // in-flight dedup window for tests) and a failure spec fails it.
     Binder binder(catalog_);
-    Result<AcqTask> planned = binder.PlanSql(session->sql());
+    Result<AcqTask> planned =
+        ACQ_FAILPOINT("server.run")
+            ? Result<AcqTask>(Status::Unavailable(
+                  "injected run failure (failpoint server.run)"))
+            : binder.PlanSql(session->sql());
     if (!planned.ok()) {
       error = planned.status();
     } else {
@@ -336,14 +517,41 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
     }
   }
 
+  // One wall-clock reading and (for completed cacheable runs) one report
+  // render, BEFORE any publish: the leader, its followers, and every later
+  // cache hit reply with this exact JSON, which is what makes cached
+  // replies byte-identical to the fresh one.
+  const double wall_ms = MillisSince(start);
+  CachedResultPtr cached;
+  if (session->has_fp_ && state == SessionState::kDone && has_outcome &&
+      outcome.result.termination == RunTermination::kCompleted) {
+    auto entry = std::make_shared<CachedResult>();
+    entry->report = BuildReportJson(outcome, task.get(), wall_ms);
+    entry->queries_explored =
+        session->ctx_.queries_explored.load(std::memory_order_relaxed);
+    entry->cell_queries =
+        session->ctx_.cell_queries.load(std::memory_order_relaxed);
+    entry->bytes = entry->report.Dump().size() + 64;
+    cached = std::move(entry);
+  }
+
   // Slot bookkeeping before the terminal publish: a waiter released by the
   // notify below must see the slot already handed to the next queued
-  // session or released in num_running()/num_queued(). The idle_cv_ notify
+  // session or released in num_running()/num_queued(). A promoted follower
+  // (the leader didn't complete) takes priority over the queue — it has
+  // been waiting at least as long as anything queued. The idle_cv_ notify
   // can let Shutdown (and the manager destructor) proceed, so from here on
-  // only the session itself may be touched.
+  // only sessions themselves may be touched.
+  std::vector<SessionPtr> serve_followers;
+  std::vector<SessionPtr> cancel_followers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!queue_.empty()) {
+    SessionPtr promoted;
+    ResolveInflightLocked(session, cached, &promoted, &serve_followers,
+                          &cancel_followers);
+    if (promoted != nullptr) {
+      *next = std::move(promoted);
+    } else if (!queue_.empty()) {
       *next = queue_.front();
       queue_.pop_front();
     } else {
@@ -352,16 +560,28 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(session->mu_);
-  session->state_ = state;
-  session->error_ = error;
-  if (has_outcome) {
-    session->outcome_ = std::move(outcome);
-    session->has_outcome_ = true;
-    session->task_ = std::move(task);
+  {
+    std::lock_guard<std::mutex> lock(session->mu_);
+    session->state_ = state;
+    session->error_ = error;
+    if (has_outcome) {
+      session->outcome_ = std::move(outcome);
+      session->has_outcome_ = true;
+      session->task_ = std::move(task);
+    }
+    // The seeding run itself replies from the cached render too, so its own
+    // reply matches every hit that follows.
+    session->cached_ = cached;
+    session->wall_ms_ = wall_ms;
+    session->cv_.notify_all();
   }
-  session->wall_ms_ = MillisSince(start);
-  session->cv_.notify_all();
+
+  for (const SessionPtr& follower : serve_followers) {
+    PublishFromCache(follower, cached);
+  }
+  for (const SessionPtr& follower : cancel_followers) {
+    PublishCancelled(follower);
+  }
 }
 
 }  // namespace acquire

@@ -9,10 +9,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/fingerprint.h"
 #include "core/processor.h"
 #include "core/run_context.h"
+#include "server/result_cache.h"
 #include "storage/catalog.h"
 
 namespace acquire {
@@ -54,6 +57,10 @@ class Session {
     bool has_outcome = false;
     AcqOutcome outcome;
     std::shared_ptr<const AcqTask> task;
+    /// Set when this session was served from the result cache (an admission
+    /// hit, an in-flight follower, or the seeding leader itself): the
+    /// pre-rendered report to reply with, byte-identical across all of them.
+    CachedResultPtr cached;
     double wall_ms = 0.0;
     uint64_t queries_explored = 0;
     uint64_t cell_queries = 0;
@@ -72,6 +79,12 @@ class Session {
   RunContext ctx_;
   const RunContext::Clock::time_point submitted_at_;
 
+  /// Task fingerprint, computed at admission when the result cache is
+  /// enabled and the task is cacheable; keys the cache and the in-flight
+  /// dedup map. Immutable after Submit.
+  TaskFingerprint fp_{};
+  bool has_fp_ = false;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   SessionState state_ = SessionState::kQueued;
@@ -79,6 +92,7 @@ class Session {
   AcqOutcome outcome_;                      // when kDone / mid-run kCancelled
   bool has_outcome_ = false;                // outcome_ is meaningful
   std::shared_ptr<AcqTask> task_;           // keeps rendering inputs alive
+  CachedResultPtr cached_;                  // cache-served reply (see View)
   double wall_ms_ = 0.0;                    // submit -> terminal
 };
 
@@ -101,6 +115,12 @@ struct ServerCounters {
   uint64_t eval_queries = 0;    // evaluation-layer box queries
   uint64_t tuples_scanned = 0;
   uint64_t run_micros = 0;      // summed AcquireResult::elapsed_ms
+  /// Submissions that joined an identical in-flight task instead of
+  /// running (they wait on the leader's result). Cache-served sessions —
+  /// admission hits and followers — bump only `submitted` plus this /
+  /// the cache's hit counter: the termination counters above count
+  /// executed runs.
+  uint64_t cache_inflight_joins = 0;
 };
 
 struct SessionManagerOptions {
@@ -112,6 +132,10 @@ struct SessionManagerOptions {
   /// Admitted-but-not-yet-running bound; beyond it SUBMIT is rejected
   /// with kUnavailable (backpressure instead of unbounded memory).
   size_t max_queued = 64;
+  /// Result-cache byte limit. 0 (the default) disables both the cache and
+  /// the in-flight deduplication of identical tasks, preserving the
+  /// pre-cache serving behavior exactly.
+  uint64_t cache_bytes = 0;
 };
 
 /// Binds sessions against a shared read-only Catalog and schedules them
@@ -120,6 +144,15 @@ struct SessionManagerOptions {
 /// `max_queued` admitted requests wait behind them, and everything beyond
 /// that is rejected immediately. The catalog must not be mutated while a
 /// manager serves from it.
+///
+/// With cache_bytes > 0 admission additionally consults a fingerprinted
+/// result cache: a submission matching a completed run finishes immediately
+/// from the cached reply (no slot, no queue), and one matching a task still
+/// in flight joins it as a follower, waiting on the leader's session
+/// instead of re-running. Only completed runs are inserted; when a leader
+/// ends any other way (failed / cancelled / truncated / exhausted) its
+/// oldest follower is promoted to run fresh on the same slot, so a poisoned
+/// leader never poisons its duplicates.
 class SessionManager {
  public:
   SessionManager(const Catalog* catalog, SessionManagerOptions options);
@@ -155,7 +188,44 @@ class SessionManager {
 
   const Catalog& catalog() const { return *catalog_; }
 
+  /// The result cache (disabled when cache_bytes was 0; see ResultCache).
+  ResultCache& cache() { return cache_; }
+
  private:
+  /// One fingerprint's in-flight task: the session executing it and the
+  /// duplicate submissions waiting on its result. Guarded by mu_.
+  struct Inflight {
+    SessionPtr leader;
+    std::vector<SessionPtr> followers;
+  };
+
+  /// Parses/binds `sql` and fingerprints the task. False (leaving *fp
+  /// untouched) when the SQL does not parse/bind or the task is
+  /// uncacheable — the submission then takes the plain uncached path.
+  bool ComputeFingerprint(const std::string& sql,
+                          const AcquireOptions& options, EvalBackend backend,
+                          TaskFingerprint* fp) const;
+
+  /// Publishes `session` terminal kDone served from `cached` (counters
+  /// adopted, waiters notified). Touches only the session.
+  void PublishFromCache(const SessionPtr& session,
+                        const CachedResultPtr& cached);
+  /// Publishes kCancelled if not already terminal. Touches only the session.
+  void PublishCancelled(const SessionPtr& session);
+
+  /// Requires mu_. Resolves the in-flight entry led by `session`:
+  /// completed (cached != null) -> insert into the cache and return the
+  /// followers to serve from it; otherwise promote the oldest follower as
+  /// the new leader via *promoted (it takes over the caller's runner slot)
+  /// — unless shutting down, in which case every follower is returned in
+  /// *cancel with its `cancelled` counter already bumped (after the slot
+  /// release the manager may be destroyed, so counters must move here).
+  void ResolveInflightLocked(const SessionPtr& session,
+                             const CachedResultPtr& cached,
+                             SessionPtr* promoted,
+                             std::vector<SessionPtr>* serve,
+                             std::vector<SessionPtr>* cancel);
+
   /// Submits a runner-loop pool task for `session`; the runner keeps its
   /// running slot and drains the queue before releasing it.
   void Launch(SessionPtr session);
@@ -169,6 +239,8 @@ class SessionManager {
   const SessionManagerOptions options_;
   const size_t max_running_;
 
+  ResultCache cache_;
+
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;  // signalled when running+queued drops
   uint64_t next_id_ = 1;
@@ -176,6 +248,8 @@ class SessionManager {
   bool shutdown_ = false;
   std::deque<SessionPtr> queue_;
   std::map<std::string, SessionPtr> sessions_;
+  std::unordered_map<TaskFingerprint, Inflight, TaskFingerprintHash>
+      inflight_;  // under mu_
 
   mutable std::mutex counters_mu_;
   ServerCounters counters_;

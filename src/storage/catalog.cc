@@ -9,11 +9,13 @@ Status Catalog::AddTable(TablePtr table) {
   if (!inserted) {
     return Status::AlreadyExists("table already exists: " + table->name());
   }
+  ++generation_;
   return Status::OK();
 }
 
 void Catalog::PutTable(TablePtr table) {
   tables_[table->name()] = std::move(table);
+  ++generation_;
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
@@ -30,7 +32,19 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(name) == 0) {
     return Status::NotFound("no such table: " + name);
   }
+  ++generation_;
   return Status::OK();
+}
+
+void Catalog::set_load_params(std::string params) {
+  load_params_ = std::move(params);
+  ++generation_;
+}
+
+void Catalog::AppendLoadParams(const std::string& params) {
+  if (!load_params_.empty()) load_params_ += ';';
+  load_params_ += params;
+  ++generation_;
 }
 
 std::vector<std::string> Catalog::TableNames() const {

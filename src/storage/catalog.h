@@ -13,6 +13,13 @@ namespace acquire {
 
 /// Name -> table registry; the "database" the SQL binder and evaluation
 /// layers resolve against.
+///
+/// Identity for caching: every mutation (AddTable / PutTable / DropTable /
+/// set_load_params) bumps a monotonic generation counter, and loaders record
+/// how the data was produced in load_params (e.g. "users:rows=3000,seed=7").
+/// Together they fingerprint "which data this catalog holds" without hashing
+/// table contents — any change to the catalog invalidates result-cache
+/// entries keyed on the old generation.
 class Catalog {
  public:
   Catalog() = default;
@@ -34,8 +41,19 @@ class Catalog {
   std::vector<std::string> TableNames() const;
   size_t size() const { return tables_.size(); }
 
+  /// Monotonic mutation counter (successful mutations only).
+  uint64_t generation() const { return generation_; }
+
+  /// Provenance string set by loaders/generators; appended with ';' when a
+  /// catalog is populated by several of them.
+  const std::string& load_params() const { return load_params_; }
+  void set_load_params(std::string params);
+  void AppendLoadParams(const std::string& params);
+
  private:
   std::map<std::string, TablePtr> tables_;
+  uint64_t generation_ = 0;
+  std::string load_params_;
 };
 
 }  // namespace acquire

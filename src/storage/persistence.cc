@@ -106,6 +106,7 @@ Status LoadCatalog(const std::string& directory, Catalog* catalog) {
         ReadCsv((fs::path(directory) / parts[1]).string(), parts[0], schema));
     catalog->PutTable(std::move(table));
   }
+  catalog->AppendLoadParams("loaddb:" + directory);
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/random.h"
+#include "common/string_util.h"
 #include "common/zipf.h"
 
 namespace acquire {
@@ -139,6 +140,12 @@ Status GenerateTpch(const TpchOptions& options, Catalog* catalog) {
   ACQ_RETURN_IF_ERROR(lineitem->FinalizeAppend());
   ACQ_RETURN_IF_ERROR(catalog->AddTable(lineitem));
 
+  catalog->AppendLoadParams(StringFormat(
+      "tpch:suppliers=%zu,parts=%zu,spp=%zu,lineitems=%zu,seed=%llu,"
+      "zipf=%g/%zu",
+      options.suppliers, options.parts, options.suppliers_per_part,
+      options.lineitems, static_cast<unsigned long long>(options.seed),
+      options.zipf_theta, options.zipf_ranks));
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/random.h"
+#include "common/string_util.h"
 
 namespace acquire {
 
@@ -53,7 +54,11 @@ Status GenerateUsers(const UsersOptions& options, Catalog* catalog) {
         kInterests[rng.NextBounded(std::size(kInterests))]);
   }
   ACQ_RETURN_IF_ERROR(users->FinalizeAppend());
-  return catalog->AddTable(users);
+  ACQ_RETURN_IF_ERROR(catalog->AddTable(users));
+  catalog->AppendLoadParams(StringFormat(
+      "users:rows=%zu,seed=%llu", options.users,
+      static_cast<unsigned long long>(options.seed)));
+  return Status::OK();
 }
 
 Status GeneratePatients(const PatientsOptions& options, Catalog* catalog) {
@@ -83,7 +88,11 @@ Status GeneratePatients(const PatientsOptions& options, Catalog* catalog) {
     patients->mutable_column(5).AppendDouble(cost);
   }
   ACQ_RETURN_IF_ERROR(patients->FinalizeAppend());
-  return catalog->AddTable(patients);
+  ACQ_RETURN_IF_ERROR(catalog->AddTable(patients));
+  catalog->AppendLoadParams(StringFormat(
+      "patients:rows=%zu,seed=%llu", options.patients,
+      static_cast<unsigned long long>(options.seed)));
+  return Status::OK();
 }
 
 }  // namespace acquire

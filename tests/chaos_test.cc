@@ -312,5 +312,156 @@ TEST(ChaosTest, StrategyFailpointsNeverChangeResults) {
   }
 }
 
+std::string DumpWithoutId(const JsonValue& response) {
+  JsonValue out = JsonValue::Object();
+  for (const auto& [key, value] : response.Members()) {
+    if (key != "id") out.Set(key, JsonValue(value));
+  }
+  return out.Dump();
+}
+
+double CacheStat(AcqServer* server, const char* field) {
+  Result<JsonValue> stats =
+      JsonValue::Parse(server->HandleRequestLine("{\"cmd\":\"STATS\"}"));
+  EXPECT_TRUE(stats.ok());
+  const JsonValue* counters = stats.ok() ? stats->Get("stats") : nullptr;
+  return counters != nullptr ? counters->GetNumber(field, -1.0) : -1.0;
+}
+
+// Chaos with the result cache in the hot path: clients resubmit a small set
+// of tasks (so hits and in-flight joins actually occur) while every fault
+// site fires at p=0.05, including injected run failures. The cache must
+// never absorb a degraded run — after the chaos, a cleared cache re-seeded
+// by a fresh run serves the repeat byte-identically.
+TEST(ChaosTest, CacheStaysBitExactUnderChaos) {
+  if (!FailpointRegistry::compiled_in()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  auto& registry = FailpointRegistry::Global();
+  registry.DisarmAll();
+
+  ServerOptions options;
+  options.max_running = 2;
+  options.max_queued = 8;
+  options.cache_bytes = 32ull << 20;
+  AcqServer server(SharedCatalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(registry
+                  .ConfigureFromSpec(
+                      "server.recv=p:0.05;server.send=p:0.05;"
+                      "server.parse=p:0.05;server.admit=p:0.05;"
+                      "server.pool_enqueue=p:0.05;server.run=p:0.05;"
+                      "explore.arena_grow=p:0.05;"
+                      "expand.layer_alloc=p:0.05;"
+                      "exec.parallel_for=p:0.05;"
+                      "index.batch_eval=p:0.05")
+                  .ok());
+
+  const int iters = IterationsPerClient();
+  std::atomic<int> well_formed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      LineClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+      RetryOptions retry;
+      retry.max_attempts = 6;
+      retry.initial_backoff_ms = 1.0;
+      retry.max_backoff_ms = 20.0;
+      for (int i = 0; i < iters; ++i) {
+        JsonValue request = JsonValue::Object();
+        request.Set("cmd", JsonValue::Str("SUBMIT"));
+        // Only 3 distinct tasks across all clients: repeats exercise cache
+        // hits and concurrent duplicates exercise in-flight joins.
+        request.Set("sql", JsonValue::Str(ChaosSql(i % 3, 0)));
+        request.Set("wait", JsonValue::Bool(true));
+        request.Set("timeout_ms", JsonValue::Number(30000.0));
+        Result<JsonValue> response = client.CallWithRetry(request, retry);
+        if (!response.ok()) continue;
+        ExpectWellFormed(*response);
+        well_formed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_GT(registry.TotalHits(), 0u);
+  EXPECT_GT(well_formed.load(), 0);
+  registry.DisarmAll();
+
+  // Post-chaos differential: drop whatever the chaos cached, seed each task
+  // with a clean fresh run, and require the repeat to be byte-identical.
+  Result<JsonValue> clear_reply =
+      JsonValue::Parse(server.HandleRequestLine("{\"cmd\":\"CACHE\",\"clear\":true}"));
+  ASSERT_TRUE(clear_reply.ok() && clear_reply->GetBool("ok", false));
+  for (int t = 0; t < 3; ++t) {
+    JsonValue request = JsonValue::Object();
+    request.Set("cmd", JsonValue::Str("SUBMIT"));
+    request.Set("sql", JsonValue::Str(ChaosSql(t, 0)));
+    request.Set("wait", JsonValue::Bool(true));
+    const std::string line = request.Dump();
+    Result<JsonValue> fresh = JsonValue::Parse(server.HandleRequestLine(line));
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_EQ(fresh->GetString("state"), "done") << fresh->Dump();
+    const double hits_before = CacheStat(&server, "cache_hits");
+    Result<JsonValue> cached = JsonValue::Parse(server.HandleRequestLine(line));
+    ASSERT_TRUE(cached.ok());
+    EXPECT_EQ(DumpWithoutId(*cached), DumpWithoutId(*fresh));
+    EXPECT_EQ(CacheStat(&server, "cache_hits"), hits_before + 1);
+  }
+  server.Stop();
+  EXPECT_EQ(server.sessions().num_running(), 0u);
+}
+
+// Degraded runs must never seed the cache: an injected run failure and a
+// max_explored truncation both leave the cache empty, while the following
+// clean completed run is inserted.
+TEST(ChaosTest, FailedOrTruncatedRunsAreNeverCached) {
+  if (!FailpointRegistry::compiled_in()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  auto& registry = FailpointRegistry::Global();
+  registry.DisarmAll();
+  ServerOptions options;
+  options.cache_bytes = 16ull << 20;
+  AcqServer server(SharedCatalog(), options);
+
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(ChaosSql(1, 1)));
+  request.Set("wait", JsonValue::Bool(true));
+
+  // Injected run failure -> state failed, nothing inserted.
+  ASSERT_TRUE(registry.Configure("server.run", "count:1").ok());
+  Result<JsonValue> failed =
+      JsonValue::Parse(server.HandleRequestLine(request.Dump()));
+  ASSERT_TRUE(failed.ok());
+  EXPECT_EQ(failed->GetString("state"), "failed") << failed->Dump();
+  EXPECT_EQ(CacheStat(&server, "cache_entries"), 0.0);
+
+  // Truncated (max_explored) run -> done, but still not inserted.
+  JsonValue truncated_request = JsonValue::Object();
+  truncated_request.Set("cmd", JsonValue::Str("SUBMIT"));
+  truncated_request.Set("sql", JsonValue::Str(
+                                   "SELECT * FROM users CONSTRAINT "
+                                   "COUNT(*) >= 1000000000 WHERE age <= 25 "
+                                   "AND income >= 50000"));
+  truncated_request.Set("max_explored", JsonValue::Number(1));
+  truncated_request.Set("wait", JsonValue::Bool(true));
+  Result<JsonValue> truncated =
+      JsonValue::Parse(server.HandleRequestLine(truncated_request.Dump()));
+  ASSERT_TRUE(truncated.ok());
+  ASSERT_EQ(truncated->GetString("state"), "done") << truncated->Dump();
+  EXPECT_EQ(truncated->Get("report")->GetString("termination"), "truncated");
+  EXPECT_EQ(CacheStat(&server, "cache_entries"), 0.0);
+
+  // The clean rerun of the originally-failed task is cached.
+  Result<JsonValue> clean =
+      JsonValue::Parse(server.HandleRequestLine(request.Dump()));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->GetString("state"), "done") << clean->Dump();
+  EXPECT_EQ(CacheStat(&server, "cache_entries"), 1.0);
+}
+
 }  // namespace
 }  // namespace acquire

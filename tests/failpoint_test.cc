@@ -4,6 +4,7 @@
 // registry, so each test uses its own site names.
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -96,7 +97,8 @@ TEST(FailpointTest, ProbabilityMidFiresSometimes) {
 TEST(FailpointTest, SpecGrammarRejectsGarbage) {
   auto& registry = FailpointRegistry::Global();
   for (const char* bad : {"p:", "p:2", "p:-0.5", "p:x", "count:", "count:0",
-                          "count:abc", "every:0", "maybe", "p"}) {
+                          "count:abc", "count:-5", "every:0", "every:-3",
+                          "maybe", "p"}) {
     EXPECT_FALSE(registry.Configure("test.grammar", bad).ok()) << bad;
   }
   EXPECT_FALSE(registry.Configure("", "off").ok());
@@ -145,6 +147,41 @@ TEST(FailpointTest, TotalHitsSumsAcrossSites) {
     ACQ_FAILPOINT("test.sum_b");
   }
   EXPECT_EQ(registry.TotalHits(), before + 5);
+}
+
+TEST(FailpointTest, SleepDelaysEveryEvaluationButNeverFires) {
+  SKIP_IF_COMPILED_OUT();
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("test.sleep", "sleep:50").ok());
+  EXPECT_EQ(registry.Site("test.sleep")->spec(), "sleep:50");
+  const auto start = std::chrono::steady_clock::now();
+  // sleep: injects latency, not failure — the failure branch never runs.
+  EXPECT_FALSE(ACQ_FAILPOINT("test.sleep"));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_ms, 40.0);  // slack for coarse sleep granularity
+  // The delay counts as a hit so STATS/acq_serve surface the injections.
+  EXPECT_EQ(registry.Site("test.sleep")->hits(), 1u);
+  ASSERT_TRUE(registry.Configure("test.sleep", "off").ok());
+  // Disarmed again: no delay, no hit.
+  const auto start2 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ACQ_FAILPOINT("test.sleep"));
+  const double disarmed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start2)
+          .count();
+  EXPECT_LT(disarmed_ms, 40.0);
+  EXPECT_EQ(registry.Site("test.sleep")->hits(), 1u);
+}
+
+TEST(FailpointTest, SleepGrammarWantsAPositiveDelay) {
+  auto& registry = FailpointRegistry::Global();
+  for (const char* bad : {"sleep:", "sleep:0", "sleep:-5", "sleep:x"}) {
+    EXPECT_FALSE(registry.Configure("test.sleep_grammar", bad).ok()) << bad;
+  }
+  EXPECT_FALSE(ACQ_FAILPOINT("test.sleep_grammar"));
 }
 
 TEST(FailpointTest, ConcurrentCountNeverOverfires) {

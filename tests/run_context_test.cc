@@ -156,6 +156,49 @@ TEST(MemoryBudgetTest, BudgetedRunMatchesUnbudgetedWhenUnderLimit) {
   EXPECT_EQ(metered->result.best.qscore, plain->result.best.qscore);
 }
 
+TEST(MemoryBudgetTest, EvaluationScratchIsChargedToTheBudget) {
+  // An unlimited context still tallies: the evaluation layer's Prepare
+  // (NeededMatrix build — at least one needed[] and one agg_values[] double
+  // per row) must be metered, not just the search-side arenas.
+  SyntheticOptions small;
+  small.rows = 2000;
+  small.d = 2;
+  small.op = ConstraintOp::kGe;
+  // Unreachable, so the search itself runs (an original-satisfies early
+  // return never enters the budgeted search path).
+  small.target = 1e9;
+  auto fixture = MakeSyntheticTask(small);
+  ASSERT_NE(fixture, nullptr);
+  RunContext ctx;
+  AcquireOptions options;
+  options.run_ctx = &ctx;
+  auto outcome = ProcessAcq(fixture->task, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GE(ctx.budget().used(), 2 * small.rows * sizeof(double));
+}
+
+TEST(MemoryBudgetTest, PrepareScratchAloneCanExhaustTheBudget) {
+  // A budget below the evaluation layer's own materialization cost: the run
+  // must stop resource_exhausted right at the origin, with the charge on
+  // record — regression test for scratch that used to bypass the meter.
+  SyntheticOptions big;
+  big.rows = 20000;
+  big.d = 2;
+  big.op = ConstraintOp::kGe;
+  big.target = 1e9;
+  auto fixture = MakeSyntheticTask(big);
+  ASSERT_NE(fixture, nullptr);
+  AcquireOptions options;
+  options.memory_budget_bytes = 64 * 1024;  // << 2 * 20000 * 8 bytes
+  auto outcome = ProcessAcq(fixture->task, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->result.termination, RunTermination::kResourceExhausted);
+  EXPECT_FALSE(outcome->result.satisfied);
+  // Well-formed best-so-far report: the origin was still visited.
+  EXPECT_GE(outcome->result.queries_explored, 1u);
+  EXPECT_FALSE(outcome->result.best.pscores.empty());
+}
+
 TEST(RunContextTest, OneMillisecondDeadlineReturnsPartialQuickly) {
   auto fixture = MakeBigTask();
   ASSERT_NE(fixture, nullptr);
