@@ -1,0 +1,163 @@
+// Sharded Explore merge: strategy sweep x thread-count scaling for the
+// two-phase parallel layer merge (core/parallel_merge) against the
+// sequential Eq. 17 drain. The bench drives the batched pipeline by hand —
+// RefinedSpace + CellSortedEvaluationLayer + BfsGenerator + BatchExplorer —
+// so it can inject pools of 1/2/4/8 workers into ParallelLayerMerger (the
+// RunAcquire path always uses the process-shared pool). Every configuration
+// must reproduce the sequential drain's aggregate checksum bit-for-bit
+// before its time is reported.
+//
+// Emits one line of JSON on stdout (committed as BENCH_parallel_merge.json);
+// human-readable progress goes to stderr. ACQ_BENCH_ROWS=<n> shrinks the
+// catalog for a quick pass; the default is the paper-scale 10^6.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/expand.h"
+#include "core/explore.h"
+#include "core/parallel_merge.h"
+#include "exec/thread_pool.h"
+#include "index/cell_sorted.h"
+
+namespace acquire {
+namespace bench {
+namespace {
+
+struct MergeRun {
+  double merge_ms = 0.0;  // min over reps: Eq. 17 merges + drain only
+  double checksum = 0.0;  // sum of layer aggregates (bit-exact invariant)
+  size_t layers = 0;
+  size_t coords = 0;
+  MergeStats stats;
+};
+
+// Drains BFS layers until ~`target_coords` coordinates have been merged,
+// timing only the merge+drain of each layer (ExecuteLayer's batched cell
+// evaluation is excluded — it is the same work in every configuration).
+MergeRun RunMerge(const AcqTask& task, double gamma, double step,
+                  MergeStrategy strategy, ThreadPool* pool,
+                  size_t target_coords, int reps) {
+  MergeRun best;
+  best.merge_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    RefinedSpace space(&task, gamma, Norm::L1());
+    CellSortedEvaluationLayer layer(&task, step);
+    ACQ_CHECK(layer.Prepare().ok());
+    BfsGenerator generator(&space);
+    BatchExplorer batch(&space, &layer, &generator);
+    ParallelLayerMerger merger(pool);
+
+    MergeRun run;
+    double merge_ms = 0.0;
+    while (run.coords < target_coords && batch.NextLayer()) {
+      ACQ_CHECK(batch.ExecuteLayer().ok());
+      Stopwatch t_merge;
+      if (strategy != MergeStrategy::kSequential) {
+        const bool merged =
+            batch.last_layer_in_sync() &&
+            merger.MergeLayer(&batch.explorer(), batch.layer(), strategy,
+                              nullptr);
+        ACQ_CHECK(merged) << "forced strategy fell back to sequential";
+      }
+      for (const GridCoord& coord : batch.layer()) {
+        auto aggregate = batch.explorer().ComputeAggregate(coord);
+        ACQ_CHECK(aggregate.ok()) << aggregate.status().ToString();
+        run.checksum += *aggregate;
+      }
+      merge_ms += t_merge.ElapsedMillis();
+      ++run.layers;
+      run.coords += batch.layer().size();
+    }
+    run.merge_ms = merge_ms;
+    run.stats = merger.stats();
+    if (r > 0) {
+      ACQ_CHECK(best.checksum == run.checksum) << "checksum drift across reps";
+    }
+    if (run.merge_ms < best.merge_ms) {
+      best = run;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int Main() {
+  const size_t rows = EnvRows(1000000);
+  const size_t d = 3;
+  const double gamma = 12.0;
+  const double step = gamma / static_cast<double>(d);
+  // Enough coordinates that the top layers are wide (where sharding pays),
+  // scaled down with the catalog for smoke runs.
+  const size_t target_coords = std::max<size_t>(2000, rows / 5);
+  const int reps = 3;
+
+  Catalog catalog = MakeLineitemCatalog(rows);
+  RatioTask ratio = MakeLineitemTask(catalog, d, 0.3);
+  const AcqTask& task = ratio.task;
+
+  fprintf(stderr, "parallel_merge_bench rows=%zu d=%zu target_coords=%zu\n",
+          rows, d, target_coords);
+
+  // Sequential reference (the pool is irrelevant: MergeLayer never runs).
+  MergeRun seq =
+      RunMerge(task, gamma, step, MergeStrategy::kSequential,
+               /*pool=*/nullptr, target_coords, reps);
+  fprintf(stderr, "sequential layers=%zu coords=%zu merge=%.1fms\n",
+          seq.layers, seq.coords, seq.merge_ms);
+
+  const MergeStrategy strategies[] = {MergeStrategy::kCentral,
+                                      MergeStrategy::kTree,
+                                      MergeStrategy::kRadix};
+  const size_t thread_counts[] = {1, 2, 4, 8};
+
+  std::string json = StringFormat(
+      "{\"bench\":\"parallel_merge\",\"rows\":%zu,\"d\":%zu,"
+      "\"layers\":%zu,\"coords\":%zu,\"sequential_merge_ms\":%.3f,"
+      "\"configs\":[",
+      rows, d, seq.layers, seq.coords, seq.merge_ms);
+  bool first = true;
+  double best_speedup = 0.0;
+
+  TablePrinter table({"strategy", "threads", "merge_ms", "speedup"});
+  for (size_t threads : thread_counts) {
+    ThreadPool pool(threads);
+    for (MergeStrategy strategy : strategies) {
+      MergeRun run =
+          RunMerge(task, gamma, step, strategy, &pool, target_coords, reps);
+      // Same layers, same aggregates, bit for bit — otherwise the timing
+      // comparison is meaningless.
+      ACQ_CHECK(run.layers == seq.layers && run.coords == seq.coords &&
+                run.checksum == seq.checksum)
+          << MergeStrategyName(strategy) << " diverged from sequential";
+      const double speedup =
+          run.merge_ms > 0.0 ? seq.merge_ms / run.merge_ms : 0.0;
+      best_speedup = std::max(best_speedup, speedup);
+      fprintf(stderr, "strategy=%s threads=%zu merge=%.1fms speedup=%.2f\n",
+              MergeStrategyName(strategy), threads, run.merge_ms, speedup);
+      table.AddRow({MergeStrategyName(strategy), std::to_string(threads),
+                    Ms(run.merge_ms), StringFormat("%.2f", speedup)});
+      if (!first) json += ",";
+      first = false;
+      json += StringFormat(
+          "{\"strategy\":\"%s\",\"threads\":%zu,\"merge_ms\":%.3f,"
+          "\"speedup\":%.2f}",
+          MergeStrategyName(strategy), threads, run.merge_ms, speedup);
+    }
+  }
+  json += StringFormat("],\"best_speedup\":%.2f}", best_speedup);
+
+  table.Print();
+  printf("%s\n", json.c_str());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace acquire
+
+int main() { return acquire::bench::Main(); }

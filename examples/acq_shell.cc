@@ -128,7 +128,8 @@ class Shell {
       printf("\\gen tpch|users|patients <rows>, \\load <t> <f> <schema>, "
              "\\save <t> <f>, \\savedb <dir>, \\loaddb <dir>, \\tables, "
              "\\show <t> [n], \\explain <sql>, "
-             "\\set gamma|delta|batch|max_explored|memory_budget|cache <v>, "
+             "\\set gamma|delta|batch|max_explored|memory_budget|cache"
+             "|merge_strategy <v>, "
              "\\quit\n");
       return true;
     }
@@ -270,34 +271,46 @@ class Shell {
     }
     if (name == "\\set") {
       std::string key;
-      double value = 0.0;
-      in >> key >> value;
-      if (key == "gamma" && value > 0) {
-        options_.gamma = value;
-      } else if (key == "delta" && value >= 0) {
-        options_.delta = value;
-      } else if (key == "batch") {
-        options_.batch_explore =
-            value != 0.0 ? BatchExplore::kOn : BatchExplore::kOff;
-      } else if (key == "max_explored" && value >= 0) {
-        options_.max_explored = static_cast<uint64_t>(value);
-      } else if (key == "memory_budget" && value >= 0) {
-        options_.memory_budget_bytes = static_cast<uint64_t>(value);
-      } else if (key == "cache" && value >= 0) {
-        cache_bytes_ = static_cast<uint64_t>(value);
-        if (cache_bytes_ == 0) {
-          cache_.clear();
-          cache_order_.clear();
-          cache_used_ = 0;
+      in >> key;
+      if (key == "merge_strategy") {
+        std::string strategy;
+        in >> strategy;
+        if (!ParseMergeStrategy(strategy, &options_.merge_strategy)) {
+          printf("unknown merge_strategy %s "
+                 "(auto|sequential|central|tree|radix)\n",
+                 strategy.c_str());
+          return true;
         }
-        EvictCache();
       } else {
-        printf("usage: \\set gamma|delta|batch|max_explored|memory_budget"
-               "|cache <value>\n");
-        return true;
+        double value = 0.0;
+        in >> value;
+        if (key == "gamma" && value > 0) {
+          options_.gamma = value;
+        } else if (key == "delta" && value >= 0) {
+          options_.delta = value;
+        } else if (key == "batch") {
+          options_.batch_explore =
+              value != 0.0 ? BatchExplore::kOn : BatchExplore::kOff;
+        } else if (key == "max_explored" && value >= 0) {
+          options_.max_explored = static_cast<uint64_t>(value);
+        } else if (key == "memory_budget" && value >= 0) {
+          options_.memory_budget_bytes = static_cast<uint64_t>(value);
+        } else if (key == "cache" && value >= 0) {
+          cache_bytes_ = static_cast<uint64_t>(value);
+          if (cache_bytes_ == 0) {
+            cache_.clear();
+            cache_order_.clear();
+            cache_used_ = 0;
+          }
+          EvictCache();
+        } else {
+          printf("usage: \\set gamma|delta|batch|max_explored|memory_budget"
+                 "|cache|merge_strategy <value>\n");
+          return true;
+        }
       }
       printf("gamma=%.3f delta=%.4f max_explored=%llu memory_budget=%llu "
-             "batch=%s cache=%llu\n",
+             "batch=%s merge=%s cache=%llu\n",
              options_.gamma, options_.delta,
              static_cast<unsigned long long>(options_.max_explored),
              static_cast<unsigned long long>(options_.memory_budget_bytes),
@@ -305,6 +318,7 @@ class Shell {
                  ? "off"
                  : options_.batch_explore == BatchExplore::kOn ? "on"
                                                                : "auto",
+             MergeStrategyName(options_.merge_strategy),
              static_cast<unsigned long long>(cache_bytes_));
       return true;
     }

@@ -104,17 +104,26 @@ bool ShellGenerator::Next(GridCoord* out) {
       return true;
     }
     k_ = 1;
-    pinned_ = 0;
+    pinned_ = d;  // before the first (highest-pin) group
     odometer_live_ = false;
   }
 
   while (k_ <= max_shell_) {
     if (!odometer_live_) {
-      // Find the next dimension that can be pinned at k.
-      while (pinned_ < d && space_->MaxLevel(pinned_) < k_) ++pinned_;
-      if (pinned_ >= d) {
+      // Find the next dimension that can be pinned at k, in DESCENDING
+      // order (see the class comment: this makes the shell topological for
+      // the Explore phase's predecessor cursors).
+      bool found = false;
+      while (pinned_ > 0) {
+        --pinned_;
+        if (space_->MaxLevel(pinned_) >= k_) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
         ++k_;
-        pinned_ = 0;
+        pinned_ = d;
         continue;
       }
       for (size_t j = 0; j < d; ++j) current_[j] = 0;
@@ -144,8 +153,8 @@ bool ShellGenerator::Next(GridCoord* out) {
       *out = current_;
       return true;
     }
+    // Group exhausted; the loop top moves to the next lower pin.
     odometer_live_ = false;
-    ++pinned_;
   }
   return false;
 }

@@ -71,7 +71,15 @@ class BfsGenerator final : public QueryGenerator {
 
 /// Algorithm 2: explicit enumeration of the L-shaped equi-L∞ shells
 /// max_i(u_i) = k, in increasing k. Within a shell, coordinates are grouped
-/// by the first dimension pinned at k and enumerated lexicographically.
+/// by the FIRST dimension pinned at k (dimensions before the pin stay below
+/// k) and enumerated lexicographically; the groups themselves are emitted in
+/// DESCENDING pin order (d-1 down to 0). That order makes every shell
+/// topological for Eq. 17: a predecessor u - e_p of a group-p coordinate
+/// either drops to shell k-1 or re-pins on a later dimension (an
+/// earlier-emitted group), and a predecessor along a free dimension is
+/// lexicographically earlier in the same group — so the Explore phase's
+/// shell-drain cursors (Explorer::BeginShellDrain) always find predecessors
+/// already stored, with no on-demand fills.
 class ShellGenerator final : public QueryGenerator {
  public:
   explicit ShellGenerator(const RefinedSpace* space);
@@ -82,7 +90,7 @@ class ShellGenerator final : public QueryGenerator {
  private:
   const RefinedSpace* space_;
   int32_t k_ = 0;        // current shell
-  size_t pinned_ = 0;    // dimension fixed at k
+  size_t pinned_ = 0;    // dimension fixed at k; d = before the first group
   GridCoord current_;    // odometer over the free dimensions
   bool shell0_done_ = false;
   bool odometer_live_ = false;

@@ -1,6 +1,7 @@
 #include "core/explore.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/failpoint.h"
 #include "common/stopwatch.h"
@@ -88,6 +89,56 @@ const double* AggregateStore::FindWithSlot(const GridCoord& coord,
   *slot = i;
   const uint32_t e = slots_[i];
   return e == 0 ? nullptr : arena_.data() + (e - 1) * block_width_;
+}
+
+size_t AggregateStore::BulkAppendBegin(size_t count) {
+  const size_t base = num_entries_;
+  const size_t total = base + count;
+  // The slot table must reach its final size before the entries exist:
+  // Rehash re-inserts every entry below num_entries_, and the new entries'
+  // keys are not written yet — rehashing after the append would file them
+  // all under the zero key, double-filling the table once the real slots
+  // are published. Callers Reserve() the layer first, so this is a safety
+  // net; either way no rehash can run between here and publication.
+  if (total * 4 > slots_.size() * 3) {
+    Rehash(NextPowerOfTwo(total * 4 / 3 + 1));
+  }
+  num_entries_ = total;
+  keys_.resize(total * d_, 0);
+  arena_.resize(total * block_width_, 0.0);
+  ChargeGrowth();
+  return base;
+}
+
+void AggregateStore::PublishSlotsSequential(size_t base, size_t count) {
+  for (size_t e = base; e < base + count; ++e) {
+    slots_[ProbeSlot(keys_.data() + e * d_)] = static_cast<uint32_t>(e + 1);
+  }
+}
+
+size_t AggregateStore::HomeSlot(const int32_t* key) const {
+  return static_cast<size_t>(HashGridCoordSpan(key, d_)) &
+         (slots_.size() - 1);
+}
+
+void AggregateStore::PublishSlotAtomic(size_t e, size_t home) {
+  const size_t mask = slots_.size() - 1;
+  const uint32_t v = static_cast<uint32_t>(e + 1);
+  size_t i = home & mask;
+  for (;;) {
+    std::atomic_ref<uint32_t> slot(slots_[i]);
+    uint32_t expected = slot.load(std::memory_order_acquire);
+    // Occupied slots can never hold this key (bulk-published keys are all
+    // distinct and new), so a loser just advances its probe chain. The
+    // table was sized by BulkAppendBegin to keep load under 3/4, so an
+    // empty slot always exists.
+    if (expected == 0 &&
+        slot.compare_exchange_strong(expected, v, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      return;
+    }
+    i = (i + 1) & mask;
+  }
 }
 
 double* AggregateStore::InsertHinted(const GridCoord& coord, size_t hint) {
@@ -194,10 +245,57 @@ bool Explorer::TakeSeed(const GridCoord& coord, AggregateOps::State* out) {
   return true;
 }
 
+void Explorer::ConsumeAllSeeds() {
+  for (AggregateOps::State& seed : seed_states_) seed.clear();
+  seed_cursor_ = seed_states_.size();
+}
+
 void Explorer::BeginLayerDrain(size_t lo, size_t hi) {
   pred_lo_ = lo;
   pred_hi_ = hi;
   pred_cursor_.assign(space_->d(), lo);
+  shell_drain_ = false;
+}
+
+void Explorer::BeginShellDrain(size_t lo) {
+  pred_lo_ = 0;
+  pred_hi_ = 0;
+  shell_drain_ = true;
+  shell_lo_ = lo;
+  shell_group_lo_ = lo;
+  shell_cursor_.assign(space_->d(), lo);
+}
+
+void Explorer::NoteShellInsert() {
+  const size_t n = store_.size();
+  if (n < shell_lo_ + 2) return;
+  const size_t d = space_->d();
+  const int32_t* prev = store_.KeyAt(n - 2);
+  const int32_t* cur = store_.KeyAt(n - 1);
+  if (std::lexicographical_compare(cur, cur + d, prev, prev + d)) {
+    // Keys ascend within a pinned group; a lex restart is the next group.
+    shell_group_lo_ = n - 1;
+  }
+}
+
+const double* Explorer::FindShellPred(size_t j, const int32_t* key) {
+  const size_t d = space_->d();
+  const size_t hi = store_.size();
+  // A group restart re-bases every cursor to the new group's first entry.
+  size_t e = std::max(shell_cursor_[j], shell_group_lo_);
+  while (e < hi) {
+    const int32_t* entry = store_.KeyAt(e);
+    size_t i = 0;
+    while (i < d && entry[i] == key[i]) ++i;
+    if (i == d) {
+      shell_cursor_[j] = e + 1;
+      return store_.BlockAt(e);
+    }
+    if (entry[i] > key[i]) break;  // keys ascend: a later entry only grows
+    ++e;  // lex-smaller entries can never match a future key of this group
+  }
+  shell_cursor_[j] = e;
+  return nullptr;
 }
 
 const double* Explorer::FindPredInRange(size_t j, const int32_t* key) {
@@ -249,8 +347,12 @@ Status Explorer::EnsureComputed(const GridCoord& coord, const double** block) {
       pred_blocks_[j] = nullptr;
       if (cur[j] == 0) continue;
       --cur[j];
-      const double* prev_block =
-          pred_lo_ < pred_hi_ ? FindPredInRange(j, cur.data()) : nullptr;
+      const double* prev_block = nullptr;
+      if (pred_lo_ < pred_hi_) {
+        prev_block = FindPredInRange(j, cur.data());
+      } else if (shell_drain_) {
+        prev_block = FindShellPred(j, cur.data());
+      }
       if (prev_block == nullptr) prev_block = store_.Find(cur);
       if (prev_block != nullptr) {
         pred_blocks_[j] = prev_block;
@@ -290,6 +392,7 @@ Status Explorer::EnsureComputed(const GridCoord& coord, const double** block) {
     for (size_t i = 0; i <= d; ++i) {
       std::copy(scratch_[i].begin(), scratch_[i].end(), inserted + i * w);
     }
+    if (shell_drain_) NoteShellInsert();
     // `coord` sits at the bottom of the dependency stack, so the insert
     // that empties the stack is coord's own block.
     *block = inserted;
@@ -370,9 +473,12 @@ void BatchExplorer::StartPrefetch() {
   // A single-worker pool has nothing to overlap the prefetch with: the
   // generator work would just move to another thread and come back with
   // hand-off latency and cold caches. Leave the future invalid there and
-  // let NextLayer generate inline.
+  // let NextLayer generate inline. Tiny layers (best-first order between
+  // score ties hands out near-singletons) get the same treatment — the
+  // pool hand-off costs more than the generator work it would overlap.
+  constexpr size_t kMinPrefetchLayer = 4;
   ThreadPool& pool = ThreadPool::Shared();
-  if (pool.num_threads() > 1) {
+  if (pool.num_threads() > 1 && layer_coords_.size() >= kMinPrefetchLayer) {
     prefetch_ = pool.Submit([this] { GenerateLayer(); });
   }
 }
@@ -414,10 +520,16 @@ Status BatchExplorer::ExecuteLayer() {
     }
     coords = &batch_;
   }
+  last_in_sync_ = in_sync;
   // In sync, store entries [drained_total_ - prev_layer_size_,
   // drained_total_) are exactly the previous layer in drain order — arm
-  // the explorer's sequential predecessor cursors over that range.
-  if (in_sync) {
+  // the explorer's sequential predecessor cursors over that range. Shell
+  // layers arm the growing-region shell cursors instead: their same-shell
+  // predecessors live in the current layer's inserts, not the previous
+  // layer's.
+  if (in_sync && shell_hint_) {
+    explorer_.BeginShellDrain(drained_total_);
+  } else if (in_sync) {
     explorer_.BeginLayerDrain(drained_total_ - prev_layer_size_,
                               drained_total_);
   } else {

@@ -80,6 +80,30 @@ class AggregateStore {
   size_t state_width() const { return state_width_; }
   size_t block_width() const { return block_width_; }
 
+  /// --- Bulk layer publication (core/parallel_merge) ---
+  /// Appends `count` zero-filled entries without touching the slot table
+  /// and returns the first new entry index. The caller fills their keys and
+  /// blocks through MutableKeyAt/MutableBlockAt, then makes them findable
+  /// with exactly one of the PublishSlots* calls. The slot table is resized
+  /// here if needed, so no rehash can happen between this call and the
+  /// publication — which is what lets the radix publisher precompute home
+  /// slots and claim them concurrently.
+  size_t BulkAppendBegin(size_t count);
+  int32_t* MutableKeyAt(size_t e) { return keys_.data() + e * d_; }
+  double* MutableBlockAt(size_t e) { return arena_.data() + e * block_width_; }
+  /// Inserts entries [base, base + count) into the slot table in entry
+  /// order from one thread — the deterministic reference layout.
+  void PublishSlotsSequential(size_t base, size_t count);
+  /// Start of entry `e`'s probe chain under the current table size.
+  size_t HomeSlot(const int32_t* key) const;
+  size_t slot_count() const { return slots_.size(); }
+  /// Lock-free claim of the first empty slot on the probe chain starting at
+  /// `home` for entry `e`. Safe to call concurrently for distinct entries
+  /// with distinct keys (a CAS loser simply advances); the slot layout may
+  /// differ from the sequential one, which no lookup can observe, and any
+  /// later Rehash rebuilds the reference layout from entry order anyway.
+  void PublishSlotAtomic(size_t e, size_t home);
+
   /// Entry `e`'s key / block by insertion order (e < size()). Entries are
   /// append-only, so indices are stable; block pointers are stable until
   /// the next Insert.
@@ -115,10 +139,11 @@ class AggregateStore {
 /// many refined queries contain it.
 ///
 /// Algorithm 3 assumes predecessors were investigated first; BFS order
-/// guarantees that (Theorem 3), but shell and best-first orders can request
-/// a coordinate before one of its in-shell predecessors, so missing
-/// predecessors are filled on demand (memoized, still at most one cell
-/// execution per coordinate).
+/// guarantees that (Theorem 3), and the shell generator's descending
+/// pinned-group order makes every same-shell predecessor precede its
+/// successors too, but best-first order can still request a coordinate
+/// before an equal-score predecessor, so missing predecessors are filled
+/// on demand (memoized, still at most one cell execution per coordinate).
 class Explorer {
  public:
   /// `budget` (optional, not owned) meters the aggregate store's arena
@@ -161,14 +186,42 @@ class Explorer {
   /// scans of warm memory instead of random hash probes. Any miss falls
   /// back to the hash table, so shell/best-first orders (and predecessor
   /// fills) stay correct — the cursors are a locality hint, never an
-  /// authority. Pass lo == hi to disarm.
+  /// authority. Pass lo == hi to disarm. Disarms any shell drain.
   void BeginLayerDrain(size_t lo, size_t hi);
+
+  /// Arms the shell-order predecessor fast path instead: the layer being
+  /// investigated is one L-inf shell whose same-shell predecessors live in
+  /// the store region [lo, size()) that grows as the drain inserts. The
+  /// shell generator emits pinned groups in descending pinned order (see
+  /// ShellGenerator), each group ascending lexicographically, so d forward
+  /// cursors over the current group resolve the same-group predecessors
+  /// (every dimension but the pinned one) with warm sequential scans; a
+  /// group restart is detected from the inserts themselves (a key ordering
+  /// below its predecessor entry) and re-bases the cursors. Cross-group and
+  /// previous-shell predecessors fall back to the hash table — the cursors
+  /// only ever answer exact matches. Disarms any BFS layer drain.
+  void BeginShellDrain(size_t lo);
 
   /// Number of cell queries actually executed (== store().size() plus any
   /// seeded-but-not-yet-consumed batch states).
   uint64_t cell_queries() const { return cell_queries_; }
 
   const AggregateStore& store() const { return store_; }
+
+  /// --- Parallel layer merge hooks (core/parallel_merge) ---
+  /// Positional read-only access to the current batch's seeds: seed q is
+  /// O_1 of the q-th coordinate passed to SeedCellStates. The parallel
+  /// merger reads these from pool workers; nothing may mutate the explorer
+  /// while a merge is in flight.
+  size_t seed_count() const { return seed_states_.size(); }
+  const AggregateOps::State& SeedStateAt(size_t q) const {
+    return seed_states_[q];
+  }
+  /// Marks every seed consumed after a parallel merge published the whole
+  /// layer, so a later TakeSeed can never replay one.
+  void ConsumeAllSeeds();
+  AggregateStore& mutable_store() { return store_; }
+  const RefinedSpace& space() const { return *space_; }
 
  private:
   /// Ensures store_ holds the sub-aggregates of `coord` (iterative
@@ -188,6 +241,14 @@ class Explorer {
   /// nullptr on a miss (caller falls back to store_.Find).
   const double* FindPredInRange(size_t j, const int32_t* key);
 
+  /// Shell-drain counterpart: looks for `key` at or after
+  /// shell_cursor_[j] within the current pinned group's stored entries
+  /// (ascending), skipping lex-smaller entries for good. nullptr on a miss.
+  const double* FindShellPred(size_t j, const int32_t* key);
+  /// Called after each insert while the shell drain is armed: a key that
+  /// orders below the previous entry starts the next pinned group.
+  void NoteShellInsert();
+
   const RefinedSpace* space_;
   EvaluationLayer* layer_;
   AggregateStore store_;
@@ -205,6 +266,11 @@ class Explorer {
   size_t pred_lo_ = 0;
   size_t pred_hi_ = 0;
   std::vector<size_t> pred_cursor_;  // per dimension, in [pred_lo_, pred_hi_]
+  // Shell-drain predecessor cursors (see BeginShellDrain).
+  bool shell_drain_ = false;
+  size_t shell_lo_ = 0;        // first entry of the current shell
+  size_t shell_group_lo_ = 0;  // first entry of the current pinned group
+  std::vector<size_t> shell_cursor_;  // per dimension, >= shell_group_lo_
   // Reused scratch (states of the coordinate being computed, a predecessor
   // state lifted out of the arena, the dependency stack, the predecessor
   // block pointers found during the availability check — valid only until
@@ -262,6 +328,16 @@ class BatchExplorer {
   /// coordinate of the current layer in one batch and seeds the explorer.
   Status ExecuteLayer();
 
+  /// True when the last ExecuteLayer was an in-sync drain: every layer
+  /// coordinate was new and seeded positionally — the precondition for
+  /// handing the layer to ParallelLayerMerger.
+  bool last_layer_in_sync() const { return last_in_sync_; }
+
+  /// Tells ExecuteLayer which predecessor fast path to arm on in-sync
+  /// layers: the shell drain (BeginShellDrain) instead of the descending
+  /// BFS window. Set once by the driver for shell search order.
+  void set_shell_drain_hint(bool shell) { shell_hint_ = shell; }
+
   Explorer& explorer() { return explorer_; }
 
   /// Cumulative generator time (NextLayer) and batch execution time
@@ -296,6 +372,8 @@ class BatchExplorer {
   std::vector<GridCoord> batch_;  // scratch: coords needing execution
   size_t drained_total_ = 0;      // coords handed out in previous layers
   size_t prev_layer_size_ = 0;    // size of the layer drained before this one
+  bool last_in_sync_ = false;     // last ExecuteLayer was an in-sync drain
+  bool shell_hint_ = false;       // arm the shell drain on in-sync layers
   double expand_ms_ = 0.0;
   double batch_ms_ = 0.0;
 };

@@ -153,10 +153,8 @@ Result<std::string> CanonicalTaskKey(const Catalog& catalog,
     order = options.norm.kind() == NormKind::kLInf ? SearchOrder::kShell
                                                    : SearchOrder::kBfs;
   }
-  const bool discrete_layers = order != SearchOrder::kBestFirst;
-  const bool batched =
-      options.batch_explore == BatchExplore::kOn ||
-      (options.batch_explore == BatchExplore::kAuto && discrete_layers);
+  // Mirrors RunAcquire's kAuto resolution: every order batches by default.
+  const bool batched = options.batch_explore != BatchExplore::kOff;
   key += StringFormat(
       "|opts{backend=%s;gamma=%s;delta=%s;norm=%s/%s;order=%s;batch=%d;"
       "repart=%d;collect=%d;incr=%d;maxexp=%llu;dpat=%d;stall=%llu}",
@@ -170,7 +168,9 @@ Result<std::string> CanonicalTaskKey(const Catalog& catalog,
       static_cast<unsigned long long>(options.stall_limit));
   // Deliberately absent: options.memory_budget_bytes, options.run_ctx
   // (deadline/cancellation), failpoint state — they decide whether a run
-  // completes, never what a completed run returns.
+  // completes, never what a completed run returns — and
+  // options.merge_strategy, whose strategies are all bit-exact against the
+  // sequential reference (core/parallel_merge.h).
   return key;
 }
 

@@ -1,0 +1,267 @@
+#include "core/parallel_merge.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace acquire {
+
+namespace {
+
+/// Below this many cells the pool hand-off costs more than the merge; the
+/// adaptive controller keeps such layers sequential (forced strategies
+/// still run, so tests exercise every path on any machine).
+constexpr size_t kMinAutoLayer = 2048;
+/// Phase A splits the layer into chunks of at least this many cells.
+constexpr size_t kMinChunk = 512;
+/// Past this cardinality slot publication dominates the merge and the
+/// radix publisher's partitioned claims pay off.
+constexpr size_t kRadixLayer = 16384;
+
+}  // namespace
+
+const char* MergeStrategyName(MergeStrategy strategy) {
+  switch (strategy) {
+    case MergeStrategy::kAuto:
+      return "auto";
+    case MergeStrategy::kSequential:
+      return "sequential";
+    case MergeStrategy::kCentral:
+      return "central";
+    case MergeStrategy::kTree:
+      return "tree";
+    case MergeStrategy::kRadix:
+      return "radix";
+  }
+  return "?";
+}
+
+bool ParseMergeStrategy(const std::string& name, MergeStrategy* out) {
+  const std::string lower = ToLower(name);
+  if (lower == "auto") {
+    *out = MergeStrategy::kAuto;
+  } else if (lower == "sequential" || lower == "seq") {
+    *out = MergeStrategy::kSequential;
+  } else if (lower == "central") {
+    *out = MergeStrategy::kCentral;
+  } else if (lower == "tree") {
+    *out = MergeStrategy::kTree;
+  } else if (lower == "radix") {
+    *out = MergeStrategy::kRadix;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ParallelLayerMerger::ParallelLayerMerger(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::Shared()) {}
+
+MergeStrategy ParallelLayerMerger::ChooseStrategy(size_t n,
+                                                  size_t chunks) const {
+  // The decision rule (documented in DESIGN.md): cardinality decides
+  // whether to go parallel at all, then the partial fan-out (occupancy per
+  // chunk is n / chunks) picks how to publish. Small fan-outs leave the
+  // publication cheaper than coordinating it — one consumer drains the
+  // partials (central). Large layers make the slot-table inserts the
+  // bottleneck — partition the table so workers publish concurrently
+  // (radix). In between, the pairwise concatenation rounds overlap the
+  // copying while keeping slot publication single-threaded (tree).
+  if (n < kMinAutoLayer || chunks < 2) return MergeStrategy::kSequential;
+  if (chunks < 4) return MergeStrategy::kCentral;
+  if (n >= kRadixLayer) return MergeStrategy::kRadix;
+  return MergeStrategy::kTree;
+}
+
+void ParallelLayerMerger::ChargeGrowth(MemoryBudget* budget) {
+  size_t bytes = 0;
+  for (const Partial& p : partials_) {
+    bytes += p.arena.capacity() * sizeof(double) +
+             p.homes.capacity() * sizeof(uint32_t);
+  }
+  if (bytes <= charged_bytes_) return;
+  const size_t delta = bytes - charged_bytes_;
+  charged_bytes_ = bytes;
+  if (budget != nullptr) budget->Charge(delta);
+}
+
+bool ParallelLayerMerger::MergeLayer(Explorer* explorer,
+                                     const std::vector<GridCoord>& layer,
+                                     MergeStrategy strategy,
+                                     MemoryBudget* budget) {
+  const size_t n = layer.size();
+  if (n == 0 || strategy == MergeStrategy::kSequential) return false;
+  // Positional seeding is the in-sync drain's signature; anything else
+  // (filtered layers, partial seeds) belongs to the sequential path.
+  if (explorer->seed_count() != n) return false;
+  // Injected merge fault: this layer takes the sequential reference path,
+  // exactly like an adaptive fallback.
+  if (ACQ_FAILPOINT("explore.parallel_merge")) return false;
+  const size_t chunks = pool_->NumChunks(n, kMinChunk);
+  if (strategy == MergeStrategy::kAuto) {
+    strategy = ChooseStrategy(n, chunks);
+    if (strategy == MergeStrategy::kSequential) return false;
+  }
+
+  const AggregateStore& store = explorer->store();
+  const size_t d = store.d();
+  const size_t w = store.state_width();
+  const size_t bw = store.block_width();
+  const AggregateOps& ops = *explorer->space().task().agg.ops;
+  if (chunks > partials_.size()) partials_.resize(chunks);
+
+  // Phase A: each chunk runs the Eq. 17 recurrence for its coordinates
+  // into a thread-local partial arena. Predecessors are read from the
+  // store's immutable prefix; a missing one is an intra-layer dependency
+  // (best-first score ties, zero-weight dimensions) and aborts the whole
+  // layer — the store is untouched, so the sequential path redoes it.
+  std::atomic<bool> abort{false};
+  pool_->ParallelFor(n, kMinChunk, [&](size_t c, size_t begin, size_t end) {
+    Partial& p = partials_[c];
+    p.begin = begin;
+    p.count = end - begin;
+    p.arena.resize(p.count * bw);
+    if (p.scratch.size() != d + 1) p.scratch.resize(d + 1);
+    for (size_t q = begin; q < end; ++q) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const GridCoord& coord = layer[q];
+      const AggregateOps::State& seed = explorer->SeedStateAt(q);
+      if (seed.size() != w || coord.size() != d) {
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+      // Same operation sequence as Explorer::EnsureComputed, so the
+      // resulting blocks are bit-identical to the sequential merge.
+      p.scratch[0] = seed;
+      p.pred = coord;
+      for (size_t i = 1; i <= d; ++i) {
+        p.scratch[i] = p.scratch[i - 1];
+        const size_t j = i - 1;
+        if (coord[j] == 0) continue;  // O_i(u - e_{i-1}) is empty
+        --p.pred[j];
+        const double* prev_block = store.Find(p.pred);
+        ++p.pred[j];
+        if (prev_block == nullptr) {
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+        p.tmp.assign(prev_block + i * w, prev_block + (i + 1) * w);
+        ops.Merge(&p.scratch[i], p.tmp);
+      }
+      double* block = p.arena.data() + (q - begin) * bw;
+      for (size_t i = 0; i <= d; ++i) {
+        std::copy(p.scratch[i].begin(), p.scratch[i].end(), block + i * w);
+      }
+    }
+  });
+  ChargeGrowth(budget);
+  if (abort.load(std::memory_order_relaxed)) return false;
+
+  // Phase B: append the layer to the store in generation order (identical
+  // keys_/arena_ contents whatever the strategy) and publish the slots.
+  AggregateStore& mstore = explorer->mutable_store();
+  const size_t base = mstore.BulkAppendBegin(n);
+  switch (strategy) {
+    case MergeStrategy::kCentral: {
+      // One consumer drains every partial in chunk (== generation) order.
+      for (size_t c = 0; c < chunks; ++c) {
+        const Partial& p = partials_[c];
+        for (size_t r = 0; r < p.count; ++r) {
+          const GridCoord& coord = layer[p.begin + r];
+          std::copy(coord.begin(), coord.end(),
+                    mstore.MutableKeyAt(base + p.begin + r));
+        }
+        std::copy(p.arena.begin(), p.arena.begin() + p.count * bw,
+                  mstore.MutableBlockAt(base + p.begin));
+      }
+      mstore.PublishSlotsSequential(base, n);
+      ++stats_.central_layers;
+      break;
+    }
+    case MergeStrategy::kTree: {
+      // Pairwise log-depth concatenation: at each round, partial c absorbs
+      // partial c + stride concurrently, until partial 0 holds the layer.
+      for (size_t stride = 1; stride < chunks; stride *= 2) {
+        std::vector<std::future<void>> round;
+        for (size_t c = 0; c + stride < chunks; c += 2 * stride) {
+          Partial* left = &partials_[c];
+          Partial* right = &partials_[c + stride];
+          round.push_back(pool_->Submit([left, right, bw] {
+            left->arena.insert(left->arena.end(), right->arena.begin(),
+                               right->arena.begin() +
+                                   static_cast<ptrdiff_t>(right->count * bw));
+            left->count += right->count;
+          }));
+        }
+        for (std::future<void>& join : round) pool_->HelpWhileWaiting(join);
+      }
+      const Partial& all = partials_[0];
+      std::copy(all.arena.begin(),
+                all.arena.begin() + static_cast<ptrdiff_t>(all.count * bw),
+                mstore.MutableBlockAt(base));
+      for (size_t q = 0; q < n; ++q) {
+        std::copy(layer[q].begin(), layer[q].end(),
+                  mstore.MutableKeyAt(base + q));
+      }
+      mstore.PublishSlotsSequential(base, n);
+      ChargeGrowth(budget);  // the concatenations grew partial 0
+      ++stats_.tree_layers;
+      break;
+    }
+    case MergeStrategy::kRadix: {
+      // Pass 1: workers copy their own (disjoint) partials and compute
+      // their keys' home slots under the post-append table size.
+      pool_->ParallelFor(chunks, 1, [&](size_t, size_t cb, size_t ce) {
+        for (size_t c = cb; c < ce; ++c) {
+          Partial& p = partials_[c];
+          p.homes.resize(p.count);
+          for (size_t r = 0; r < p.count; ++r) {
+            const GridCoord& coord = layer[p.begin + r];
+            std::copy(coord.begin(), coord.end(),
+                      mstore.MutableKeyAt(base + p.begin + r));
+            p.homes[r] =
+                static_cast<uint32_t>(mstore.HomeSlot(coord.data()));
+          }
+          std::copy(p.arena.begin(),
+                    p.arena.begin() + static_cast<ptrdiff_t>(p.count * bw),
+                    mstore.MutableBlockAt(base + p.begin));
+        }
+      });
+      // Pass 2: hash-partition the slot table; each worker publishes
+      // exactly the entries whose probe chains start in its partition, so
+      // workers own disjoint slot ranges and the CAS in PublishSlotAtomic
+      // only arbitrates chains spilling across a partition boundary.
+      const size_t slots = mstore.slot_count();
+      const size_t parts = std::min(chunks, slots);
+      pool_->ParallelFor(parts, 1, [&](size_t, size_t pb, size_t pe) {
+        for (size_t part = pb; part < pe; ++part) {
+          const size_t lo = part * slots / parts;
+          const size_t hi = (part + 1) * slots / parts;
+          for (size_t c = 0; c < chunks; ++c) {
+            const Partial& p = partials_[c];
+            for (size_t r = 0; r < p.count; ++r) {
+              if (p.homes[r] >= lo && p.homes[r] < hi) {
+                mstore.PublishSlotAtomic(base + p.begin + r, p.homes[r]);
+              }
+            }
+          }
+        }
+      });
+      ChargeGrowth(budget);
+      ++stats_.radix_layers;
+      break;
+    }
+    case MergeStrategy::kAuto:
+    case MergeStrategy::kSequential:
+      break;  // unreachable: resolved above
+  }
+  // Every layer coordinate is stored now; retire the seeds so a later
+  // TakeSeed (e.g. after a drain desync) can never replay one.
+  explorer->ConsumeAllSeeds();
+  return true;
+}
+
+}  // namespace acquire

@@ -1,0 +1,118 @@
+#ifndef ACQUIRE_CORE_PARALLEL_MERGE_H_
+#define ACQUIRE_CORE_PARALLEL_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "core/explore.h"
+#include "exec/thread_pool.h"
+
+namespace acquire {
+
+/// How one layer's Eq. 17 merges are published into the AggregateStore.
+/// Every strategy produces a store that is bit-identical (entry order, key
+/// order, block contents) to the sequential reference — the strategies only
+/// trade off how the publication work is spread across the pool — so the
+/// choice never affects results and is deliberately absent from the task
+/// fingerprint.
+enum class MergeStrategy {
+  /// Per layer: sequential below ~2k cells, central for small fan-outs,
+  /// radix for large layers on 4+ workers, tree otherwise (see
+  /// ParallelLayerMerger for the exact rule).
+  kAuto,
+  /// Always the sequential reference path (per-coordinate Algorithm 3).
+  kSequential,
+  /// Partials build in parallel; a single consumer drains them into the
+  /// store and publishes every hash slot itself.
+  kCentral,
+  /// Partials concatenate pairwise in log-depth rounds on the pool before
+  /// one bulk copy; slot publication stays single-threaded.
+  kTree,
+  /// Workers copy their own partials and claim hash slots lock-free within
+  /// disjoint slot-table partitions (CAS handles probe chains that spill
+  /// across a partition boundary).
+  kRadix,
+};
+
+const char* MergeStrategyName(MergeStrategy strategy);
+/// Parses "auto|sequential|central|tree|radix" (case-insensitive).
+bool ParseMergeStrategy(const std::string& name, MergeStrategy* out);
+
+/// Per-run tallies of how layers were published, surfaced through
+/// ExecStats / server STATS.
+struct MergeStats {
+  uint64_t central_layers = 0;
+  uint64_t tree_layers = 0;
+  uint64_t radix_layers = 0;
+};
+
+/// Two-phase parallel layer merge (after Shatdal's adaptive two-phase
+/// aggregation): phase A partitions the layer's coordinates into contiguous
+/// chunks across the pool, each worker running the Eq. 17 recurrence for
+/// its chunk into a thread-local partial arena (the predecessors all live
+/// in the immutable prefix of the store, so workers only read shared
+/// state); phase B publishes the partials into the store with the selected
+/// strategy. Entries are appended in generation order whatever the
+/// strategy, so keys, blocks and entry indices — and therefore every later
+/// lookup — are bit-identical to the sequential reference.
+///
+/// Preconditions for a parallel merge (checked, not assumed): the layer is
+/// an in-sync drain (every coordinate is new and seeded positionally), the
+/// store was Reserve()d for the layer (no rehash or arena reallocation can
+/// happen mid-publication), and no coordinate's predecessor lies in the
+/// layer itself. The last one cannot be checked up front for best-first tie
+/// layers, so phase A aborts on the first missing predecessor and the
+/// caller falls back to the sequential path with the store untouched.
+class ParallelLayerMerger {
+ public:
+  /// `pool` = nullptr uses the process-wide shared pool. Benches inject
+  /// explicitly sized pools for thread-count sweeps.
+  explicit ParallelLayerMerger(ThreadPool* pool = nullptr);
+
+  ParallelLayerMerger(const ParallelLayerMerger&) = delete;
+  ParallelLayerMerger& operator=(const ParallelLayerMerger&) = delete;
+
+  /// Attempts to publish the current layer (coordinates in generation
+  /// order, cell states seeded in the same order) into the explorer's
+  /// store. True when the layer was merged in parallel: every coordinate is
+  /// then stored and its seeds consumed, so the caller's per-coordinate
+  /// ComputeAggregate reduces to a lookup. False when the adaptive
+  /// controller, the `explore.parallel_merge` failpoint, or a runtime
+  /// intra-layer dependency chose the sequential reference path — the store
+  /// and seeds are untouched in that case.
+  bool MergeLayer(Explorer* explorer, const std::vector<GridCoord>& layer,
+                  MergeStrategy strategy, MemoryBudget* budget);
+
+  const MergeStats& stats() const { return stats_; }
+
+ private:
+  /// One worker's slice of the layer: the Eq. 17 blocks of coordinates
+  /// [begin, begin + count) and, for the radix publisher, their home slots.
+  /// Buffers keep their capacity across layers, so the steady state
+  /// allocates nothing.
+  struct Partial {
+    size_t begin = 0;
+    size_t count = 0;
+    std::vector<double> arena;    // count * block_width
+    std::vector<uint32_t> homes;  // count (radix only)
+    // Per-chunk merge scratch, reused across the chunk's coordinates.
+    std::vector<AggregateOps::State> scratch;
+    AggregateOps::State tmp;
+    GridCoord pred;
+  };
+
+  MergeStrategy ChooseStrategy(size_t n, size_t chunks) const;
+  /// Charges partial-buffer capacity growth since the last call.
+  void ChargeGrowth(MemoryBudget* budget);
+
+  ThreadPool* pool_;
+  std::vector<Partial> partials_;
+  MergeStats stats_;
+  size_t charged_bytes_ = 0;
+};
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_CORE_PARALLEL_MERGE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 
@@ -160,7 +161,20 @@ void ThreadPool::HelpWhileWaiting(std::future<void>& future) {
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* shared = new ThreadPool();
+  // ACQUIRE_POOL_THREADS overrides the hardware-concurrency default —
+  // useful for pinning scaling measurements and for capping the pool in
+  // oversubscribed CI containers. Clamped to [1, 256]; unset, empty or
+  // unparsable values keep the default.
+  static ThreadPool* shared = [] {
+    size_t threads = 0;
+    if (const char* env = std::getenv("ACQUIRE_POOL_THREADS")) {
+      const long parsed = std::atol(env);
+      if (parsed > 0) {
+        threads = static_cast<size_t>(std::min<long>(parsed, 256));
+      }
+    }
+    return new ThreadPool(threads);
+  }();
   return *shared;
 }
 

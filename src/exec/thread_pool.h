@@ -67,6 +67,8 @@ class ThreadPool {
 
   /// Process-wide default pool (hardware-sized, created on first use and
   /// intentionally never destroyed so late static destructors can use it).
+  /// The ACQUIRE_POOL_THREADS environment variable overrides the size
+  /// (read once, at first use).
   static ThreadPool& Shared();
 
  private:

@@ -213,7 +213,12 @@ CellSortedEvaluationLayer::EvaluateCells(const GridCoord* coords, size_t count,
   }
   const size_t m = num_cells();
   auto sweep = [&](size_t, size_t begin, size_t end) {
-    size_t cursor = 0;
+    if (begin >= end) return;
+    // Seed this worker's cursor at its own slice of the key array with one
+    // binary search, instead of galloping across the whole prefix that
+    // earlier chunks own.
+    size_t cursor =
+        begin == 0 ? 0 : LowerBoundCell(coords[req[begin]].data());
     const int32_t* prev_key = nullptr;
     uint32_t prev_qi = 0;
     for (size_t r = begin; r < end; ++r) {

@@ -1,5 +1,6 @@
 #include "server/result_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sql/printer.h"
@@ -66,6 +67,17 @@ void ResultCache::set_limit_bytes(uint64_t bytes) {
   }
 }
 
+double ResultCache::PriorityOf(const Shard& shard, const CachedResult& result,
+                               uint64_t freq) {
+  // GreedyDual-Size-Frequency: benefit of keeping the entry (cost to
+  // recompute, amortized over its size, scaled by how often it actually
+  // hits) on top of the shard clock. Zero-cost entries collapse to the
+  // clock, i.e. plain LRU via the recency-list tiebreak.
+  const double size =
+      static_cast<double>(result.bytes > 0 ? result.bytes : 1);
+  return shard.clock + result.cost_ms * static_cast<double>(freq) / size;
+}
+
 CachedResultPtr ResultCache::Lookup(const TaskFingerprint& fp) {
   if (!enabled()) return nullptr;
   Shard& shard = ShardFor(fp);
@@ -73,9 +85,12 @@ CachedResultPtr ResultCache::Lookup(const TaskFingerprint& fp) {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(fp);
     if (it != shard.index.end()) {
+      Entry& entry = *it->second;
+      ++entry.freq;
+      entry.priority = PriorityOf(shard, *entry.result, entry.freq);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second->result;
+      return entry.result;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -88,13 +103,18 @@ void ResultCache::Insert(const TaskFingerprint& fp, CachedResultPtr result) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(fp);
   if (it != shard.index.end()) {
-    shard.bytes -= it->second->result->bytes;
+    Entry& entry = *it->second;
+    shard.bytes -= entry.result->bytes;
     shard.bytes += result->bytes;
-    it->second->result = std::move(result);
+    entry.result = std::move(result);
+    ++entry.freq;
+    entry.priority = PriorityOf(shard, *entry.result, entry.freq);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
     shard.bytes += result->bytes;
-    shard.lru.push_front(Entry{fp, std::move(result)});
+    Entry entry{fp, std::move(result)};
+    entry.priority = PriorityOf(shard, *entry.result, entry.freq);
+    shard.lru.push_front(std::move(entry));
     shard.index.emplace(fp, shard.lru.begin());
   }
   EvictLocked(&shard);
@@ -104,12 +124,53 @@ void ResultCache::EvictLocked(Shard* shard) {
   const uint64_t shard_limit =
       limit_.load(std::memory_order_relaxed) / kShards;
   while (!shard->lru.empty() && shard->bytes > shard_limit) {
-    const Entry& victim = shard->lru.back();
-    shard->bytes -= victim.result->bytes;
-    shard->index.erase(victim.fp);
-    shard->lru.pop_back();
+    // Minimum-priority victim; scanning from the tail makes ties resolve
+    // to the least recently used entry. Result caches hold few, large
+    // entries, so the linear scan is noise next to what they cache.
+    auto victim = std::prev(shard->lru.end());
+    for (auto it = shard->lru.end(); it != shard->lru.begin();) {
+      --it;
+      if (it->priority < victim->priority) victim = it;
+    }
+    // The clock inherits the victim's priority: entries untouched since
+    // long-ago cheap eras age out against newly inserted ones.
+    shard->clock = std::max(shard->clock, victim->priority);
+    shard->bytes -= victim->result->bytes;
+    shard->index.erase(victim->fp);
+    shard->lru.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void ResultCache::RecordFailure(uint64_t key, const Status& error) {
+  if (!enabled() || error.ok()) return;
+  std::lock_guard<std::mutex> lock(negative_mu_);
+  auto it = negative_.find(key);
+  if (it == negative_.end()) {
+    if (negative_.size() >= kMaxNegativeEntries) {
+      negative_.erase(negative_.begin());  // arbitrary victim; table is tiny
+    }
+    negative_.emplace(key, NegativeEntry{error, 1});
+    return;
+  }
+  if (it->second.error.code() != error.code()) {
+    it->second = NegativeEntry{error, 1};  // failure mode moved: restart
+    return;
+  }
+  it->second.error = error;
+  ++it->second.failures;
+}
+
+bool ResultCache::LookupFailure(uint64_t key, Status* error) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(negative_mu_);
+  auto it = negative_.find(key);
+  if (it == negative_.end() || it->second.failures < kNegativeThreshold) {
+    return false;
+  }
+  *error = it->second.error;
+  negative_hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void ResultCache::Clear() {
@@ -118,7 +179,10 @@ void ResultCache::Clear() {
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
+    shard.clock = 0.0;
   }
+  std::lock_guard<std::mutex> lock(negative_mu_);
+  negative_.clear();
 }
 
 ResultCacheStats ResultCache::stats() const {
@@ -127,10 +191,15 @@ ResultCacheStats ResultCache::stats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.limit_bytes = limit_.load(std::memory_order_relaxed);
+  stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     stats.entries += shard.lru.size();
     stats.bytes += shard.bytes;
+  }
+  {
+    std::lock_guard<std::mutex> lock(negative_mu_);
+    stats.negative_entries = negative_.size();
   }
   return stats;
 }

@@ -381,6 +381,17 @@ JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
                            "'batch_explore' must be a bool or a string");
     }
   }
+  if (const JsonValue* merge = request.Get("merge_strategy");
+      merge != nullptr) {
+    if (!merge->is_string() ||
+        !ParseMergeStrategy(merge->AsString(), &options.merge_strategy)) {
+      return ErrorResponse(
+          Status::InvalidArgument,
+          StringFormat("unknown merge_strategy '%s' "
+                       "(auto|sequential|central|tree|radix)",
+                       merge->is_string() ? merge->AsString().c_str() : "?"));
+    }
+  }
   const double budget_bytes = request.GetNumber(
       "memory_budget_bytes",
       static_cast<double>(options_.default_memory_budget_bytes));
@@ -432,6 +443,13 @@ JsonValue AcqServer::HandleStats() {
   set("cell_queries", counters.cell_queries);
   set("eval_queries", counters.eval_queries);
   set("tuples_scanned", counters.tuples_scanned);
+  // Eq. 17 merge publication tallies (core/parallel_merge.h), folded
+  // across finished runs. STATS-only: reports/envelopes never carry them,
+  // so cached replies stay byte-identical.
+  set("merge_layers_central", counters.merge_layers_central);
+  set("merge_layers_tree", counters.merge_layers_tree);
+  set("merge_layers_radix", counters.merge_layers_radix);
+  set("merge_layers_sequential", counters.merge_layers_sequential);
   stats.Set("run_ms",
             JsonValue::Number(static_cast<double>(counters.run_micros) /
                               1000.0));
@@ -447,6 +465,9 @@ JsonValue AcqServer::HandleStats() {
   set("cache_entries", cache.entries);
   set("cache_bytes", cache.bytes);
   set("cache_limit_bytes", cache.limit_bytes);
+  set("cache_negative_hits", cache.negative_hits);
+  set("cache_negative_entries", cache.negative_entries);
+  set("cache_negative_served", counters.cache_negative_served);
   // Connection-hardening and fault-injection counters.
   set("oversize_lines", oversize_lines_.load(std::memory_order_relaxed));
   set("idle_disconnects", idle_disconnects_.load(std::memory_order_relaxed));
@@ -539,6 +560,9 @@ JsonValue AcqServer::HandleCache(const JsonValue& request) {
   set("entries", stats.entries);
   set("bytes", stats.bytes);
   set("limit_bytes", stats.limit_bytes);
+  set("negative_hits", stats.negative_hits);
+  set("negative_entries", stats.negative_entries);
+  set("negative_served", counters.cache_negative_served);
   out.Set("cache", std::move(body));
   return out;
 }

@@ -48,6 +48,7 @@ struct ServerOptions {
 ///            "gamma":?, "delta":?, "order":"auto|bfs|shell|best_first",
 ///            "backend":"auto|direct|cached|parallel|grid|cell_sorted",
 ///            "batch_explore":"auto|on|off",
+///            "merge_strategy":"auto|sequential|central|tree|radix",
 ///            "max_explored":?, "timeout_ms":?, "wait":bool}
 ///           -> {"ok":true,"id":"s-1","state":...}; with "wait":true the
 ///           response is the terminal STATUS report instead. With the

@@ -26,6 +26,37 @@ double MillisSince(Clock::time_point start) {
       .count();
 }
 
+/// Negative-cache key: the raw SQL text plus the catalog generation (a
+/// reload that could make the plan succeed invalidates the key). NOT the
+/// task fingerprint — plans that fail usually cannot be fingerprinted.
+/// Options are deliberately excluded: only parse/bind failures are
+/// recorded, and those depend on nothing but (sql, catalog).
+uint64_t NegativeKey(const Catalog& catalog, const std::string& sql) {
+  uint64_t h = 1469598103934665603ULL ^ catalog.generation();
+  for (unsigned char c : sql) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Only failures that are pure functions of (sql, catalog) may be served
+/// from the negative cache. Transient conditions (unavailable, resource
+/// exhausted, internal, IO) must retry for real.
+bool IsDeterministicPlanFailure(const Status& error) {
+  switch (error.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kNotImplemented:
+    case StatusCode::kParseError:
+    case StatusCode::kTypeError:
+    case StatusCode::kUnsupported:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 const char* SessionStateToString(SessionState state) {
@@ -109,6 +140,37 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
     ++counters_.rejected;
     return Status::Unavailable(
         "injected admission rejection (failpoint server.admit)");
+  }
+
+  // Negative cache: a plan that already failed deterministically (same SQL,
+  // same catalog generation) at least kNegativeThreshold times fails
+  // immediately — no slot, no queue entry, no re-plan.
+  Status negative;
+  if (cache_.LookupFailure(NegativeKey(*catalog_, sql), &negative)) {
+    SessionPtr session;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return Status::Unavailable("session manager shut down");
+      std::string id = StringFormat(
+          "s-%llu", static_cast<unsigned long long>(next_id_++));
+      session = std::make_shared<Session>(std::move(id), std::move(sql),
+                                          std::move(options));
+      session->backend_ = backend;
+      sessions_.emplace(session->id(), session);
+    }
+    {
+      std::lock_guard<std::mutex> clock(counters_mu_);
+      ++counters_.submitted;
+      ++counters_.cache_negative_served;
+    }
+    {
+      std::lock_guard<std::mutex> lock(session->mu_);
+      session->state_ = SessionState::kFailed;
+      session->error_ = std::move(negative);
+      session->wall_ms_ = MillisSince(session->submitted_at_);
+      session->cv_.notify_all();
+    }
+    return session;
   }
 
   // Fingerprint before taking mu_: parsing/binding is pure and touches only
@@ -465,6 +527,9 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
             : binder.PlanSql(session->sql());
     if (!planned.ok()) {
       error = planned.status();
+      if (IsDeterministicPlanFailure(error)) {
+        cache_.RecordFailure(NegativeKey(*catalog_, session->sql()), error);
+      }
     } else {
       task = std::make_shared<AcqTask>(std::move(*planned));
       if (session->backend_ != EvalBackend::kAuto) {
@@ -511,6 +576,11 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
         counters_.cell_queries += result.cell_queries;
         counters_.eval_queries += result.exec_stats.queries;
         counters_.tuples_scanned += result.exec_stats.tuples_scanned;
+        counters_.merge_layers_central += result.exec_stats.merge_layers_central;
+        counters_.merge_layers_tree += result.exec_stats.merge_layers_tree;
+        counters_.merge_layers_radix += result.exec_stats.merge_layers_radix;
+        counters_.merge_layers_sequential +=
+            result.exec_stats.merge_layers_sequential;
         counters_.run_micros +=
             static_cast<uint64_t>(result.elapsed_ms * 1000.0);
       }
@@ -532,6 +602,8 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
     entry->cell_queries =
         session->ctx_.cell_queries.load(std::memory_order_relaxed);
     entry->bytes = entry->report.Dump().size() + 64;
+    // Cost-aware eviction signal: what this reply cost to compute.
+    entry->cost_ms = wall_ms;
     cached = std::move(entry);
   }
 

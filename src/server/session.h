@@ -121,6 +121,16 @@ struct ServerCounters {
   /// the cache's hit counter: the termination counters above count
   /// executed runs.
   uint64_t cache_inflight_joins = 0;
+  /// Submissions short-circuited to kFailed by the negative cache (a plan
+  /// that already failed deterministically >= kNegativeThreshold times);
+  /// they bump only `submitted` plus this — no slot, no run, no `failed`.
+  uint64_t cache_negative_served = 0;
+  /// How finished runs' batched layers published their Eq. 17 merges
+  /// (ExecStats::merge_layers_*, folded like the counters above).
+  uint64_t merge_layers_central = 0;
+  uint64_t merge_layers_tree = 0;
+  uint64_t merge_layers_radix = 0;
+  uint64_t merge_layers_sequential = 0;
 };
 
 struct SessionManagerOptions {

@@ -198,22 +198,26 @@ TEST(BatchExploreTest, NonIncrementalAblationMatches) {
   EXPECT_EQ(seq->cell_queries, 0u);
 }
 
-TEST(BatchExploreTest, BestFirstDefaultsToSequential) {
-  // kAuto must not batch the best-first order (nearly unique scores make
-  // layers degenerate), but forcing kOn still has to work — covered above.
+TEST(BatchExploreTest, BestFirstAutoBatchesAndMatchesSequential) {
+  // kAuto now micro-batches the best-first order too (equal-score frontier
+  // runs become tiny layers); that must stay indistinguishable from the
+  // unbatched explorer.
   SyntheticOptions topt;
   topt.d = 2;
   topt.rows = 1000;
   topt.target = 600.0;
   auto fixture = MakeSyntheticTask(topt);
   ASSERT_NE(fixture, nullptr);
-  CachedEvaluationLayer layer(&fixture->task);
   AcquireOptions options;
   options.order = SearchOrder::kBestFirst;
+  CachedEvaluationLayer seq_layer(&fixture->task);
+  options.batch_explore = BatchExplore::kOff;
+  auto seq = RunAcquire(fixture->task, &seq_layer, options);
+  CachedEvaluationLayer bat_layer(&fixture->task);
   options.batch_explore = BatchExplore::kAuto;
-  auto result = RunAcquire(fixture->task, &layer, options);
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->cell_queries, result->queries_explored);
+  auto bat = RunAcquire(fixture->task, &bat_layer, options);
+  ASSERT_TRUE(seq.ok() && bat.ok());
+  ExpectSameResult(*seq, *bat, "best_first_auto");
 }
 
 TEST(BatchExploreTest, ContractionBatchedMatchesSequential) {

@@ -101,6 +101,7 @@ TEST(ChaosTest, ConcurrentClientsSurviveRandomFaults) {
                       "server.parse=p:0.05;server.admit=p:0.05;"
                       "server.pool_enqueue=p:0.05;"
                       "explore.arena_grow=p:0.05;"
+                      "explore.parallel_merge=p:0.05;"
                       "expand.layer_alloc=p:0.05;"
                       "exec.parallel_for=p:0.05;"
                       "index.batch_eval=p:0.05")
@@ -275,9 +276,9 @@ TEST(ChaosTest, SingleInjectedArenaFaultDoesNotPoisonLaterRuns) {
 }
 
 // The strategy failpoints (serial ParallelFor fallback, generic batch
-// evaluation fallback) change only how work is executed, never what it
-// computes: a run with them firing half the time is bit-identical to a
-// clean run.
+// evaluation fallback, per-layer sequential merge fallback) change only how
+// work is executed, never what it computes: a run with them firing half the
+// time is bit-identical to a clean run.
 TEST(ChaosTest, StrategyFailpointsNeverChangeResults) {
   if (!FailpointRegistry::compiled_in()) {
     GTEST_SKIP() << "failpoints compiled out";
@@ -292,7 +293,8 @@ TEST(ChaosTest, StrategyFailpointsNeverChangeResults) {
 
   ASSERT_TRUE(registry
                   .ConfigureFromSpec(
-                      "exec.parallel_for=p:0.5;index.batch_eval=p:0.5")
+                      "exec.parallel_for=p:0.5;index.batch_eval=p:0.5;"
+                      "explore.parallel_merge=p:0.5")
                   .ok());
   Result<AcqOutcome> degraded = ProcessAcq(*planned, AcquireOptions{});
   registry.DisarmAll();
@@ -353,6 +355,7 @@ TEST(ChaosTest, CacheStaysBitExactUnderChaos) {
                       "server.parse=p:0.05;server.admit=p:0.05;"
                       "server.pool_enqueue=p:0.05;server.run=p:0.05;"
                       "explore.arena_grow=p:0.05;"
+                      "explore.parallel_merge=p:0.05;"
                       "expand.layer_alloc=p:0.05;"
                       "exec.parallel_for=p:0.05;"
                       "index.batch_eval=p:0.05")

@@ -1,0 +1,309 @@
+// Equivalence and unit suite for the sharded Explore merge
+// (core/parallel_merge): every merge strategy, forced across every search
+// order, must reproduce the sequential batched run bit-for-bit — same
+// aggregates, same answer sets, same counters — because entries are always
+// published in generation order regardless of which threads computed them.
+// Also covers the sequential fallbacks (shell order, the
+// explore.parallel_merge failpoint), the strategy accounting in ExecStats,
+// the AggregateStore bulk-append API the mergers build on, and budget
+// metering through the parallel path.
+
+#include <gtest/gtest.h>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "acquire.h"
+#include "common/failpoint.h"
+#include "core/explore.h"
+#include "core/parallel_merge.h"
+#include "test_util.h"
+
+namespace acquire {
+namespace {
+
+using test_util::MakeSyntheticTask;
+using test_util::SyntheticOptions;
+
+const char* OrderName(SearchOrder order) {
+  switch (order) {
+    case SearchOrder::kAuto:
+      return "Auto";
+    case SearchOrder::kBfs:
+      return "Bfs";
+    case SearchOrder::kShell:
+      return "Shell";
+    case SearchOrder::kBestFirst:
+      return "BestFirst";
+  }
+  return "?";
+}
+
+void ExpectSameResult(const AcquireResult& seq, const AcquireResult& par,
+                      const std::string& label) {
+  EXPECT_EQ(seq.satisfied, par.satisfied) << label;
+  EXPECT_EQ(seq.queries_explored, par.queries_explored) << label;
+  EXPECT_EQ(seq.cell_queries, par.cell_queries) << label;
+  EXPECT_EQ(seq.exec_stats.queries, par.exec_stats.queries) << label;
+  ASSERT_EQ(seq.queries.size(), par.queries.size()) << label;
+  for (size_t i = 0; i < seq.queries.size(); ++i) {
+    EXPECT_EQ(seq.queries[i].coord, par.queries[i].coord)
+        << label << " answer " << i;
+    EXPECT_EQ(seq.queries[i].pscores, par.queries[i].pscores)
+        << label << " answer " << i;
+    // Bit-exact: the parallel merge runs the same Eq. 17 additions in the
+    // same per-coordinate order, only on different threads.
+    EXPECT_EQ(seq.queries[i].aggregate, par.queries[i].aggregate)
+        << label << " answer " << i;
+    EXPECT_EQ(seq.queries[i].error, par.queries[i].error)
+        << label << " answer " << i;
+    EXPECT_EQ(seq.queries[i].qscore, par.queries[i].qscore)
+        << label << " answer " << i;
+  }
+  EXPECT_EQ(seq.best.coord, par.best.coord) << label;
+  EXPECT_EQ(seq.best.aggregate, par.best.aggregate) << label;
+  EXPECT_EQ(seq.best.error, par.best.error) << label;
+}
+
+std::unique_ptr<test_util::SyntheticTask> MakeFixture() {
+  SyntheticOptions topt;
+  topt.d = 3;
+  topt.rows = 4000;
+  topt.agg = AggregateKind::kSum;  // FP-sensitive: catches any reordering
+  topt.target = 240000.0;         // forces several expansion layers
+  return MakeSyntheticTask(topt);
+}
+
+AcquireOptions BaseOptions(SearchOrder order) {
+  AcquireOptions options;
+  options.gamma = 12.0;  // grid step 4.0 with d = 3
+  options.delta = 0.02;
+  options.order = order;
+  return options;
+}
+
+class ParallelMergeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<SearchOrder, MergeStrategy>> {
+};
+
+TEST_P(ParallelMergeEquivalenceTest, ForcedStrategyMatchesSequential) {
+  auto [order, strategy] = GetParam();
+  auto fixture = MakeFixture();
+  ASSERT_NE(fixture, nullptr);
+  const double step = 12.0 / 3.0;
+  const std::string label = std::string(OrderName(order)) + "/" +
+                            MergeStrategyName(strategy);
+
+  AcquireOptions options = BaseOptions(order);
+  CellSortedEvaluationLayer seq_layer(&fixture->task, step);
+  options.batch_explore = BatchExplore::kOff;
+  options.merge_strategy = MergeStrategy::kSequential;
+  auto seq = RunAcquire(fixture->task, &seq_layer, options);
+
+  CellSortedEvaluationLayer par_layer(&fixture->task, step);
+  options.batch_explore = BatchExplore::kOn;
+  options.merge_strategy = strategy;  // forced: parallel even on 1 CPU
+  auto par = RunAcquire(fixture->task, &par_layer, options);
+
+  ASSERT_TRUE(seq.ok() && par.ok()) << label;
+  ExpectSameResult(*seq, *par, label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrdersAllStrategies, ParallelMergeEquivalenceTest,
+    ::testing::Combine(::testing::Values(SearchOrder::kAuto, SearchOrder::kBfs,
+                                         SearchOrder::kShell,
+                                         SearchOrder::kBestFirst),
+                       ::testing::Values(MergeStrategy::kCentral,
+                                         MergeStrategy::kTree,
+                                         MergeStrategy::kRadix)),
+    [](const auto& info) {
+      return std::string(OrderName(std::get<0>(info.param))) + "_" +
+             MergeStrategyName(std::get<1>(info.param));
+    });
+
+TEST(ParallelMergeTest, ForcedStrategyIsCounted) {
+  // A forced strategy must actually run: its ExecStats tally is positive
+  // and the other parallel strategies never fire.
+  using Stats = EvaluationLayer::ExecStats;
+  struct Case {
+    MergeStrategy strategy;
+    uint64_t Stats::*counter;
+  };
+  const Case cases[] = {
+      {MergeStrategy::kCentral, &Stats::merge_layers_central},
+      {MergeStrategy::kTree, &Stats::merge_layers_tree},
+      {MergeStrategy::kRadix, &Stats::merge_layers_radix},
+  };
+  for (const Case& c : cases) {
+    auto fixture = MakeFixture();
+    ASSERT_NE(fixture, nullptr);
+    CellSortedEvaluationLayer layer(&fixture->task, 4.0);
+    AcquireOptions options = BaseOptions(SearchOrder::kBfs);
+    options.batch_explore = BatchExplore::kOn;
+    options.merge_strategy = c.strategy;
+    auto result = RunAcquire(fixture->task, &layer, options);
+    ASSERT_TRUE(result.ok()) << MergeStrategyName(c.strategy);
+    EXPECT_GT(result->exec_stats.*(c.counter), 0u)
+        << MergeStrategyName(c.strategy);
+    const uint64_t parallel_total = result->exec_stats.merge_layers_central +
+                                    result->exec_stats.merge_layers_tree +
+                                    result->exec_stats.merge_layers_radix;
+    EXPECT_EQ(parallel_total, result->exec_stats.*(c.counter))
+        << MergeStrategyName(c.strategy);
+  }
+}
+
+TEST(ParallelMergeTest, ShellOrderStaysSequential) {
+  // A shell layer interleaves Eq. 17 dependencies within itself (same-shell
+  // predecessors), so the driver must refuse to parallel-merge it even when
+  // a strategy is forced.
+  auto fixture = MakeFixture();
+  ASSERT_NE(fixture, nullptr);
+  CellSortedEvaluationLayer layer(&fixture->task, 4.0);
+  AcquireOptions options = BaseOptions(SearchOrder::kShell);
+  options.batch_explore = BatchExplore::kOn;
+  options.merge_strategy = MergeStrategy::kRadix;
+  auto result = RunAcquire(fixture->task, &layer, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->exec_stats.merge_layers_central, 0u);
+  EXPECT_EQ(result->exec_stats.merge_layers_tree, 0u);
+  EXPECT_EQ(result->exec_stats.merge_layers_radix, 0u);
+  EXPECT_GT(result->exec_stats.merge_layers_sequential, 0u);
+}
+
+TEST(ParallelMergeTest, SequentialStrategyDisablesParallelPath) {
+  auto fixture = MakeFixture();
+  ASSERT_NE(fixture, nullptr);
+  CellSortedEvaluationLayer layer(&fixture->task, 4.0);
+  AcquireOptions options = BaseOptions(SearchOrder::kBfs);
+  options.batch_explore = BatchExplore::kOn;
+  options.merge_strategy = MergeStrategy::kSequential;
+  auto result = RunAcquire(fixture->task, &layer, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->exec_stats.merge_layers_central, 0u);
+  EXPECT_EQ(result->exec_stats.merge_layers_tree, 0u);
+  EXPECT_EQ(result->exec_stats.merge_layers_radix, 0u);
+  EXPECT_GT(result->exec_stats.merge_layers_sequential, 0u);
+}
+
+TEST(ParallelMergeTest, FailpointForcesSequentialFallback) {
+  // With explore.parallel_merge armed at p:1 every layer falls back to the
+  // sequential Eq. 17 walk before Phase A touches anything, so results are
+  // unchanged and the parallel tallies stay zero.
+  if (!FailpointRegistry::compiled_in()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  auto fixture = MakeFixture();
+  ASSERT_NE(fixture, nullptr);
+  const double step = 4.0;
+
+  AcquireOptions options = BaseOptions(SearchOrder::kBfs);
+  CellSortedEvaluationLayer seq_layer(&fixture->task, step);
+  options.batch_explore = BatchExplore::kOff;
+  auto seq = RunAcquire(fixture->task, &seq_layer, options);
+
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("explore.parallel_merge", "p:1").ok());
+  CellSortedEvaluationLayer par_layer(&fixture->task, step);
+  options.batch_explore = BatchExplore::kOn;
+  options.merge_strategy = MergeStrategy::kRadix;
+  auto par = RunAcquire(fixture->task, &par_layer, options);
+  registry.DisarmAll();
+
+  ASSERT_TRUE(seq.ok() && par.ok());
+  ExpectSameResult(*seq, *par, "failpoint_fallback");
+  EXPECT_EQ(par->exec_stats.merge_layers_radix, 0u);
+  EXPECT_EQ(par->exec_stats.merge_layers_central, 0u);
+  EXPECT_EQ(par->exec_stats.merge_layers_tree, 0u);
+  EXPECT_GT(par->exec_stats.merge_layers_sequential, 0u);
+}
+
+TEST(ParallelMergeTest, BudgetIsMeteredThroughParallelPath) {
+  // The thread-local partial arenas and the bulk store growth are charged
+  // against the run's MemoryBudget, so a tiny budget still stops the run
+  // cleanly when the merges go through the parallel path.
+  auto fixture = MakeFixture();
+  ASSERT_NE(fixture, nullptr);
+  CellSortedEvaluationLayer layer(&fixture->task, 4.0);
+  AcquireOptions options = BaseOptions(SearchOrder::kBfs);
+  options.batch_explore = BatchExplore::kOn;
+  options.merge_strategy = MergeStrategy::kRadix;
+  options.memory_budget_bytes = 48 * 1024;
+  auto result = RunAcquire(fixture->task, &layer, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, RunTermination::kResourceExhausted);
+}
+
+// --- AggregateStore bulk-append API (what the mergers build on) ---
+
+TEST(AggregateStoreBulkTest, SequentialPublishRoundTrips) {
+  AggregateStore store;
+  store.Configure(/*d=*/2, /*state_width=*/1);  // block_width == 3
+  double* first = store.Insert({1, 2});
+  first[0] = 42.0;
+
+  const size_t base = store.BulkAppendBegin(3);
+  EXPECT_EQ(base, 1u);
+  EXPECT_EQ(store.size(), 4u);
+  const int32_t keys[3][2] = {{5, 6}, {7, 8}, {9, 10}};
+  for (size_t r = 0; r < 3; ++r) {
+    int32_t* key = store.MutableKeyAt(base + r);
+    key[0] = keys[r][0];
+    key[1] = keys[r][1];
+    double* block = store.MutableBlockAt(base + r);
+    for (size_t j = 0; j < store.block_width(); ++j) {
+      block[j] = static_cast<double>(100 * r + j);
+    }
+  }
+  // Not findable until published.
+  EXPECT_EQ(store.Find({5, 6}), nullptr);
+  store.PublishSlotsSequential(base, 3);
+
+  EXPECT_NE(store.Find({1, 2}), nullptr);  // pre-existing entry intact
+  EXPECT_EQ(store.Find({1, 2})[0], 42.0);
+  for (size_t r = 0; r < 3; ++r) {
+    const double* block = store.Find({keys[r][0], keys[r][1]});
+    ASSERT_NE(block, nullptr) << "bulk entry " << r;
+    for (size_t j = 0; j < store.block_width(); ++j) {
+      EXPECT_EQ(block[j], static_cast<double>(100 * r + j));
+    }
+  }
+}
+
+TEST(AggregateStoreBulkTest, AtomicPublishRoundTrips) {
+  AggregateStore store;
+  store.Configure(/*d=*/2, /*state_width=*/2);
+  // Enough entries to force slot-table growth inside BulkAppendBegin, so
+  // HomeSlot is computed against the final table size (the radix publisher
+  // depends on that ordering).
+  constexpr size_t kCount = 300;
+  const size_t base = store.BulkAppendBegin(kCount);
+  EXPECT_EQ(base, 0u);
+  for (size_t r = 0; r < kCount; ++r) {
+    int32_t* key = store.MutableKeyAt(base + r);
+    key[0] = static_cast<int32_t>(r);
+    key[1] = static_cast<int32_t>(2 * r + 1);
+    store.MutableBlockAt(base + r)[0] = static_cast<double>(r) + 0.5;
+  }
+  for (size_t r = 0; r < kCount; ++r) {
+    const size_t e = base + r;
+    store.PublishSlotAtomic(e, store.HomeSlot(store.KeyAt(e)));
+  }
+  for (size_t r = 0; r < kCount; ++r) {
+    const double* block = store.Find(
+        {static_cast<int32_t>(r), static_cast<int32_t>(2 * r + 1)});
+    ASSERT_NE(block, nullptr) << "entry " << r;
+    EXPECT_EQ(block[0], static_cast<double>(r) + 0.5);
+  }
+  // Ordinary inserts keep working after a bulk publication.
+  store.Insert({-1, -1})[0] = 7.0;
+  ASSERT_NE(store.Find({-1, -1}), nullptr);
+  EXPECT_EQ(store.Find({-1, -1})[0], 7.0);
+  EXPECT_EQ(store.size(), kCount + 1);
+}
+
+}  // namespace
+}  // namespace acquire

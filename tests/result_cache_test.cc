@@ -294,6 +294,103 @@ TEST(ResultCacheUnitTest, ClearKeepsMonotonicCounters) {
   EXPECT_EQ(stats.evictions, 0u);  // cleared entries are not "evictions"
 }
 
+CachedResultPtr MakeCostedEntry(size_t bytes, double cost_ms) {
+  auto entry = std::make_shared<CachedResult>();
+  JsonValue report = JsonValue::Object();
+  report.Set("bytes", JsonValue::Number(static_cast<double>(bytes)));
+  entry->report = std::move(report);
+  entry->bytes = bytes;
+  entry->cost_ms = cost_ms;
+  return entry;
+}
+
+TEST(ResultCacheUnitTest, EvictionPrefersCheapEntriesUnderGdsf) {
+  // Equal size and recency, but entry 1 took 1000 ms to compute and entry 2
+  // took 0.001 ms: the GDSF priority (clock + cost x freq / bytes) must
+  // sacrifice the cheap one even though the expensive one is older.
+  ResultCache cache(8 * 130);
+  cache.Insert(Fp(1), MakeCostedEntry(60, 1000.0));
+  cache.Insert(Fp(2), MakeCostedEntry(60, 0.001));
+  cache.Insert(Fp(3), MakeCostedEntry(60, 1000.0));
+  EXPECT_NE(cache.Lookup(Fp(1)), nullptr);
+  EXPECT_EQ(cache.Lookup(Fp(2)), nullptr);
+  EXPECT_NE(cache.Lookup(Fp(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheUnitTest, RepeatedHitsRaiseSurvivalPriority) {
+  // Same cost and size everywhere, but entry 1's hits bump its frequency,
+  // so the untouched entry 2 is the GDSF victim despite 1 being older.
+  ResultCache cache(8 * 130);
+  cache.Insert(Fp(1), MakeCostedEntry(60, 10.0));
+  cache.Insert(Fp(2), MakeCostedEntry(60, 10.0));
+  EXPECT_NE(cache.Lookup(Fp(1)), nullptr);
+  EXPECT_NE(cache.Lookup(Fp(1)), nullptr);
+  cache.Insert(Fp(3), MakeCostedEntry(60, 10.0));
+  EXPECT_NE(cache.Lookup(Fp(1)), nullptr);
+  EXPECT_EQ(cache.Lookup(Fp(2)), nullptr);
+}
+
+TEST(ResultCacheUnitTest, NegativeCacheServesAfterThreshold) {
+  ResultCache cache(1 << 20);
+  const Status error = Status::InvalidArgument("no such column");
+  Status out;
+  cache.RecordFailure(7, error);
+  EXPECT_FALSE(cache.LookupFailure(7, &out));  // 1 failure: below threshold
+  cache.RecordFailure(7, error);
+  ASSERT_TRUE(cache.LookupFailure(7, &out));  // threshold reached
+  EXPECT_TRUE(out.IsInvalidArgument());
+  EXPECT_EQ(out.message(), error.message());
+  EXPECT_FALSE(cache.LookupFailure(8, &out));  // unknown key
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.negative_hits, 1u);
+  EXPECT_EQ(stats.negative_entries, 1u);
+}
+
+TEST(ResultCacheUnitTest, NegativeEntryResetsOnDifferentErrorAndClear) {
+  ResultCache cache(1 << 20);
+  Status out;
+  cache.RecordFailure(7, Status::InvalidArgument("a"));
+  cache.RecordFailure(7, Status::NotFound("b"));  // code changed: reset
+  EXPECT_FALSE(cache.LookupFailure(7, &out));
+  cache.RecordFailure(7, Status::NotFound("b"));
+  ASSERT_TRUE(cache.LookupFailure(7, &out));
+  EXPECT_TRUE(out.IsNotFound());
+  cache.Clear();
+  EXPECT_FALSE(cache.LookupFailure(7, &out));
+  EXPECT_EQ(cache.stats().negative_entries, 0u);
+}
+
+TEST(ResultCacheTest, NegativeCacheShortCircuitsRepeatedBadSql) {
+  ServerOptions options;
+  options.cache_bytes = 1 << 20;
+  AcqServer server(SharedCatalog(), options);
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(
+                         "SELECT * FROM users CONSTRAINT COUNT(*) >= 10 "
+                         "WHERE no_such_column <= 30"));
+  request.Set("wait", JsonValue::Bool(true));
+  const std::string line = request.Dump();
+
+  // The first two failures run the planner for real; from the third on the
+  // negative cache answers inline (no slot, no parse).
+  std::string first_error;
+  for (int i = 0; i < 4; ++i) {
+    JsonValue reply = MustParse(server.HandleRequestLine(line));
+    EXPECT_EQ(reply.GetString("state"), "failed") << reply.Dump();
+    const std::string error = reply.GetString("error");
+    EXPECT_FALSE(error.empty());
+    if (i == 0) {
+      first_error = error;
+    } else {
+      EXPECT_EQ(error, first_error) << "negative reply must echo the error";
+    }
+  }
+  EXPECT_EQ(StatsNumber(&server, "cache_negative_served"), 2.0);
+  EXPECT_GE(StatsNumber(&server, "cache_negative_entries"), 1.0);
+}
+
 TEST(ResultCacheUnitTest, ZeroLimitClearsAndDisables) {
   ResultCache cache(1 << 20);
   cache.Insert(Fp(1), MakeEntry(60));
