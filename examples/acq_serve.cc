@@ -15,6 +15,10 @@
 //   --port N               listen port (default 7411; 0 = ephemeral)
 //   --gen tpch|users|patients   generate a synthetic catalog
 //   --rows N               generator size (default 20000)
+//
+// The catalog is mutable while serving through the APPEND verb only (live
+// ingestion; every batch bumps the catalog generation and invalidates
+// cached results).
 //   --loaddb DIR           load a catalog saved by acq_shell's \savedb
 //   --max-running N        concurrent runs admitted (default: half the pool)
 //   --max-queue N          queued requests beyond that (default 64)
@@ -25,6 +29,10 @@
 //                          completed task answer from the cache and
 //                          identical in-flight tasks dedup onto one run
 //                          (default 0 = cache off)
+//   --cache-file PATH      persist the result cache: loaded at startup
+//                          (entries whose catalog generation no longer
+//                          matches are dropped) and saved on clean
+//                          shutdown. Needs --cache-bytes > 0.
 //   --idle-timeout-ms N    close connections idle longer than this (default:
 //                          never)
 //   --max-line-bytes N     reject request lines longer than this (default
@@ -71,6 +79,7 @@ int main(int argc, char** argv) {
   options.port = 7411;
   std::string gen;
   std::string loaddb;
+  std::string cache_file;
   size_t rows = 20000;
 
   for (int i = 1; i < argc; ++i) {
@@ -98,6 +107,8 @@ int main(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(value));
     } else if (flag == "--cache-bytes" && (value = next())) {
       options.cache_bytes = static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--cache-file" && (value = next())) {
+      cache_file = value;
     } else if (flag == "--idle-timeout-ms" && (value = next())) {
       options.idle_timeout_ms = std::atof(value);
     } else if (flag == "--max-line-bytes" && (value = next())) {
@@ -145,7 +156,28 @@ int main(int argc, char** argv) {
     std::printf("table %s: %zu rows\n", name.c_str(), (*table)->num_rows());
   }
 
+  if (!cache_file.empty() && options.cache_bytes == 0) {
+    return Fail("--cache-file needs --cache-bytes > 0");
+  }
+
   AcqServer server(&catalog, options);
+  if (!cache_file.empty()) {
+    size_t loaded = 0, dropped = 0;
+    Status warm = server.sessions().cache().LoadFromFile(
+        cache_file, catalog.generation(), &loaded, &dropped);
+    if (warm.ok()) {
+      std::printf("cache file %s: %zu entries loaded, %zu stale dropped\n",
+                  cache_file.c_str(), loaded, dropped);
+    } else if (warm.code() == StatusCode::kNotFound) {
+      std::printf("cache file %s: absent, starting cold\n",
+                  cache_file.c_str());
+    } else {
+      // A corrupt snapshot must not block serving; it is simply ignored
+      // (and overwritten on shutdown).
+      std::printf("cache file %s: ignored (%s)\n", cache_file.c_str(),
+                  warm.ToString().c_str());
+    }
+  }
   Status started = server.Start();
   if (!started.ok()) return Fail(started.ToString());
   std::printf("acq_serve listening on 127.0.0.1:%d\n", server.port());
@@ -156,6 +188,14 @@ int main(int argc, char** argv) {
   while (g_stop == 0) pause();
   std::printf("shutting down\n");
   server.Stop();
+  if (!cache_file.empty()) {
+    Status saved = server.sessions().cache().SaveToFile(cache_file);
+    if (saved.ok()) {
+      std::printf("cache saved to %s\n", cache_file.c_str());
+    } else {
+      std::printf("cache save failed: %s\n", saved.ToString().c_str());
+    }
+  }
 
   const ServerCounters counters = server.sessions().counters();
   std::printf(

@@ -11,6 +11,9 @@
 //   \gen users <rows>             generate the users table
 //   \gen patients <rows>          generate the patients table
 //   \load <table> <file> <schema> load a CSV (schema: name:type,...)
+//   \append <table> <v1,v2,...>   append one row (live ingestion; bumps the
+//                                 catalog generation, so cached transcripts
+//                                 for the old data stop matching)
 //   \save <table> <file>          write a table to CSV
 //   \savedb / \loaddb <dir>       persist / restore the whole catalog
 //   \tables                       list tables
@@ -36,6 +39,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <iostream>
 #include <sstream>
@@ -126,6 +130,7 @@ class Shell {
     if (name == "\\quit" || name == "\\q") return false;
     if (name == "\\help") {
       printf("\\gen tpch|users|patients <rows>, \\load <t> <f> <schema>, "
+             "\\append <t> <v1,v2,...>, "
              "\\save <t> <f>, \\savedb <dir>, \\loaddb <dir>, \\tables, "
              "\\show <t> [n], \\explain <sql>, "
              "\\set gamma|delta|batch|max_explored|memory_budget|cache"
@@ -236,6 +241,59 @@ class Shell {
       catalog_.PutTable(*loaded);
       printf("loaded %zu rows into %s\n", (*loaded)->num_rows(),
              table.c_str());
+      return true;
+    }
+    if (name == "\\append") {
+      std::string table;
+      in >> table;
+      std::string rest;
+      std::getline(in, rest);
+      const std::string vals(Trim(rest));
+      auto t = catalog_.GetTable(table);
+      if (!t.ok()) {
+        Report(t.status());
+        return true;
+      }
+      if (vals.empty()) {
+        printf("usage: \\append <table> <v1,v2,...>\n");
+        return true;
+      }
+      const Schema& schema = (*t)->schema();
+      std::vector<std::string> parts = Split(vals, ',');
+      if (parts.size() != schema.num_fields()) {
+        printf("row has %zu values, table %s has %zu columns\n",
+               parts.size(), table.c_str(), schema.num_fields());
+        return true;
+      }
+      std::vector<Value> row;
+      row.reserve(parts.size());
+      for (size_t i = 0; i < parts.size(); ++i) {
+        const std::string text = std::string(Trim(parts[i]));
+        switch (schema.field(i).type) {
+          case DataType::kInt64:
+            row.emplace_back(
+                static_cast<int64_t>(std::strtoll(text.c_str(), nullptr,
+                                                  10)));
+            break;
+          case DataType::kDouble:
+            row.emplace_back(std::strtod(text.c_str(), nullptr));
+            break;
+          case DataType::kString:
+            row.emplace_back(text);
+            break;
+        }
+      }
+      Status appended = catalog_.AppendRows(table, {row});
+      if (!appended.ok()) {
+        Report(appended);
+        return true;
+      }
+      // The shell's own result cache keys on the catalog generation through
+      // FingerprintTask, so stale entries simply stop matching; nothing to
+      // flush by hand.
+      printf("appended 1 row to %s (%zu rows, generation %llu)\n",
+             table.c_str(), (*t)->num_rows(),
+             static_cast<unsigned long long>(catalog_.generation()));
       return true;
     }
     if (name == "\\save") {

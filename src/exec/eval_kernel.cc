@@ -15,8 +15,18 @@ constexpr size_t kMinRowsPerChunk = 4096;
 
 Status BuildNeededMatrix(const AcqTask& task, ThreadPool* pool,
                          NeededMatrix* out) {
+  return BuildNeededMatrixRows(task, 0, task.relation->num_rows(), pool, out);
+}
+
+Status BuildNeededMatrixRows(const AcqTask& task, size_t begin, size_t end,
+                             ThreadPool* pool, NeededMatrix* out) {
   const Table& rel = *task.relation;
-  const size_t n = rel.num_rows();
+  if (begin > end || end > rel.num_rows()) {
+    return Status::InvalidArgument(
+        StringFormat("row range [%zu, %zu) out of bounds (relation has %zu "
+                     "rows)", begin, end, rel.num_rows()));
+  }
+  const size_t n = end - begin;
   const size_t d = task.d();
   out->rows = n;
   out->dims = d;
@@ -25,16 +35,16 @@ Status BuildNeededMatrix(const AcqTask& task, ThreadPool* pool,
   for (const RefinementDimPtr& dim : task.dims) {
     ACQ_RETURN_IF_ERROR(dim->PrecomputeNeeded(rel));
   }
-  auto fill = [&](size_t /*chunk*/, size_t begin, size_t end) {
+  auto fill = [&](size_t /*chunk*/, size_t lo, size_t hi) {
     for (size_t i = 0; i < d; ++i) {
       const RefinementDim& dim = *task.dims[i];
       double* col = out->mutable_dim(i);
-      for (size_t row = begin; row < end; ++row) {
-        col[row] = dim.NeededPScore(rel, row);
+      for (size_t row = lo; row < hi; ++row) {
+        col[row] = dim.NeededPScore(rel, begin + row);
       }
     }
-    for (size_t row = begin; row < end; ++row) {
-      out->agg_values[row] = task.AggValue(row);
+    for (size_t row = lo; row < hi; ++row) {
+      out->agg_values[row] = task.AggValue(begin + row);
     }
   };
   if (pool != nullptr) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "exec/eval_kernel.h"
 #include "exec/thread_pool.h"
@@ -173,9 +174,11 @@ Result<AggregateOps::State> DirectEvaluationLayer::EvaluateBox(
 
 Status CachedEvaluationLayer::Prepare() {
   if (prepared_) return Status::OK();
+  Stopwatch prepare_sw;
   ACQ_RETURN_IF_ERROR(BuildNeededMatrix(*task_, /*pool=*/nullptr, &matrix_));
   ChargeBudget((matrix_.needed.size() + matrix_.agg_values.size()) *
                sizeof(double));
+  prepare_ms_ += prepare_sw.ElapsedMillis();
   prepared_ = true;
   return Status::OK();
 }

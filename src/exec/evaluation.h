@@ -111,6 +111,16 @@ class EvaluationLayer {
     uint64_t merge_layers_tree = 0;
     uint64_t merge_layers_radix = 0;
     uint64_t merge_layers_sequential = 0;
+
+    /// Index build cost, filled by the layer itself: wall time spent inside
+    /// Prepare() (0 for layers with a no-op Prepare), rows currently staged
+    /// in the incremental-maintenance delta buffer, and how many times the
+    /// staged deltas were absorbed into the main layout (index/cell_sorted,
+    /// index/grid_index). Survives ResetStats — Prepare happens before the
+    /// driver resets the per-run query counters.
+    double prepare_ms = 0.0;
+    uint64_t delta_rows = 0;
+    uint64_t delta_merges = 0;
   };
 
   explicit EvaluationLayer(const AcqTask* task) : task_(task) {}
@@ -174,6 +184,9 @@ class EvaluationLayer {
     ExecStats s;
     s.queries = stats_.queries.load(std::memory_order_relaxed);
     s.tuples_scanned = stats_.tuples_scanned.load(std::memory_order_relaxed);
+    s.prepare_ms = prepare_ms_;
+    s.delta_rows = delta_rows_;
+    s.delta_merges = delta_merges_;
     return s;
   }
   void ResetStats() {
@@ -210,6 +223,12 @@ class EvaluationLayer {
   AtomicExecStats stats_;
   MemoryBudget* budget_ = nullptr;
   uint64_t pending_budget_bytes_ = 0;
+  /// Build-cost observability (see ExecStats): written by Prepare / the
+  /// delta-staging paths, which run before or between (never during)
+  /// concurrent evaluation, so plain fields suffice.
+  double prepare_ms_ = 0.0;
+  uint64_t delta_rows_ = 0;
+  uint64_t delta_merges_ = 0;
 };
 
 /// Scan-per-call layer; see EvaluationLayer docs.

@@ -37,8 +37,9 @@ Result<std::unique_ptr<EvaluationLayer>> MakeEvaluationLayer(
           new GridIndexEvaluationLayer(task, ResolveStep(*task, options)));
     case EvalBackend::kAuto:
     case EvalBackend::kCellSorted:
-      return std::unique_ptr<EvaluationLayer>(
-          new CellSortedEvaluationLayer(task, ResolveStep(*task, options)));
+      return std::unique_ptr<EvaluationLayer>(new CellSortedEvaluationLayer(
+          task, ResolveStep(*task, options), /*pool=*/nullptr,
+          options.prepare_mode));
   }
   return Status::InvalidArgument("unknown evaluation backend");
 }

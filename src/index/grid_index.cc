@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "common/failpoint.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "exec/eval_kernel.h"
 #include "exec/thread_pool.h"
@@ -12,18 +14,26 @@
 namespace acquire {
 
 GridIndexEvaluationLayer::GridIndexEvaluationLayer(const AcqTask* task,
-                                                   double step)
-    : EvaluationLayer(task), step_(step) {}
+                                                   double step,
+                                                   ThreadPool* pool)
+    : EvaluationLayer(task),
+      step_(step),
+      pool_(pool != nullptr ? pool : &ThreadPool::Shared()) {}
 
 Status GridIndexEvaluationLayer::Prepare() {
   if (prepared_) return Status::OK();
   if (step_ <= 0.0) {
     return Status::InvalidArgument("grid index requires a positive step");
   }
-  ACQ_RETURN_IF_ERROR(BuildNeededMatrix(*task_, /*pool=*/nullptr, &matrix_));
+  Stopwatch prepare_sw;
+  const size_t relation_rows = task_->relation->num_rows();
+  ACQ_RETURN_IF_ERROR(BuildNeededMatrix(*task_, pool_, &matrix_));
   const size_t n = matrix_.rows;
   const size_t d = matrix_.dims;
   const AggregateOps& ops = *task_->agg.ops;
+  // Sequential on purpose: the map's iteration order (walked by the
+  // aligned-box merge) depends on the exact insertion sequence, and the
+  // row-order sequence is the one SyncDeltas can continue bit-identically.
   GridCoord coord(d);
   for (size_t row = 0; row < n; ++row) {
     bool reachable = true;
@@ -39,13 +49,121 @@ Status GridIndexEvaluationLayer::Prepare() {
     auto [it, inserted] = cells_.try_emplace(coord, ops.Init());
     ops.Add(&it->second, matrix_.agg_values[row]);
   }
+  consumed_rows_ = relation_rows;
   // The matrix is exact; the hash map's footprint is estimated as key
   // storage plus per-node overhead.
   ChargeBudget((matrix_.needed.size() + matrix_.agg_values.size()) *
                    sizeof(double) +
                cells_.size() *
                    (d * sizeof(int32_t) + sizeof(AggregateOps::State) + 64));
+  prepare_ms_ += prepare_sw.ElapsedMillis();
   prepared_ = true;
+  return Status::OK();
+}
+
+size_t GridIndexEvaluationLayer::delta_merge_threshold() const {
+  if (delta_merge_threshold_ != 0) return delta_merge_threshold_;
+  return std::max<size_t>(4096, matrix_.rows / 8);
+}
+
+Status GridIndexEvaluationLayer::SyncDeltas() {
+  const size_t relation_rows = task_->relation->num_rows();
+  if (relation_rows > consumed_rows_) {
+    const size_t d = task_->d();
+    const AggregateOps& ops = *task_->agg.ops;
+    NeededMatrix fresh;
+    ACQ_RETURN_IF_ERROR(BuildNeededMatrixRows(*task_, consumed_rows_,
+                                              relation_rows, /*pool=*/nullptr,
+                                              &fresh));
+    GridCoord coord(d);
+    for (size_t row = 0; row < fresh.rows; ++row) {
+      for (size_t i = 0; i < d; ++i) {
+        delta_needed_.push_back(fresh.dim(i)[row]);
+      }
+      delta_agg_.push_back(fresh.agg_values[row]);
+      bool reachable = true;
+      for (size_t i = 0; i < d; ++i) {
+        int64_t level = PScoreLevel(fresh.dim(i)[row], step_);
+        if (level < 0) {
+          reachable = false;
+          break;
+        }
+        coord[i] = static_cast<int32_t>(level);
+      }
+      if (!reachable) continue;
+      // The exact try_emplace/Add continuation a full rebuild would run
+      // next, so map contents and iteration order stay rebuild-identical.
+      auto [it, inserted] = cells_.try_emplace(coord, ops.Init());
+      ops.Add(&it->second, fresh.agg_values[row]);
+    }
+    consumed_rows_ = relation_rows;
+    delta_rows_ = delta_agg_.size();
+    ChargeBudget(fresh.rows * (d + 1) * sizeof(double));
+  }
+  if (staged_delta_rows() >= delta_merge_threshold()) {
+    return AbsorbStagedDeltas();
+  }
+  return Status::OK();
+}
+
+Status GridIndexEvaluationLayer::MergeDeltas() {
+  if (!prepared_) return Prepare();
+  const size_t relation_rows = task_->relation->num_rows();
+  if (relation_rows > consumed_rows_) {
+    // Route through SyncDeltas for the staging part, but absorb regardless
+    // of the threshold afterwards.
+    size_t saved = delta_merge_threshold_;
+    delta_merge_threshold_ = SIZE_MAX;  // stage only
+    Status staged = SyncDeltas();
+    delta_merge_threshold_ = saved;
+    ACQ_RETURN_IF_ERROR(staged);
+  }
+  return AbsorbStagedDeltas();
+}
+
+Status GridIndexEvaluationLayer::AbsorbStagedDeltas() {
+  const size_t k = delta_agg_.size();
+  if (k == 0) return Status::OK();
+  ++delta_merges_;
+  if (ACQ_FAILPOINT("index.delta_merge")) {
+    // Result-preserving fault: full rebuild. The rebuild replays the exact
+    // insertion sequence the incremental path continued, so the map (and
+    // its iteration order) and the matrix come back identical.
+    prepared_ = false;
+    consumed_rows_ = 0;
+    cells_.clear();
+    matrix_ = NeededMatrix{};
+    delta_needed_.clear();
+    delta_agg_.clear();
+    delta_rows_ = 0;
+    return Prepare();
+  }
+  Stopwatch merge_sw;
+  const size_t d = matrix_.dims;
+  const size_t old_rows = matrix_.rows;
+  const size_t new_rows = old_rows + k;
+  // Restride the dimension-major matrix: each column grows by the staged
+  // rows' values (append order == relation order, matching a rebuild).
+  NeededMatrix merged;
+  merged.rows = new_rows;
+  merged.dims = d;
+  merged.needed.resize(new_rows * d);
+  merged.agg_values.resize(new_rows);
+  for (size_t i = 0; i < d; ++i) {
+    std::memcpy(merged.mutable_dim(i), matrix_.dim(i),
+                old_rows * sizeof(double));
+    double* col = merged.mutable_dim(i) + old_rows;
+    for (size_t r = 0; r < k; ++r) col[r] = delta_needed_[r * d + i];
+  }
+  std::memcpy(merged.agg_values.data(), matrix_.agg_values.data(),
+              old_rows * sizeof(double));
+  std::memcpy(merged.agg_values.data() + old_rows, delta_agg_.data(),
+              k * sizeof(double));
+  matrix_ = std::move(merged);
+  delta_needed_.clear();
+  delta_agg_.clear();
+  delta_rows_ = 0;
+  prepare_ms_ += merge_sw.ElapsedMillis();
   return Status::OK();
 }
 
@@ -67,11 +185,13 @@ bool GridIndexEvaluationLayer::IsCellAligned(
 Result<AggregateOps::State> GridIndexEvaluationLayer::EvaluateBox(
     const std::vector<PScoreRange>& box) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
+  ACQ_RETURN_IF_ERROR(SyncDeltas());
   ACQ_RETURN_IF_ERROR(CheckBox(box));
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
   const AggregateOps& ops = *task_->agg.ops;
 
-  // Fast path 1: a single grid cell -- one hash probe.
+  // Fast path 1: a single grid cell -- one hash probe (the map already
+  // reflects every appended row).
   GridCoord coord;
   if (IsCellAligned(box, &coord)) {
     stats_.tuples_scanned.fetch_add(1, std::memory_order_relaxed);
@@ -98,14 +218,33 @@ Result<AggregateOps::State> GridIndexEvaluationLayer::EvaluateBox(
   }
 
   // Off-grid box (e.g. repartition probes): scan the retained matrix with
-  // the shared kernel.
-  stats_.tuples_scanned.fetch_add(matrix_.rows, std::memory_order_relaxed);
-  return ScanBoxOverMatrix(ops, matrix_, box);
+  // the shared kernel, then continue the fold with the staged rows in
+  // append order — the same Add sequence a scan over the rebuilt (merged)
+  // matrix would run, since this scan is sequential.
+  const size_t k = delta_agg_.size();
+  stats_.tuples_scanned.fetch_add(matrix_.rows + k,
+                                  std::memory_order_relaxed);
+  std::vector<uint8_t> scratch(matrix_.rows);
+  AggregateOps::State state =
+      ScanBoxRange(ops, matrix_, box, 0, matrix_.rows, scratch.data());
+  const size_t d = matrix_.dims;
+  for (size_t r = 0; r < k; ++r) {
+    bool admitted = true;
+    for (size_t i = 0; i < d; ++i) {
+      if (!box[i].Admits(delta_needed_[r * d + i])) {
+        admitted = false;
+        break;
+      }
+    }
+    if (admitted) ops.Add(&state, delta_agg_[r]);
+  }
+  return state;
 }
 
 Result<std::vector<AggregateOps::State>> GridIndexEvaluationLayer::EvaluateCells(
     const GridCoord* coords, size_t count, double step) {
   if (!prepared_) ACQ_RETURN_IF_ERROR(Prepare());
+  ACQ_RETURN_IF_ERROR(SyncDeltas());
   // A foreign step means the requested cells are not this index's cells;
   // the generic path decomposes them into box queries as usual. The
   // failpoint injects the same (bit-identical) fallback on native batches.

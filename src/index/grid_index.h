@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/evaluation.h"
+#include "exec/thread_pool.h"
 
 namespace acquire {
 
@@ -17,9 +18,26 @@ namespace acquire {
 ///  * populated cell queries are answered in O(1).
 /// Boxes that are not aligned to the `step` grid (e.g. repartition probes)
 /// fall back to a scan over the retained needed-PScore matrix.
+///
+/// The needed-PScore matrix is built across the pool; the cell-map fold
+/// itself stays sequential on purpose — the map's iteration order (which the
+/// aligned-box merge walks) is a function of the exact insertion sequence,
+/// and the sequential row order is the one the incremental append path can
+/// continue bit-identically.
+///
+/// Incremental maintenance: rows appended to the task's relation after
+/// Prepare() are discovered lazily at the next evaluate call. Reachable rows
+/// are folded straight into the cell map — the same try_emplace/Add
+/// sequence, in the same row order, that a full rebuild would run, so the
+/// map's contents AND iteration order match a rebuild exactly. The rows'
+/// matrix columns are staged flat and either folded after the matrix scan on
+/// off-grid boxes (same Add order as a rebuilt scan) or restrided into the
+/// retained matrix once the staging buffer reaches the merge threshold.
 class GridIndexEvaluationLayer final : public EvaluationLayer {
  public:
-  GridIndexEvaluationLayer(const AcqTask* task, double step);
+  /// `pool` = nullptr uses the process-wide shared pool (matrix build only).
+  GridIndexEvaluationLayer(const AcqTask* task, double step,
+                           ThreadPool* pool = nullptr);
 
   /// Builds the sparse cell -> state map in one pass over the relation.
   Status Prepare() override;
@@ -40,11 +58,33 @@ class GridIndexEvaluationLayer final : public EvaluationLayer {
   Result<std::vector<AggregateOps::State>> EvaluateCells(
       const GridCoord* coords, size_t count, double step) override;
 
-  /// The cell map and the retained matrix are read-only once built.
-  bool SupportsConcurrentEvaluate() const override { return prepared_; }
+  /// The cell map and the retained matrix are read-only once built — and
+  /// once any appended relation rows have been synced in (staging mutates
+  /// the map, so fan-out is withheld until a serial call has consumed them;
+  /// already-staged rows are read-only to every query path).
+  bool SupportsConcurrentEvaluate() const override {
+    return prepared_ && task_->relation->num_rows() == consumed_rows_;
+  }
 
   double step() const { return step_; }
   size_t num_populated_cells() const { return cells_.size(); }
+
+  /// Relation rows already reflected in the index (matrix + cell map +
+  /// staged delta columns).
+  size_t consumed_rows() const { return consumed_rows_; }
+  /// Appended rows staged flat but not yet restrided into the matrix.
+  size_t staged_delta_rows() const { return delta_agg_.size(); }
+  /// Staged-row count that triggers the restride into the retained matrix;
+  /// 0 restores the default max(4096, matrix_rows / 8).
+  void set_delta_merge_threshold(size_t threshold) {
+    delta_merge_threshold_ = threshold;
+  }
+  size_t delta_merge_threshold() const;
+  /// Stages any unconsumed relation rows, then restrides every staged row
+  /// into the retained matrix now (cell map is already current). The
+  /// `index.delta_merge` failpoint downgrades this to a full rebuild, which
+  /// produces the same map and matrix.
+  Status MergeDeltas();
 
   /// True when every range in `box` is exactly one grid cell at this
   /// index's step (exposed for tests).
@@ -52,10 +92,23 @@ class GridIndexEvaluationLayer final : public EvaluationLayer {
                      GridCoord* coord) const;
 
  private:
+  /// Folds relation rows [consumed_rows_, num_rows()) into the cell map and
+  /// the flat staging columns; restrides at the merge threshold.
+  Status SyncDeltas();
+  Status AbsorbStagedDeltas();
+
   double step_;
+  ThreadPool* pool_;
   bool prepared_ = false;
+  size_t consumed_rows_ = 0;
+  size_t delta_merge_threshold_ = 0;  // 0 = auto
   std::unordered_map<GridCoord, AggregateOps::State, GridCoordHash> cells_;
   NeededMatrix matrix_;  // retained for the off-grid scan fallback
+
+  // Staged appended rows in append order (all rows, reachable or not — the
+  // off-grid scan visits unreachable rows too, they just never match).
+  std::vector<double> delta_needed_;  // k * d, row-major
+  std::vector<double> delta_agg_;     // k
 };
 
 }  // namespace acquire

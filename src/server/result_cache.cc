@@ -1,8 +1,15 @@
 #include "server/result_cache.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
+#include "common/string_util.h"
 #include "sql/printer.h"
 
 namespace acquire {
@@ -183,6 +190,105 @@ void ResultCache::Clear() {
   }
   std::lock_guard<std::mutex> lock(negative_mu_);
   negative_.clear();
+}
+
+namespace {
+constexpr const char kCacheFileHeader[] = "acq-cache-v1";
+}  // namespace
+
+Status ResultCache::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError(StringFormat("cannot write cache file %s: %s",
+                                        path.c_str(), std::strerror(errno)));
+  }
+  out << kCacheFileHeader << "\n";
+  // Two lines per entry: a metadata line of exact decimal u64 fields (JSON
+  // numbers are doubles and would corrupt 64-bit fingerprints), then the
+  // report re-dumped — Dump() is single-line by contract, so the format
+  // stays newline-framed.
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& entry : shard.lru) {
+      const CachedResult& r = *entry.result;
+      char meta[256];
+      std::snprintf(meta, sizeof(meta),
+                    "%" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                    " %" PRIu64 " %zu %.17g",
+                    entry.fp.hi, entry.fp.lo, r.generation,
+                    r.queries_explored, r.cell_queries, r.bytes, r.cost_ms);
+      out << meta << "\n" << r.report.Dump() << "\n";
+    }
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError(
+        StringFormat("short write to cache file %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Status ResultCache::LoadFromFile(const std::string& path,
+                                 uint64_t current_generation, size_t* loaded,
+                                 size_t* dropped) {
+  if (loaded != nullptr) *loaded = 0;
+  if (dropped != nullptr) *dropped = 0;
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(
+        StringFormat("no cache file at %s", path.c_str()));
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheFileHeader) {
+    return Status::ParseError(StringFormat(
+        "cache file %s: missing '%s' header", path.c_str(),
+        kCacheFileHeader));
+  }
+  size_t entry_no = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++entry_no;
+    TaskFingerprint fp;
+    auto result = std::make_shared<CachedResult>();
+    unsigned long long hi = 0, lo = 0, gen = 0, explored = 0, cells = 0,
+                       bytes = 0;
+    double cost_ms = 0.0;
+    if (std::sscanf(line.c_str(), "%llu %llu %llu %llu %llu %llu %lg", &hi,
+                    &lo, &gen, &explored, &cells, &bytes, &cost_ms) != 7) {
+      return Status::ParseError(StringFormat(
+          "cache file %s entry %zu: bad metadata line", path.c_str(),
+          entry_no));
+    }
+    std::string report_line;
+    if (!std::getline(in, report_line)) {
+      return Status::ParseError(StringFormat(
+          "cache file %s entry %zu: truncated (metadata without report)",
+          path.c_str(), entry_no));
+    }
+    Result<JsonValue> report = JsonValue::Parse(report_line);
+    if (!report.ok()) {
+      return Status::ParseError(StringFormat(
+          "cache file %s entry %zu: %s", path.c_str(), entry_no,
+          report.status().message().c_str()));
+    }
+    if (static_cast<uint64_t>(gen) != current_generation) {
+      // The catalog moved on since this snapshot: the fingerprint can never
+      // be recomputed by a live submit, so the entry would only waste bytes.
+      if (dropped != nullptr) ++(*dropped);
+      continue;
+    }
+    fp.hi = static_cast<uint64_t>(hi);
+    fp.lo = static_cast<uint64_t>(lo);
+    result->report = std::move(*report);
+    result->queries_explored = static_cast<uint64_t>(explored);
+    result->cell_queries = static_cast<uint64_t>(cells);
+    result->bytes = static_cast<size_t>(bytes);
+    result->cost_ms = cost_ms;
+    result->generation = static_cast<uint64_t>(gen);
+    Insert(fp, std::move(result));
+    if (loaded != nullptr) ++(*loaded);
+  }
+  return Status::OK();
 }
 
 ResultCacheStats ResultCache::stats() const {

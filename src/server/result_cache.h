@@ -39,6 +39,11 @@ struct CachedResult {
   /// Observed compute cost of the seeding run (wall milliseconds); feeds
   /// cost-aware eviction. 0 (unknown) makes the entry evict like pure LRU.
   double cost_ms = 0.0;
+  /// Catalog generation the seeding run planned against. The fingerprint
+  /// already folds the generation in, so lookups can never cross
+  /// generations; this copy exists for persistence (LoadFromFile drops
+  /// entries whose generation no longer matches the live catalog).
+  uint64_t generation = 0;
 };
 using CachedResultPtr = std::shared_ptr<const CachedResult>;
 
@@ -121,6 +126,21 @@ class ResultCache {
   void Clear();
 
   ResultCacheStats stats() const;
+
+  /// Writes every positive entry to `path` in the versioned "acq-cache-v1"
+  /// text format (negative entries are deliberately not persisted — they
+  /// guard live re-planning, which a restart re-establishes cheaply).
+  /// Snapshot semantics per shard; concurrent inserts may or may not land.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads a SaveToFile snapshot, inserting entries via the normal Insert
+  /// path (so the byte limit applies). Entries recorded under a catalog
+  /// generation other than `current_generation` are stale — the data they
+  /// answered for has changed identity — and are dropped. Returns the count
+  /// of loaded entries via `loaded`/`dropped` when non-null. NotFound when
+  /// `path` does not exist (cold start), IOError/ParseError on corruption.
+  Status LoadFromFile(const std::string& path, uint64_t current_generation,
+                      size_t* loaded = nullptr, size_t* dropped = nullptr);
 
  private:
   struct Entry {

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <utility>
@@ -113,6 +114,12 @@ bool SendAll(int fd, const std::string& data, int* error_out) {
 }  // namespace
 
 AcqServer::AcqServer(const Catalog* catalog, ServerOptions options)
+    : options_(options),
+      manager_(catalog, SessionManagerOptions{options.max_running,
+                                              options.max_queued,
+                                              options.cache_bytes}) {}
+
+AcqServer::AcqServer(Catalog* catalog, ServerOptions options)
     : options_(options),
       manager_(catalog, SessionManagerOptions{options.max_running,
                                               options.max_queued,
@@ -304,11 +311,12 @@ JsonValue AcqServer::Dispatch(const JsonValue& request) {
   if (cmd == "STATS") return HandleStats();
   if (cmd == "FAILPOINT") return HandleFailpoint(request);
   if (cmd == "CACHE") return HandleCache(request);
+  if (cmd == "APPEND") return HandleAppend(request);
   return ErrorResponse(
       Status::InvalidArgument,
-      StringFormat(
-          "unknown cmd '%s' (SUBMIT|STATUS|CANCEL|STATS|FAILPOINT|CACHE)",
-          cmd.c_str()));
+      StringFormat("unknown cmd '%s' "
+                   "(SUBMIT|STATUS|CANCEL|STATS|FAILPOINT|CACHE|APPEND)",
+                   cmd.c_str()));
 }
 
 JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
@@ -450,6 +458,17 @@ JsonValue AcqServer::HandleStats() {
   set("merge_layers_tree", counters.merge_layers_tree);
   set("merge_layers_radix", counters.merge_layers_radix);
   set("merge_layers_sequential", counters.merge_layers_sequential);
+  // Index-build and live-ingestion tallies (STATS-only, like the merge
+  // counters above): cumulative prepare wall time, rows staged into index
+  // delta buffers, delta-into-base merges, and APPEND activity.
+  stats.Set("prepare_ms",
+            JsonValue::Number(static_cast<double>(counters.prepare_micros) /
+                              1000.0));
+  set("delta_rows", counters.delta_rows);
+  set("delta_merges", counters.delta_merges);
+  set("appends", counters.appends);
+  set("append_rows", counters.append_rows);
+  set("catalog_generation", manager_.catalog().generation());
   stats.Set("run_ms",
             JsonValue::Number(static_cast<double>(counters.run_micros) /
                               1000.0));
@@ -564,6 +583,104 @@ JsonValue AcqServer::HandleCache(const JsonValue& request) {
   set("negative_entries", stats.negative_entries);
   set("negative_served", counters.cache_negative_served);
   out.Set("cache", std::move(body));
+  return out;
+}
+
+JsonValue AcqServer::HandleAppend(const JsonValue& request) {
+  const JsonValue* table = request.Get("table");
+  if (table == nullptr || !table->is_string() || table->AsString().empty()) {
+    return ErrorResponse(Status::InvalidArgument,
+                         "APPEND requires a non-empty string field 'table'");
+  }
+  const JsonValue* rows = request.Get("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return ErrorResponse(Status::InvalidArgument,
+                         "APPEND requires an array field 'rows'");
+  }
+  // Schema lookup for coercion only — APPEND never adds or removes tables,
+  // so the name->table map is stable while serving and this read needs no
+  // data lock. The append itself goes through the manager's exclusive lock.
+  Result<TablePtr> resolved = manager_.catalog().GetTable(table->AsString());
+  if (!resolved.ok()) return ErrorResponse(resolved.status());
+  const Schema& schema = (*resolved)->schema();
+
+  std::vector<std::vector<Value>> parsed;
+  parsed.reserve(rows->AsArray().size());
+  for (size_t r = 0; r < rows->AsArray().size(); ++r) {
+    const JsonValue& row = rows->AsArray()[r];
+    if (!row.is_array()) {
+      return ErrorResponse(
+          Status::InvalidArgument,
+          StringFormat("row %zu: must be an array of values", r));
+    }
+    if (row.AsArray().size() != schema.num_fields()) {
+      return ErrorResponse(
+          Status::InvalidArgument,
+          StringFormat("row %zu has %zu values, table %s has %zu columns", r,
+                       row.AsArray().size(), table->AsString().c_str(),
+                       schema.num_fields()));
+    }
+    std::vector<Value> values;
+    values.reserve(row.AsArray().size());
+    for (size_t i = 0; i < row.AsArray().size(); ++i) {
+      const JsonValue& cell = row.AsArray()[i];
+      const DataType type = schema.field(i).type;
+      switch (type) {
+        case DataType::kInt64: {
+          // JSON numbers are doubles; an int64 column only accepts values
+          // that are exactly representable integers, so ingestion cannot
+          // silently round.
+          if (!cell.is_number()) {
+            return ErrorResponse(
+                Status::TypeError,
+                StringFormat("row %zu column %zu: expected an integer", r,
+                             i));
+          }
+          const double v = cell.AsDouble();
+          constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+          if (v != std::floor(v) || v < -kMaxExact || v > kMaxExact) {
+            return ErrorResponse(
+                Status::TypeError,
+                StringFormat(
+                    "row %zu column %zu: %g is not an exact integer", r, i,
+                    v));
+          }
+          values.emplace_back(static_cast<int64_t>(v));
+          break;
+        }
+        case DataType::kDouble:
+          if (!cell.is_number()) {
+            return ErrorResponse(
+                Status::TypeError,
+                StringFormat("row %zu column %zu: expected a number", r, i));
+          }
+          values.emplace_back(cell.AsDouble());
+          break;
+        case DataType::kString:
+          if (!cell.is_string()) {
+            return ErrorResponse(
+                Status::TypeError,
+                StringFormat("row %zu column %zu: expected a string", r, i));
+          }
+          values.emplace_back(cell.AsString());
+          break;
+      }
+    }
+    parsed.push_back(std::move(values));
+  }
+
+  Status status = manager_.AppendRows(table->AsString(), parsed);
+  if (!status.ok()) return ErrorResponse(status);
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("table", JsonValue::Str(table->AsString()));
+  out.Set("appended",
+          JsonValue::Number(static_cast<double>(parsed.size())));
+  out.Set("num_rows", JsonValue::Number(
+                          static_cast<double>((*resolved)->num_rows())));
+  out.Set("generation",
+          JsonValue::Number(
+              static_cast<double>(manager_.catalog().generation())));
   return out;
 }
 

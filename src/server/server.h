@@ -41,7 +41,7 @@ struct ServerOptions {
 };
 
 /// TCP front end for the ACQ engine: a newline-delimited JSON protocol over
-/// a shared read-only Catalog. One JSON object per line in, one per line
+/// a shared Catalog. One JSON object per line in, one per line
 /// out; requests are dispatched by their "cmd" field:
 ///
 ///   SUBMIT  {"cmd":"SUBMIT","sql":"...ACQ SQL...",
@@ -71,6 +71,14 @@ struct ServerOptions {
 ///   CACHE   {"cmd":"CACHE"} -> result-cache stats; {"cmd":"CACHE",
 ///           "clear":true} drops every entry, {"cmd":"CACHE","limit":N}
 ///           resizes the byte limit (0 clears and disables).
+///   APPEND  {"cmd":"APPEND","table":"t","rows":[[v,...],...]} -> appends
+///           rows to a catalog table (live ingestion). Values are coerced
+///           against the table schema (int64 columns require integral JSON
+///           numbers); the batch is all-or-nothing. Requires the
+///           mutable-catalog constructor — kUnsupported otherwise. Each
+///           successful batch bumps the catalog generation, so cached
+///           results and negative plan-cache entries from before the
+///           append are never served afterwards.
 ///
 /// Failures are {"ok":false,"code":"InvalidArgument",...,"error":"..."};
 /// admission rejections use code "Unavailable" and budget-stopped runs
@@ -80,8 +88,13 @@ struct ServerOptions {
 class AcqServer {
  public:
   /// The catalog must outlive the server and must not be mutated while
-  /// serving.
+  /// serving (the APPEND verb answers kUnsupported on this constructor).
   explicit AcqServer(const Catalog* catalog, ServerOptions options = {});
+
+  /// Mutable-catalog overload: identical serving behavior, plus the APPEND
+  /// verb mutates the catalog through the SessionManager's data lock. All
+  /// other external mutation remains forbidden while serving.
+  explicit AcqServer(Catalog* catalog, ServerOptions options = {});
   ~AcqServer();
 
   AcqServer(const AcqServer&) = delete;
@@ -122,6 +135,7 @@ class AcqServer {
   JsonValue HandleStats();
   JsonValue HandleFailpoint(const JsonValue& request);
   JsonValue HandleCache(const JsonValue& request);
+  JsonValue HandleAppend(const JsonValue& request);
 
   const ServerOptions options_;
   SessionManager manager_;

@@ -129,7 +129,32 @@ SessionManager::SessionManager(const Catalog* catalog,
                              1, ThreadPool::Shared().num_threads() / 2)),
       cache_(options.cache_bytes) {}
 
+SessionManager::SessionManager(Catalog* catalog, SessionManagerOptions options)
+    : SessionManager(static_cast<const Catalog*>(catalog), options) {
+  mutable_catalog_ = catalog;
+}
+
 SessionManager::~SessionManager() { Shutdown(); }
+
+Status SessionManager::AppendRows(
+    const std::string& table, const std::vector<std::vector<Value>>& rows) {
+  if (mutable_catalog_ == nullptr) {
+    return Status::Unsupported(
+        "catalog is read-only (manager was constructed over a const "
+        "catalog)");
+  }
+  {
+    // Exclusive against every catalog-reading shared section: no admission
+    // fingerprint and no run body observes a half-applied batch, and a
+    // batch never lands between a run's execution and its cache render.
+    std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+    ACQ_RETURN_IF_ERROR(mutable_catalog_->AppendRows(table, rows));
+  }
+  std::lock_guard<std::mutex> clock(counters_mu_);
+  ++counters_.appends;
+  counters_.append_rows += rows.size();
+  return Status::OK();
+}
 
 Result<SessionPtr> SessionManager::Submit(std::string sql,
                                           AcquireOptions options,
@@ -142,11 +167,34 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
         "injected admission rejection (failpoint server.admit)");
   }
 
+  // The catalog-reading part of admission — negative-cache key, fingerprint
+  // and the generation it was computed under — runs inside the shared data
+  // lock so a concurrent AppendRows can't move the catalog mid-read
+  // (fingerprint folds the generation in; tearing the two apart would let a
+  // stale fingerprint carry a fresh generation or vice versa).
+  Status negative;
+  bool negative_hit = false;
+  TaskFingerprint fp;
+  bool has_fp = false;
+  uint64_t fp_generation = 0;
+  {
+    std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+    negative_hit = cache_.LookupFailure(NegativeKey(*catalog_, sql), &negative);
+    if (!negative_hit) {
+      // Fingerprint before taking mu_: parsing/binding is pure and touches
+      // only the catalog (read-locked here). Any failure just means
+      // "uncacheable" and the submission proceeds exactly as it did before
+      // the cache existed.
+      has_fp =
+          cache_.enabled() && ComputeFingerprint(sql, options, backend, &fp);
+      fp_generation = catalog_->generation();
+    }
+  }
+
   // Negative cache: a plan that already failed deterministically (same SQL,
   // same catalog generation) at least kNegativeThreshold times fails
   // immediately — no slot, no queue entry, no re-plan.
-  Status negative;
-  if (cache_.LookupFailure(NegativeKey(*catalog_, sql), &negative)) {
+  if (negative_hit) {
     SessionPtr session;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -173,13 +221,6 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
     return session;
   }
 
-  // Fingerprint before taking mu_: parsing/binding is pure and touches only
-  // the read-only catalog. Any failure just means "uncacheable" and the
-  // submission proceeds exactly as it did before the cache existed.
-  TaskFingerprint fp;
-  const bool has_fp =
-      cache_.enabled() && ComputeFingerprint(sql, options, backend, &fp);
-
   // Cache hit: finish immediately from the stored reply — no running slot,
   // no queue entry, no deadline (the work is already done).
   if (has_fp) {
@@ -195,6 +236,7 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
         session->backend_ = backend;
         session->fp_ = fp;
         session->has_fp_ = true;
+        session->fp_generation_ = fp_generation;
         sessions_.emplace(session->id(), session);
       }
       {
@@ -226,6 +268,7 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
       session->backend_ = backend;
       session->fp_ = fp;
       session->has_fp_ = true;
+      session->fp_generation_ = fp_generation;
       if (timeout_ms > 0.0) session->ctx_.SetTimeoutMillis(timeout_ms);
       sessions_.emplace(session->id(), session);
       inflight_it->second.followers.push_back(session);
@@ -246,6 +289,7 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
       if (has_fp) {
         session->fp_ = fp;
         session->has_fp_ = true;
+        session->fp_generation_ = fp_generation;
         inflight_.emplace(fp, Inflight{session, {}});
       }
       // The deadline clock starts at admission, so queue wait counts against
@@ -508,13 +552,22 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
     state = was_cancel ? SessionState::kCancelled : SessionState::kDone;
   }
 
+  // The run body and the cache-render decision sit inside one shared hold
+  // of the data lock: the catalog cannot move between planning, executing
+  // and deciding whether the answer may seed the cache. An APPEND therefore
+  // waits for in-flight runs (they finish against their snapshot) and no
+  // result computed on post-append data is ever stored under a pre-append
+  // fingerprint, or vice versa.
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_, std::defer_lock);
+
   if (!interrupted_in_queue) {
     {
       std::lock_guard<std::mutex> lock(session->mu_);
       session->state_ = SessionState::kRunning;
     }
+    data_lock.lock();
 
-    // Bind + plan against the shared read-only catalog, then run. The task
+    // Bind + plan against the shared catalog, then run. The task
     // outlives the outcome (answer rendering needs its dimensions), so it
     // lives in a shared_ptr on the session. The failpoint sits in front of
     // the whole body: a `sleep:` spec stretches the run (widening the
@@ -581,6 +634,10 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
         counters_.merge_layers_radix += result.exec_stats.merge_layers_radix;
         counters_.merge_layers_sequential +=
             result.exec_stats.merge_layers_sequential;
+        counters_.prepare_micros +=
+            static_cast<uint64_t>(result.exec_stats.prepare_ms * 1000.0);
+        counters_.delta_rows += result.exec_stats.delta_rows;
+        counters_.delta_merges += result.exec_stats.delta_merges;
         counters_.run_micros +=
             static_cast<uint64_t>(result.elapsed_ms * 1000.0);
       }
@@ -593,8 +650,16 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
   // replies byte-identical to the fresh one.
   const double wall_ms = MillisSince(start);
   CachedResultPtr cached;
+  // Stale-generation guard: a session fingerprinted at generation G but run
+  // after an APPEND moved the catalog to G' computed its answer on data the
+  // fingerprint does not describe. Its reply is correct for the caller, but
+  // it must not seed the cache (followers are promoted to re-run instead).
+  const bool generation_current =
+      data_lock.owns_lock() &&
+      catalog_->generation() == session->fp_generation_;
   if (session->has_fp_ && state == SessionState::kDone && has_outcome &&
-      outcome.result.termination == RunTermination::kCompleted) {
+      outcome.result.termination == RunTermination::kCompleted &&
+      generation_current) {
     auto entry = std::make_shared<CachedResult>();
     entry->report = BuildReportJson(outcome, task.get(), wall_ms);
     entry->queries_explored =
@@ -604,8 +669,10 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
     entry->bytes = entry->report.Dump().size() + 64;
     // Cost-aware eviction signal: what this reply cost to compute.
     entry->cost_ms = wall_ms;
+    entry->generation = session->fp_generation_;
     cached = std::move(entry);
   }
+  if (data_lock.owns_lock()) data_lock.unlock();
 
   // Slot bookkeeping before the terminal publish: a waiter released by the
   // notify below must see the slot already handed to the next queued

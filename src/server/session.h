@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -81,9 +82,13 @@ class Session {
 
   /// Task fingerprint, computed at admission when the result cache is
   /// enabled and the task is cacheable; keys the cache and the in-flight
-  /// dedup map. Immutable after Submit.
+  /// dedup map. Immutable after Submit. `fp_generation_` is the catalog
+  /// generation the fingerprint was computed under: a session that runs
+  /// after an APPEND moved the catalog past it computes a fresh answer but
+  /// must NOT seed the cache under the stale fingerprint.
   TaskFingerprint fp_{};
   bool has_fp_ = false;
+  uint64_t fp_generation_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -131,6 +136,17 @@ struct ServerCounters {
   uint64_t merge_layers_tree = 0;
   uint64_t merge_layers_radix = 0;
   uint64_t merge_layers_sequential = 0;
+  /// Index-build work folded across finished runs (ExecStats::prepare_ms in
+  /// microseconds) plus delta-maintenance activity (rows staged into index
+  /// delta buffers and buffer-into-base merges). STATS-only, like the merge
+  /// tallies above.
+  uint64_t prepare_micros = 0;
+  uint64_t delta_rows = 0;
+  uint64_t delta_merges = 0;
+  /// Live ingestion through SessionManager::AppendRows: successful APPEND
+  /// batches and the rows they landed.
+  uint64_t appends = 0;
+  uint64_t append_rows = 0;
 };
 
 struct SessionManagerOptions {
@@ -148,12 +164,21 @@ struct SessionManagerOptions {
   uint64_t cache_bytes = 0;
 };
 
-/// Binds sessions against a shared read-only Catalog and schedules them
+/// Binds sessions against a shared Catalog and schedules them
 /// onto the process-wide persistent ThreadPool with bounded admission:
 /// at most `max_running` run bodies occupy pool tasks at once, at most
 /// `max_queued` admitted requests wait behind them, and everything beyond
-/// that is rejected immediately. The catalog must not be mutated while a
-/// manager serves from it.
+/// that is rejected immediately.
+///
+/// Catalog mutation: with the const-catalog constructor the catalog must
+/// not be mutated while a manager serves from it. The mutable-catalog
+/// constructor additionally enables AppendRows (live ingestion), which is
+/// the ONLY permitted mutation: it takes the manager's data lock
+/// exclusively, so it serializes against every catalog-reading section
+/// (admission fingerprinting and run bodies, which hold the lock shared).
+/// Each successful append bumps the catalog generation, so fingerprinted
+/// cache entries and negative plan-cache entries from before the append
+/// can never be served afterwards.
 ///
 /// With cache_bytes > 0 admission additionally consults a fingerprinted
 /// result cache: a submission matching a completed run finishes immediately
@@ -166,6 +191,10 @@ struct SessionManagerOptions {
 class SessionManager {
  public:
   SessionManager(const Catalog* catalog, SessionManagerOptions options);
+
+  /// Mutable-catalog overload: identical serving behavior, plus AppendRows
+  /// becomes available.
+  SessionManager(Catalog* catalog, SessionManagerOptions options);
 
   /// Cancels everything and waits for in-flight runs to drain.
   ~SessionManager();
@@ -195,6 +224,17 @@ class SessionManager {
   ServerCounters counters() const;
   size_t num_running() const;
   size_t num_queued() const;
+
+  /// Appends `rows` to `table` atomically under the exclusive data lock:
+  /// no fingerprint is computed and no run plans/executes while the catalog
+  /// moves. Unsupported when the manager was constructed over a const
+  /// catalog; otherwise forwards Catalog::AppendRows (all-or-nothing per
+  /// batch) and, on success, bumps the appends / append_rows counters.
+  /// Running sessions finish against the snapshot they started from; the
+  /// generation bump makes their cached renders unseedable (stale) and
+  /// invalidates prior cache/negative entries for future submissions.
+  Status AppendRows(const std::string& table,
+                    const std::vector<std::vector<Value>>& rows);
 
   const Catalog& catalog() const { return *catalog_; }
 
@@ -246,8 +286,17 @@ class SessionManager {
   void RunSession(const SessionPtr& session, SessionPtr* next);
 
   const Catalog* catalog_;
+  /// Non-null only via the mutable-catalog constructor; aliases catalog_.
+  Catalog* mutable_catalog_ = nullptr;
   const SessionManagerOptions options_;
   const size_t max_running_;
+
+  /// Reader/writer gate between catalog readers and AppendRows. Shared:
+  /// Submit's fingerprint/negative-lookup section and RunSession's
+  /// plan/run/render section. Exclusive: AppendRows. Lock order: data_mu_
+  /// strictly before mu_ / counters_mu_; nothing acquires data_mu_ while
+  /// holding either.
+  mutable std::shared_mutex data_mu_;
 
   ResultCache cache_;
 

@@ -36,6 +36,16 @@ Status Catalog::DropTable(const std::string& name) {
   return Status::OK();
 }
 
+Status Catalog::AppendRows(const std::string& name,
+                           const std::vector<std::vector<Value>>& rows) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  if (rows.empty()) return Status::OK();  // nothing changed, no new identity
+  ACQ_RETURN_IF_ERROR(it->second->AppendRows(rows));
+  ++generation_;
+  return Status::OK();
+}
+
 void Catalog::set_load_params(std::string params) {
   load_params_ = std::move(params);
   ++generation_;

@@ -38,6 +38,13 @@ class Catalog {
   bool HasTable(const std::string& name) const;
   Status DropTable(const std::string& name);
 
+  /// Appends `rows` to table `name` atomically (Table::AppendRows) and bumps
+  /// the generation on success — live ingestion through this entry point
+  /// therefore self-invalidates fingerprinted result-cache entries and
+  /// negative plan-cache entries keyed on the old generation.
+  Status AppendRows(const std::string& name,
+                    const std::vector<std::vector<Value>>& rows);
+
   std::vector<std::string> TableNames() const;
   size_t size() const { return tables_.size(); }
 

@@ -34,6 +34,49 @@ Status Table::AppendRow(const std::vector<Value>& values) {
   return Status::OK();
 }
 
+Status Table::AppendRows(const std::vector<std::vector<Value>>& rows) {
+  // Validation pass first (no mutation): the same rules Column::Append
+  // enforces — exact type match, except int64 widening into double columns.
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const std::vector<Value>& values = rows[r];
+    if (values.size() != columns_.size()) {
+      return Status::InvalidArgument(StringFormat(
+          "row %zu has %zu values, table %s has %zu columns", r,
+          values.size(), name_.c_str(), columns_.size()));
+    }
+    for (size_t i = 0; i < values.size(); ++i) {
+      const Value& v = values[i];
+      bool ok = false;
+      switch (columns_[i].type()) {
+        case DataType::kInt64:
+          ok = v.is_int64();
+          break;
+        case DataType::kDouble:
+          ok = v.is_double() || v.is_int64();
+          break;
+        case DataType::kString:
+          ok = v.is_string();
+          break;
+      }
+      if (!ok) {
+        return Status::TypeError(StringFormat(
+            "row %zu column %zu: type mismatch for table %s: %s", r, i,
+            name_.c_str(), v.ToString().c_str()));
+      }
+    }
+  }
+  ReserveRows(num_rows_ + rows.size());
+  for (const std::vector<Value>& values : rows) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      // Cannot fail: validated above.
+      ACQ_RETURN_IF_ERROR(columns_[i].Append(values[i]));
+    }
+    ++num_rows_;
+  }
+  stats_dirty_ = true;
+  return Status::OK();
+}
+
 void Table::ReserveRows(size_t n) {
   for (auto& c : columns_) c.Reserve(n);
 }

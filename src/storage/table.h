@@ -34,6 +34,12 @@ class Table {
   /// Appends one row; value count and types must match the schema.
   Status AppendRow(const std::vector<Value>& values);
 
+  /// Appends a batch of rows atomically: every row is type-checked against
+  /// the schema BEFORE any column is touched, so a bad row leaves the table
+  /// unchanged instead of half-appended (the live-ingestion path depends on
+  /// the all-or-nothing contract).
+  Status AppendRows(const std::vector<std::vector<Value>>& rows);
+
   /// Bulk variant of AppendRow used by generators: appends typed values with
   /// per-column fast paths. All vectors must have schema-matching types.
   void ReserveRows(size_t n);

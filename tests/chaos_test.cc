@@ -104,7 +104,9 @@ TEST(ChaosTest, ConcurrentClientsSurviveRandomFaults) {
                       "explore.parallel_merge=p:0.05;"
                       "expand.layer_alloc=p:0.05;"
                       "exec.parallel_for=p:0.05;"
-                      "index.batch_eval=p:0.05")
+                      "index.batch_eval=p:0.05;"
+                      "index.parallel_prepare=p:0.05;"
+                      "index.delta_merge=p:0.05")
                   .ok());
 
   const int iters = IterationsPerClient();
@@ -294,7 +296,9 @@ TEST(ChaosTest, StrategyFailpointsNeverChangeResults) {
   ASSERT_TRUE(registry
                   .ConfigureFromSpec(
                       "exec.parallel_for=p:0.5;index.batch_eval=p:0.5;"
-                      "explore.parallel_merge=p:0.5")
+                      "explore.parallel_merge=p:0.5;"
+                      "index.parallel_prepare=p:0.5;"
+                      "index.delta_merge=p:0.5")
                   .ok());
   Result<AcqOutcome> degraded = ProcessAcq(*planned, AcquireOptions{});
   registry.DisarmAll();
@@ -358,7 +362,9 @@ TEST(ChaosTest, CacheStaysBitExactUnderChaos) {
                       "explore.parallel_merge=p:0.05;"
                       "expand.layer_alloc=p:0.05;"
                       "exec.parallel_for=p:0.05;"
-                      "index.batch_eval=p:0.05")
+                      "index.batch_eval=p:0.05;"
+                      "index.parallel_prepare=p:0.05;"
+                      "index.delta_merge=p:0.05")
                   .ok());
 
   const int iters = IterationsPerClient();
