@@ -25,6 +25,10 @@
 //   --default-timeout-ms N deadline for SUBMITs without one (default: none)
 //   --memory-budget-bytes N  soft per-run memory budget for SUBMITs without
 //                          one; budget-stopped runs report resource_exhausted
+//   --global-memory-budget-bytes N  process-wide budget carved into
+//                          weight-proportional per-tenant shares by the
+//                          resource governor (idle shares lent to active
+//                          tenants); 0 = no memory governance
 //   --cache-bytes N        result-cache byte limit; repeat SUBMITs of a
 //                          completed task answer from the cache and
 //                          identical in-flight tasks dedup onto one run
@@ -104,6 +108,9 @@ int main(int argc, char** argv) {
       options.default_timeout_ms = std::atof(value);
     } else if (flag == "--memory-budget-bytes" && (value = next())) {
       options.default_memory_budget_bytes =
+          static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--global-memory-budget-bytes" && (value = next())) {
+      options.global_memory_budget_bytes =
           static_cast<uint64_t>(std::atoll(value));
     } else if (flag == "--cache-bytes" && (value = next())) {
       options.cache_bytes = static_cast<uint64_t>(std::atoll(value));

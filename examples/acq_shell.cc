@@ -19,6 +19,13 @@
 //   \tables                       list tables
 //   \show <table> [n]             print the first n rows (default 5)
 //   \explain <sql>                show the planned task and grid geometry
+//   \attach <id> gen <kind> [rows]  attach a tenant with its own generated
+//                                 catalog (or: \attach <id> loaddb <dir>);
+//                                 the new tenant becomes active
+//   \detach <id>                  drop an attached tenant's catalog
+//   \tenant [id]                  switch the active tenant / list tenants;
+//                                 every command (and the transcript cache)
+//                                 is scoped to the active tenant
 //   \report [i]                   per-predicate change report of answer i
 //   \materialize <i> <file>       execute answer i, write its tuples
 //   \set gamma|delta|batch|max_explored|memory_budget|cache <value>
@@ -42,6 +49,8 @@
 #include <cstdlib>
 #include <deque>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <unordered_map>
@@ -54,6 +63,7 @@
 #include "sql/binder.h"
 #include "sql/explain.h"
 #include "sql/parser.h"
+#include "server/tenant.h"
 #include "sql/printer.h"
 #include "storage/csv.h"
 #include "storage/persistence.h"
@@ -133,6 +143,8 @@ class Shell {
              "\\append <t> <v1,v2,...>, "
              "\\save <t> <f>, \\savedb <dir>, \\loaddb <dir>, \\tables, "
              "\\show <t> [n], \\explain <sql>, "
+             "\\attach <id> gen <kind> [rows] | loaddb <dir>, "
+             "\\detach <id>, \\tenant [id], "
              "\\set gamma|delta|batch|max_explored|memory_budget|cache"
              "|merge_strategy <v>, "
              "\\quit\n");
@@ -180,7 +192,7 @@ class Shell {
     if (name == "\\explain") {
       std::string sql;
       std::getline(in, sql);
-      Binder binder(&catalog_);
+      Binder binder(&catalog());
       auto task = binder.PlanSql(sql);
       if (!task.ok()) {
         Report(task.status());
@@ -189,16 +201,110 @@ class Shell {
       printf("%s", ExplainTask(*task, options_).c_str());
       return true;
     }
+    if (name == "\\attach") {
+      std::string id, mode;
+      in >> id >> mode;
+      if (id.empty() || mode.empty()) {
+        printf("usage: \\attach <id> gen <tpch|users|patients> [rows] | "
+               "\\attach <id> loaddb <dir>\n");
+        return true;
+      }
+      if (!IsValidTenantId(id) || id == TenantRegistry::kDefaultId) {
+        printf("invalid tenant id %s\n", id.c_str());
+        return true;
+      }
+      if (tenants_.count(id) != 0) {
+        printf("tenant %s is already attached\n", id.c_str());
+        return true;
+      }
+      auto attached = std::make_unique<Catalog>();
+      Status built = Status::OK();
+      if (mode == "gen") {
+        std::string kind;
+        size_t rows = 0;
+        in >> kind >> rows;
+        if (rows == 0) rows = 10000;
+        if (kind == "tpch") {
+          TpchOptions options;
+          options.lineitems = rows;
+          options.suppliers = std::max<size_t>(100, rows / 200);
+          options.parts = std::max<size_t>(200, rows / 100);
+          built = GenerateTpch(options, attached.get());
+        } else if (kind == "users") {
+          UsersOptions options;
+          options.users = rows;
+          built = GenerateUsers(options, attached.get());
+        } else if (kind == "patients") {
+          PatientsOptions options;
+          options.patients = rows;
+          built = GeneratePatients(options, attached.get());
+        } else {
+          printf("unknown generator: %s\n", kind.c_str());
+          return true;
+        }
+      } else if (mode == "loaddb") {
+        std::string dir;
+        in >> dir;
+        built = LoadCatalog(dir, attached.get());
+      } else {
+        printf("usage: \\attach <id> gen <kind> [rows] | "
+               "\\attach <id> loaddb <dir>\n");
+        return true;
+      }
+      if (!built.ok()) {
+        Report(built);
+        return true;
+      }
+      tenants_.emplace(id, std::move(attached));
+      tenant_ = id;
+      printf("attached tenant %s (now active)\n", id.c_str());
+      return true;
+    }
+    if (name == "\\detach") {
+      std::string id;
+      in >> id;
+      auto it = tenants_.find(id);
+      if (it == tenants_.end()) {
+        printf("no such tenant: %s\n", id.c_str());
+        return true;
+      }
+      tenants_.erase(it);
+      if (tenant_ == id) tenant_ = TenantRegistry::kDefaultId;
+      printf("detached tenant %s (active: %s)\n", id.c_str(),
+             tenant_.c_str());
+      return true;
+    }
+    if (name == "\\tenant") {
+      std::string id;
+      in >> id;
+      if (id.empty()) {
+        printf("active tenant: %s\n", tenant_.c_str());
+        printf("  %s (%zu tables)\n", TenantRegistry::kDefaultId,
+               default_catalog_.TableNames().size());
+        for (const auto& [tid, cat] : tenants_) {
+          printf("  %s (%zu tables)\n", tid.c_str(),
+                 cat->TableNames().size());
+        }
+        return true;
+      }
+      if (id != TenantRegistry::kDefaultId && tenants_.count(id) == 0) {
+        printf("no such tenant: %s (\\attach it first)\n", id.c_str());
+        return true;
+      }
+      tenant_ = id;
+      printf("active tenant: %s\n", tenant_.c_str());
+      return true;
+    }
     if (name == "\\savedb") {
       std::string dir;
       in >> dir;
-      Report(SaveCatalog(catalog_, dir));
+      Report(SaveCatalog(catalog(), dir));
       return true;
     }
     if (name == "\\loaddb") {
       std::string dir;
       in >> dir;
-      Report(LoadCatalog(dir, &catalog_));
+      Report(LoadCatalog(dir, &catalog()));
       return true;
     }
     if (name == "\\gen") {
@@ -211,15 +317,15 @@ class Shell {
         options.lineitems = rows;
         options.suppliers = std::max<size_t>(100, rows / 200);
         options.parts = std::max<size_t>(200, rows / 100);
-        Report(GenerateTpch(options, &catalog_));
+        Report(GenerateTpch(options, &catalog()));
       } else if (kind == "users") {
         UsersOptions options;
         options.users = rows;
-        Report(GenerateUsers(options, &catalog_));
+        Report(GenerateUsers(options, &catalog()));
       } else if (kind == "patients") {
         PatientsOptions options;
         options.patients = rows;
-        Report(GeneratePatients(options, &catalog_));
+        Report(GeneratePatients(options, &catalog()));
       } else {
         printf("unknown generator: %s\n", kind.c_str());
       }
@@ -238,7 +344,7 @@ class Shell {
         Report(loaded.status());
         return true;
       }
-      catalog_.PutTable(*loaded);
+      catalog().PutTable(*loaded);
       printf("loaded %zu rows into %s\n", (*loaded)->num_rows(),
              table.c_str());
       return true;
@@ -249,7 +355,7 @@ class Shell {
       std::string rest;
       std::getline(in, rest);
       const std::string vals(Trim(rest));
-      auto t = catalog_.GetTable(table);
+      auto t = catalog().GetTable(table);
       if (!t.ok()) {
         Report(t.status());
         return true;
@@ -283,7 +389,7 @@ class Shell {
             break;
         }
       }
-      Status appended = catalog_.AppendRows(table, {row});
+      Status appended = catalog().AppendRows(table, {row});
       if (!appended.ok()) {
         Report(appended);
         return true;
@@ -293,13 +399,13 @@ class Shell {
       // flush by hand.
       printf("appended 1 row to %s (%zu rows, generation %llu)\n",
              table.c_str(), (*t)->num_rows(),
-             static_cast<unsigned long long>(catalog_.generation()));
+             static_cast<unsigned long long>(catalog().generation()));
       return true;
     }
     if (name == "\\save") {
       std::string table, file;
       in >> table >> file;
-      auto t = catalog_.GetTable(table);
+      auto t = catalog().GetTable(table);
       if (!t.ok()) {
         Report(t.status());
         return true;
@@ -308,8 +414,8 @@ class Shell {
       return true;
     }
     if (name == "\\tables") {
-      for (const std::string& t : catalog_.TableNames()) {
-        auto table = catalog_.GetTable(t);
+      for (const std::string& t : catalog().TableNames()) {
+        auto table = catalog().GetTable(t);
         printf("  %s (%zu rows) %s\n", t.c_str(), (*table)->num_rows(),
                (*table)->schema().ToString().c_str());
       }
@@ -319,7 +425,7 @@ class Shell {
       std::string table;
       size_t n = 5;
       in >> table >> n;
-      auto t = catalog_.GetTable(table);
+      auto t = catalog().GetTable(table);
       if (!t.ok()) {
         Report(t.status());
         return true;
@@ -391,11 +497,13 @@ class Shell {
     if (cache_bytes_ == 0) return "";
     auto ast = ParseAcqSql(sql);
     if (!ast.ok()) return "";
-    Binder binder(&catalog_);
+    Binder binder(&catalog());
     auto spec = binder.BindQuery(*ast);
     if (!spec.ok()) return "";
-    auto fp = FingerprintTask(catalog_, *spec, options_);
-    return fp.ok() ? fp->ToHex() : "";
+    auto fp = FingerprintTask(catalog(), *spec, options_);
+    // Tenant-prefixed: two tenants generated with identical parameters
+    // fingerprint the same, but must never replay each other's transcript.
+    return fp.ok() ? tenant_ + "|" + fp->ToHex() : "";
   }
 
   void EvictCache() {
@@ -423,7 +531,7 @@ class Shell {
       }
     }
 
-    Binder binder(&catalog_);
+    Binder binder(&catalog());
     auto task = binder.PlanSql(sql);
     if (!task.ok()) {
       Report(task.status());
@@ -506,7 +614,18 @@ class Shell {
     }
   }
 
-  Catalog catalog_;
+  /// The active tenant's catalog. Every data/query command (\gen, \load,
+  /// \tables, SQL, ...) operates on this; \tenant switches it.
+  Catalog& catalog() {
+    auto it = tenants_.find(tenant_);
+    return it != tenants_.end() ? *it->second : default_catalog_;
+  }
+
+  Catalog default_catalog_;
+  /// \attach-ed tenants: id -> private catalog. "default" is reserved for
+  /// default_catalog_ and never appears here.
+  std::map<std::string, std::unique_ptr<Catalog>> tenants_;
+  std::string tenant_ = "default";
   AcquireOptions options_;
   std::shared_ptr<AcqTask> last_task_;
   AcquireResult last_result_;

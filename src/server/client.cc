@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/random.h"
 #include "common/string_util.h"
 
 namespace acquire {
@@ -83,16 +84,38 @@ Result<JsonValue> LineClient::CallWithRetry(const JsonValue& request,
                                             const RetryOptions& retry) {
   const int attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
   double backoff_ms = retry.initial_backoff_ms;
+  uint64_t seed = retry.jitter_seed;
+  if (seed == 0) {
+    seed = 0x9E3779B97F4A7C15ULL ^
+           (reinterpret_cast<uintptr_t>(this) + retries_);
+  }
+  Rng rng(seed);
   Result<JsonValue> last = Status::IOError("client is not connected");
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       ++retries_;
-      if (backoff_ms > 0.0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(backoff_ms));
+      double sleep_ms = backoff_ms;
+      if (retry.jitter && backoff_ms > 0.0) {
+        // Decorrelated jitter (prev-based, not attempt-based): grows like
+        // exponential backoff in expectation but two clients rejected by
+        // the same burst diverge after the first draw instead of
+        // re-colliding every round.
+        sleep_ms = std::min(
+            retry.max_backoff_ms,
+            rng.NextDouble(std::min(retry.initial_backoff_ms,
+                                    retry.max_backoff_ms),
+                           std::max(retry.initial_backoff_ms,
+                                    backoff_ms * 3.0)));
+        backoff_ms = sleep_ms;
       }
-      backoff_ms = std::min(backoff_ms * retry.backoff_multiplier,
-                            retry.max_backoff_ms);
+      if (sleep_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+      if (!retry.jitter) {
+        backoff_ms = std::min(backoff_ms * retry.backoff_multiplier,
+                              retry.max_backoff_ms);
+      }
       if (retry.reconnect && !connected() && !host_.empty()) {
         // Best effort: a failed reconnect just burns this attempt.
         if (!Connect(host_, port_).ok()) continue;

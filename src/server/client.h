@@ -22,6 +22,16 @@ struct RetryOptions {
   /// request leaves the lockstep protocol unsynchronized, so the old
   /// connection is unusable anyway).
   bool reconnect = true;
+  /// Decorrelated jitter: each sleep is drawn uniformly from
+  /// [initial_backoff_ms, 3 * previous_sleep], capped at max_backoff_ms.
+  /// Deterministic backoff synchronizes a fleet of clients rejected by the
+  /// same admission burst — they all sleep the same schedule and collide
+  /// again on every retry; jitter spreads them out. Disable only in tests
+  /// that assert exact sleep sequences (backoff_multiplier then applies).
+  bool jitter = true;
+  /// Seed for the jitter stream; 0 derives a per-call seed from the
+  /// client's address and retry count so concurrent clients decorrelate.
+  uint64_t jitter_seed = 0;
 };
 
 /// Blocking client for AcqServer's newline-delimited JSON protocol: one

@@ -113,17 +113,39 @@ bool SendAll(int fd, const std::string& data, int* error_out) {
 
 }  // namespace
 
+namespace {
+
+ResourceGovernor::Options GovernorOptions(const ServerOptions& options) {
+  ResourceGovernor::Options governor;
+  // The global slot pool matches the historical single-tenant max_running
+  // resolution, so attaching tenants shares the same process-wide
+  // concurrency instead of multiplying it.
+  governor.total_run_slots = options.max_running;
+  governor.global_memory_budget_bytes = options.global_memory_budget_bytes;
+  return governor;
+}
+
+SessionManagerOptions BaseManagerOptions(const ServerOptions& options) {
+  SessionManagerOptions manager;
+  manager.max_running = options.max_running;
+  manager.max_queued = options.max_queued;
+  manager.cache_bytes = options.cache_bytes;
+  return manager;
+}
+
+}  // namespace
+
 AcqServer::AcqServer(const Catalog* catalog, ServerOptions options)
     : options_(options),
-      manager_(catalog, SessionManagerOptions{options.max_running,
-                                              options.max_queued,
-                                              options.cache_bytes}) {}
+      governor_(GovernorOptions(options)),
+      registry_(&governor_, BaseManagerOptions(options)),
+      default_tenant_(registry_.AdoptDefault(catalog)) {}
 
 AcqServer::AcqServer(Catalog* catalog, ServerOptions options)
     : options_(options),
-      manager_(catalog, SessionManagerOptions{options.max_running,
-                                              options.max_queued,
-                                              options.cache_bytes}) {}
+      governor_(GovernorOptions(options)),
+      registry_(&governor_, BaseManagerOptions(options)),
+      default_tenant_(registry_.AdoptDefault(catalog)) {}
 
 AcqServer::~AcqServer() { Stop(); }
 
@@ -189,7 +211,12 @@ void AcqServer::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  manager_.Shutdown();
+  // Drain every tenant (connection threads are already joined, so no new
+  // submissions can race the shutdowns). Deregistration from the governor
+  // happens in the registry destructor.
+  for (const TenantPtr& tenant : registry_.List()) {
+    tenant->manager().Shutdown();
+  }
 }
 
 void AcqServer::AcceptLoop() {
@@ -308,18 +335,41 @@ JsonValue AcqServer::Dispatch(const JsonValue& request) {
   if (cmd == "SUBMIT") return HandleSubmit(request);
   if (cmd == "STATUS") return HandleStatus(request);
   if (cmd == "CANCEL") return HandleCancel(request);
-  if (cmd == "STATS") return HandleStats();
+  if (cmd == "STATS") return HandleStats(request);
   if (cmd == "FAILPOINT") return HandleFailpoint(request);
   if (cmd == "CACHE") return HandleCache(request);
   if (cmd == "APPEND") return HandleAppend(request);
+  if (cmd == "ATTACH") return HandleAttach(request);
+  if (cmd == "DETACH") return HandleDetach(request);
+  if (cmd == "TENANTS") return HandleTenants();
   return ErrorResponse(
       Status::InvalidArgument,
       StringFormat("unknown cmd '%s' "
-                   "(SUBMIT|STATUS|CANCEL|STATS|FAILPOINT|CACHE|APPEND)",
+                   "(SUBMIT|STATUS|CANCEL|STATS|FAILPOINT|CACHE|APPEND|"
+                   "ATTACH|DETACH|TENANTS)",
                    cmd.c_str()));
 }
 
+Result<TenantPtr> AcqServer::ResolveTenant(const JsonValue& request) {
+  const JsonValue* tenant = request.Get("tenant");
+  if (tenant == nullptr) return default_tenant_;
+  if (!tenant->is_string() || tenant->AsString().empty()) {
+    return Status::InvalidArgument("'tenant' must be a non-empty string");
+  }
+  return registry_.Find(tenant->AsString());
+}
+
+Result<TenantPtr> AcqServer::ResolveTenantForSession(
+    const JsonValue& request, const std::string& session_id) {
+  if (request.Get("tenant") != nullptr) return ResolveTenant(request);
+  if (TenantPtr tenant = registry_.FindBySession(session_id)) return tenant;
+  return default_tenant_;
+}
+
 JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
+  Result<TenantPtr> tenant = ResolveTenant(request);
+  if (!tenant.ok()) return ErrorResponse(tenant.status());
+  SessionManager& manager = (*tenant)->manager();
   const JsonValue* sql = request.Get("sql");
   if (sql == nullptr || !sql->is_string() || sql->AsString().empty()) {
     return ErrorResponse(Status::InvalidArgument,
@@ -411,7 +461,7 @@ JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
   const double timeout_ms =
       request.GetNumber("timeout_ms", options_.default_timeout_ms);
 
-  Result<SessionPtr> submitted = manager_.Submit(
+  Result<SessionPtr> submitted = manager.Submit(
       sql->AsString(), std::move(options), timeout_ms, backend);
   if (!submitted.ok()) return ErrorResponse(submitted.status());
   const SessionPtr& session = *submitted;
@@ -420,21 +470,30 @@ JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
 }
 
 JsonValue AcqServer::HandleStatus(const JsonValue& request) {
-  Result<SessionPtr> session = manager_.Find(request.GetString("id"));
+  const std::string id = request.GetString("id");
+  Result<TenantPtr> tenant = ResolveTenantForSession(request, id);
+  if (!tenant.ok()) return ErrorResponse(tenant.status());
+  Result<SessionPtr> session = (*tenant)->manager().Find(id);
   if (!session.ok()) return ErrorResponse(session.status());
   if (request.GetBool("wait", false)) (*session)->WaitDone();
   return SessionToJson(**session);
 }
 
 JsonValue AcqServer::HandleCancel(const JsonValue& request) {
-  Result<SessionPtr> session = manager_.Cancel(request.GetString("id"));
+  const std::string id = request.GetString("id");
+  Result<TenantPtr> tenant = ResolveTenantForSession(request, id);
+  if (!tenant.ok()) return ErrorResponse(tenant.status());
+  Result<SessionPtr> session = (*tenant)->manager().Cancel(id);
   if (!session.ok()) return ErrorResponse(session.status());
   if (request.GetBool("wait", false)) (*session)->WaitDone();
   return SessionToJson(**session);
 }
 
-JsonValue AcqServer::HandleStats() {
-  const ServerCounters counters = manager_.counters();
+JsonValue AcqServer::HandleStats(const JsonValue& request) {
+  Result<TenantPtr> resolved = ResolveTenant(request);
+  if (!resolved.ok()) return ErrorResponse(resolved.status());
+  SessionManager& manager = (*resolved)->manager();
+  const ServerCounters counters = manager.counters();
   JsonValue stats = JsonValue::Object();
   auto set = [&stats](const char* key, uint64_t value) {
     stats.Set(key, JsonValue::Number(static_cast<double>(value)));
@@ -468,15 +527,15 @@ JsonValue AcqServer::HandleStats() {
   set("delta_merges", counters.delta_merges);
   set("appends", counters.appends);
   set("append_rows", counters.append_rows);
-  set("catalog_generation", manager_.catalog().generation());
+  set("catalog_generation", manager.catalog().generation());
   stats.Set("run_ms",
             JsonValue::Number(static_cast<double>(counters.run_micros) /
                               1000.0));
-  set("running", manager_.num_running());
-  set("queued", manager_.num_queued());
+  set("running", manager.num_running());
+  set("queued", manager.num_queued());
   set("pool_threads", ThreadPool::Shared().num_threads());
   // Result-cache state (all zero while cache_bytes is 0 / disabled).
-  const ResultCacheStats cache = manager_.cache().stats();
+  const ResultCacheStats cache = manager.cache().stats();
   set("cache_hits", cache.hits);
   set("cache_misses", cache.misses);
   set("cache_inflight_joins", counters.cache_inflight_joins);
@@ -494,6 +553,13 @@ JsonValue AcqServer::HandleStats() {
   stats.Set("failpoints_enabled",
             JsonValue::Bool(FailpointRegistry::compiled_in()));
   set("failpoint_hits", FailpointRegistry::Global().TotalHits());
+  // Tenancy and governor state. "tenant" names whose counters these are;
+  // the slot/budget fields are global (shared across every tenant).
+  stats.Set("tenant", JsonValue::Str((*resolved)->id()));
+  set("tenants", registry_.size());
+  set("total_run_slots", governor_.total_slots());
+  set("used_run_slots", governor_.used_slots());
+  set("global_memory_budget_bytes", governor_.global_memory_budget_bytes());
   JsonValue out = JsonValue::Object();
   out.Set("ok", JsonValue::Bool(true));
   out.Set("stats", std::move(stats));
@@ -549,7 +615,10 @@ JsonValue AcqServer::HandleFailpoint(const JsonValue& request) {
 }
 
 JsonValue AcqServer::HandleCache(const JsonValue& request) {
-  ResultCache& cache = manager_.cache();
+  Result<TenantPtr> tenant = ResolveTenant(request);
+  if (!tenant.ok()) return ErrorResponse(tenant.status());
+  SessionManager& manager = (*tenant)->manager();
+  ResultCache& cache = manager.cache();
   if (const JsonValue* limit = request.Get("limit"); limit != nullptr) {
     if (!limit->is_number() || limit->AsDouble() < 0.0) {
       return ErrorResponse(Status::InvalidArgument,
@@ -564,9 +633,10 @@ JsonValue AcqServer::HandleCache(const JsonValue& request) {
     if (clear->AsBool()) cache.Clear();
   }
   const ResultCacheStats stats = cache.stats();
-  const ServerCounters counters = manager_.counters();
+  const ServerCounters counters = manager.counters();
   JsonValue out = JsonValue::Object();
   out.Set("ok", JsonValue::Bool(true));
+  out.Set("tenant", JsonValue::Str((*tenant)->id()));
   out.Set("enabled", JsonValue::Bool(cache.enabled()));
   JsonValue body = JsonValue::Object();
   auto set = [&body](const char* key, uint64_t value) {
@@ -587,6 +657,9 @@ JsonValue AcqServer::HandleCache(const JsonValue& request) {
 }
 
 JsonValue AcqServer::HandleAppend(const JsonValue& request) {
+  Result<TenantPtr> tenant = ResolveTenant(request);
+  if (!tenant.ok()) return ErrorResponse(tenant.status());
+  SessionManager& manager = (*tenant)->manager();
   const JsonValue* table = request.Get("table");
   if (table == nullptr || !table->is_string() || table->AsString().empty()) {
     return ErrorResponse(Status::InvalidArgument,
@@ -600,7 +673,7 @@ JsonValue AcqServer::HandleAppend(const JsonValue& request) {
   // Schema lookup for coercion only — APPEND never adds or removes tables,
   // so the name->table map is stable while serving and this read needs no
   // data lock. The append itself goes through the manager's exclusive lock.
-  Result<TablePtr> resolved = manager_.catalog().GetTable(table->AsString());
+  Result<TablePtr> resolved = manager.catalog().GetTable(table->AsString());
   if (!resolved.ok()) return ErrorResponse(resolved.status());
   const Schema& schema = (*resolved)->schema();
 
@@ -669,7 +742,7 @@ JsonValue AcqServer::HandleAppend(const JsonValue& request) {
     parsed.push_back(std::move(values));
   }
 
-  Status status = manager_.AppendRows(table->AsString(), parsed);
+  Status status = manager.AppendRows(table->AsString(), parsed);
   if (!status.ok()) return ErrorResponse(status);
   JsonValue out = JsonValue::Object();
   out.Set("ok", JsonValue::Bool(true));
@@ -680,7 +753,122 @@ JsonValue AcqServer::HandleAppend(const JsonValue& request) {
                           static_cast<double>((*resolved)->num_rows())));
   out.Set("generation",
           JsonValue::Number(
-              static_cast<double>(manager_.catalog().generation())));
+              static_cast<double>(manager.catalog().generation())));
+  return out;
+}
+
+JsonValue AcqServer::HandleAttach(const JsonValue& request) {
+  AttachParams params;
+  params.id = request.GetString("tenant");
+  params.generator = request.GetString("gen");
+  params.loaddb_dir = request.GetString("loaddb");
+  const double rows = request.GetNumber("rows", 0.0);
+  const double seed = request.GetNumber("seed", 0.0);
+  if (rows < 0.0 || seed < 0.0) {
+    return ErrorResponse(Status::InvalidArgument,
+                         "'rows' and 'seed' must be non-negative");
+  }
+  params.rows = static_cast<uint64_t>(rows);
+  params.seed = static_cast<uint64_t>(seed);
+  params.weight = request.GetNumber("weight", 1.0);
+  const double max_queued = request.GetNumber("max_queued", 0.0);
+  if (max_queued < 0.0) {
+    return ErrorResponse(Status::InvalidArgument,
+                         "'max_queued' must be non-negative");
+  }
+  params.max_queued = static_cast<size_t>(max_queued);
+  if (const JsonValue* cache_bytes = request.Get("cache_bytes");
+      cache_bytes != nullptr) {
+    if (!cache_bytes->is_number() || cache_bytes->AsDouble() < 0.0) {
+      return ErrorResponse(Status::InvalidArgument,
+                           "'cache_bytes' must be a non-negative byte count");
+    }
+    params.cache_bytes = static_cast<int64_t>(cache_bytes->AsDouble());
+  }
+  Result<TenantPtr> attached = registry_.Attach(params);
+  if (!attached.ok()) return ErrorResponse(attached.status());
+  const TenantPtr& tenant = *attached;
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("tenant", JsonValue::Str(tenant->id()));
+  out.Set("weight", JsonValue::Number(tenant->weight()));
+  JsonValue tables = JsonValue::Array();
+  for (const std::string& name :
+       tenant->manager().catalog().TableNames()) {
+    tables.Append(JsonValue::Str(name));
+  }
+  out.Set("tables", std::move(tables));
+  out.Set("generation",
+          JsonValue::Number(static_cast<double>(
+              tenant->manager().catalog().generation())));
+  return out;
+}
+
+JsonValue AcqServer::HandleDetach(const JsonValue& request) {
+  const JsonValue* tenant = request.Get("tenant");
+  if (tenant == nullptr || !tenant->is_string() ||
+      tenant->AsString().empty()) {
+    return ErrorResponse(Status::InvalidArgument,
+                         "DETACH requires a non-empty string field 'tenant'");
+  }
+  Status status = registry_.Detach(tenant->AsString());
+  if (!status.ok()) return ErrorResponse(status);
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("tenant", JsonValue::Str(tenant->AsString()));
+  return out;
+}
+
+JsonValue AcqServer::HandleTenants() {
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  JsonValue list = JsonValue::Array();
+  for (const TenantPtr& tenant : registry_.List()) {
+    SessionManager& manager = tenant->manager();
+    JsonValue entry = JsonValue::Object();
+    entry.Set("tenant", JsonValue::Str(tenant->id()));
+    entry.Set("weight", JsonValue::Number(tenant->weight()));
+    entry.Set("running", JsonValue::Number(
+                             static_cast<double>(manager.num_running())));
+    entry.Set("queued", JsonValue::Number(
+                            static_cast<double>(manager.num_queued())));
+    entry.Set("generation",
+              JsonValue::Number(static_cast<double>(
+                  manager.catalog().generation())));
+    const ServerCounters counters = manager.counters();
+    entry.Set("submitted", JsonValue::Number(
+                               static_cast<double>(counters.submitted)));
+    entry.Set("completed", JsonValue::Number(
+                               static_cast<double>(counters.completed)));
+    entry.Set("rejected", JsonValue::Number(
+                              static_cast<double>(counters.rejected)));
+    const ResultCacheStats cache = manager.cache().stats();
+    entry.Set("cache_entries",
+              JsonValue::Number(static_cast<double>(cache.entries)));
+    entry.Set("cache_bytes",
+              JsonValue::Number(static_cast<double>(cache.bytes)));
+    entry.Set("cache_limit_bytes",
+              JsonValue::Number(static_cast<double>(cache.limit_bytes)));
+    ResourceGovernor::TenantUsage usage;
+    if (governor_.Usage(&manager, &usage)) {
+      entry.Set("active_slots", JsonValue::Number(
+                                    static_cast<double>(usage.active_slots)));
+      entry.Set("slot_limit", JsonValue::Number(
+                                  static_cast<double>(usage.slot_limit)));
+      entry.Set("memory_share_bytes",
+                JsonValue::Number(
+                    static_cast<double>(usage.memory_share_bytes)));
+    }
+    list.Append(std::move(entry));
+  }
+  out.Set("tenants", std::move(list));
+  out.Set("total_run_slots",
+          JsonValue::Number(static_cast<double>(governor_.total_slots())));
+  out.Set("used_run_slots",
+          JsonValue::Number(static_cast<double>(governor_.used_slots())));
+  out.Set("global_memory_budget_bytes",
+          JsonValue::Number(static_cast<double>(
+              governor_.global_memory_budget_bytes())));
   return out;
 }
 

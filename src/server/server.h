@@ -9,6 +9,7 @@
 
 #include "server/json.h"
 #include "server/session.h"
+#include "server/tenant.h"
 
 namespace acquire {
 
@@ -38,6 +39,12 @@ struct ServerOptions {
   /// in STATS), so abandoned half-open connections cannot pin their
   /// serving threads forever. 0 disables the deadline.
   double idle_timeout_ms = 0.0;
+  /// Global memory budget carved into per-tenant soft shares by the
+  /// ResourceGovernor (weight-proportional, idle shares lent to active
+  /// tenants, split across a tenant's concurrent runs). 0 disables memory
+  /// governance; explicit per-request memory_budget_bytes are then used
+  /// as-is, and otherwise they are clamped to the carved share.
+  uint64_t global_memory_budget_bytes = 0;
 };
 
 /// TCP front end for the ACQ engine: a newline-delimited JSON protocol over
@@ -79,6 +86,26 @@ struct ServerOptions {
 ///           successful batch bumps the catalog generation, so cached
 ///           results and negative plan-cache entries from before the
 ///           append are never served afterwards.
+///   ATTACH  {"cmd":"ATTACH","tenant":"t1","gen":"users","rows":N,
+///            "seed":S, "weight":W, "cache_bytes":N, "max_queued":N} or
+///           {"cmd":"ATTACH","tenant":"t1","loaddb":"dir"} -> attaches a
+///           new tenant with its own catalog (generated, or restored from
+///           a SaveCatalog directory), session manager, admission queue
+///           and result-cache partition, registered with the global
+///           ResourceGovernor at the given fair-share weight.
+///   DETACH  {"cmd":"DETACH","tenant":"t1"} -> drains the tenant's
+///           in-flight runs through the cancellation path and removes it.
+///           The default tenant cannot be detached.
+///   TENANTS {"cmd":"TENANTS"} -> per-tenant admission/cache/governor
+///           usage plus the global slot and memory-budget state.
+///
+/// Multi-tenancy: SUBMIT, STATUS, CANCEL, STATS, CACHE and APPEND accept
+/// an optional "tenant" field routing them to that tenant's catalog and
+/// manager; absent, they address the default tenant (full wire
+/// compatibility with single-tenant clients), except STATUS/CANCEL, which
+/// first resolve the session id across all tenants ("t1-s-3" ids carry
+/// their tenant). Each tenant's result cache is a private partition —
+/// a reply can never be served across tenant ids.
 ///
 /// Failures are {"ok":false,"code":"InvalidArgument",...,"error":"..."};
 /// admission rejections use code "Unavailable" and budget-stopped runs
@@ -117,7 +144,11 @@ class AcqServer {
   /// protocol deterministically.
   std::string HandleRequestLine(const std::string& line);
 
-  SessionManager& sessions() { return manager_; }
+  /// The default tenant's manager (wire-compatible single-tenant view).
+  SessionManager& sessions() { return default_tenant_->manager(); }
+
+  TenantRegistry& tenants() { return registry_; }
+  ResourceGovernor& governor() { return governor_; }
 
  private:
   void AcceptLoop();
@@ -128,17 +159,34 @@ class AcqServer {
   /// io_errors in STATS.
   bool SendLine(int fd, const std::string& line);
 
+  /// Routes a request to its tenant: the "tenant" field when present, the
+  /// default tenant otherwise. NotFound for unknown / detached tenants.
+  Result<TenantPtr> ResolveTenant(const JsonValue& request);
+  /// STATUS/CANCEL routing: explicit "tenant" field, else resolve the
+  /// session id across every tenant, else the default tenant (whose Find
+  /// produces the NotFound the caller expects).
+  Result<TenantPtr> ResolveTenantForSession(const JsonValue& request,
+                                            const std::string& session_id);
+
   JsonValue Dispatch(const JsonValue& request);
   JsonValue HandleSubmit(const JsonValue& request);
   JsonValue HandleStatus(const JsonValue& request);
   JsonValue HandleCancel(const JsonValue& request);
-  JsonValue HandleStats();
+  JsonValue HandleStats(const JsonValue& request);
   JsonValue HandleFailpoint(const JsonValue& request);
   JsonValue HandleCache(const JsonValue& request);
   JsonValue HandleAppend(const JsonValue& request);
+  JsonValue HandleAttach(const JsonValue& request);
+  JsonValue HandleDetach(const JsonValue& request);
+  JsonValue HandleTenants();
 
   const ServerOptions options_;
-  SessionManager manager_;
+  /// Destruction order: the governor must outlive the registry (every
+  /// manager deregisters during registry teardown), so it is declared
+  /// first.
+  ResourceGovernor governor_;
+  TenantRegistry registry_;
+  TenantPtr default_tenant_;
 
   /// Connection-level hardening counters (the session-level ones live in
   /// ServerCounters); surfaced by STATS.

@@ -7,6 +7,7 @@
 #include "common/failpoint.h"
 #include "common/string_util.h"
 #include "exec/thread_pool.h"
+#include "server/tenant.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 
@@ -127,6 +128,7 @@ SessionManager::SessionManager(const Catalog* catalog,
                        ? options.max_running
                        : std::max<size_t>(
                              1, ThreadPool::Shared().num_threads() / 2)),
+      governor_(options.governor),
       cache_(options.cache_bytes) {}
 
 SessionManager::SessionManager(Catalog* catalog, SessionManagerOptions options)
@@ -135,6 +137,11 @@ SessionManager::SessionManager(Catalog* catalog, SessionManagerOptions options)
 }
 
 SessionManager::~SessionManager() { Shutdown(); }
+
+std::string SessionManager::NextIdLocked() {
+  return StringFormat("%s%llu", options_.session_prefix.c_str(),
+                      static_cast<unsigned long long>(next_id_++));
+}
 
 Status SessionManager::AppendRows(
     const std::string& table, const std::vector<std::vector<Value>>& rows) {
@@ -165,6 +172,16 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
     ++counters_.rejected;
     return Status::Unavailable(
         "injected admission rejection (failpoint server.admit)");
+  }
+  // Injected fair-share admission rejection: models the governor denying a
+  // tenant under cross-tenant pressure. Only meaningful for governed
+  // managers; the reply surfaces as a well-formed ResourceExhausted error.
+  if (governor_ != nullptr && ACQ_FAILPOINT("server.tenant_admission")) {
+    std::lock_guard<std::mutex> clock(counters_mu_);
+    ++counters_.rejected;
+    return Status::ResourceExhausted(
+        "injected tenant admission rejection "
+        "(failpoint server.tenant_admission)");
   }
 
   // The catalog-reading part of admission — negative-cache key, fingerprint
@@ -199,9 +216,7 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (shutdown_) return Status::Unavailable("session manager shut down");
-      std::string id = StringFormat(
-          "s-%llu", static_cast<unsigned long long>(next_id_++));
-      session = std::make_shared<Session>(std::move(id), std::move(sql),
+      session = std::make_shared<Session>(NextIdLocked(), std::move(sql),
                                           std::move(options));
       session->backend_ = backend;
       sessions_.emplace(session->id(), session);
@@ -229,9 +244,7 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (shutdown_) return Status::Unavailable("session manager shut down");
-        std::string id = StringFormat(
-            "s-%llu", static_cast<unsigned long long>(next_id_++));
-        session = std::make_shared<Session>(std::move(id), std::move(sql),
+        session = std::make_shared<Session>(NextIdLocked(), std::move(sql),
                                             std::move(options));
         session->backend_ = backend;
         session->fp_ = fp;
@@ -248,22 +261,38 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
     }
   }
 
+  // Governed memory carve-up: clamp this run's budget to the tenant's
+  // share before the session captures its options. Fingerprints exclude
+  // budgets, so the clamp never perturbs cache keys.
+  if (governor_ != nullptr) {
+    options.memory_budget_bytes =
+        governor_->GovernMemoryBudget(this, options.memory_budget_bytes);
+  }
+
+  // Governed slot acquisition happens before mu_ (the governor lock is
+  // taken while holding no manager lock, never the other way around) and
+  // strictly after the negative/cache-hit paths above, so cache hits keep
+  // consuming no slot. A slot granted here implies running_ < max_running_:
+  // the governor caps this manager's outstanding grants at max_running_ and
+  // only slot-holding paths increment running_.
+  bool slot = false;
+  if (governor_ != nullptr) slot = governor_->TryAcquireRunSlot(this);
+
   SessionPtr session;
   bool launch = false;
   bool joined = false;
+  bool queued = false;
+  Status reject;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return Status::Unavailable("session manager shut down");
-
-    // Identical task already in flight: join it as a follower instead of
-    // running again. Followers hold no slot and no queue entry (they are
-    // pure waiters), so they bypass the admission-full check.
-    auto inflight_it =
-        has_fp ? inflight_.find(fp) : inflight_.end();
-    if (inflight_it != inflight_.end()) {
-      std::string id = StringFormat(
-          "s-%llu", static_cast<unsigned long long>(next_id_++));
-      session = std::make_shared<Session>(std::move(id), std::move(sql),
+    if (shutdown_) {
+      reject = Status::Unavailable("session manager shut down");
+    } else if (auto inflight_it = has_fp ? inflight_.find(fp) : inflight_.end();
+               inflight_it != inflight_.end()) {
+      // Identical task already in flight: join it as a follower instead of
+      // running again. Followers hold no slot and no queue entry (they are
+      // pure waiters), so they bypass the admission-full check.
+      session = std::make_shared<Session>(NextIdLocked(), std::move(sql),
                                           std::move(options));
       session->backend_ = backend;
       session->fp_ = fp;
@@ -274,44 +303,74 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
       inflight_it->second.followers.push_back(session);
       joined = true;
     } else {
-      if (running_ >= max_running_ && queue_.size() >= options_.max_queued) {
+      const bool can_run =
+          governor_ != nullptr ? slot : running_ < max_running_;
+      if (!can_run && queue_.size() >= options_.max_queued) {
         std::lock_guard<std::mutex> clock(counters_mu_);
         ++counters_.rejected;
-        return Status::Unavailable(
+        reject = Status::Unavailable(
             StringFormat("admission queue full (%zu running, %zu queued)",
                          running_, queue_.size()));
-      }
-      std::string id = StringFormat(
-          "s-%llu", static_cast<unsigned long long>(next_id_++));
-      session = std::make_shared<Session>(std::move(id), std::move(sql),
-                                          std::move(options));
-      session->backend_ = backend;
-      if (has_fp) {
-        session->fp_ = fp;
-        session->has_fp_ = true;
-        session->fp_generation_ = fp_generation;
-        inflight_.emplace(fp, Inflight{session, {}});
-      }
-      // The deadline clock starts at admission, so queue wait counts against
-      // the caller's budget -- a request that waited out its deadline in the
-      // queue finishes immediately as kDeadlineExceeded instead of running.
-      if (timeout_ms > 0.0) session->ctx_.SetTimeoutMillis(timeout_ms);
-      sessions_.emplace(session->id(), session);
-      if (running_ < max_running_) {
-        ++running_;
-        launch = true;
       } else {
-        queue_.push_back(session);
+        session = std::make_shared<Session>(NextIdLocked(), std::move(sql),
+                                            std::move(options));
+        session->backend_ = backend;
+        if (has_fp) {
+          session->fp_ = fp;
+          session->has_fp_ = true;
+          session->fp_generation_ = fp_generation;
+          inflight_.emplace(fp, Inflight{session, {}});
+        }
+        // The deadline clock starts at admission, so queue wait counts
+        // against the caller's budget -- a request that waited out its
+        // deadline in the queue finishes immediately as kDeadlineExceeded
+        // instead of running.
+        if (timeout_ms > 0.0) session->ctx_.SetTimeoutMillis(timeout_ms);
+        sessions_.emplace(session->id(), session);
+        if (can_run) {
+          ++running_;
+          launch = true;
+        } else {
+          queue_.push_back(session);
+          queued = true;
+        }
       }
     }
   }
+  // An acquired slot that didn't launch (shutdown, follower join, or a
+  // reject — the last is impossible with a slot, but harmless) goes back to
+  // the governor, which may hand it straight to a queued tenant.
+  if (governor_ != nullptr && slot && !launch) governor_->ReleaseRunSlot(this);
+  if (!reject.ok()) return reject;
   {
     std::lock_guard<std::mutex> clock(counters_mu_);
     ++counters_.submitted;
     if (joined) ++counters_.cache_inflight_joins;
   }
-  if (launch) Launch(session);
+  if (launch) {
+    Launch(session);
+  } else if (queued && governor_ != nullptr) {
+    // Closes the enqueue/dispatch race: a slot freed between our failed
+    // TryAcquire and the push_back above would have scanned an empty queue.
+    governor_->NotifyQueued(this);
+  }
   return session;
+}
+
+bool SessionManager::DispatchOneQueued() {
+  SessionPtr session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    session = queue_.front();
+    queue_.pop_front();
+    ++running_;
+  }
+  // During shutdown the session still launches: its runner observes the
+  // cancel request immediately and publishes kCancelled, which is exactly
+  // how queued sessions drain (Shutdown waits for running_ to hit zero).
+  Launch(std::move(session));
+  return true;
 }
 
 bool SessionManager::ComputeFingerprint(const std::string& sql,
@@ -389,6 +448,45 @@ void SessionManager::ResolveInflightLocked(const SessionPtr& session,
   *cancel = std::move(followers);
 }
 
+void SessionManager::FinishSlot(const SessionPtr& session,
+                                const CachedResultPtr& cached,
+                                SessionPtr* next,
+                                std::vector<SessionPtr>* serve,
+                                std::vector<SessionPtr>* cancel) {
+  bool release_slot = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionPtr promoted;
+    ResolveInflightLocked(session, cached, &promoted, serve, cancel);
+    if (promoted != nullptr) {
+      // A promoted follower inherits the slot (manager-local and, under a
+      // governor, the governor grant) — it has waited at least as long as
+      // anything queued anywhere.
+      *next = std::move(promoted);
+    } else if (governor_ == nullptr && !queue_.empty()) {
+      *next = queue_.front();
+      queue_.pop_front();
+    } else if (governor_ == nullptr) {
+      --running_;
+      idle_cv_.notify_all();
+    } else {
+      release_slot = true;
+    }
+  }
+  if (release_slot) {
+    // Governed: hand the slot back first — the governor's dispatch may
+    // deal it to any tenant's queue (including this one) — and only then
+    // decrement running_. Shutdown (and therefore manager destruction)
+    // waits on running_ == 0, so the governor call lands strictly before
+    // teardown can begin; after the decrement only sessions may be
+    // touched.
+    governor_->ReleaseRunSlot(this);
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    idle_cv_.notify_all();
+  }
+}
+
 Result<SessionPtr> SessionManager::Find(const std::string& id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(id);
@@ -437,6 +535,10 @@ void SessionManager::Shutdown() {
     for (const auto& [id, session] : sessions_) to_cancel.push_back(session);
   }
   for (const SessionPtr& session : to_cancel) session->RequestCancel();
+  // Governed managers drain their queue through governor dispatch (each
+  // dispatched session observes its cancel immediately). Nudge once in
+  // case every slot was idle when the last request queued.
+  if (governor_ != nullptr) governor_->NotifyQueued(this);
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
 }
@@ -473,25 +575,11 @@ void SessionManager::Launch(SessionPtr session) {
       ++counters_.failed;
     }
     SessionPtr next;
+    std::vector<SessionPtr> serve_unused;
     std::vector<SessionPtr> cancel_followers;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      // A failed leader must not strand its followers: promote one onto
-      // this slot (it becomes `next`) or, on shutdown, cancel them.
-      SessionPtr promoted;
-      std::vector<SessionPtr> serve_unused;
-      ResolveInflightLocked(session, nullptr, &promoted, &serve_unused,
-                            &cancel_followers);
-      if (promoted != nullptr) {
-        next = std::move(promoted);
-      } else if (!queue_.empty()) {
-        next = queue_.front();
-        queue_.pop_front();
-      } else {
-        --running_;
-        idle_cv_.notify_all();
-      }
-    }
+    // A failed leader must not strand its followers: promote one onto
+    // this slot (it becomes `next`) or, on shutdown, cancel them.
+    FinishSlot(session, nullptr, &next, &serve_unused, &cancel_followers);
     // After releasing the slot, Shutdown may destroy the manager: only
     // sessions may be touched past this point on the next == nullptr path.
     {
@@ -676,28 +764,13 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
 
   // Slot bookkeeping before the terminal publish: a waiter released by the
   // notify below must see the slot already handed to the next queued
-  // session or released in num_running()/num_queued(). A promoted follower
-  // (the leader didn't complete) takes priority over the queue — it has
-  // been waiting at least as long as anything queued. The idle_cv_ notify
-  // can let Shutdown (and the manager destructor) proceed, so from here on
-  // only sessions themselves may be touched.
+  // session (or the governor) or released in num_running()/num_queued().
+  // The idle_cv_ notify inside FinishSlot can let Shutdown (and the
+  // manager destructor) proceed, so from here on only sessions themselves
+  // may be touched.
   std::vector<SessionPtr> serve_followers;
   std::vector<SessionPtr> cancel_followers;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    SessionPtr promoted;
-    ResolveInflightLocked(session, cached, &promoted, &serve_followers,
-                          &cancel_followers);
-    if (promoted != nullptr) {
-      *next = std::move(promoted);
-    } else if (!queue_.empty()) {
-      *next = queue_.front();
-      queue_.pop_front();
-    } else {
-      --running_;
-      idle_cv_.notify_all();
-    }
-  }
+  FinishSlot(session, cached, next, &serve_followers, &cancel_followers);
 
   {
     std::lock_guard<std::mutex> lock(session->mu_);

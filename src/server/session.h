@@ -149,6 +149,8 @@ struct ServerCounters {
   uint64_t append_rows = 0;
 };
 
+class ResourceGovernor;
+
 struct SessionManagerOptions {
   /// Runs executing concurrently on the shared thread pool. 0 sizes to
   /// half the pool (at least 1): each run fans its own layer batches out
@@ -162,6 +164,18 @@ struct SessionManagerOptions {
   /// the in-flight deduplication of identical tasks, preserving the
   /// pre-cache serving behavior exactly.
   uint64_t cache_bytes = 0;
+  /// Session-id prefix ("s-" yields the historical ids; tenants use
+  /// "<tenant>-s-"), so ids stay unique — and routable — across managers.
+  std::string session_prefix = "s-";
+  /// When set, run slots are granted by this governor (global fair-share
+  /// across all managers registered with it) instead of the local
+  /// running_ < max_running check, queued sessions are dispatched by its
+  /// weighted schedule rather than pulled directly by the finishing
+  /// runner, and per-run memory budgets are clamped to the tenant's carved
+  /// share. The governor must outlive the manager and the manager must be
+  /// Register()ed before serving. Null (the default) preserves the
+  /// standalone single-manager behavior exactly.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Binds sessions against a shared Catalog and schedules them
@@ -224,6 +238,17 @@ class SessionManager {
   ServerCounters counters() const;
   size_t num_running() const;
   size_t num_queued() const;
+  /// The resolved concurrent-run bound (options.max_running with 0
+  /// expanded to half the pool); under a governor this also caps the
+  /// tenant's share of the global slots.
+  size_t max_running() const { return max_running_; }
+
+  /// Governed dispatch (called by the ResourceGovernor only, never with
+  /// the governor lock held): launches the oldest queued session on the
+  /// slot the governor just granted. False when the queue is empty — the
+  /// caller rolls the tentative grant back. Must not be called while any
+  /// lock of this manager is held.
+  bool DispatchOneQueued();
 
   /// Appends `rows` to `table` atomically under the exclusive data lock:
   /// no fingerprint is computed and no run plans/executes while the catalog
@@ -248,6 +273,9 @@ class SessionManager {
     SessionPtr leader;
     std::vector<SessionPtr> followers;
   };
+
+  /// Requires mu_. Mints the next session id under options_.session_prefix.
+  std::string NextIdLocked();
 
   /// Parses/binds `sql` and fingerprints the task. False (leaving *fp
   /// untouched) when the SQL does not parse/bind or the task is
@@ -285,11 +313,26 @@ class SessionManager {
   /// slot already accounted for in num_running()/num_queued().
   void RunSession(const SessionPtr& session, SessionPtr* next);
 
+  /// Hands the slot bookkeeping of a finishing (or enqueue-failed) runner
+  /// to the next owner: a promoted follower wins the slot directly;
+  /// otherwise an ungoverned manager pulls its own queue head or releases
+  /// the slot, while a governed one returns the slot to the governor —
+  /// which re-dispatches across every tenant — and then decrements
+  /// running_. Takes mu_ (and, governed, calls the governor, so mu_ must
+  /// not be held on entry). After it returns with *next == nullptr the
+  /// manager may be destroyed by Shutdown: callers may touch only
+  /// sessions past that point.
+  void FinishSlot(const SessionPtr& session, const CachedResultPtr& cached,
+                  SessionPtr* next, std::vector<SessionPtr>* serve,
+                  std::vector<SessionPtr>* cancel);
+
   const Catalog* catalog_;
   /// Non-null only via the mutable-catalog constructor; aliases catalog_.
   Catalog* mutable_catalog_ = nullptr;
   const SessionManagerOptions options_;
   const size_t max_running_;
+  /// Aliases options_.governor; null = standalone (ungoverned) manager.
+  ResourceGovernor* const governor_;
 
   /// Reader/writer gate between catalog readers and AppendRows. Shared:
   /// Submit's fingerprint/negative-lookup section and RunSession's

@@ -472,5 +472,209 @@ TEST(ChaosTest, FailedOrTruncatedRunsAreNeverCached) {
   EXPECT_EQ(CacheStat(&server, "cache_entries"), 1.0);
 }
 
+// Administrative verbs (ATTACH/DETACH/APPEND/...) carry no session state;
+// their well-formedness contract is just the ok/code/error envelope.
+void ExpectWellFormedVerb(const JsonValue& response) {
+  ASSERT_TRUE(response.is_object()) << response.Dump();
+  if (!response.GetBool("ok", false)) {
+    EXPECT_FALSE(response.GetString("code").empty()) << response.Dump();
+    EXPECT_FALSE(response.GetString("error").empty()) << response.Dump();
+  }
+}
+
+// Multi-tenant chaos: three long-lived tenants (default + two attached)
+// serve concurrent SUBMITs and live APPENDs while a churn thread
+// attaches/detaches a fourth tenant in a loop and the tenant-admission
+// failpoint randomly rejects. The contract: every reply is well-formed
+// (rejections carry ResourceExhausted/Unavailable/NotFound codes), the
+// server survives, and afterwards the surviving attached tenants — whose
+// catalogs were never appended to — still serve bit-identical to a direct
+// ProcessAcq over an identically-generated catalog.
+TEST(ChaosTest, MultiTenantChurnSurvivesAndStaysBitExact) {
+  if (!FailpointRegistry::compiled_in()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  auto& registry = FailpointRegistry::Global();
+  registry.DisarmAll();
+
+  // Private mutable catalog: the default tenant absorbs live APPENDs, so
+  // the suite-shared read-only catalog must not be used here.
+  Catalog mutable_catalog;
+  {
+    UsersOptions options;
+    options.users = 2000;
+    ASSERT_TRUE(GenerateUsers(options, &mutable_catalog).ok());
+  }
+  ServerOptions options;
+  options.max_running = 2;
+  options.max_queued = 8;
+  AcqServer server(&mutable_catalog, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto attach = [&server](const std::string& id, size_t rows) {
+    JsonValue request = JsonValue::Object();
+    request.Set("cmd", JsonValue::Str("ATTACH"));
+    request.Set("tenant", JsonValue::Str(id));
+    request.Set("gen", JsonValue::Str("users"));
+    request.Set("rows", JsonValue::Number(static_cast<double>(rows)));
+    return JsonValue::Parse(server.HandleRequestLine(request.Dump()));
+  };
+  Result<JsonValue> t1 = attach("t1", 1500);
+  ASSERT_TRUE(t1.ok() && t1->GetBool("ok", false)) << t1.ok();
+  Result<JsonValue> t2 = attach("t2", 1000);
+  ASSERT_TRUE(t2.ok() && t2->GetBool("ok", false)) << t2.ok();
+
+  ASSERT_TRUE(
+      registry.Configure("server.tenant_admission", "p:0.1").ok());
+
+  const int iters = IterationsPerClient();
+  const char* targets[] = {"", "t1", "t2"};
+  std::atomic<int> well_formed{0};
+  std::atomic<int> admission_rejected{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < 3; ++c) {
+    workers.emplace_back([&, c] {
+      LineClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+      RetryOptions retry;
+      retry.max_attempts = 4;
+      retry.initial_backoff_ms = 1.0;
+      retry.max_backoff_ms = 20.0;
+      for (int i = 0; i < iters; ++i) {
+        JsonValue request = JsonValue::Object();
+        request.Set("cmd", JsonValue::Str("SUBMIT"));
+        request.Set("sql", JsonValue::Str(ChaosSql(c, i)));
+        request.Set("wait", JsonValue::Bool(true));
+        request.Set("timeout_ms", JsonValue::Number(30000.0));
+        const char* tenant = targets[(c + i) % 3];
+        if (tenant[0] != '\0') {
+          request.Set("tenant", JsonValue::Str(tenant));
+        }
+        Result<JsonValue> response = client.CallWithRetry(request, retry);
+        if (!response.ok()) continue;
+        ExpectWellFormed(*response);
+        if (!response->GetBool("ok", false)) {
+          const std::string code = response->GetString("code");
+          EXPECT_TRUE(code == "ResourceExhausted" || code == "Unavailable" ||
+                      code == "NotFound")
+              << response->Dump();
+          if (code == "ResourceExhausted") {
+            admission_rejected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        well_formed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Live ingestion into the default tenant only: the attached tenants'
+  // catalogs must stay pristine for the bit-identity check below.
+  workers.emplace_back([&] {
+    LineClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+    for (int i = 0; i < iters; ++i) {
+      JsonValue request = JsonValue::Object();
+      request.Set("cmd", JsonValue::Str("APPEND"));
+      request.Set("table", JsonValue::Str("users"));
+      JsonValue rows = JsonValue::Array();
+      JsonValue row = JsonValue::Array();
+      row.Append(JsonValue::Number(1000000 + i));  // user_id
+      row.Append(JsonValue::Number(30));           // age
+      row.Append(JsonValue::Number(60000.0));      // income
+      row.Append(JsonValue::Number(0.5));          // engagement
+      row.Append(JsonValue::Number(100));          // account_age_days
+      row.Append(JsonValue::Str("chaosville"));    // city
+      row.Append(JsonValue::Str("x"));             // gender
+      row.Append(JsonValue::Str("phd"));           // education
+      row.Append(JsonValue::Str("chaos"));         // interest
+      rows.Append(std::move(row));
+      request.Set("rows", std::move(rows));
+      Result<JsonValue> response = client.CallWithRetry(request);
+      if (response.ok()) ExpectWellFormedVerb(*response);
+    }
+  });
+  // Attach/detach churn: a short-lived tenant cycles while the others
+  // serve; SUBMITs racing its DETACH may see NotFound/Unavailable.
+  workers.emplace_back([&] {
+    LineClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+    for (int i = 0; i < iters / 2 + 1; ++i) {
+      Result<JsonValue> attached = attach("churn", 300);
+      if (attached.ok()) ExpectWellFormedVerb(*attached);
+      JsonValue submit = JsonValue::Object();
+      submit.Set("cmd", JsonValue::Str("SUBMIT"));
+      submit.Set("sql", JsonValue::Str(ChaosSql(1, i)));
+      submit.Set("tenant", JsonValue::Str("churn"));
+      submit.Set("wait", JsonValue::Bool(true));
+      submit.Set("timeout_ms", JsonValue::Number(30000.0));
+      Result<JsonValue> ran = client.Call(submit);
+      if (ran.ok()) ExpectWellFormed(*ran);
+      Result<JsonValue> detached = JsonValue::Parse(server.HandleRequestLine(
+          "{\"cmd\":\"DETACH\",\"tenant\":\"churn\"}"));
+      if (detached.ok()) ExpectWellFormedVerb(*detached);
+    }
+  });
+  for (std::thread& worker : workers) worker.join();
+  registry.DisarmAll();
+  EXPECT_GT(well_formed.load(), 0);
+
+  // Survivor bit-identity: each attached tenant still answers exactly like
+  // a direct run over a catalog generated with its ATTACH parameters.
+  struct Survivor {
+    const char* tenant;
+    size_t rows;
+  };
+  for (const Survivor& survivor : {Survivor{"t1", 1500},
+                                   Survivor{"t2", 1000}}) {
+    Catalog replica;
+    UsersOptions gen;
+    gen.users = survivor.rows;
+    ASSERT_TRUE(GenerateUsers(gen, &replica).ok());
+    const std::string sql = ChaosSql(0, 0);
+    Binder binder(&replica);
+    Result<AcqTask> planned = binder.PlanSql(sql);
+    ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+    auto task = std::make_shared<AcqTask>(std::move(*planned));
+    Result<AcqOutcome> direct = ProcessAcq(*task, AcquireOptions{});
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+    JsonValue request = JsonValue::Object();
+    request.Set("cmd", JsonValue::Str("SUBMIT"));
+    request.Set("sql", JsonValue::Str(sql));
+    request.Set("tenant", JsonValue::Str(survivor.tenant));
+    request.Set("wait", JsonValue::Bool(true));
+    JsonValue served =
+        *JsonValue::Parse(server.HandleRequestLine(request.Dump()));
+    ASSERT_TRUE(served.GetBool("ok", false)) << served.Dump();
+    ASSERT_EQ(served.GetString("state"), "done") << served.Dump();
+    const JsonValue* report = served.Get("report");
+    ASSERT_NE(report, nullptr);
+    EXPECT_EQ(report->GetString("mode"), AcqModeToString(direct->mode));
+    EXPECT_EQ(report->GetString("termination"),
+              RunTerminationToString(direct->result.termination));
+    EXPECT_EQ(report->GetNumber("original_aggregate", -1.0),
+              direct->original_aggregate);
+    const AcqTask& display_task = direct->mode == AcqMode::kContracted
+                                      ? *direct->contraction_task
+                                      : *task;
+    const JsonValue* answers = report->Get("answers");
+    ASSERT_NE(answers, nullptr);
+    ASSERT_EQ(answers->size(), direct->result.queries.size());
+    for (size_t i = 0; i < direct->result.queries.size(); ++i) {
+      const RefinedQuery& expected = direct->result.queries[i];
+      const JsonValue& got = answers->AsArray()[i];
+      EXPECT_EQ(got.GetString("sql"),
+                RenderRefinedSql(display_task, expected));
+      EXPECT_EQ(got.GetNumber("aggregate", -1.0), expected.aggregate);
+      EXPECT_EQ(got.GetNumber("qscore", -1.0), expected.qscore);
+      EXPECT_EQ(got.GetNumber("error", -1.0), expected.error);
+    }
+  }
+
+  server.Stop();
+  for (const TenantPtr& tenant : server.tenants().List()) {
+    EXPECT_EQ(tenant->manager().num_running(), 0u) << tenant->id();
+  }
+}
+
 }  // namespace
 }  // namespace acquire

@@ -598,6 +598,83 @@ TEST(ClientTest, RetriesUnavailableUntilAdmitted) {
   server.Stop();
 }
 
+// Decorrelated retry jitter: backoff sleeps are randomized within
+// [initial, 3*previous] capped at max_backoff_ms, so a fleet of clients
+// rejected by the same admission burst doesn't re-collide on a shared
+// deterministic schedule. The total sleep across attempts is therefore
+// bounded: at least one initial backoff, at most attempts*max (plus
+// call overhead), both of which this test pins with wide margins.
+TEST(ClientTest, JitteredBackoffStaysWithinConfiguredBounds) {
+  if (!FailpointRegistry::compiled_in()) GTEST_SKIP();
+  AcqServer server(SharedCatalog());
+  ASSERT_TRUE(server.Start().ok());
+  // Every attempt is rejected: the call exhausts max_attempts, sleeping
+  // between each, and returns the final Unavailable reply.
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .Configure("server.admit", "count:100")
+                  .ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(
+                         "SELECT * FROM users CONSTRAINT COUNT(*) >= 1 "
+                         "WHERE age <= 40"));
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.initial_backoff_ms = 4.0;
+  retry.max_backoff_ms = 40.0;
+  retry.jitter_seed = 12345;  // deterministic draw for the test
+  const auto start = std::chrono::steady_clock::now();
+  auto response = client.CallWithRetry(request, retry);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->GetString("code"), "Unavailable") << response->Dump();
+  EXPECT_EQ(client.retries(), 4u);
+  // 4 sleeps, each in [4ms, 40ms]: the floor proves sleeping happened at
+  // all, the ceiling (with slack for 5 round trips) proves the cap held.
+  EXPECT_GE(elapsed_ms, 4.0);
+  EXPECT_LE(elapsed_ms, 4 * 40.0 + 2000.0);
+  FailpointRegistry::Global().DisarmAll();
+  client.Close();
+  server.Stop();
+}
+
+// jitter=false preserves the historical deterministic schedule for tests
+// and tools that rely on exact sleep sequences; the retry loop still
+// recovers from admission rejections either way.
+TEST(ClientTest, JitterDisabledStillRetriesDeterministically) {
+  if (!FailpointRegistry::compiled_in()) GTEST_SKIP();
+  AcqServer server(SharedCatalog());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .Configure("server.admit", "count:2")
+                  .ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(
+                         "SELECT * FROM users CONSTRAINT COUNT(*) >= 1 "
+                         "WHERE age <= 40"));
+  request.Set("wait", JsonValue::Bool(true));
+  RetryOptions retry;
+  retry.jitter = false;
+  retry.initial_backoff_ms = 1.0;
+  retry.max_backoff_ms = 8.0;
+  auto response = client.CallWithRetry(request, retry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->GetBool("ok", false)) << response->Dump();
+  EXPECT_EQ(response->GetString("state"), "done");
+  EXPECT_GE(client.retries(), 2u);
+  FailpointRegistry::Global().DisarmAll();
+  client.Close();
+  server.Stop();
+}
+
 // The wire reply minus the outer session "id" — the only field replies for
 // the same task may differ in when the result cache serves them.
 std::string DumpWithoutId(const JsonValue& response) {

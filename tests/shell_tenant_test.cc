@@ -1,0 +1,113 @@
+// Transcript-replay coverage for acq_shell's tenant commands: a scripted
+// session attaches tenants, switches between them, and verifies that the
+// shell's transcript cache is scoped per tenant (a query cached under one
+// tenant is never replayed for another).
+//
+// Drives the real binary over a pipe. ACQ_SHELL_BIN overrides the path
+// (CI sets it); the default assumes ctest's working directory build/tests.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace acquire {
+namespace {
+
+std::string ShellBinary() {
+  if (const char* env = std::getenv("ACQ_SHELL_BIN")) return env;
+  return "../examples/acq_shell";
+}
+
+// Runs the shell with `script` on stdin; returns its stdout, or "" when the
+// binary cannot be launched (callers skip).
+std::string RunShell(const std::string& script, int* exit_code) {
+  const std::string command =
+      ShellBinary() + " 2>/dev/null <<'ACQ_EOF'\n" + script + "ACQ_EOF\n";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return "";
+  std::string out;
+  char chunk[4096];
+  size_t n;
+  while ((n = fread(chunk, 1, sizeof(chunk), pipe)) > 0) out.append(chunk, n);
+  *exit_code = pclose(pipe);
+  return out;
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ShellTenantTest, TenantScopedTranscriptCacheAndSwitching) {
+  const std::string sql =
+      "SELECT * FROM users CONSTRAINT COUNT(*) >= 40 "
+      "WHERE age <= 30 AND income >= 50000;";
+  const std::string script =
+      "\\set cache 1000000\n"
+      "\\gen users 400\n" +
+      sql + "\n" +   // fresh run on default, seeds default's cache
+      sql + "\n" +   // replayed: "(cached)"
+      "\\attach t1 gen users 400\n" +
+      sql + "\n" +   // identical catalog, but tenant t1: must run fresh
+      sql + "\n" +   // now cached under t1
+      "\\tenant default\n" +
+      sql + "\n" +   // still cached under default
+      "\\detach t1\n"
+      "\\tenant\n"
+      "\\quit\n";
+  int exit_code = -1;
+  const std::string out = RunShell(script, &exit_code);
+  if (out.empty()) {
+    GTEST_SKIP() << "could not launch " << ShellBinary()
+                 << " (set ACQ_SHELL_BIN)";
+  }
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_NE(out.find("attached tenant t1 (now active)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("detached tenant t1 (active: default)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("active tenant: default"), std::string::npos) << out;
+  // Five submissions; exactly three replay from the cache (one under
+  // default before the attach, one under t1, one under default after
+  // switching back). The t1 run after the attach must NOT have replayed
+  // default's transcript even though the catalogs are identical.
+  EXPECT_EQ(CountOccurrences(out, "(cached)"), 3u) << out;
+  // Both fresh runs printed a full transcript (answer footer present).
+  EXPECT_EQ(CountOccurrences(out, "answers,"), 5u) << out;
+}
+
+TEST(ShellTenantTest, DetachFallsBackToDefaultAndRejectsUnknown) {
+  const std::string script =
+      "\\gen users 200\n"
+      "\\attach t9 gen users 100\n"
+      "\\tenant nosuch\n"
+      "\\detach t9\n"
+      "\\detach t9\n"
+      "\\tables\n"
+      "\\quit\n";
+  int exit_code = -1;
+  const std::string out = RunShell(script, &exit_code);
+  if (out.empty()) {
+    GTEST_SKIP() << "could not launch " << ShellBinary()
+                 << " (set ACQ_SHELL_BIN)";
+  }
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_NE(out.find("no such tenant: nosuch"), std::string::npos) << out;
+  EXPECT_NE(out.find("detached tenant t9 (active: default)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("no such tenant: t9"), std::string::npos) << out;
+  // Back on the default tenant's 200-row catalog.
+  EXPECT_NE(out.find("users (200 rows)"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace acquire

@@ -1,0 +1,359 @@
+// Multi-tenant serving: the ATTACH/DETACH/TENANTS verbs, per-tenant
+// routing of SUBMIT/STATUS/STATS/CACHE, wire compatibility for clients
+// that never mention tenants, the governor's fair-share admission, and —
+// the core isolation guarantee — that a result-cache partition can never
+// serve a reply across tenant ids.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+#include "server/server.h"
+#include "workload/users_gen.h"
+
+namespace acquire {
+namespace {
+
+Catalog* SharedCatalog() {
+  static Catalog* catalog = [] {
+    auto* c = new Catalog();
+    UsersOptions options;
+    options.users = 2000;
+    EXPECT_TRUE(GenerateUsers(options, c).ok());
+    return c;
+  }();
+  return catalog;
+}
+
+JsonValue MustParse(const std::string& line) {
+  Result<JsonValue> parsed = JsonValue::Parse(line);
+  EXPECT_TRUE(parsed.ok()) << line;
+  return parsed.ok() ? *parsed : JsonValue::Null();
+}
+
+// A fast, satisfiable ACQ against the users generator.
+const char kSql[] =
+    "SELECT * FROM users CONSTRAINT COUNT(*) >= 150 "
+    "WHERE age <= 28 AND income >= 55000";
+
+std::string Submit(const std::string& tenant, const char* sql = kSql) {
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(sql));
+  request.Set("wait", JsonValue::Bool(true));
+  if (!tenant.empty()) request.Set("tenant", JsonValue::Str(tenant));
+  return request.Dump();
+}
+
+std::string Attach(const std::string& id, size_t rows, double weight = 1.0) {
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("ATTACH"));
+  request.Set("tenant", JsonValue::Str(id));
+  request.Set("gen", JsonValue::Str("users"));
+  request.Set("rows", JsonValue::Number(static_cast<double>(rows)));
+  request.Set("weight", JsonValue::Number(weight));
+  return request.Dump();
+}
+
+double TenantStat(AcqServer* server, const std::string& tenant,
+                  const char* field) {
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("STATS"));
+  if (!tenant.empty()) request.Set("tenant", JsonValue::Str(tenant));
+  JsonValue stats = MustParse(server->HandleRequestLine(request.Dump()));
+  EXPECT_TRUE(stats.GetBool("ok", false)) << stats.Dump();
+  const JsonValue* body = stats.Get("stats");
+  return body != nullptr ? body->GetNumber(field, -1.0) : -1.0;
+}
+
+TEST(TenantProtocolTest, AttachDetachTenantsVerbs) {
+  AcqServer server(SharedCatalog());
+  JsonValue attached = MustParse(server.HandleRequestLine(Attach("t1", 500)));
+  ASSERT_TRUE(attached.GetBool("ok", false)) << attached.Dump();
+  EXPECT_EQ(attached.GetString("tenant"), "t1");
+  const JsonValue* tables = attached.Get("tables");
+  ASSERT_NE(tables, nullptr);
+  ASSERT_EQ(tables->size(), 1u);
+  EXPECT_EQ(tables->AsArray()[0].AsString(), "users");
+
+  // Duplicate ids, malformed ids and the reserved default id all reject.
+  JsonValue duplicate = MustParse(server.HandleRequestLine(Attach("t1", 500)));
+  EXPECT_FALSE(duplicate.GetBool("ok", true));
+  EXPECT_EQ(duplicate.GetString("code"), "AlreadyExists");
+  JsonValue bad_id =
+      MustParse(server.HandleRequestLine(Attach("no/slash", 500)));
+  EXPECT_FALSE(bad_id.GetBool("ok", true));
+  EXPECT_EQ(bad_id.GetString("code"), "InvalidArgument");
+  JsonValue reserved =
+      MustParse(server.HandleRequestLine(Attach("default", 500)));
+  EXPECT_FALSE(reserved.GetBool("ok", true));
+
+  JsonValue listing =
+      MustParse(server.HandleRequestLine("{\"cmd\":\"TENANTS\"}"));
+  ASSERT_TRUE(listing.GetBool("ok", false)) << listing.Dump();
+  const JsonValue* tenants = listing.Get("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_EQ(tenants->size(), 2u);
+  bool saw_default = false, saw_t1 = false;
+  for (const JsonValue& entry : tenants->AsArray()) {
+    const std::string id = entry.GetString("tenant");
+    saw_default |= id == "default";
+    saw_t1 |= id == "t1";
+    EXPECT_GE(entry.GetNumber("slot_limit", -1.0), 1.0) << entry.Dump();
+  }
+  EXPECT_TRUE(saw_default && saw_t1);
+  EXPECT_GE(listing.GetNumber("total_run_slots", -1.0), 1.0);
+
+  // The default tenant cannot be detached; unknown ids are NotFound.
+  JsonValue detach_default = MustParse(
+      server.HandleRequestLine("{\"cmd\":\"DETACH\",\"tenant\":\"default\"}"));
+  EXPECT_FALSE(detach_default.GetBool("ok", true));
+  EXPECT_EQ(detach_default.GetString("code"), "InvalidArgument");
+  JsonValue detach_unknown = MustParse(
+      server.HandleRequestLine("{\"cmd\":\"DETACH\",\"tenant\":\"nope\"}"));
+  EXPECT_EQ(detach_unknown.GetString("code"), "NotFound");
+
+  JsonValue detached = MustParse(
+      server.HandleRequestLine("{\"cmd\":\"DETACH\",\"tenant\":\"t1\"}"));
+  ASSERT_TRUE(detached.GetBool("ok", false)) << detached.Dump();
+  JsonValue after = MustParse(server.HandleRequestLine("{\"cmd\":\"TENANTS\"}"));
+  EXPECT_EQ(after.Get("tenants")->size(), 1u);
+
+  // Requests routed at the detached tenant now NotFound.
+  JsonValue gone = MustParse(server.HandleRequestLine(Submit("t1")));
+  EXPECT_EQ(gone.GetString("code"), "NotFound");
+}
+
+TEST(TenantTest, DefaultTenantKeepsSingleTenantWireFormat) {
+  AcqServer server(SharedCatalog());
+  JsonValue response = MustParse(server.HandleRequestLine(Submit("")));
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  // Historical bare session ids, found by tenant-less STATUS.
+  EXPECT_EQ(response.GetString("id"), "s-1");
+  JsonValue status = MustParse(server.HandleRequestLine(
+      StringFormat("{\"cmd\":\"STATUS\",\"id\":\"%s\"}",
+                   response.GetString("id").c_str())));
+  EXPECT_TRUE(status.GetBool("ok", false)) << status.Dump();
+  EXPECT_EQ(status.GetString("state"), "done");
+  EXPECT_EQ(TenantStat(&server, "", "completed"), 1.0);
+}
+
+TEST(TenantTest, SessionIdsCarryTenantAndRouteWithoutTenantField) {
+  AcqServer server(SharedCatalog());
+  ASSERT_TRUE(MustParse(server.HandleRequestLine(Attach("t1", 800)))
+                  .GetBool("ok", false));
+  JsonValue response = MustParse(server.HandleRequestLine(Submit("t1")));
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  const std::string id = response.GetString("id");
+  EXPECT_EQ(id.rfind("t1-s-", 0), 0u) << id;
+  // STATUS without a tenant field resolves the id across tenants.
+  JsonValue status = MustParse(server.HandleRequestLine(
+      StringFormat("{\"cmd\":\"STATUS\",\"id\":\"%s\"}", id.c_str())));
+  EXPECT_TRUE(status.GetBool("ok", false)) << status.Dump();
+  // Per-tenant counters: the run landed on t1, not on default.
+  EXPECT_EQ(TenantStat(&server, "t1", "completed"), 1.0);
+  EXPECT_EQ(TenantStat(&server, "", "completed"), 0.0);
+  EXPECT_EQ(TenantStat(&server, "t1", "tenants"), 2.0);
+}
+
+std::string DumpModuloSessionAndTiming(const JsonValue& response) {
+  JsonValue out = JsonValue::Object();
+  for (const auto& [key, value] : response.Members()) {
+    if (key == "id") continue;
+    if (key == "report") {
+      JsonValue report = JsonValue::Object();
+      for (const auto& [rkey, rvalue] : value.Members()) {
+        if (rkey == "elapsed_ms" || rkey == "wall_ms") continue;
+        report.Set(rkey, JsonValue(rvalue));
+      }
+      out.Set("report", std::move(report));
+      continue;
+    }
+    out.Set(key, JsonValue(value));
+  }
+  return out.Dump();
+}
+
+TEST(TenantTest, CachePartitionsNeverServeAcrossTenants) {
+  ServerOptions options;
+  options.cache_bytes = 16ull << 20;
+  AcqServer server(SharedCatalog(), options);
+  // t_big and t_same share generator parameters (identical catalogs);
+  // t_small differs, so the same SQL must yield a different report.
+  ASSERT_TRUE(MustParse(server.HandleRequestLine(Attach("t_big", 2000)))
+                  .GetBool("ok", false));
+  ASSERT_TRUE(MustParse(server.HandleRequestLine(Attach("t_same", 2000)))
+                  .GetBool("ok", false));
+  ASSERT_TRUE(MustParse(server.HandleRequestLine(Attach("t_small", 700)))
+                  .GetBool("ok", false));
+
+  JsonValue big = MustParse(server.HandleRequestLine(Submit("t_big")));
+  JsonValue same = MustParse(server.HandleRequestLine(Submit("t_same")));
+  JsonValue small = MustParse(server.HandleRequestLine(Submit("t_small")));
+  ASSERT_TRUE(big.GetBool("ok", false)) << big.Dump();
+  ASSERT_TRUE(same.GetBool("ok", false)) << same.Dump();
+  ASSERT_TRUE(small.GetBool("ok", false)) << small.Dump();
+
+  // Identical catalogs -> identical answers (modulo session id and run
+  // timing); a distinct catalog -> a distinct report.
+  EXPECT_EQ(DumpModuloSessionAndTiming(big), DumpModuloSessionAndTiming(same));
+  EXPECT_NE(DumpModuloSessionAndTiming(big),
+            DumpModuloSessionAndTiming(small));
+
+  // Every first submission missed its own partition: three misses, spread
+  // one per tenant — nothing was served from a sibling's cache.
+  for (const char* tenant : {"t_big", "t_same", "t_small"}) {
+    EXPECT_EQ(TenantStat(&server, tenant, "cache_misses"), 1.0) << tenant;
+    EXPECT_EQ(TenantStat(&server, tenant, "cache_hits"), 0.0) << tenant;
+    EXPECT_EQ(TenantStat(&server, tenant, "cache_entries"), 1.0) << tenant;
+  }
+
+  // A repeat within a tenant hits its partition and replays the seeding
+  // reply byte-identically except for the freshly-minted session id —
+  // which still carries the tenant prefix.
+  JsonValue repeat = MustParse(server.HandleRequestLine(Submit("t_big")));
+  EXPECT_EQ(repeat.GetString("id").rfind("t_big-s-", 0), 0u)
+      << repeat.Dump();
+  JsonValue repeat_no_id(repeat), big_no_id(big);
+  repeat_no_id.Set("id", JsonValue::Str(""));
+  big_no_id.Set("id", JsonValue::Str(""));
+  EXPECT_EQ(repeat_no_id.Dump(), big_no_id.Dump());
+  EXPECT_EQ(TenantStat(&server, "t_big", "cache_hits"), 1.0);
+  EXPECT_EQ(TenantStat(&server, "t_same", "cache_hits"), 0.0);
+
+  // Per-tenant CACHE views address one partition; clearing t_big's leaves
+  // t_same's entry intact.
+  JsonValue cleared = MustParse(server.HandleRequestLine(
+      "{\"cmd\":\"CACHE\",\"clear\":true,\"tenant\":\"t_big\"}"));
+  ASSERT_TRUE(cleared.GetBool("ok", false)) << cleared.Dump();
+  EXPECT_EQ(cleared.GetString("tenant"), "t_big");
+  EXPECT_EQ(TenantStat(&server, "t_big", "cache_entries"), 0.0);
+  EXPECT_EQ(TenantStat(&server, "t_same", "cache_entries"), 1.0);
+}
+
+TEST(TenantTest, TenantAdmissionFailpointRejectsWellFormed) {
+  if (!FailpointRegistry::compiled_in()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  auto& registry = FailpointRegistry::Global();
+  registry.DisarmAll();
+  AcqServer server(SharedCatalog());
+  ASSERT_TRUE(registry.Configure("server.tenant_admission", "count:1").ok());
+  JsonValue rejected = MustParse(server.HandleRequestLine(Submit("")));
+  registry.DisarmAll();
+  EXPECT_FALSE(rejected.GetBool("ok", true)) << rejected.Dump();
+  EXPECT_EQ(rejected.GetString("code"), "ResourceExhausted");
+  EXPECT_FALSE(rejected.GetString("error").empty());
+  EXPECT_EQ(TenantStat(&server, "", "rejected"), 1.0);
+  // The rejection poisoned nothing: the retry completes.
+  JsonValue retried = MustParse(server.HandleRequestLine(Submit("")));
+  EXPECT_TRUE(retried.GetBool("ok", false)) << retried.Dump();
+}
+
+// Starvation-freedom under contention: with one global slot and a heavy
+// tenant flooding its queue, a light tenant's single queued request still
+// runs to completion (stride scheduling deals the freed slot fairly
+// instead of letting the longer queue win every time).
+TEST(TenantTest, LightTenantCompletesUnderHeavyContention) {
+  ServerOptions options;
+  options.max_running = 1;
+  options.max_queued = 16;
+  AcqServer server(SharedCatalog(), options);
+  ASSERT_TRUE(MustParse(server.HandleRequestLine(Attach("heavy", 1200)))
+                  .GetBool("ok", false));
+  ASSERT_TRUE(MustParse(server.HandleRequestLine(Attach("light", 1200, 4.0)))
+                  .GetBool("ok", false));
+
+  auto async_submit = [](const std::string& tenant) {
+    JsonValue request = JsonValue::Object();
+    request.Set("cmd", JsonValue::Str("SUBMIT"));
+    request.Set("sql", JsonValue::Str(kSql));
+    request.Set("tenant", JsonValue::Str(tenant));
+    return request.Dump();
+  };
+  // Fill the heavy queue first so the light request arrives behind a
+  // backlog, then wait for everything to drain.
+  for (int i = 0; i < 6; ++i) {
+    JsonValue queued =
+        MustParse(server.HandleRequestLine(async_submit("heavy")));
+    ASSERT_TRUE(queued.GetBool("ok", false)) << queued.Dump();
+  }
+  JsonValue light = MustParse(server.HandleRequestLine(async_submit("light")));
+  ASSERT_TRUE(light.GetBool("ok", false)) << light.Dump();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (TenantStat(&server, "light", "completed") < 1.0 ||
+         TenantStat(&server, "heavy", "completed") < 6.0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "contended tenants did not drain";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(TenantStat(&server, "light", "completed"), 1.0);
+  EXPECT_EQ(TenantStat(&server, "heavy", "completed"), 6.0);
+  EXPECT_EQ(TenantStat(&server, "light", "rejected"), 0.0);
+}
+
+// The global memory carve-up actually reaches the runs: a tiny global
+// budget drives an unbudgeted unreachable search to resource_exhausted,
+// while the same submission under no governance runs to its exploration
+// cap instead.
+TEST(TenantTest, GovernedMemoryBudgetBoundsUnbudgetedRuns) {
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(
+                         "SELECT * FROM users CONSTRAINT COUNT(*) >= "
+                         "1000000000 WHERE age <= 20 AND income <= 30000 "
+                         "AND engagement <= 1.0 AND "
+                         "account_age_days <= 100"));
+  request.Set("stall_limit", JsonValue::Number(1e15));
+  request.Set("divergence_patience", JsonValue::Number(1000000));
+  request.Set("max_explored", JsonValue::Number(4e9));
+  request.Set("timeout_ms", JsonValue::Number(30000.0));
+  request.Set("wait", JsonValue::Bool(true));
+
+  ServerOptions governed;
+  governed.global_memory_budget_bytes = 96 * 1024;
+  AcqServer budgeted(SharedCatalog(), governed);
+  JsonValue exhausted = MustParse(budgeted.HandleRequestLine(request.Dump()));
+  ASSERT_TRUE(exhausted.GetBool("ok", false)) << exhausted.Dump();
+  ASSERT_EQ(exhausted.GetString("state"), "done") << exhausted.Dump();
+  EXPECT_EQ(exhausted.Get("report")->GetString("termination"),
+            "resource_exhausted");
+
+  // Control: the identical submission (bar a tight exploration cap so it
+  // terminates promptly) under no governance never sees a budget.
+  request.Set("max_explored", JsonValue::Number(1.0));
+  AcqServer ungoverned(SharedCatalog());
+  JsonValue truncated = MustParse(ungoverned.HandleRequestLine(request.Dump()));
+  ASSERT_TRUE(truncated.GetBool("ok", false)) << truncated.Dump();
+  ASSERT_EQ(truncated.GetString("state"), "done") << truncated.Dump();
+  EXPECT_EQ(truncated.Get("report")->GetString("termination"), "truncated");
+}
+
+// Governor bookkeeping surfaces in TENANTS: a held slot shows as used and
+// as the owning tenant's active_slots, and returns to zero on completion.
+TEST(TenantTest, TenantsViewTracksSlotUsage) {
+  ServerOptions options;
+  options.max_running = 2;
+  AcqServer server(SharedCatalog(), options);
+  JsonValue done = MustParse(server.HandleRequestLine(Submit("")));
+  ASSERT_TRUE(done.GetBool("ok", false)) << done.Dump();
+  JsonValue listing =
+      MustParse(server.HandleRequestLine("{\"cmd\":\"TENANTS\"}"));
+  ASSERT_TRUE(listing.GetBool("ok", false)) << listing.Dump();
+  EXPECT_EQ(listing.GetNumber("total_run_slots", -1.0), 2.0);
+  EXPECT_EQ(listing.GetNumber("used_run_slots", -1.0), 0.0);
+  const JsonValue* tenants = listing.Get("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_EQ(tenants->size(), 1u);
+  EXPECT_EQ(tenants->AsArray()[0].GetNumber("active_slots", -1.0), 0.0);
+  EXPECT_EQ(tenants->AsArray()[0].GetNumber("completed", -1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace acquire
