@@ -44,6 +44,20 @@
 //   --failpoints SPEC      arm fault-injection sites, e.g.
 //                          "server.recv=p:0.05;server.admit=every:100"
 //                          (also honours the ACQUIRE_FAILPOINTS env var)
+//   --wal-dir DIR          durability root: APPENDs are write-ahead logged
+//                          (and ATTACH/DETACH manifest-logged) under DIR
+//                          before they are acked, and a restart recovers
+//                          exactly the acked state — checkpoints first,
+//                          then the per-tenant logs, truncating any torn
+//                          tail left by a crash (default: no durability)
+//   --fsync never|batch|always   when logged records reach stable storage
+//                          (default batch; see storage/wal.h)
+//   --checkpoint-interval-appends N   snapshot + trim a tenant's log every
+//                          N logged appends (default 0: checkpoint only at
+//                          clean shutdown)
+//   --drain-timeout-ms N   on SIGTERM/SIGINT, wait up to this long for
+//                          in-flight runs to finish before cancelling the
+//                          remainder (default 5000)
 //
 // Exit status: 0 clean shutdown, 1 startup error, 4 when any run ended
 // resource_exhausted (so harnesses notice budget-degraded service).
@@ -85,6 +99,7 @@ int main(int argc, char** argv) {
   std::string loaddb;
   std::string cache_file;
   size_t rows = 20000;
+  double drain_timeout_ms = 5000.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -120,6 +135,17 @@ int main(int argc, char** argv) {
       options.idle_timeout_ms = std::atof(value);
     } else if (flag == "--max-line-bytes" && (value = next())) {
       options.max_line_bytes = static_cast<size_t>(std::atoll(value));
+    } else if (flag == "--wal-dir" && (value = next())) {
+      options.wal_dir = value;
+    } else if (flag == "--fsync" && (value = next())) {
+      Result<FsyncPolicy> policy = FsyncPolicyFromString(value);
+      if (!policy.ok()) return Fail(policy.status().ToString());
+      options.fsync = *policy;
+    } else if (flag == "--checkpoint-interval-appends" && (value = next())) {
+      options.checkpoint_interval_appends =
+          static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--drain-timeout-ms" && (value = next())) {
+      drain_timeout_ms = std::atof(value);
     } else if (flag == "--failpoints" && (value = next())) {
       if (!FailpointRegistry::compiled_in()) {
         return Fail("--failpoints: this build compiled failpoints out "
@@ -168,6 +194,22 @@ int main(int argc, char** argv) {
   }
 
   AcqServer server(&catalog, options);
+  if (!options.wal_dir.empty()) {
+    // One line per durable tenant, so harnesses (and people) can see what
+    // recovery replayed before the listening line appears.
+    for (const TenantPtr& tenant : server.tenants().List()) {
+      const TenantDurability* durability = tenant->durability();
+      if (durability == nullptr) continue;
+      const TenantDurability::Recovery& rec = durability->recovery();
+      std::printf(
+          "recovery %s: checkpoint=%s gen=%llu wal_records=%zu wal_rows=%zu "
+          "skipped=%zu torn_tail=%s\n",
+          tenant->id().c_str(), rec.checkpoint_loaded ? "yes" : "no",
+          static_cast<unsigned long long>(rec.checkpoint_generation),
+          rec.wal_records, rec.wal_rows, rec.wal_skipped,
+          rec.wal_torn_tail ? "yes" : "no");
+    }
+  }
   if (!cache_file.empty()) {
     size_t loaded = 0, dropped = 0;
     Status warm = server.sessions().cache().LoadFromFile(
@@ -194,6 +236,9 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   while (g_stop == 0) pause();
   std::printf("shutting down\n");
+  // Graceful: let in-flight runs finish (bounded), then stop — which also
+  // checkpoints every durable tenant so restart recovers from snapshots.
+  server.Drain(drain_timeout_ms);
   server.Stop();
   if (!cache_file.empty()) {
     Status saved = server.sessions().cache().SaveToFile(cache_file);

@@ -61,6 +61,20 @@ bool Failpoint::Fire() {
         fired = true;
         sleep_ms = sleep_ms_;
         break;
+      case Mode::kCrash:
+      case Mode::kAbort:
+        if (remaining_ > 0 && --remaining_ == 0) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          // A real crash, not an error return: the crash-recovery harness
+          // arms these at I/O sites to kill the server exactly there. The
+          // note is the harness's evidence the right site fired.
+          std::fprintf(stderr, "failpoint '%s': injected %s\n", name_.c_str(),
+                       mode_ == Mode::kAbort ? "abort" : "crash");
+          std::fflush(stderr);
+          if (mode_ == Mode::kAbort) std::abort();
+          std::_Exit(137);
+        }
+        break;
     }
   }
   if (fired) hits_.fetch_add(1, std::memory_order_relaxed);
@@ -89,6 +103,12 @@ std::string Failpoint::spec() const {
     case Mode::kSleep:
       return StringFormat("sleep:%llu",
                           static_cast<unsigned long long>(sleep_ms_));
+    case Mode::kCrash:
+      return StringFormat("crash:%llu",
+                          static_cast<unsigned long long>(remaining_));
+    case Mode::kAbort:
+      return StringFormat("abort:%llu",
+                          static_cast<unsigned long long>(remaining_));
   }
   return "off";
 }
@@ -134,17 +154,29 @@ Status Failpoint::Configure(const std::string& spec) {
             name_.c_str(), arg.c_str()));
       }
       mode = Mode::kSleep;
+    } else if (kind == "crash" || kind == "abort") {
+      n = std::strtoull(arg.c_str(), &end, 10);
+      if (arg.empty() || negative || *end != '\0' || n == 0) {
+        return Status::InvalidArgument(StringFormat(
+            "failpoint '%s': %s wants the 1-based evaluation to die on, "
+            "got '%s'",
+            name_.c_str(), kind.c_str(), arg.c_str()));
+      }
+      mode = kind == "crash" ? Mode::kCrash : Mode::kAbort;
     } else {
       return Status::InvalidArgument(StringFormat(
           "failpoint '%s': unknown trigger '%s' (off|p:<prob>|count:<n>|"
-          "every:<n>|sleep:<ms>)",
+          "every:<n>|sleep:<ms>|crash:<n>|abort:<n>)",
           name_.c_str(), spec.c_str()));
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
   mode_ = mode;
   probability_ = probability;
-  remaining_ = mode == Mode::kCount ? n : 0;
+  remaining_ = (mode == Mode::kCount || mode == Mode::kCrash ||
+                mode == Mode::kAbort)
+                   ? n
+                   : 0;
   period_ = mode == Mode::kEveryNth ? n : 0;
   since_fire_ = 0;
   sleep_ms_ = mode == Mode::kSleep ? n : 0;

@@ -33,6 +33,9 @@ namespace acquire {
 ///   count:3    fire the next 3 evaluations, then disarm
 ///   every:100  fire every 100th evaluation (the 100th, 200th, ...)
 ///   sleep:250  delay every evaluation by 250 ms, then proceed normally
+///   crash:2    terminate the process (_Exit(137), no cleanup) on the 2nd
+///              evaluation — a kill-level crash exactly at the site
+///   abort:1    like crash: but via std::abort() (SIGABRT, core-dumpable)
 ///
 /// sleep: injects latency rather than failure: Fire() blocks the calling
 /// thread for the configured delay and returns false, so the instrumented
@@ -59,7 +62,8 @@ class Failpoint {
  private:
   friend class FailpointRegistry;
 
-  enum class Mode { kOff, kProbability, kCount, kEveryNth, kSleep };
+  enum class Mode { kOff, kProbability, kCount, kEveryNth, kSleep, kCrash,
+                    kAbort };
 
   explicit Failpoint(std::string name);
 
@@ -74,7 +78,7 @@ class Failpoint {
   mutable std::mutex mu_;  // trigger state below
   Mode mode_ = Mode::kOff;
   double probability_ = 0.0;
-  uint64_t remaining_ = 0;    // kCount: fires left
+  uint64_t remaining_ = 0;    // kCount: fires left; kCrash/kAbort: countdown
   uint64_t period_ = 0;       // kEveryNth
   uint64_t since_fire_ = 0;   // kEveryNth: evaluations since the last fire
   uint64_t sleep_ms_ = 0;     // kSleep: delay per evaluation

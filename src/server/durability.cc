@@ -1,0 +1,340 @@
+#include "server/durability.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace acquire {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestFile[] = "MANIFEST";
+constexpr char kWalFile[] = "wal.log";
+
+/// Percent-escapes a manifest value so it embeds in "key=value" tokens
+/// separated by spaces: '%', ' ', '=' and control bytes become %XX.
+std::string EscapeValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (unsigned char c : value) {
+    if (c == '%' || c == ' ' || c == '=' || c < 0x21 || c == 0x7f) {
+      out += StringFormat("%%%02X", c);
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+bool UnescapeValue(const std::string& value, std::string* out) {
+  out->clear();
+  out->reserve(value.size());
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '%') {
+      out->push_back(value[i]);
+      continue;
+    }
+    if (i + 2 >= value.size()) return false;  // needs two hex digits
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    const int hi = hex(value[i + 1]);
+    const int lo = hex(value[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeAttachLine(const AttachParams& params) {
+  return StringFormat(
+      "attach id=%s gen=%s rows=%llu seed=%llu loaddb=%s weight=%.17g "
+      "max_queued=%llu cache_bytes=%lld disk_bytes=%llu",
+      EscapeValue(params.id).c_str(), EscapeValue(params.generator).c_str(),
+      static_cast<unsigned long long>(params.rows),
+      static_cast<unsigned long long>(params.seed),
+      EscapeValue(params.loaddb_dir).c_str(), params.weight,
+      static_cast<unsigned long long>(params.max_queued),
+      static_cast<long long>(params.cache_bytes),
+      static_cast<unsigned long long>(params.disk_bytes));
+}
+
+std::string EncodeDetachLine(const std::string& id) {
+  return StringFormat("detach id=%s", EscapeValue(id).c_str());
+}
+
+bool DecodeManifestLine(const std::string& line, bool* is_attach,
+                        AttachParams* params) {
+  const std::vector<std::string> tokens = Split(line, ' ');
+  if (tokens.empty()) return false;
+  const bool attach = tokens[0] == "attach";
+  if (!attach && tokens[0] != "detach") return false;
+  *is_attach = attach;
+  *params = AttachParams{};
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    if (tokens[i].empty()) continue;
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = tokens[i].substr(0, eq);
+    std::string value;
+    if (!UnescapeValue(tokens[i].substr(eq + 1), &value)) return false;
+    if (key == "id") {
+      params->id = value;
+    } else if (key == "gen") {
+      params->generator = value;
+    } else if (key == "rows") {
+      params->rows = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "seed") {
+      params->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "loaddb") {
+      params->loaddb_dir = value;
+    } else if (key == "weight") {
+      params->weight = std::strtod(value.c_str(), nullptr);
+    } else if (key == "max_queued") {
+      params->max_queued = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "cache_bytes") {
+      params->cache_bytes = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "disk_bytes") {
+      params->disk_bytes = std::strtoull(value.c_str(), nullptr, 10);
+    }
+    // Unknown keys are skipped: newer manifests stay readable.
+  }
+  return !params->id.empty();
+}
+
+TenantDurability::TenantDurability(std::string dir,
+                                   const DurabilityOptions& options,
+                                   uint64_t disk_bytes)
+    : dir_(std::move(dir)), options_(options), disk_limit_(disk_bytes) {}
+
+Result<std::unique_ptr<TenantDurability>> TenantDurability::Open(
+    const DurabilityOptions& options, const std::string& id,
+    uint64_t disk_bytes, Catalog* catalog) {
+  const fs::path dir = fs::path(options.dir) / id;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError(StringFormat("cannot create %s: %s", dir.c_str(),
+                                        ec.message().c_str()));
+  }
+  std::unique_ptr<TenantDurability> d(
+      new TenantDurability(dir.string(), options, disk_bytes));
+
+  // 1. Checkpoint, when one is published and intact. Anything less than
+  // intact is NotFound: the base catalog + full WAL is the fallback, so a
+  // torn checkpoint can never prevent startup.
+  CheckpointMeta meta;
+  Status loaded = LoadCheckpoint(dir.string(), catalog, &meta);
+  if (loaded.ok()) {
+    d->recovery_.checkpoint_loaded = true;
+    d->recovery_.checkpoint_generation = meta.generation;
+  } else if (!loaded.IsNotFound()) {
+    return loaded;
+  }
+
+  // 2. WAL replay on top. Records at or below the restored generation are
+  // already inside the checkpoint (the crash window between checkpoint
+  // publication and log trim); each applied record bumps the generation by
+  // exactly 1, exactly as the live append did, so the final generation —
+  // and every task fingerprint — matches the pre-crash process.
+  const std::string wal_path = (dir / kWalFile).string();
+  WalReplayStats replay;
+  Status replayed = ReplayWal(
+      wal_path,
+      [&](const WalAppendRecord& record) -> Status {
+        if (record.generation <= catalog->generation()) {
+          ++d->recovery_.wal_skipped;
+          return Status::OK();
+        }
+        ACQ_RETURN_IF_ERROR(catalog->AppendRows(record.table, record.rows));
+        ++d->recovery_.wal_records;
+        d->recovery_.wal_rows += record.rows.size();
+        return Status::OK();
+      },
+      &replay);
+  if (!replayed.ok()) {
+    // An apply failure means the rebuilt base no longer matches the log
+    // (e.g. the generator flags changed across the restart) — recovery
+    // stops there but the server still starts, per the never-refuse rule.
+    d->recovery_.apply_error = true;
+    std::fprintf(stderr, "wal %s: replay stopped: %s\n", wal_path.c_str(),
+                 replayed.ToString().c_str());
+  }
+  d->recovery_.wal_torn_tail = replay.torn_tail;
+
+  ACQ_ASSIGN_OR_RETURN(d->wal_, WalWriter::Open(wal_path, options.fsync));
+  d->checkpoint_bytes_ = DirectoryBytes(dir.string()) - d->wal_->bytes();
+  return d;
+}
+
+Status TenantDurability::LogAppend(
+    const Catalog& catalog, const std::string& table,
+    const std::vector<std::vector<Value>>& rows) {
+  WalAppendRecord record;
+  record.table = table;
+  record.generation = catalog.generation() + 1;
+  record.rows = rows;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (disk_limit_ != 0) {
+    const uint64_t cost = WalRecordCost(record);
+    if (checkpoint_bytes_ + wal_->bytes() + cost > disk_limit_) {
+      ++quota_rejections_;
+      return Status::ResourceExhausted(StringFormat(
+          "tenant disk quota exceeded: %llu bytes on disk + %llu for this "
+          "batch > disk_bytes=%llu",
+          static_cast<unsigned long long>(checkpoint_bytes_ + wal_->bytes()),
+          static_cast<unsigned long long>(cost),
+          static_cast<unsigned long long>(disk_limit_)));
+    }
+  }
+  return wal_->Append(record);
+}
+
+void TenantDurability::CommitApplied(const Catalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++appends_since_checkpoint_;
+  if (options_.checkpoint_interval_appends == 0 ||
+      appends_since_checkpoint_ < options_.checkpoint_interval_appends) {
+    return;
+  }
+  // A failed auto-checkpoint is not a failed append (the batch is applied
+  // AND logged): the log simply keeps growing until the next attempt.
+  Status ck = CheckpointLocked(catalog);
+  if (!ck.ok()) {
+    std::fprintf(stderr, "checkpoint %s: %s\n", dir_.c_str(),
+                 ck.ToString().c_str());
+  }
+}
+
+Status TenantDurability::Checkpoint(const Catalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked(catalog);
+}
+
+Status TenantDurability::CheckpointLocked(const Catalog& catalog) {
+  // The WAL must be durable before its records become the snapshot's
+  // responsibility (a crash mid-checkpoint recovers from old snapshot +
+  // full log).
+  ACQ_RETURN_IF_ERROR(wal_->Sync());
+  ACQ_RETURN_IF_ERROR(WriteCheckpoint(catalog, dir_));
+  ACQ_RETURN_IF_ERROR(wal_->Reset());
+  ++checkpoints_;
+  appends_since_checkpoint_ = 0;
+  checkpoint_bytes_ = DirectoryBytes(dir_) - wal_->bytes();
+  return Status::OK();
+}
+
+Status TenantDurability::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_->Sync();
+}
+
+TenantDurability::Stats TenantDurability::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  out.wal_records = wal_->records();
+  out.wal_bytes = wal_->bytes();
+  out.wal_syncs = wal_->syncs();
+  out.checkpoints = checkpoints_;
+  out.disk_bytes = checkpoint_bytes_ + wal_->bytes();
+  out.disk_limit_bytes = disk_limit_;
+  out.quota_rejections = quota_rejections_;
+  return out;
+}
+
+ServerDurability::ServerDurability(DurabilityOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<ServerDurability>> ServerDurability::Open(
+    DurabilityOptions options) {
+  std::unique_ptr<ServerDurability> d(
+      new ServerDurability(std::move(options)));
+  if (!d->enabled()) return d;
+  std::error_code ec;
+  fs::create_directories(d->options_.dir, ec);
+  if (ec) {
+    return Status::IOError(StringFormat("cannot create %s: %s",
+                                        d->options_.dir.c_str(),
+                                        ec.message().c_str()));
+  }
+  const std::string path =
+      (fs::path(d->options_.dir) / kManifestFile).string();
+  std::vector<std::string> lines;
+  ACQ_RETURN_IF_ERROR(
+      ManifestLog::Replay(path, &lines, &d->manifest_torn_));
+  for (const std::string& line : lines) {
+    bool is_attach = false;
+    AttachParams params;
+    if (!DecodeManifestLine(line, &is_attach, &params)) {
+      std::fprintf(stderr, "manifest %s: skipping malformed line '%s'\n",
+                   path.c_str(), line.c_str());
+      continue;
+    }
+    if (is_attach) {
+      d->recovered_.push_back(std::move(params));
+    } else {
+      for (auto it = d->recovered_.begin(); it != d->recovered_.end(); ++it) {
+        if (it->id == params.id) {
+          d->recovered_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  ACQ_ASSIGN_OR_RETURN(d->manifest_,
+                       ManifestLog::Open(path, d->options_.fsync));
+  return d;
+}
+
+uint64_t ServerDurability::manifest_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_ != nullptr ? manifest_->records() : 0;
+}
+
+Status ServerDurability::LogAttach(const AttachParams& params) {
+  if (!enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_->Append(EncodeAttachLine(params));
+}
+
+Status ServerDurability::LogDetach(const std::string& id) {
+  if (!enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_->Append(EncodeDetachLine(id));
+}
+
+std::string ServerDurability::TenantDir(const std::string& id) const {
+  return (fs::path(options_.dir) / id).string();
+}
+
+Result<std::unique_ptr<TenantDurability>> ServerDurability::OpenTenant(
+    const std::string& id, uint64_t disk_bytes, Catalog* catalog,
+    bool fresh) {
+  if (!enabled()) return std::unique_ptr<TenantDurability>();
+  if (fresh) {
+    // A brand-new ATTACH defines its own data source; leftovers from a
+    // crashed DETACH of the same id must not be recovered into it.
+    std::error_code ec;
+    fs::remove_all(TenantDir(id), ec);
+  }
+  return TenantDurability::Open(options_, id, disk_bytes, catalog);
+}
+
+void ServerDurability::RemoveTenant(const std::string& id) {
+  if (!enabled()) return;
+  std::error_code ec;
+  fs::remove_all(TenantDir(id), ec);
+}
+
+}  // namespace acquire

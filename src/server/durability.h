@@ -1,0 +1,172 @@
+#ifndef ACQUIRE_SERVER_DURABILITY_H_
+#define ACQUIRE_SERVER_DURABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "server/session.h"
+#include "server/tenant.h"
+#include "storage/catalog.h"
+#include "storage/wal.h"
+
+namespace acquire {
+
+/// Server-level durability configuration (ServerOptions carries the same
+/// fields; see storage/wal.h for the on-disk formats and invariants).
+struct DurabilityOptions {
+  /// Root directory: <dir>/MANIFEST plus one <dir>/<tenant>/ per tenant
+  /// (wal.log, ckpt-<seq>/, CURRENT). Empty = durability disabled.
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// Checkpoint (snapshot + log trim) automatically after this many logged
+  /// appends; 0 checkpoints only at clean shutdown.
+  uint64_t checkpoint_interval_appends = 0;
+};
+
+/// One tenant's write-ahead log + checkpoints, implementing the
+/// SessionManager's DurabilityHook. LogAppend/CommitApplied run under the
+/// manager's exclusive data lock; Checkpoint/Flush are called only when no
+/// append is in flight (shutdown, or inside CommitApplied). stats() may be
+/// read concurrently from the STATS path, hence the internal mutex.
+class TenantDurability : public DurabilityHook {
+ public:
+  /// What startup recovery found and replayed for this tenant.
+  struct Recovery {
+    bool checkpoint_loaded = false;
+    uint64_t checkpoint_generation = 0;
+    size_t wal_records = 0;  // replayed (post-checkpoint) records
+    size_t wal_rows = 0;
+    size_t wal_skipped = 0;  // records already covered by the checkpoint
+    bool wal_torn_tail = false;
+    /// A record failed to apply (base data no longer matches the log, e.g.
+    /// the server was restarted with different generator flags). Replay
+    /// stops there; startup proceeds with what applied.
+    bool apply_error = false;
+  };
+
+  /// Opens tenant `id`'s durability directory and RECOVERS into `catalog`:
+  /// loads the published checkpoint when one exists (replacing the tables
+  /// and restoring the exact generation/load_params), then replays the WAL
+  /// — skipping records the checkpoint already covers and truncating any
+  /// torn tail — and finally opens the log for appending. Corruption never
+  /// fails this; only real I/O errors do. `disk_bytes` caps WAL +
+  /// checkpoint bytes (0 = unlimited).
+  static Result<std::unique_ptr<TenantDurability>> Open(
+      const DurabilityOptions& options, const std::string& id,
+      uint64_t disk_bytes, Catalog* catalog);
+
+  // DurabilityHook:
+  Status LogAppend(const Catalog& catalog, const std::string& table,
+                   const std::vector<std::vector<Value>>& rows) override;
+  void CommitApplied(const Catalog& catalog) override;
+
+  /// Snapshots `catalog` and trims the log (wal.h WriteCheckpoint + Reset).
+  Status Checkpoint(const Catalog& catalog);
+
+  /// Fsyncs everything logged so far (no-op under FsyncPolicy::kNever).
+  Status Flush();
+
+  struct Stats {
+    uint64_t wal_records = 0;
+    uint64_t wal_bytes = 0;
+    uint64_t wal_syncs = 0;
+    uint64_t checkpoints = 0;
+    uint64_t disk_bytes = 0;        // WAL + checkpoints on disk now
+    uint64_t disk_limit_bytes = 0;  // 0 = unlimited
+    uint64_t quota_rejections = 0;
+  };
+  Stats stats() const;
+
+  const Recovery& recovery() const { return recovery_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  TenantDurability(std::string dir, const DurabilityOptions& options,
+                   uint64_t disk_bytes);
+
+  Status CheckpointLocked(const Catalog& catalog);
+
+  const std::string dir_;
+  const DurabilityOptions options_;
+  const uint64_t disk_limit_;
+  Recovery recovery_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<WalWriter> wal_;
+  /// Bytes everything except the live WAL occupies (checkpoints, CURRENT);
+  /// refreshed at open and after each checkpoint.
+  uint64_t checkpoint_bytes_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t appends_since_checkpoint_ = 0;
+  uint64_t quota_rejections_ = 0;
+};
+
+/// The server-level half: the MANIFEST log of ATTACH/DETACH events (with
+/// their full load params) and the factory for per-tenant directories.
+/// Thread-safe. A default-constructed / empty-dir instance is the disabled
+/// null object: enabled() is false and every Log* is a no-op.
+class ServerDurability {
+ public:
+  /// Opens <dir>/MANIFEST, replaying it first: the surviving ATTACH set is
+  /// exposed through recovered_tenants() for the server to re-attach. A
+  /// torn manifest tail is truncated, never fatal.
+  static Result<std::unique_ptr<ServerDurability>> Open(
+      DurabilityOptions options);
+
+  bool enabled() const { return !options_.dir.empty(); }
+  const DurabilityOptions& options() const { return options_; }
+
+  /// Tenants the manifest records as attached (ATTACHes without a matching
+  /// DETACH), in original attach order.
+  const std::vector<AttachParams>& recovered_tenants() const {
+    return recovered_;
+  }
+  bool manifest_torn() const { return manifest_torn_; }
+  uint64_t manifest_records() const;
+
+  /// Logs an ATTACH with its full load params (synced). No-op if disabled.
+  Status LogAttach(const AttachParams& params);
+  /// Logs a DETACH (synced). No-op if disabled.
+  Status LogDetach(const std::string& id);
+
+  /// Opens (and recovers) tenant `id`'s TenantDurability over `catalog`.
+  /// `fresh` wipes any leftover directory first — a brand-new ATTACH must
+  /// not resurrect state from a crashed DETACH of the same id. Null when
+  /// durability is disabled.
+  Result<std::unique_ptr<TenantDurability>> OpenTenant(const std::string& id,
+                                                       uint64_t disk_bytes,
+                                                       Catalog* catalog,
+                                                       bool fresh);
+
+  /// Deletes tenant `id`'s durability directory (after a DETACH).
+  void RemoveTenant(const std::string& id);
+
+ private:
+  explicit ServerDurability(DurabilityOptions options);
+
+  std::string TenantDir(const std::string& id) const;
+
+  const DurabilityOptions options_;
+  std::vector<AttachParams> recovered_;
+  bool manifest_torn_ = false;
+
+  mutable std::mutex mu_;  // serializes manifest appends
+  std::unique_ptr<ManifestLog> manifest_;
+};
+
+/// Manifest payload codecs (exposed for tests): "attach id=... gen=... ..."
+/// and "detach id=...", values percent-escaped.
+std::string EncodeAttachLine(const AttachParams& params);
+std::string EncodeDetachLine(const std::string& id);
+/// True on success; `is_attach` distinguishes the two record kinds (on
+/// detach only params->id is filled).
+bool DecodeManifestLine(const std::string& line, bool* is_attach,
+                        AttachParams* params);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_SERVER_DURABILITY_H_

@@ -6,11 +6,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <utility>
 
 #include "common/string_util.h"
 #include "sql/printer.h"
+#include "storage/wal.h"
 
 namespace acquire {
 
@@ -193,16 +195,16 @@ void ResultCache::Clear() {
 }
 
 namespace {
-constexpr const char kCacheFileHeader[] = "acq-cache-v1";
+constexpr const char kCacheFileHeader[] = "acq-cache-v2";
+constexpr const char kCacheCrcPrefix[] = "crc ";
 }  // namespace
 
 Status ResultCache::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::IOError(StringFormat("cannot write cache file %s: %s",
-                                        path.c_str(), std::strerror(errno)));
-  }
-  out << kCacheFileHeader << "\n";
+  // The whole snapshot is staged in memory, sealed with a CRC over the
+  // body, and published via temp-file + fsync + rename: a crash mid-save
+  // leaves either the previous snapshot or none, never a torn file that a
+  // later start would half-load.
+  std::string body;
   // Two lines per entry: a metadata line of exact decimal u64 fields (JSON
   // numbers are doubles and would corrupt 64-bit fingerprints), then the
   // report re-dumped — Dump() is single-line by contract, so the format
@@ -217,15 +219,18 @@ Status ResultCache::SaveToFile(const std::string& path) const {
                     " %" PRIu64 " %zu %.17g",
                     entry.fp.hi, entry.fp.lo, r.generation,
                     r.queries_explored, r.cell_queries, r.bytes, r.cost_ms);
-      out << meta << "\n" << r.report.Dump() << "\n";
+      body += meta;
+      body += '\n';
+      body += r.report.Dump();
+      body += '\n';
     }
   }
-  out.flush();
-  if (!out) {
-    return Status::IOError(
-        StringFormat("short write to cache file %s", path.c_str()));
-  }
-  return Status::OK();
+  std::string contents = kCacheFileHeader;
+  contents += '\n';
+  contents += body;
+  contents += StringFormat("%s%08x\n", kCacheCrcPrefix,
+                           Crc32c(body.data(), body.size()));
+  return AtomicWriteFile(path, contents);
 }
 
 Status ResultCache::LoadFromFile(const std::string& path,
@@ -233,19 +238,58 @@ Status ResultCache::LoadFromFile(const std::string& path,
                                  size_t* dropped) {
   if (loaded != nullptr) *loaded = 0;
   if (dropped != nullptr) *dropped = 0;
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound(
         StringFormat("no cache file at %s", path.c_str()));
   }
-  std::string line;
-  if (!std::getline(in, line) || line != kCacheFileHeader) {
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (!in && !in.eof()) {
+    return Status::IOError(
+        StringFormat("cannot read cache file %s", path.c_str()));
+  }
+  // Verify the frame before touching a single entry: header line first,
+  // trailing "crc %08x" line last, checksum over everything in between.
+  const std::string header_line = std::string(kCacheFileHeader) + "\n";
+  if (contents.compare(0, header_line.size(), header_line) != 0) {
     return Status::ParseError(StringFormat(
         "cache file %s: missing '%s' header", path.c_str(),
         kCacheFileHeader));
   }
+  if (contents.empty() || contents.back() != '\n') {
+    return Status::ParseError(StringFormat(
+        "cache file %s: truncated (no trailing checksum line)",
+        path.c_str()));
+  }
+  const size_t prev_newline = contents.rfind('\n', contents.size() - 2);
+  const size_t crc_line_start =
+      prev_newline == std::string::npos ? header_line.size()
+                                        : prev_newline + 1;
+  const std::string crc_line =
+      contents.substr(crc_line_start, contents.size() - crc_line_start);
+  unsigned int stored_crc = 0;
+  if (crc_line.compare(0, std::strlen(kCacheCrcPrefix), kCacheCrcPrefix) !=
+          0 ||
+      std::sscanf(crc_line.c_str() + std::strlen(kCacheCrcPrefix), "%8x",
+                  &stored_crc) != 1) {
+    return Status::ParseError(StringFormat(
+        "cache file %s: truncated (no trailing checksum line)",
+        path.c_str()));
+  }
+  const char* body_begin = contents.data() + header_line.size();
+  const size_t body_size = crc_line_start - header_line.size();
+  const uint32_t actual_crc = Crc32c(body_begin, body_size);
+  if (actual_crc != static_cast<uint32_t>(stored_crc)) {
+    return Status::ParseError(StringFormat(
+        "cache file %s: checksum mismatch (stored %08x, computed %08x) — "
+        "torn or corrupted snapshot rejected",
+        path.c_str(), stored_crc, actual_crc));
+  }
+  std::istringstream body_in(std::string(body_begin, body_size));
+  std::string line;
   size_t entry_no = 0;
-  while (std::getline(in, line)) {
+  while (std::getline(body_in, line)) {
     if (line.empty()) continue;
     ++entry_no;
     TaskFingerprint fp;
@@ -260,7 +304,7 @@ Status ResultCache::LoadFromFile(const std::string& path,
           entry_no));
     }
     std::string report_line;
-    if (!std::getline(in, report_line)) {
+    if (!std::getline(body_in, report_line)) {
       return Status::ParseError(StringFormat(
           "cache file %s entry %zu: truncated (metadata without report)",
           path.c_str(), entry_no));

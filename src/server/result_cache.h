@@ -127,18 +127,24 @@ class ResultCache {
 
   ResultCacheStats stats() const;
 
-  /// Writes every positive entry to `path` in the versioned "acq-cache-v1"
+  /// Writes every positive entry to `path` in the versioned "acq-cache-v2"
   /// text format (negative entries are deliberately not persisted — they
   /// guard live re-planning, which a restart re-establishes cheaply).
+  /// Crash-safe: the snapshot is staged at `path`.tmp, fsynced and renamed
+  /// into place, and carries a trailing CRC line over the body so
+  /// LoadFromFile can reject a torn or bit-rotted file outright.
   /// Snapshot semantics per shard; concurrent inserts may or may not land.
   Status SaveToFile(const std::string& path) const;
 
   /// Loads a SaveToFile snapshot, inserting entries via the normal Insert
-  /// path (so the byte limit applies). Entries recorded under a catalog
-  /// generation other than `current_generation` are stale — the data they
-  /// answered for has changed identity — and are dropped. Returns the count
-  /// of loaded entries via `loaded`/`dropped` when non-null. NotFound when
-  /// `path` does not exist (cold start), IOError/ParseError on corruption.
+  /// path (so the byte limit applies). The header and trailing CRC are
+  /// verified before anything is inserted — a truncated, torn or corrupted
+  /// snapshot is rejected whole (ParseError), never half-loaded. Entries
+  /// recorded under a catalog generation other than `current_generation`
+  /// are stale — the data they answered for has changed identity — and are
+  /// dropped. Returns the count of loaded entries via `loaded`/`dropped`
+  /// when non-null. NotFound when `path` does not exist (cold start),
+  /// IOError/ParseError on corruption.
   Status LoadFromFile(const std::string& path, uint64_t current_generation,
                       size_t* loaded = nullptr, size_t* dropped = nullptr);
 

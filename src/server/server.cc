@@ -6,9 +6,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -133,19 +136,58 @@ SessionManagerOptions BaseManagerOptions(const ServerOptions& options) {
   return manager;
 }
 
+/// Never fails and never returns null: an unopenable wal_dir degrades to a
+/// disabled instance (stderr-noted) rather than refusing to serve.
+std::unique_ptr<ServerDurability> OpenDurability(const ServerOptions& options) {
+  DurabilityOptions durability;
+  durability.dir = options.wal_dir;
+  durability.fsync = options.fsync;
+  durability.checkpoint_interval_appends = options.checkpoint_interval_appends;
+  Result<std::unique_ptr<ServerDurability>> opened =
+      ServerDurability::Open(std::move(durability));
+  if (opened.ok()) return std::move(*opened);
+  std::fprintf(stderr, "durability disabled (wal_dir '%s'): %s\n",
+               options.wal_dir.c_str(), opened.status().ToString().c_str());
+  Result<std::unique_ptr<ServerDurability>> disabled =
+      ServerDurability::Open(DurabilityOptions{});
+  return std::move(*disabled);
+}
+
 }  // namespace
 
 AcqServer::AcqServer(const Catalog* catalog, ServerOptions options)
     : options_(options),
       governor_(GovernorOptions(options)),
-      registry_(&governor_, BaseManagerOptions(options)),
-      default_tenant_(registry_.AdoptDefault(catalog)) {}
+      durability_(OpenDurability(options)),
+      registry_(&governor_, BaseManagerOptions(options), durability_.get()),
+      default_tenant_(registry_.AdoptDefault(catalog)) {
+  RecoverTenants();
+}
 
 AcqServer::AcqServer(Catalog* catalog, ServerOptions options)
     : options_(options),
       governor_(GovernorOptions(options)),
-      registry_(&governor_, BaseManagerOptions(options)),
-      default_tenant_(registry_.AdoptDefault(catalog)) {}
+      durability_(OpenDurability(options)),
+      registry_(&governor_, BaseManagerOptions(options), durability_.get()),
+      default_tenant_(registry_.AdoptDefault(catalog)) {
+  RecoverTenants();
+}
+
+void AcqServer::RecoverTenants() {
+  if (!durability_->enabled()) return;
+  // Re-attach every tenant the manifest records as live. Each rebuilds its
+  // base catalog from the logged load params, then recovers its checkpoint
+  // and WAL on top. A tenant that fails (e.g. its loaddb directory is gone)
+  // is noted and skipped — the rest of the server still starts.
+  for (const AttachParams& params : durability_->recovered_tenants()) {
+    Result<TenantPtr> attached = registry_.Attach(params,
+                                                  /*from_recovery=*/true);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "recovery: re-attach of tenant '%s' failed: %s\n",
+                   params.id.c_str(), attached.status().ToString().c_str());
+    }
+  }
+}
 
 AcqServer::~AcqServer() { Stop(); }
 
@@ -185,6 +227,31 @@ Status AcqServer::Start() {
   return Status::OK();
 }
 
+void AcqServer::Drain(double timeout_ms) {
+  {
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
+    if (stopped_) return;
+    stopping_.store(true);
+    if (listen_fd_ >= 0) {
+      // No new connections; existing ones keep being served until Stop().
+      ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  for (;;) {
+    size_t in_flight = 0;
+    for (const TenantPtr& tenant : registry_.List()) {
+      in_flight +=
+          tenant->manager().num_running() + tenant->manager().num_queued();
+    }
+    if (in_flight == 0) return;
+    if (std::chrono::steady_clock::now() >= deadline) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
 void AcqServer::Stop() {
   // Serializes concurrent/repeat Stop calls (e.g. the destructor after an
   // explicit Stop): the second caller waits for the first to finish joining
@@ -216,6 +283,23 @@ void AcqServer::Stop() {
   // happens in the registry destructor.
   for (const TenantPtr& tenant : registry_.List()) {
     tenant->manager().Shutdown();
+  }
+  // Clean shutdown checkpoints each durable tenant: restart then recovers
+  // from the snapshot alone, with an empty WAL. A checkpoint that fails
+  // falls back to flushing the log — the WAL already holds everything.
+  for (const TenantPtr& tenant : registry_.List()) {
+    TenantDurability* durability = tenant->durability();
+    if (durability == nullptr) continue;
+    Status status = durability->Checkpoint(tenant->manager().catalog());
+    if (!status.ok()) {
+      std::fprintf(stderr, "shutdown checkpoint for '%s' failed: %s\n",
+                   tenant->id().c_str(), status.ToString().c_str());
+      status = durability->Flush();
+      if (!status.ok()) {
+        std::fprintf(stderr, "shutdown flush for '%s' failed: %s\n",
+                     tenant->id().c_str(), status.ToString().c_str());
+      }
+    }
   }
 }
 
@@ -553,6 +637,29 @@ JsonValue AcqServer::HandleStats(const JsonValue& request) {
   stats.Set("failpoints_enabled",
             JsonValue::Bool(FailpointRegistry::compiled_in()));
   set("failpoint_hits", FailpointRegistry::Global().TotalHits());
+  // Durability: whether this tenant logs at all, live WAL/checkpoint state
+  // and what startup recovery replayed. All stable across cached replies —
+  // STATS is never cached.
+  const TenantDurability* durability = (*resolved)->durability();
+  stats.Set("wal_enabled", JsonValue::Bool(durability != nullptr));
+  if (durability != nullptr) {
+    const TenantDurability::Stats wal = durability->stats();
+    set("wal_records", wal.wal_records);
+    set("wal_bytes", wal.wal_bytes);
+    set("wal_syncs", wal.wal_syncs);
+    set("wal_checkpoints", wal.checkpoints);
+    set("disk_bytes", wal.disk_bytes);
+    set("disk_limit_bytes", wal.disk_limit_bytes);
+    set("wal_quota_rejections", wal.quota_rejections);
+    const TenantDurability::Recovery& recovery = durability->recovery();
+    stats.Set("recovery_checkpoint_loaded",
+              JsonValue::Bool(recovery.checkpoint_loaded));
+    set("recovery_checkpoint_generation", recovery.checkpoint_generation);
+    set("recovery_wal_records", recovery.wal_records);
+    set("recovery_wal_rows", recovery.wal_rows);
+    set("recovery_wal_skipped", recovery.wal_skipped);
+    stats.Set("recovery_torn_tail", JsonValue::Bool(recovery.wal_torn_tail));
+  }
   // Tenancy and governor state. "tenant" names whose counters these are;
   // the slot/budget fields are global (shared across every tenant).
   stats.Set("tenant", JsonValue::Str((*resolved)->id()));
@@ -785,6 +892,14 @@ JsonValue AcqServer::HandleAttach(const JsonValue& request) {
     }
     params.cache_bytes = static_cast<int64_t>(cache_bytes->AsDouble());
   }
+  if (const JsonValue* disk_bytes = request.Get("disk_bytes");
+      disk_bytes != nullptr) {
+    if (!disk_bytes->is_number() || disk_bytes->AsDouble() < 0.0) {
+      return ErrorResponse(Status::InvalidArgument,
+                           "'disk_bytes' must be a non-negative byte count");
+    }
+    params.disk_bytes = static_cast<uint64_t>(disk_bytes->AsDouble());
+  }
   Result<TenantPtr> attached = registry_.Attach(params);
   if (!attached.ok()) return ErrorResponse(attached.status());
   const TenantPtr& tenant = *attached;
@@ -849,6 +964,14 @@ JsonValue AcqServer::HandleTenants() {
               JsonValue::Number(static_cast<double>(cache.bytes)));
     entry.Set("cache_limit_bytes",
               JsonValue::Number(static_cast<double>(cache.limit_bytes)));
+    if (const TenantDurability* durability = tenant->durability();
+        durability != nullptr) {
+      const TenantDurability::Stats wal = durability->stats();
+      entry.Set("disk_bytes",
+                JsonValue::Number(static_cast<double>(wal.disk_bytes)));
+      entry.Set("disk_limit_bytes",
+                JsonValue::Number(static_cast<double>(wal.disk_limit_bytes)));
+    }
     ResourceGovernor::TenantUsage usage;
     if (governor_.Usage(&manager, &usage)) {
       entry.Set("active_slots", JsonValue::Number(

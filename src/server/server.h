@@ -2,14 +2,17 @@
 #define ACQUIRE_SERVER_SERVER_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "server/durability.h"
 #include "server/json.h"
 #include "server/session.h"
 #include "server/tenant.h"
+#include "storage/wal.h"
 
 namespace acquire {
 
@@ -45,6 +48,18 @@ struct ServerOptions {
   /// governance; explicit per-request memory_budget_bytes are then used
   /// as-is, and otherwise they are clamped to the carved share.
   uint64_t global_memory_budget_bytes = 0;
+  /// Durability root (<dir>/MANIFEST + one subdirectory per tenant with a
+  /// write-ahead log and checkpoints). Empty (the default) disables
+  /// durability: APPENDs are acked from memory only and ATTACH/DETACH do
+  /// not survive a restart. Requires the mutable-catalog constructor to
+  /// recover APPENDs into the default tenant.
+  std::string wal_dir;
+  /// When and how often logged records reach stable storage (see
+  /// storage/wal.h): never, batch (default) or always.
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// Checkpoint (snapshot + WAL trim) a tenant automatically after this
+  /// many logged appends; 0 checkpoints only at clean shutdown.
+  uint64_t checkpoint_interval_appends = 0;
 };
 
 /// TCP front end for the ACQ engine: a newline-delimited JSON protocol over
@@ -87,7 +102,8 @@ struct ServerOptions {
 ///           results and negative plan-cache entries from before the
 ///           append are never served afterwards.
 ///   ATTACH  {"cmd":"ATTACH","tenant":"t1","gen":"users","rows":N,
-///            "seed":S, "weight":W, "cache_bytes":N, "max_queued":N} or
+///            "seed":S, "weight":W, "cache_bytes":N, "max_queued":N,
+///            "disk_bytes":N} or
 ///           {"cmd":"ATTACH","tenant":"t1","loaddb":"dir"} -> attaches a
 ///           new tenant with its own catalog (generated, or restored from
 ///           a SaveCatalog directory), session manager, admission queue
@@ -131,8 +147,16 @@ class AcqServer {
   /// cannot be bound.
   Status Start();
 
+  /// Graceful half of shutdown: stops accepting new connections, then
+  /// waits up to `timeout_ms` for every tenant's queued and running
+  /// sessions to finish naturally (0 = no wait). Call before Stop() to let
+  /// in-flight work complete instead of being cancelled.
+  void Drain(double timeout_ms);
+
   /// Stops accepting, shuts down live connections, cancels and drains all
-  /// sessions. Idempotent; also run by the destructor.
+  /// sessions; with durability enabled, checkpoints every tenant so a
+  /// clean shutdown restarts from snapshots alone. Idempotent; also run by
+  /// the destructor.
   void Stop();
 
   /// The bound port (meaningful after Start; resolves port 0 requests).
@@ -151,6 +175,8 @@ class AcqServer {
   ResourceGovernor& governor() { return governor_; }
 
  private:
+  /// Replays the manifest's surviving ATTACH set at construction.
+  void RecoverTenants();
   void AcceptLoop();
   void ServeConnection(size_t slot, int fd);
   /// EPIPE-safe framed send (MSG_NOSIGNAL / SO_NOSIGPIPE / SIGPIPE-ignore
@@ -182,9 +208,13 @@ class AcqServer {
 
   const ServerOptions options_;
   /// Destruction order: the governor must outlive the registry (every
-  /// manager deregisters during registry teardown), so it is declared
-  /// first.
+  /// manager deregisters during registry teardown), and the durability
+  /// manifest must outlive every tenant's log, so both are declared before
+  /// the registry.
   ResourceGovernor governor_;
+  /// Never null once constructed; disabled (enabled() == false) when
+  /// wal_dir is empty or the directory could not be opened.
+  std::unique_ptr<ServerDurability> durability_;
   TenantRegistry registry_;
   TenantPtr default_tenant_;
 

@@ -155,7 +155,23 @@ Status SessionManager::AppendRows(
     // fingerprint and no run body observes a half-applied batch, and a
     // batch never lands between a run's execution and its cache render.
     std::unique_lock<std::shared_mutex> data_lock(data_mu_);
-    ACQ_RETURN_IF_ERROR(mutable_catalog_->AppendRows(table, rows));
+    if (rows.empty() || options_.durability == nullptr) {
+      // Empty batches change nothing (no generation bump), so they are
+      // never logged; an empty-batch APPEND before and after leaves the
+      // log byte-identical.
+      ACQ_RETURN_IF_ERROR(mutable_catalog_->AppendRows(table, rows));
+    } else {
+      // Write-ahead discipline: validate -> log (synced per policy) ->
+      // apply -> ack. A batch that fails validation or the log never
+      // touches the catalog and leaves the log byte-identical; a logged
+      // batch cannot fail to apply (ValidateAppend passed under this same
+      // exclusive lock).
+      ACQ_RETURN_IF_ERROR(mutable_catalog_->ValidateAppend(table, rows));
+      ACQ_RETURN_IF_ERROR(
+          options_.durability->LogAppend(*mutable_catalog_, table, rows));
+      ACQ_RETURN_IF_ERROR(mutable_catalog_->AppendRows(table, rows));
+      options_.durability->CommitApplied(*mutable_catalog_);
+    }
   }
   std::lock_guard<std::mutex> clock(counters_mu_);
   ++counters_.appends;

@@ -151,6 +151,29 @@ struct ServerCounters {
 
 class ResourceGovernor;
 
+/// Write-ahead durability seam for live ingestion (implemented by
+/// TenantDurability in server/durability.h; null = no durability). Both
+/// methods run under the manager's exclusive data lock, already serialized
+/// against every append and catalog read, so implementations need no
+/// locking of their own against the append path.
+class DurabilityHook {
+ public:
+  virtual ~DurabilityHook() = default;
+
+  /// Called after the batch validated (Catalog::ValidateAppend passed) and
+  /// before it applies. An error fails the APPEND with nothing applied and
+  /// nothing retained in the log — kResourceExhausted is the disk-quota
+  /// rejection. `catalog` is the pre-apply state (its generation + 1 is the
+  /// generation the batch will create).
+  virtual Status LogAppend(const Catalog& catalog, const std::string& table,
+                           const std::vector<std::vector<Value>>& rows) = 0;
+
+  /// Called after the batch applied and the generation bumped. Must not
+  /// fail the append (it already happened); implementations checkpoint here
+  /// when their append interval elapses.
+  virtual void CommitApplied(const Catalog& catalog) = 0;
+};
+
 struct SessionManagerOptions {
   /// Runs executing concurrently on the shared thread pool. 0 sizes to
   /// half the pool (at least 1): each run fans its own layer batches out
@@ -176,6 +199,11 @@ struct SessionManagerOptions {
   /// Register()ed before serving. Null (the default) preserves the
   /// standalone single-manager behavior exactly.
   ResourceGovernor* governor = nullptr;
+  /// When set, AppendRows follows write-ahead discipline: validate, log
+  /// through the hook (fsynced per its policy), apply, ack — so every acked
+  /// batch is recoverable and a rejected one leaves the log byte-identical.
+  /// Must outlive the manager. Null (the default) = in-memory only.
+  DurabilityHook* durability = nullptr;
 };
 
 /// Binds sessions against a shared Catalog and schedules them

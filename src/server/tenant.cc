@@ -1,11 +1,13 @@
 #include "server/tenant.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <utility>
 
 #include "common/string_util.h"
 #include "exec/thread_pool.h"
+#include "server/durability.h"
 #include "storage/persistence.h"
 #include "workload/tpch_gen.h"
 #include "workload/users_gen.h"
@@ -208,9 +210,16 @@ bool IsValidTenantId(const std::string& id) {
   return true;
 }
 
+Tenant::Tenant() = default;
+Tenant::~Tenant() = default;
+
 TenantRegistry::TenantRegistry(ResourceGovernor* governor,
-                               SessionManagerOptions base_options)
-    : governor_(governor), base_options_(base_options) {}
+                               SessionManagerOptions base_options,
+                               ServerDurability* durability)
+    : governor_(governor),
+      base_options_(base_options),
+      durability_(durability != nullptr && durability->enabled() ? durability
+                                                                 : nullptr) {}
 
 TenantRegistry::~TenantRegistry() {
   std::vector<TenantPtr> all;
@@ -228,11 +237,14 @@ TenantRegistry::~TenantRegistry() {
 TenantPtr TenantRegistry::MakeTenantLocked(
     std::string id, double weight, std::unique_ptr<Catalog> owned,
     Catalog* mutable_catalog, const Catalog* const_catalog,
-    const SessionManagerOptions& options) {
+    std::unique_ptr<TenantDurability> durability,
+    SessionManagerOptions options) {
   auto tenant = std::make_shared<Tenant>();
   tenant->id_ = std::move(id);
   tenant->weight_ = weight;
   tenant->owned_catalog_ = std::move(owned);
+  tenant->durability_ = std::move(durability);
+  options.durability = tenant->durability_.get();
   if (mutable_catalog != nullptr) {
     tenant->manager_ =
         std::make_unique<SessionManager>(mutable_catalog, options);
@@ -249,12 +261,28 @@ TenantPtr TenantRegistry::MakeTenantLocked(
 }
 
 TenantPtr TenantRegistry::AdoptDefault(Catalog* catalog, double weight) {
+  // Recovery happens before the manager exists, so no lock ordering issues:
+  // the checkpoint replaces the catalog's tables and the WAL replays the
+  // appends the pre-crash process acked after the snapshot.
+  std::unique_ptr<TenantDurability> durability;
+  if (durability_ != nullptr) {
+    Result<std::unique_ptr<TenantDurability>> opened = durability_->OpenTenant(
+        kDefaultId, /*disk_bytes=*/0, catalog, /*fresh=*/false);
+    if (opened.ok()) {
+      durability = std::move(*opened);
+    } else {
+      // Durability is degraded (e.g. the directory is unwritable) but the
+      // server still starts — the never-refuse rule.
+      std::fprintf(stderr, "durability for '%s' disabled: %s\n", kDefaultId,
+                   opened.status().ToString().c_str());
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   SessionManagerOptions options = base_options_;
   options.governor = governor_;
   options.session_prefix = "s-";  // historical bare ids: wire compatibility
   return MakeTenantLocked(kDefaultId, weight, nullptr, catalog, catalog,
-                          options);
+                          std::move(durability), options);
 }
 
 TenantPtr TenantRegistry::AdoptDefault(const Catalog* catalog, double weight) {
@@ -262,11 +290,14 @@ TenantPtr TenantRegistry::AdoptDefault(const Catalog* catalog, double weight) {
   SessionManagerOptions options = base_options_;
   options.governor = governor_;
   options.session_prefix = "s-";
+  // A read-only catalog accepts no appends, so there is nothing to log or
+  // recover: no TenantDurability.
   return MakeTenantLocked(kDefaultId, weight, nullptr, nullptr, catalog,
-                          options);
+                          nullptr, options);
 }
 
-Result<TenantPtr> TenantRegistry::Attach(const AttachParams& params) {
+Result<TenantPtr> TenantRegistry::Attach(const AttachParams& params,
+                                         bool from_recovery) {
   if (!IsValidTenantId(params.id)) {
     return Status::InvalidArgument(StringFormat(
         "invalid tenant id '%s' (1..64 chars of [A-Za-z0-9_.-])",
@@ -286,6 +317,25 @@ Result<TenantPtr> TenantRegistry::Attach(const AttachParams& params) {
         "ATTACH needs exactly one data source: a generator "
         "(gen tpch|users|patients) or a loaddb directory");
   }
+
+  // Claim the id before any slow or destructive work: the fresh-attach path
+  // wipes <wal_dir>/<id>, which must never hit a live tenant's log or a
+  // directory a concurrent ATTACH of the same id is populating.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tenants_.count(params.id) != 0 || !attaching_.insert(params.id).second) {
+      return Status::AlreadyExists(
+          StringFormat("tenant '%s' is already attached", params.id.c_str()));
+    }
+  }
+  struct ClaimGuard {
+    TenantRegistry* registry;
+    const std::string& id;
+    ~ClaimGuard() {
+      std::lock_guard<std::mutex> lock(registry->mu_);
+      registry->attaching_.erase(id);
+    }
+  } claim_guard{this, params.id};
 
   // Build the catalog before taking the registry lock: generation can be
   // slow and must not block lookups or other attaches.
@@ -323,11 +373,32 @@ Result<TenantPtr> TenantRegistry::Attach(const AttachParams& params) {
   // parameters still key the (already separate) caches apart.
   catalog->AppendLoadParams(StringFormat("tenant=%s", params.id.c_str()));
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (tenants_.count(params.id) != 0) {
-    return Status::AlreadyExists(
-        StringFormat("tenant '%s' is already attached", params.id.c_str()));
+  // Durability, before the tenant is publishable. A fresh ATTACH starts
+  // from a wiped directory and is logged to the manifest; a manifest-replay
+  // re-attach instead recovers the tenant's checkpoint + WAL on top of the
+  // deterministically rebuilt base catalog, and must not re-log itself.
+  std::unique_ptr<TenantDurability> durability;
+  if (durability_ != nullptr) {
+    Result<std::unique_ptr<TenantDurability>> opened = durability_->OpenTenant(
+        params.id, params.disk_bytes, catalog.get(),
+        /*fresh=*/!from_recovery);
+    if (!opened.ok()) return opened.status();
+    durability = std::move(*opened);
+    if (!from_recovery) {
+      Status logged = durability_->LogAttach(params);
+      if (!logged.ok()) {
+        // An unlogged tenant would silently vanish on restart; fail the
+        // ATTACH instead and leave nothing behind.
+        durability.reset();
+        durability_->RemoveTenant(params.id);
+        return logged;
+      }
+    }
   }
+
+  // The attaching_ claim guarantees exclusivity for this id until the guard
+  // releases it, so no duplicate re-check is needed under the lock.
+  std::lock_guard<std::mutex> lock(mu_);
   SessionManagerOptions options = base_options_;
   options.governor = governor_;
   options.session_prefix = params.id + "-s-";
@@ -337,7 +408,8 @@ Result<TenantPtr> TenantRegistry::Attach(const AttachParams& params) {
   }
   Catalog* mutable_catalog = catalog.get();  // ATTACHed tenants allow APPEND
   return MakeTenantLocked(params.id, params.weight, std::move(catalog),
-                          mutable_catalog, nullptr, options);
+                          mutable_catalog, nullptr, std::move(durability),
+                          options);
 }
 
 Status TenantRegistry::Detach(const std::string& id) {
@@ -352,6 +424,12 @@ Status TenantRegistry::Detach(const std::string& id) {
       return Status::NotFound(
           StringFormat("no tenant '%s' attached", id.c_str()));
     }
+    // Log before unpublishing, while still holding the lock: if the
+    // manifest append fails the tenant stays attached, and a success means
+    // a crash anywhere past this point can no longer resurrect it.
+    if (durability_ != nullptr) {
+      ACQ_RETURN_IF_ERROR(durability_->LogDetach(id));
+    }
     tenant = std::move(it->second);
     tenants_.erase(it);
   }
@@ -361,6 +439,10 @@ Status TenantRegistry::Detach(const std::string& id) {
   // outstanding and the governor entry can go.
   tenant->manager().Shutdown();
   governor_->Deregister(&tenant->manager());
+  // The TenantDurability stays owned by the (possibly still referenced)
+  // Tenant; deleting the directory under its open log fd is safe — any
+  // straggler append lands in an unlinked file.
+  if (durability_ != nullptr) durability_->RemoveTenant(id);
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,9 @@
 #include "storage/catalog.h"
 
 namespace acquire {
+
+class ServerDurability;
+class TenantDurability;
 
 /// Global fair-share arbiter for every SessionManager the server runs —
 /// one per tenant. Three resources are governed process-wide:
@@ -151,16 +155,27 @@ class ResourceGovernor {
 /// constructor catalog, which must outlive the registry).
 class Tenant {
  public:
+  Tenant();
+  ~Tenant();
+
   const std::string& id() const { return id_; }
   double weight() const { return weight_; }
   SessionManager& manager() { return *manager_; }
   const SessionManager& manager() const { return *manager_; }
+
+  /// This tenant's WAL/checkpoint state; null when durability is off (no
+  /// --wal-dir) or the tenant's catalog is read-only.
+  TenantDurability* durability() { return durability_.get(); }
+  const TenantDurability* durability() const { return durability_.get(); }
 
  private:
   friend class TenantRegistry;
   std::string id_;
   double weight_ = 1.0;
   std::unique_ptr<Catalog> owned_catalog_;  // null for the default tenant
+  /// Declared before the manager: the manager's options point at it (the
+  /// DurabilityHook), so it must outlive the manager's destruction.
+  std::unique_ptr<TenantDurability> durability_;
   std::unique_ptr<SessionManager> manager_;
 };
 
@@ -185,6 +200,10 @@ struct AttachParams {
   /// Per-tenant result-cache byte limit; negative inherits the server
   /// default, 0 disables the partition.
   int64_t cache_bytes = -1;
+  /// Disk quota over the tenant's WAL + checkpoint bytes; APPENDs beyond
+  /// it answer kResourceExhausted. 0 = unlimited. Only meaningful when the
+  /// server runs with durability (--wal-dir).
+  uint64_t disk_bytes = 0;
 };
 
 /// Wire-level tenant id -> Tenant. The default tenant ("default") adopts
@@ -206,8 +225,12 @@ class TenantRegistry {
   /// `governor` must outlive the registry and every TenantPtr handed out.
   /// `base_options` seeds per-tenant SessionManagerOptions (max_running,
   /// max_queued, cache_bytes); the governor field of the base is ignored
-  /// and replaced with `governor`.
-  TenantRegistry(ResourceGovernor* governor, SessionManagerOptions base_options);
+  /// and replaced with `governor`. `durability` (optional; must outlive
+  /// the registry) adds write-ahead logging: each mutable-catalog tenant
+  /// gets its own recovered TenantDurability and ATTACH/DETACH hit the
+  /// server manifest.
+  TenantRegistry(ResourceGovernor* governor, SessionManagerOptions base_options,
+                 ServerDurability* durability = nullptr);
 
   /// Shuts down and deregisters every tenant.
   ~TenantRegistry();
@@ -227,7 +250,14 @@ class TenantRegistry {
   /// per-tenant cache partitions), registers with the governor and
   /// publishes the tenant. AlreadyExists when the id is taken,
   /// InvalidArgument for a malformed id or params.
-  Result<TenantPtr> Attach(const AttachParams& params);
+  ///
+  /// With durability: a fresh attach wipes any leftover durability
+  /// directory for the id and logs ATTACH to the manifest before
+  /// publishing; `from_recovery` (the server's manifest replay) instead
+  /// recovers the tenant's checkpoint + WAL into the rebuilt catalog and
+  /// logs nothing.
+  Result<TenantPtr> Attach(const AttachParams& params,
+                           bool from_recovery = false);
 
   /// Drains and removes tenant `id`: unroutes it, cancels in-flight runs
   /// through SessionManager::Shutdown, deregisters from the governor.
@@ -252,13 +282,20 @@ class TenantRegistry {
                              std::unique_ptr<Catalog> owned,
                              Catalog* mutable_catalog,
                              const Catalog* const_catalog,
-                             const SessionManagerOptions& options);
+                             std::unique_ptr<TenantDurability> durability,
+                             SessionManagerOptions options);
 
   ResourceGovernor* const governor_;
   const SessionManagerOptions base_options_;
+  /// Null or disabled = no durability; owned by the server.
+  ServerDurability* const durability_;
 
   mutable std::mutex mu_;
   std::map<std::string, TenantPtr> tenants_;
+  /// Ids mid-Attach (catalog build + durability recovery happen outside
+  /// mu_): claimed up front so a concurrent duplicate ATTACH can never wipe
+  /// a directory another attach is populating.
+  std::set<std::string> attaching_;
 };
 
 /// A valid wire-level tenant id: 1..64 chars of [A-Za-z0-9_.-], so ids

@@ -46,6 +46,14 @@ Status Catalog::AppendRows(const std::string& name,
   return Status::OK();
 }
 
+Status Catalog::ValidateAppend(
+    const std::string& name,
+    const std::vector<std::vector<Value>>& rows) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second->ValidateRows(rows);
+}
+
 void Catalog::set_load_params(std::string params) {
   load_params_ = std::move(params);
   ++generation_;

@@ -45,6 +45,13 @@ class Catalog {
   Status AppendRows(const std::string& name,
                     const std::vector<std::vector<Value>>& rows);
 
+  /// Checks that AppendRows(name, rows) would succeed, without mutating
+  /// anything. The durability path validates first, then logs the batch,
+  /// then applies — so a rejected batch never reaches the log and a logged
+  /// batch never fails to apply.
+  Status ValidateAppend(const std::string& name,
+                        const std::vector<std::vector<Value>>& rows) const;
+
   std::vector<std::string> TableNames() const;
   size_t size() const { return tables_.size(); }
 
@@ -56,6 +63,15 @@ class Catalog {
   const std::string& load_params() const { return load_params_; }
   void set_load_params(std::string params);
   void AppendLoadParams(const std::string& params);
+
+  /// Restores checkpointed identity without bumping the generation: after a
+  /// recovery rebuilds the tables, this stamps the exact generation and
+  /// load_params the pre-crash catalog had, so task fingerprints (and cached
+  /// replies keyed on them) round-trip bit-identically.
+  void RestoreIdentity(uint64_t generation, std::string load_params) {
+    generation_ = generation;
+    load_params_ = std::move(load_params);
+  }
 
  private:
   std::map<std::string, TablePtr> tables_;

@@ -34,9 +34,12 @@ Status Table::AppendRow(const std::vector<Value>& values) {
   return Status::OK();
 }
 
-Status Table::AppendRows(const std::vector<std::vector<Value>>& rows) {
-  // Validation pass first (no mutation): the same rules Column::Append
-  // enforces — exact type match, except int64 widening into double columns.
+Status Table::ValidateRows(
+    const std::vector<std::vector<Value>>& rows) const {
+  // The same rules Column::Append enforces — exact type match, except int64
+  // widening into double columns. No mutation: callers (AppendRows here, the
+  // WAL admission path in the server) rely on "validated rows cannot fail to
+  // apply".
   for (size_t r = 0; r < rows.size(); ++r) {
     const std::vector<Value>& values = rows[r];
     if (values.size() != columns_.size()) {
@@ -65,6 +68,11 @@ Status Table::AppendRows(const std::vector<std::vector<Value>>& rows) {
       }
     }
   }
+  return Status::OK();
+}
+
+Status Table::AppendRows(const std::vector<std::vector<Value>>& rows) {
+  ACQ_RETURN_IF_ERROR(ValidateRows(rows));
   ReserveRows(num_rows_ + rows.size());
   for (const std::vector<Value>& values : rows) {
     for (size_t i = 0; i < values.size(); ++i) {

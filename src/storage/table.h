@@ -40,6 +40,11 @@ class Table {
   /// the all-or-nothing contract).
   Status AppendRows(const std::vector<std::vector<Value>>& rows);
 
+  /// The validation half of AppendRows, without mutation. A batch that
+  /// passes cannot fail to apply — the write-ahead-log path validates, then
+  /// logs, then applies, and depends on the apply being infallible.
+  Status ValidateRows(const std::vector<std::vector<Value>>& rows) const;
+
   /// Bulk variant of AppendRow used by generators: appends typed values with
   /// per-column fast paths. All vectors must have schema-matching types.
   void ReserveRows(size_t n);

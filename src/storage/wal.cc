@@ -1,0 +1,743 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "storage/persistence.h"
+
+namespace acquire {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kWalHeader[] = "acq-wal-v1\n";
+constexpr size_t kWalHeaderLen = sizeof(kWalHeader) - 1;
+constexpr char kManifestHeader[] = "acq-manifest-v1\n";
+constexpr size_t kManifestHeaderLen = sizeof(kManifestHeader) - 1;
+constexpr char kCheckpointHeader[] = "acq-ckpt-v1";
+/// Frame header: u32 payload length + u32 CRC32C of the payload.
+constexpr size_t kFrameHeaderLen = 8;
+/// Corrupt length fields must not drive allocation: anything claiming a
+/// payload beyond this is treated as a torn tail.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+/// Record-type tag inside the payload (room for future record kinds).
+constexpr uint8_t kRecordAppend = 1;
+
+/// Value tags.
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt64 = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+bool GetU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(in.data()) + *pos;
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) |
+       (static_cast<uint32_t>(p[3]) << 24);
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  uint32_t lo = 0, hi = 0;
+  if (!GetU32(in, pos, &lo) || !GetU32(in, pos, &hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  size_t written = 0;
+  while (written < n) {
+    ssize_t w = ::write(fd, data + written, n - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StringFormat("wal write: %s",
+                                          std::strerror(errno)));
+    }
+    written += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status FsyncFd(int fd) {
+  if (::fsync(fd) != 0) {
+    return Status::IOError(StringFormat("fsync: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Best-effort fsync of a directory entry itself (so renames/creates in it
+/// are durable). Some filesystems reject O_RDONLY dir fsync; ignored then.
+void SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// fsyncs every regular file under `dir` (recursive): checkpoint snapshots
+/// go through ofstream, which never syncs, and a published-but-unsynced
+/// snapshot would defeat the atomic rename.
+void SyncTreeFiles(const std::string& dir) {
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    int fd = ::open(it->path().c_str(), O_RDONLY);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+  SyncDirectory(dir);
+}
+
+}  // namespace
+
+// CRC32C, reflected polynomial 0x82F63B78 (Castagnoli). Table built once.
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc) {
+  static const uint32_t* const kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Result<FsyncPolicy> FsyncPolicyFromString(const std::string& name) {
+  const std::string lower = ToLower(Trim(name));
+  if (lower == "never") return FsyncPolicy::kNever;
+  if (lower == "batch") return FsyncPolicy::kBatch;
+  if (lower == "always") return FsyncPolicy::kAlways;
+  return Status::InvalidArgument(StringFormat(
+      "unknown fsync policy '%s' (never|batch|always)", name.c_str()));
+}
+
+const char* FsyncPolicyToString(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kAlways:
+      return "always";
+  }
+  return "batch";
+}
+
+std::string EncodeWalRecord(const WalAppendRecord& record) {
+  std::string out;
+  out.push_back(static_cast<char>(kRecordAppend));
+  PutU64(&out, record.generation);
+  PutU32(&out, static_cast<uint32_t>(record.table.size()));
+  out.append(record.table);
+  PutU32(&out, static_cast<uint32_t>(record.rows.size()));
+  const uint32_t cols =
+      record.rows.empty() ? 0 : static_cast<uint32_t>(record.rows[0].size());
+  PutU32(&out, cols);
+  for (const std::vector<Value>& row : record.rows) {
+    for (const Value& v : row) {
+      if (v.is_int64()) {
+        out.push_back(static_cast<char>(kTagInt64));
+        PutU64(&out, static_cast<uint64_t>(v.int64()));
+      } else if (v.is_double()) {
+        out.push_back(static_cast<char>(kTagDouble));
+        uint64_t bits = 0;
+        const double d = v.dbl();
+        std::memcpy(&bits, &d, sizeof(bits));
+        PutU64(&out, bits);
+      } else if (v.is_string()) {
+        out.push_back(static_cast<char>(kTagString));
+        PutU32(&out, static_cast<uint32_t>(v.str().size()));
+        out.append(v.str());
+      } else {
+        out.push_back(static_cast<char>(kTagNull));
+      }
+    }
+  }
+  return out;
+}
+
+Result<WalAppendRecord> DecodeWalRecord(const std::string& payload) {
+  size_t pos = 0;
+  if (payload.empty() || payload[pos] != static_cast<char>(kRecordAppend)) {
+    return Status::ParseError("wal record: unknown record type");
+  }
+  ++pos;
+  WalAppendRecord record;
+  if (!GetU64(payload, &pos, &record.generation)) {
+    return Status::ParseError("wal record: truncated generation");
+  }
+  uint32_t table_len = 0;
+  if (!GetU32(payload, &pos, &table_len) ||
+      pos + table_len > payload.size()) {
+    return Status::ParseError("wal record: truncated table name");
+  }
+  record.table = payload.substr(pos, table_len);
+  pos += table_len;
+  uint32_t nrows = 0, ncols = 0;
+  if (!GetU32(payload, &pos, &nrows) || !GetU32(payload, &pos, &ncols)) {
+    return Status::ParseError("wal record: truncated shape");
+  }
+  record.rows.reserve(nrows);
+  for (uint32_t r = 0; r < nrows; ++r) {
+    std::vector<Value> row;
+    row.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      if (pos >= payload.size()) {
+        return Status::ParseError("wal record: truncated value");
+      }
+      const uint8_t tag = static_cast<uint8_t>(payload[pos++]);
+      switch (tag) {
+        case kTagNull:
+          row.emplace_back();
+          break;
+        case kTagInt64: {
+          uint64_t v = 0;
+          if (!GetU64(payload, &pos, &v)) {
+            return Status::ParseError("wal record: truncated int64");
+          }
+          row.emplace_back(static_cast<int64_t>(v));
+          break;
+        }
+        case kTagDouble: {
+          uint64_t bits = 0;
+          if (!GetU64(payload, &pos, &bits)) {
+            return Status::ParseError("wal record: truncated double");
+          }
+          double d = 0.0;
+          std::memcpy(&d, &bits, sizeof(d));
+          row.emplace_back(d);
+          break;
+        }
+        case kTagString: {
+          uint32_t len = 0;
+          if (!GetU32(payload, &pos, &len) || pos + len > payload.size()) {
+            return Status::ParseError("wal record: truncated string");
+          }
+          row.emplace_back(payload.substr(pos, len));
+          pos += len;
+          break;
+        }
+        default:
+          return Status::ParseError("wal record: unknown value tag");
+      }
+    }
+    record.rows.push_back(std::move(row));
+  }
+  if (pos != payload.size()) {
+    return Status::ParseError("wal record: trailing bytes");
+  }
+  return record;
+}
+
+uint64_t WalRecordCost(const WalAppendRecord& record) {
+  return kFrameHeaderLen + EncodeWalRecord(record).size();
+}
+
+WalWriter::WalWriter(std::string path, int fd, FsyncPolicy policy,
+                     uint64_t bytes)
+    : path_(std::move(path)), fd_(fd), policy_(policy), bytes_(bytes) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    if (policy_ != FsyncPolicy::kNever && unsynced_records_ > 0) {
+      ::fsync(fd_);
+    }
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   FsyncPolicy policy) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError(StringFormat("cannot open wal %s: %s",
+                                        path.c_str(), std::strerror(errno)));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(StringFormat("fstat wal %s: %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  uint64_t bytes = static_cast<uint64_t>(st.st_size);
+  if (bytes == 0) {
+    Status header = WriteAll(fd, kWalHeader, kWalHeaderLen);
+    if (!header.ok()) {
+      ::close(fd);
+      return header;
+    }
+    bytes = kWalHeaderLen;
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, fd, policy, bytes));
+}
+
+Status WalWriter::SyncLocked() {
+  ACQ_RETURN_IF_ERROR(FsyncFd(fd_));
+  ++syncs_;
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (policy_ == FsyncPolicy::kNever) return Status::OK();
+  if (unsynced_records_ == 0) return Status::OK();
+  return SyncLocked();
+}
+
+Status WalWriter::Append(const WalAppendRecord& record) {
+  const uint64_t start = bytes_;
+  // Any failure below — injected or real — must leave the log byte-identical
+  // to the pre-call state: a half-written record mid-file (not at the tail)
+  // would desynchronize the framing for every later record.
+  auto rollback = [&]() {
+    (void)::ftruncate(fd_, static_cast<off_t>(start));
+    (void)::lseek(fd_, 0, SEEK_END);
+    bytes_ = start;
+  };
+  if (ACQ_FAILPOINT("wal.append.pre_write")) {
+    return Status::IOError("injected wal failure (wal.append.pre_write)");
+  }
+  const std::string payload = EncodeWalRecord(record);
+  std::string frame;
+  frame.reserve(kFrameHeaderLen);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32c(payload.data(), payload.size()));
+  Status written = WriteAll(fd_, frame.data(), frame.size());
+  // Crash sites: mid_write armed with crash:<n> terminates here, leaving a
+  // frame header without its payload — the torn tail recovery must absorb.
+  if (written.ok() && ACQ_FAILPOINT("wal.append.mid_write")) {
+    written = Status::IOError("injected wal failure (wal.append.mid_write)");
+  }
+  if (written.ok()) {
+    written = WriteAll(fd_, payload.data(), payload.size());
+  }
+  if (!written.ok()) {
+    rollback();
+    return written;
+  }
+  bytes_ += kFrameHeaderLen + payload.size();
+  ++records_;
+  ++unsynced_records_;
+  Status synced = Status::OK();
+  if (policy_ == FsyncPolicy::kAlways ||
+      (policy_ == FsyncPolicy::kBatch &&
+       unsynced_records_ >= kBatchSyncRecords)) {
+    synced = SyncLocked();
+  }
+  if (synced.ok() && ACQ_FAILPOINT("wal.append.pre_ack")) {
+    synced = Status::IOError("injected wal failure (wal.append.pre_ack)");
+  }
+  if (!synced.ok()) {
+    // The record may already be durable, but the append is being failed:
+    // roll it back so the reply ("rejected") and the log agree. A crash:
+    // trigger never reaches this line — that is the point of the site.
+    --records_;
+    if (unsynced_records_ > 0) --unsynced_records_;
+    rollback();
+    return synced;
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  if (::ftruncate(fd_, static_cast<off_t>(kWalHeaderLen)) != 0) {
+    return Status::IOError(StringFormat("truncate wal %s: %s", path_.c_str(),
+                                        std::strerror(errno)));
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    return Status::IOError(StringFormat("seek wal %s: %s", path_.c_str(),
+                                        std::strerror(errno)));
+  }
+  bytes_ = kWalHeaderLen;
+  records_ = 0;  // records() counts the live log, which is now empty
+  unsynced_records_ = 0;
+  if (policy_ != FsyncPolicy::kNever) ACQ_RETURN_IF_ERROR(FsyncFd(fd_));
+  return Status::OK();
+}
+
+Status ReplayWal(const std::string& path,
+                 const std::function<Status(const WalAppendRecord&)>& apply,
+                 WalReplayStats* stats) {
+  WalReplayStats local;
+  WalReplayStats* out = stats != nullptr ? stats : &local;
+  *out = WalReplayStats{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::OK();  // cold start: nothing logged yet
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+
+  size_t pos = 0;
+  bool torn = false;
+  if (contents.size() < kWalHeaderLen ||
+      contents.compare(0, kWalHeaderLen, kWalHeader) != 0) {
+    // Unrecognizable header: the whole file is a torn write; start over.
+    torn = !contents.empty();
+    pos = 0;
+  } else {
+    pos = kWalHeaderLen;
+    while (pos < contents.size()) {
+      size_t cursor = pos;
+      uint32_t len = 0, crc = 0;
+      if (!GetU32(contents, &cursor, &len) ||
+          !GetU32(contents, &cursor, &crc) || len > kMaxPayloadBytes ||
+          cursor + len > contents.size()) {
+        torn = true;
+        break;
+      }
+      const std::string payload = contents.substr(cursor, len);
+      if (Crc32c(payload.data(), payload.size()) != crc) {
+        torn = true;
+        break;
+      }
+      Result<WalAppendRecord> record = DecodeWalRecord(payload);
+      if (!record.ok()) {
+        torn = true;
+        break;
+      }
+      ACQ_RETURN_IF_ERROR(apply(*record));
+      ++out->records;
+      out->rows += record->rows.size();
+      pos = cursor + len;
+    }
+  }
+  out->torn_tail = torn;
+  out->valid_bytes = pos;
+  if (torn) {
+    // Physically drop the tail so the next writer appends on a clean
+    // boundary (and so "the log before the crash" equals "the log after
+    // recovery" for everything that was acked).
+    std::error_code ec;
+    fs::resize_file(path, pos == 0 ? 0 : pos, ec);
+    if (ec) {
+      return Status::IOError(StringFormat("truncate torn wal %s: %s",
+                                          path.c_str(),
+                                          ec.message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents,
+                       bool do_fsync) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(StringFormat("cannot write %s: %s", tmp.c_str(),
+                                        std::strerror(errno)));
+  }
+  Status written = WriteAll(fd, contents.data(), contents.size());
+  if (written.ok() && do_fsync) written = FsyncFd(fd);
+  ::close(fd);
+  if (!written.ok()) {
+    ::unlink(tmp.c_str());
+    return written;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Status::IOError(StringFormat(
+        "rename %s -> %s: %s", tmp.c_str(), path.c_str(),
+        std::strerror(errno)));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (do_fsync) SyncDirectory(fs::path(path).parent_path().string());
+  return Status::OK();
+}
+
+ManifestLog::ManifestLog(std::string path, int fd, FsyncPolicy policy)
+    : path_(std::move(path)), fd_(fd), policy_(policy) {}
+
+ManifestLog::~ManifestLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status ManifestLog::Replay(const std::string& path,
+                           std::vector<std::string>* lines, bool* torn_tail) {
+  lines->clear();
+  if (torn_tail != nullptr) *torn_tail = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::OK();
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+
+  size_t pos = 0;
+  bool torn = false;
+  if (contents.size() < kManifestHeaderLen ||
+      contents.compare(0, kManifestHeaderLen, kManifestHeader) != 0) {
+    torn = !contents.empty();
+  } else {
+    pos = kManifestHeaderLen;
+    while (pos < contents.size()) {
+      const size_t eol = contents.find('\n', pos);
+      if (eol == std::string::npos) {
+        torn = true;  // partial final line: a crash mid-append
+        break;
+      }
+      const std::string line = contents.substr(pos, eol - pos);
+      // "<8-hex crc32c> <payload>"
+      unsigned long crc = 0;
+      char* end = nullptr;
+      if (line.size() < 10 || line[8] != ' ' ||
+          (crc = std::strtoul(line.substr(0, 8).c_str(), &end, 16),
+       end == nullptr || *end != '\0')) {
+        torn = true;
+        break;
+      }
+      const std::string payload = line.substr(9);
+      if (Crc32c(payload.data(), payload.size()) !=
+          static_cast<uint32_t>(crc)) {
+        torn = true;
+        break;
+      }
+      lines->push_back(payload);
+      pos = eol + 1;
+    }
+  }
+  if (torn_tail != nullptr) *torn_tail = torn;
+  if (torn) {
+    std::error_code ec;
+    fs::resize_file(path, pos, ec);
+    if (ec) {
+      return Status::IOError(StringFormat("truncate torn manifest %s: %s",
+                                          path.c_str(),
+                                          ec.message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ManifestLog>> ManifestLog::Open(
+    const std::string& path, FsyncPolicy policy) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError(StringFormat("cannot open manifest %s: %s",
+                                        path.c_str(), std::strerror(errno)));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) == 0 && st.st_size == 0) {
+    Status header = WriteAll(fd, kManifestHeader, kManifestHeaderLen);
+    if (!header.ok()) {
+      ::close(fd);
+      return header;
+    }
+  }
+  return std::unique_ptr<ManifestLog>(new ManifestLog(path, fd, policy));
+}
+
+Status ManifestLog::Append(const std::string& line) {
+  if (line.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("manifest lines must not contain '\\n'");
+  }
+  if (ACQ_FAILPOINT("wal.manifest.append")) {
+    return Status::IOError("injected manifest failure (wal.manifest.append)");
+  }
+  const std::string framed = StringFormat(
+      "%08x %s\n", Crc32c(line.data(), line.size()), line.c_str());
+  ACQ_RETURN_IF_ERROR(WriteAll(fd_, framed.data(), framed.size()));
+  // Manifest events (ATTACH/DETACH) are rare and structural: sync them
+  // eagerly under every policy except an explicit kNever.
+  if (policy_ != FsyncPolicy::kNever) ACQ_RETURN_IF_ERROR(FsyncFd(fd_));
+  ++records_;
+  return Status::OK();
+}
+
+namespace {
+
+constexpr char kCurrentFile[] = "CURRENT";
+constexpr char kCheckpointMetaFile[] = "CHECKPOINT";
+
+/// The published checkpoint directory name ("ckpt-<seq>"), or empty.
+std::string ReadCurrent(const std::string& dir) {
+  std::ifstream in(fs::path(dir) / kCurrentFile);
+  if (!in) return "";
+  std::string name;
+  std::getline(in, name);
+  name = std::string(Trim(name));
+  // Defensive: CURRENT must point inside `dir`.
+  if (name.empty() || name.find('/') != std::string::npos ||
+      name.find("..") != std::string::npos) {
+    return "";
+  }
+  return name;
+}
+
+uint64_t ParseCheckpointSeq(const std::string& name) {
+  if (name.rfind("ckpt-", 0) != 0) return 0;
+  return std::strtoull(name.c_str() + 5, nullptr, 10);
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const Catalog& catalog, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError(StringFormat("cannot create %s: %s", dir.c_str(),
+                                        ec.message().c_str()));
+  }
+  const std::string current = ReadCurrent(dir);
+  const uint64_t seq = ParseCheckpointSeq(current) + 1;
+  const std::string name = StringFormat(
+      "ckpt-%llu", static_cast<unsigned long long>(seq));
+  const fs::path final_dir = fs::path(dir) / name;
+  const fs::path tmp_dir = fs::path(dir) / (name + ".tmp");
+  fs::remove_all(tmp_dir, ec);
+  fs::remove_all(final_dir, ec);  // leftover from an unpublished crash
+
+  ACQ_RETURN_IF_ERROR(SaveCatalog(catalog, tmp_dir.string()));
+  std::string body = StringFormat(
+      "generation %llu\nload_params %s\n",
+      static_cast<unsigned long long>(catalog.generation()),
+      catalog.load_params().c_str());
+  std::string meta = std::string(kCheckpointHeader) + "\n" + body +
+                     StringFormat("crc %08x\n",
+                                  Crc32c(body.data(), body.size()));
+  ACQ_RETURN_IF_ERROR(
+      AtomicWriteFile((tmp_dir / kCheckpointMetaFile).string(), meta));
+  SyncTreeFiles(tmp_dir.string());
+
+  // Crash window under test: the snapshot exists but is not published. A
+  // restart must recover from the previous checkpoint (or the base) plus
+  // the still-untrimmed log.
+  if (ACQ_FAILPOINT("wal.checkpoint.mid")) {
+    return Status::IOError(
+        "injected checkpoint failure (wal.checkpoint.mid)");
+  }
+
+  fs::rename(tmp_dir, final_dir, ec);
+  if (ec) {
+    return Status::IOError(StringFormat("publish checkpoint %s: %s",
+                                        final_dir.c_str(),
+                                        ec.message().c_str()));
+  }
+  SyncDirectory(dir);
+  // The atomic commit point: CURRENT flips to the new snapshot.
+  ACQ_RETURN_IF_ERROR(AtomicWriteFile(
+      (fs::path(dir) / kCurrentFile).string(), name + "\n"));
+  // Superseded checkpoints and stale temp dirs are garbage now.
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string entry = it->path().filename().string();
+    if (entry == name || entry == kCurrentFile) continue;
+    if (entry.rfind("ckpt-", 0) == 0) {
+      std::error_code rm;
+      fs::remove_all(it->path(), rm);
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& dir, Catalog* catalog,
+                      CheckpointMeta* meta) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  const std::string current = ReadCurrent(dir);
+  if (current.empty()) {
+    return Status::NotFound("no checkpoint published in " + dir);
+  }
+  const fs::path ckpt = fs::path(dir) / current;
+  std::ifstream meta_in(ckpt / kCheckpointMetaFile);
+  if (!meta_in) {
+    return Status::NotFound(StringFormat(
+        "checkpoint %s has no meta file", ckpt.c_str()));
+  }
+  std::string header, gen_line, params_line, crc_line;
+  if (!std::getline(meta_in, header) || header != kCheckpointHeader ||
+      !std::getline(meta_in, gen_line) ||
+      !std::getline(meta_in, params_line) ||
+      !std::getline(meta_in, crc_line)) {
+    return Status::NotFound(StringFormat(
+        "checkpoint %s meta is malformed", ckpt.c_str()));
+  }
+  const std::string body = gen_line + "\n" + params_line + "\n";
+  unsigned long expected_crc = 0;
+  if (std::sscanf(crc_line.c_str(), "crc %lx", &expected_crc) != 1 ||
+      Crc32c(body.data(), body.size()) !=
+          static_cast<uint32_t>(expected_crc)) {
+    return Status::NotFound(StringFormat(
+        "checkpoint %s meta failed its CRC", ckpt.c_str()));
+  }
+  unsigned long long generation = 0;
+  if (std::sscanf(gen_line.c_str(), "generation %llu", &generation) != 1 ||
+      params_line.rfind("load_params ", 0) != 0) {
+    return Status::NotFound(StringFormat(
+        "checkpoint %s meta is malformed", ckpt.c_str()));
+  }
+  CheckpointMeta parsed;
+  parsed.generation = generation;
+  parsed.load_params = params_line.substr(std::strlen("load_params "));
+
+  // Load into a scratch catalog first: a half-readable snapshot must not
+  // leave *catalog half-replaced.
+  Catalog scratch;
+  Status loaded = LoadCatalog(ckpt.string(), &scratch);
+  if (!loaded.ok()) {
+    return Status::NotFound(StringFormat(
+        "checkpoint %s is unreadable: %s", ckpt.c_str(),
+        loaded.ToString().c_str()));
+  }
+  for (const std::string& name : catalog->TableNames()) {
+    (void)catalog->DropTable(name);
+  }
+  for (const std::string& name : scratch.TableNames()) {
+    catalog->PutTable(*scratch.GetTable(name));
+  }
+  catalog->RestoreIdentity(parsed.generation, parsed.load_params);
+  if (meta != nullptr) *meta = parsed;
+  return Status::OK();
+}
+
+uint64_t DirectoryBytes(const std::string& dir) {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code file_ec;
+    if (it->is_regular_file(file_ec)) {
+      total += static_cast<uint64_t>(it->file_size(file_ec));
+    }
+  }
+  return total;
+}
+
+}  // namespace acquire

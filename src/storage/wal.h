@@ -1,0 +1,203 @@
+#ifndef ACQUIRE_STORAGE_WAL_H_
+#define ACQUIRE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "storage/value.h"
+
+namespace acquire {
+
+/// Crash-consistent durability primitives for the serving path: a per-tenant
+/// write-ahead log of APPEND batches ("acq-wal-v1"), a CRC-guarded text log
+/// for the server manifest ("acq-manifest-v1"), and checkpointing over the
+/// SaveCatalog/LoadCatalog directory format with atomic publication.
+///
+/// Invariants (the recovery contract, tested by crash_recovery_test):
+///   - A record is logged (and synced per policy) BEFORE the batch applies
+///     to the in-memory catalog and before the client is acked, so the
+///     acked prefix of appends is always recoverable.
+///   - Batches are all-or-nothing: a record replays in full or not at all
+///     (CRC32C over the payload); a torn tail — the partial record a crash
+///     mid-write leaves behind — is truncated at recovery, never fatal.
+///   - Replaying base + log reproduces the pre-crash catalog bit-exactly:
+///     same rows in the same order, same generation counter, same
+///     load_params, hence same task fingerprints and byte-identical cached
+///     replies.
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected). Software
+/// table-driven implementation; `crc` chains calls (pass the previous
+/// return value to continue a running checksum).
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc = 0);
+
+/// When appended WAL records reach the disk platter.
+///   kNever  - rely on the OS page cache (fastest; a machine crash can lose
+///             recently acked appends, a process crash cannot).
+///   kBatch  - fsync every kBatchSyncRecords records and on Sync()/close.
+///   kAlways - fsync before every ack (full durability per append).
+enum class FsyncPolicy { kNever, kBatch, kAlways };
+
+Result<FsyncPolicy> FsyncPolicyFromString(const std::string& name);
+const char* FsyncPolicyToString(FsyncPolicy policy);
+
+/// One logged APPEND batch. `generation` is the catalog generation AFTER
+/// the batch applies (appends bump it by exactly 1), which makes replay
+/// idempotent against checkpoints: a record whose generation is already
+/// covered by the restored snapshot is skipped, so the crash window between
+/// checkpoint publication and log trim can never double-apply a batch.
+struct WalAppendRecord {
+  std::string table;
+  uint64_t generation = 0;
+  std::vector<std::vector<Value>> rows;
+};
+
+/// Serializes a record payload (binary: exact int64/double bit patterns, so
+/// replay is bit-identical to the original append).
+std::string EncodeWalRecord(const WalAppendRecord& record);
+Result<WalAppendRecord> DecodeWalRecord(const std::string& payload);
+
+/// Byte cost of logging `record` (frame header + payload), for disk-quota
+/// admission before any byte is written.
+uint64_t WalRecordCost(const WalAppendRecord& record);
+
+/// Append-only writer over one tenant's log file. Framing after the
+/// "acq-wal-v1\n" header is [u32 payload_len][u32 crc32c(payload)][payload],
+/// little-endian. Not thread-safe: the caller serializes appends (the
+/// session manager's exclusive data lock does).
+class WalWriter {
+ public:
+  /// Batch-policy sync cadence (records between fsyncs).
+  static constexpr uint64_t kBatchSyncRecords = 32;
+
+  /// Opens `path` for appending, writing the header when the file is new or
+  /// empty. The caller must have recovered/truncated the file first (see
+  /// ReplayWal) so the write position starts on a record boundary.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 FsyncPolicy policy);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and syncs per policy. On any failure — injected
+  /// (wal.append.* failpoints) or real — the file is truncated back to its
+  /// pre-call length, so a failed append leaves the log byte-identical.
+  Status Append(const WalAppendRecord& record);
+
+  /// Forces an fsync of everything appended so far.
+  Status Sync();
+
+  /// Trims the log back to the bare header (after a checkpoint made its
+  /// records redundant) and syncs.
+  Status Reset();
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
+  uint64_t syncs() const { return syncs_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, FsyncPolicy policy, uint64_t bytes);
+
+  Status SyncLocked();
+
+  const std::string path_;
+  int fd_ = -1;
+  const FsyncPolicy policy_;
+  uint64_t bytes_ = 0;
+  uint64_t records_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t unsynced_records_ = 0;
+};
+
+struct WalReplayStats {
+  size_t records = 0;
+  size_t rows = 0;
+  /// The log ended in a partial/corrupt record (crash mid-write); it was
+  /// truncated at the last valid boundary.
+  bool torn_tail = false;
+  uint64_t valid_bytes = 0;
+};
+
+/// Replays every intact record of `path` through `apply` in log order,
+/// then truncates the file at the first torn or CRC-corrupt record so the
+/// next WalWriter::Open appends on a clean boundary. A missing file is a
+/// cold start (OK, zero records). Corruption is NEVER a startup error —
+/// only `apply` failures propagate.
+Status ReplayWal(const std::string& path,
+                 const std::function<Status(const WalAppendRecord&)>& apply,
+                 WalReplayStats* stats = nullptr);
+
+/// Writes `contents` to `path` crash-safely: <path>.tmp, fsync, rename.
+/// A crash leaves either the old file or the new one, never a torn mix.
+Status AtomicWriteFile(const std::string& path, const std::string& contents,
+                       bool do_fsync = true);
+
+/// CRC-guarded append-only text log ("acq-manifest-v1"): each line is
+/// "<8-hex crc32c> <payload>". Torn-tail tolerant like the WAL. Used for
+/// the server-level tenant manifest (ATTACH/DETACH records).
+class ManifestLog {
+ public:
+  /// Replays the intact payload lines of `path` in order and truncates any
+  /// torn tail. Missing file = OK, zero lines.
+  static Status Replay(const std::string& path,
+                       std::vector<std::string>* lines,
+                       bool* torn_tail = nullptr);
+
+  /// Opens for appending (header written when new). Call Replay first.
+  static Result<std::unique_ptr<ManifestLog>> Open(const std::string& path,
+                                                   FsyncPolicy policy);
+  ~ManifestLog();
+
+  ManifestLog(const ManifestLog&) = delete;
+  ManifestLog& operator=(const ManifestLog&) = delete;
+
+  /// Appends one payload line (must not contain '\n'); synced unless the
+  /// policy is kNever (manifest events are rare and precious).
+  Status Append(const std::string& line);
+
+  uint64_t records() const { return records_; }
+
+ private:
+  ManifestLog(std::string path, int fd, FsyncPolicy policy);
+
+  const std::string path_;
+  int fd_ = -1;
+  const FsyncPolicy policy_;
+  uint64_t records_ = 0;
+};
+
+/// Checkpoint identity: what RestoreIdentity needs to make a restored
+/// catalog fingerprint-identical to the one that was snapshotted.
+struct CheckpointMeta {
+  uint64_t generation = 0;
+  std::string load_params;
+};
+
+/// Writes a full catalog snapshot into `dir`/ckpt-<seq> (SaveCatalog format
+/// plus a CRC-stamped CHECKPOINT meta file recording generation and
+/// load_params), then atomically publishes it by rewriting `dir`/CURRENT
+/// via temp-file+rename and deletes superseded checkpoints. A crash at any
+/// point leaves the previously published checkpoint (or none) intact.
+Status WriteCheckpoint(const Catalog& catalog, const std::string& dir);
+
+/// Loads the published checkpoint of `dir` into `catalog`: drops every
+/// existing table, loads the snapshot, and restores the recorded
+/// generation/load_params. NotFound when no checkpoint is published or the
+/// published one is corrupt (callers fall back to the base catalog + full
+/// WAL — corruption never prevents startup).
+Status LoadCheckpoint(const std::string& dir, Catalog* catalog,
+                      CheckpointMeta* meta = nullptr);
+
+/// Recursive byte size of a directory tree (0 when missing): WAL +
+/// checkpoint disk accounting for per-tenant quotas.
+uint64_t DirectoryBytes(const std::string& dir);
+
+}  // namespace acquire
+
+#endif  // ACQUIRE_STORAGE_WAL_H_

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <string>
 #include <thread>
 #include <vector>
@@ -182,6 +183,58 @@ TEST(FailpointTest, SleepGrammarWantsAPositiveDelay) {
     EXPECT_FALSE(registry.Configure("test.sleep_grammar", bad).ok()) << bad;
   }
   EXPECT_FALSE(ACQ_FAILPOINT("test.sleep_grammar"));
+}
+
+TEST(FailpointTest, CrashTriggerExitsWithCode137) {
+  SKIP_IF_COMPILED_OUT();
+  auto& registry = FailpointRegistry::Global();
+  // crash:2 — the first evaluation passes, the second kills the process
+  // with _Exit(137) (no atexit handlers, no flushing: a genuine crash as
+  // far as durability is concerned). The note lands on stderr first so
+  // the crash-recovery harness can attribute the death.
+  ASSERT_TRUE(registry.Configure("test.crash", "crash:2").ok());
+  EXPECT_EQ(registry.Site("test.crash")->spec(), "crash:2");
+  EXPECT_FALSE(ACQ_FAILPOINT("test.crash"));
+  EXPECT_EXIT(ACQ_FAILPOINT("test.crash"), ::testing::ExitedWithCode(137),
+              "injected crash");
+  // The parent process never fired it (the death happened in the fork).
+  ASSERT_TRUE(registry.Configure("test.crash", "off").ok());
+}
+
+TEST(FailpointTest, AbortTriggerDiesBySigabrt) {
+  SKIP_IF_COMPILED_OUT();
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("test.abort", "abort:1").ok());
+  EXPECT_EXIT(ACQ_FAILPOINT("test.abort"),
+              ::testing::KilledBySignal(SIGABRT), "injected abort");
+  ASSERT_TRUE(registry.Configure("test.abort", "off").ok());
+}
+
+TEST(FailpointTest, CrashAbortGrammarWantsAPositiveCount) {
+  auto& registry = FailpointRegistry::Global();
+  for (const char* bad : {"crash:", "crash:0", "crash:-1", "crash:x",
+                          "abort:", "abort:0", "abort:zz"}) {
+    EXPECT_FALSE(registry.Configure("test.crash_grammar", bad).ok()) << bad;
+  }
+  EXPECT_FALSE(ACQ_FAILPOINT("test.crash_grammar"));
+}
+
+TEST(FailpointTest, CrashSpecRoundTripsThroughRender) {
+  SKIP_IF_COMPILED_OUT();
+  auto& registry = FailpointRegistry::Global();
+  // spec() renders the live countdown, so ConfigureFromSpec(List()) can
+  // re-arm an equivalent registry (the acq_serve --failpoints handoff).
+  ASSERT_TRUE(registry.Configure("test.crash_render", "crash:7").ok());
+  EXPECT_EQ(registry.Site("test.crash_render")->spec(), "crash:7");
+  EXPECT_FALSE(ACQ_FAILPOINT("test.crash_render"));
+  EXPECT_EQ(registry.Site("test.crash_render")->spec(), "crash:6");
+  ASSERT_TRUE(registry
+                  .ConfigureFromSpec("test.crash_render=crash:9; "
+                                     "test.abort_render=abort:4")
+                  .ok());
+  EXPECT_EQ(registry.Site("test.crash_render")->spec(), "crash:9");
+  EXPECT_EQ(registry.Site("test.abort_render")->spec(), "abort:4");
+  registry.DisarmAll();
 }
 
 TEST(FailpointTest, ConcurrentCountNeverOverfires) {

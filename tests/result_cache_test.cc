@@ -8,6 +8,11 @@
 // while fields that only decide *whether* a run finishes (deadlines, memory
 // budgets) never do.
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <random>
 #include <string>
 #include <vector>
@@ -389,6 +394,65 @@ TEST(ResultCacheTest, NegativeCacheShortCircuitsRepeatedBadSql) {
   }
   EXPECT_EQ(StatsNumber(&server, "cache_negative_served"), 2.0);
   EXPECT_GE(StatsNumber(&server, "cache_negative_entries"), 1.0);
+}
+
+TEST(ResultCacheUnitTest, TruncatedSnapshotIsRejectedWhole) {
+  // A crash mid-save used to be unobservable: the old format had no
+  // integrity check, so a torn snapshot could half-load. The v2 format
+  // carries a whole-file CRC — any truncation point must reject the file
+  // outright with ParseError and insert nothing.
+  const std::string path = testing::TempDir() + "/acq_cache_torn.snapshot";
+  std::remove(path.c_str());
+  {
+    ResultCache cache(1 << 20);
+    cache.Insert(Fp(1), MakeEntry(200));
+    cache.Insert(Fp(2), MakeEntry(300));
+    ASSERT_TRUE(cache.SaveToFile(path).ok());
+  }
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(full.size(), 20u);
+  // Intact file loads both entries.
+  {
+    ResultCache cache(1 << 20);
+    size_t loaded = 0;
+    ASSERT_TRUE(cache.LoadFromFile(path, 0, &loaded).ok());
+    EXPECT_EQ(loaded, 2u);
+  }
+  // Every truncation past the header must be rejected whole — including
+  // cuts that land between entries, where the old line-based parser saw a
+  // well-formed prefix and loaded half the cache.
+  for (size_t keep : {full.size() - 1, full.size() - 9, full.size() / 2,
+                      full.size() / 4}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    ResultCache cache(1 << 20);
+    size_t loaded = 0, dropped = 0;
+    Status status = cache.LoadFromFile(path, 0, &loaded, &dropped);
+    EXPECT_FALSE(status.ok()) << "keep=" << keep;
+    EXPECT_EQ(cache.stats().entries, 0u)
+        << "keep=" << keep << ": torn snapshot half-loaded";
+    EXPECT_EQ(loaded, 0u);
+  }
+  // A single flipped bit in the body is caught by the CRC too.
+  {
+    std::string flipped = full;
+    flipped[full.size() / 2] ^= 0x40;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << flipped;
+    out.close();
+    ResultCache cache(1 << 20);
+    EXPECT_FALSE(cache.LoadFromFile(path, 0).ok());
+    EXPECT_EQ(cache.stats().entries, 0u);
+  }
+  std::remove(path.c_str());
+  // SaveToFile staged through `path`.tmp; no residue may remain.
+  EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0);
 }
 
 TEST(ResultCacheUnitTest, ZeroLimitClearsAndDisables) {

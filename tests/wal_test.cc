@@ -1,0 +1,654 @@
+// Unit coverage for the durability primitives (storage/wal.h): CRC32C,
+// record encode/decode, the torn-tail recovery contract of WalWriter +
+// ReplayWal, checkpoint write/load identity, the manifest codec, and the
+// in-process server recovery path (APPEND under a wal_dir, then a second
+// AcqServer over the same directory reproduces the catalog bit-exactly).
+//
+// Process-kill crash sites are exercised end-to-end by
+// crash_recovery_test.cc; this file stays in-process.
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/durability.h"
+#include "server/server.h"
+#include "storage/catalog.h"
+#include "storage/persistence.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+#include "workload/users_gen.h"
+
+namespace acquire {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/acq_wal_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, Crc32cKnownVectors) {
+  // RFC 3720 test vector for CRC32C.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // Chaining two halves equals one shot.
+  const std::string data = "refinement driven processing";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  const uint32_t half = Crc32c(data.data(), 10);
+  EXPECT_EQ(Crc32c(data.data() + 10, data.size() - 10, half), whole);
+}
+
+TEST_F(WalTest, FsyncPolicyStringRoundTrip) {
+  for (FsyncPolicy policy :
+       {FsyncPolicy::kNever, FsyncPolicy::kBatch, FsyncPolicy::kAlways}) {
+    Result<FsyncPolicy> parsed =
+        FsyncPolicyFromString(FsyncPolicyToString(policy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(FsyncPolicyFromString("sometimes").ok());
+}
+
+TEST_F(WalTest, RecordEncodeDecodeRoundTrip) {
+  WalAppendRecord record;
+  record.table = "users";
+  record.generation = 42;
+  const double nan = std::nan("");
+  record.rows = {
+      {Value(int64_t{7}), Value(3.25), Value("héllo\nworld"), Value::Null()},
+      {Value(int64_t{-1}), Value(nan), Value(std::string()), Value(2.0)},
+  };
+  Result<WalAppendRecord> decoded = DecodeWalRecord(EncodeWalRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->table, "users");
+  EXPECT_EQ(decoded->generation, 42u);
+  ASSERT_EQ(decoded->rows.size(), 2u);
+  ASSERT_EQ(decoded->rows[0].size(), 4u);
+  EXPECT_EQ(decoded->rows[0][0], Value(int64_t{7}));
+  EXPECT_EQ(decoded->rows[0][1], Value(3.25));
+  EXPECT_EQ(decoded->rows[0][2], Value("héllo\nworld"));
+  EXPECT_TRUE(decoded->rows[0][3].is_null());
+  // NaN survives by bit pattern (Value::operator== is false for NaN).
+  EXPECT_TRUE(decoded->rows[1][1].is_double());
+  EXPECT_TRUE(std::isnan(decoded->rows[1][1].dbl()));
+  EXPECT_EQ(decoded->rows[1][2], Value(std::string()));
+}
+
+TEST_F(WalTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeWalRecord("").ok());
+  EXPECT_FALSE(DecodeWalRecord("nonsense").ok());
+  // A valid payload truncated mid-way must not decode.
+  WalAppendRecord record;
+  record.table = "t";
+  record.rows = {{Value(int64_t{1})}};
+  std::string payload = EncodeWalRecord(record);
+  EXPECT_FALSE(DecodeWalRecord(payload.substr(0, payload.size() / 2)).ok());
+}
+
+Status CollectReplay(const std::string& path,
+                     std::vector<WalAppendRecord>* out,
+                     WalReplayStats* stats) {
+  return ReplayWal(
+      path,
+      [out](const WalAppendRecord& record) {
+        out->push_back(record);
+        return Status::OK();
+      },
+      stats);
+}
+
+TEST_F(WalTest, WriterAppendReplayRoundTrip) {
+  const std::string path = Path("wal.log");
+  {
+    Result<std::unique_ptr<WalWriter>> writer =
+        WalWriter::Open(path, FsyncPolicy::kBatch);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (int i = 0; i < 5; ++i) {
+      WalAppendRecord record;
+      record.table = "t";
+      record.generation = static_cast<uint64_t>(i + 1);
+      record.rows = {{Value(int64_t{i}), Value(i * 1.5)}};
+      ASSERT_TRUE((*writer)->Append(record).ok());
+    }
+    EXPECT_EQ((*writer)->records(), 5u);
+  }
+  std::vector<WalAppendRecord> replayed;
+  WalReplayStats stats;
+  ASSERT_TRUE(CollectReplay(path, &replayed, &stats).ok());
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(stats.records, 5u);
+  EXPECT_EQ(stats.rows, 5u);
+  ASSERT_EQ(replayed.size(), 5u);
+  EXPECT_EQ(replayed[3].generation, 4u);
+  EXPECT_EQ(replayed[3].rows[0][0], Value(int64_t{3}));
+}
+
+TEST_F(WalTest, ReplayMissingFileIsColdStart) {
+  std::vector<WalAppendRecord> replayed;
+  WalReplayStats stats;
+  ASSERT_TRUE(CollectReplay(Path("absent.log"), &replayed, &stats).ok());
+  EXPECT_TRUE(replayed.empty());
+  EXPECT_FALSE(stats.torn_tail);
+}
+
+TEST_F(WalTest, TornTailIsTruncatedAndWritable) {
+  const std::string path = Path("wal.log");
+  WalAppendRecord record;
+  record.table = "t";
+  record.generation = 1;
+  record.rows = {{Value(int64_t{11})}};
+  {
+    Result<std::unique_ptr<WalWriter>> writer =
+        WalWriter::Open(path, FsyncPolicy::kNever);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(record).ok());
+  }
+  const uint64_t intact_size = fs::file_size(path);
+  // Simulate a crash mid-write: a second record's frame header with only
+  // half its payload behind it.
+  {
+    std::string payload = EncodeWalRecord(record);
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    uint32_t crc = Crc32c(payload.data(), payload.size());
+    out.write(reinterpret_cast<const char*>(&len), 4);
+    out.write(reinterpret_cast<const char*>(&crc), 4);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size() / 2));
+  }
+  ASSERT_GT(fs::file_size(path), intact_size);
+  std::vector<WalAppendRecord> replayed;
+  WalReplayStats stats;
+  ASSERT_TRUE(CollectReplay(path, &replayed, &stats).ok());
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_EQ(replayed.size(), 1u);
+  // The torn record was physically truncated away...
+  EXPECT_EQ(fs::file_size(path), intact_size);
+  // ...and the log accepts appends again on the clean boundary.
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Open(path, FsyncPolicy::kNever);
+  ASSERT_TRUE(writer.ok());
+  record.generation = 2;
+  ASSERT_TRUE((*writer)->Append(record).ok());
+  replayed.clear();
+  ASSERT_TRUE(CollectReplay(path, &replayed, nullptr).ok());
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[1].generation, 2u);
+}
+
+TEST_F(WalTest, CorruptedMidFileRecordStopsReplayAtBoundary) {
+  const std::string path = Path("wal.log");
+  WalAppendRecord record;
+  record.table = "t";
+  record.rows = {{Value(std::string(100, 'x'))}};
+  {
+    Result<std::unique_ptr<WalWriter>> writer =
+        WalWriter::Open(path, FsyncPolicy::kNever);
+    ASSERT_TRUE(writer.ok());
+    record.generation = 1;
+    ASSERT_TRUE((*writer)->Append(record).ok());
+    const uint64_t first_end = (*writer)->bytes();
+    record.generation = 2;
+    ASSERT_TRUE((*writer)->Append(record).ok());
+    // Flip one payload byte of the SECOND record: everything from there on
+    // is untrusted and must be dropped.
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(first_end) + 20);
+    file.put('y');
+  }
+  std::vector<WalAppendRecord> replayed;
+  WalReplayStats stats;
+  ASSERT_TRUE(CollectReplay(path, &replayed, &stats).ok());
+  EXPECT_TRUE(stats.torn_tail);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].generation, 1u);
+}
+
+TEST_F(WalTest, BadHeaderIsTreatedAsEmptyNeverFatal) {
+  const std::string path = Path("wal.log");
+  { std::ofstream(path) << "not-a-wal-file at all\njunk\n"; }
+  std::vector<WalAppendRecord> replayed;
+  WalReplayStats stats;
+  ASSERT_TRUE(CollectReplay(path, &replayed, &stats).ok());
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_TRUE(replayed.empty());
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Open(path, FsyncPolicy::kNever);
+  ASSERT_TRUE(writer.ok());
+}
+
+TEST_F(WalTest, ResetTrimsToHeader) {
+  const std::string path = Path("wal.log");
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Open(path, FsyncPolicy::kNever);
+  ASSERT_TRUE(writer.ok());
+  WalAppendRecord record;
+  record.table = "t";
+  record.rows = {{Value(int64_t{1})}};
+  ASSERT_TRUE((*writer)->Append(record).ok());
+  ASSERT_TRUE((*writer)->Reset().ok());
+  EXPECT_EQ((*writer)->records(), 0u);
+  std::vector<WalAppendRecord> replayed;
+  ASSERT_TRUE(CollectReplay(path, &replayed, nullptr).ok());
+  EXPECT_TRUE(replayed.empty());
+}
+
+TEST_F(WalTest, AtomicWriteFileReplacesWhole) {
+  const std::string path = Path("file.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "first contents").ok());
+  EXPECT_EQ(ReadFile(path), "first contents");
+  ASSERT_TRUE(AtomicWriteFile(path, "second").ok());
+  EXPECT_EQ(ReadFile(path), "second");
+  // No stray temp file left behind.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+Catalog MakeSmallCatalog() {
+  Catalog catalog;
+  Schema schema({{"id", DataType::kInt64, ""},
+                 {"score", DataType::kDouble, ""},
+                 {"tag", DataType::kString, ""}});
+  auto table = std::make_shared<Table>("items", schema);
+  EXPECT_TRUE(table
+                  ->AppendRows({{Value(int64_t{1}), Value(0.1), Value("a")},
+                                {Value(int64_t{2}), Value(0.2), Value("b")}})
+                  .ok());
+  catalog.PutTable(table);
+  catalog.set_load_params("items:rows=2,seed=9");
+  return catalog;
+}
+
+TEST_F(WalTest, CheckpointRoundTripRestoresIdentity) {
+  Catalog catalog = MakeSmallCatalog();
+  const uint64_t generation = catalog.generation();
+  const std::string load_params = catalog.load_params();
+  ASSERT_TRUE(WriteCheckpoint(catalog, dir_).ok());
+
+  Catalog restored;
+  // Pre-existing junk tables must be dropped by the load.
+  restored.PutTable(std::make_shared<Table>(
+      "stale", Schema({{"x", DataType::kInt64, ""}})));
+  CheckpointMeta meta;
+  ASSERT_TRUE(LoadCheckpoint(dir_, &restored, &meta).ok());
+  EXPECT_EQ(meta.generation, generation);
+  EXPECT_EQ(restored.generation(), generation);
+  EXPECT_EQ(restored.load_params(), load_params);
+  EXPECT_EQ(restored.TableNames(), std::vector<std::string>{"items"});
+  Result<TablePtr> table = restored.GetTable("items");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->Get(1, 2), Value("b"));
+}
+
+TEST_F(WalTest, SecondCheckpointSupersedesAndGarbageCollects) {
+  Catalog catalog = MakeSmallCatalog();
+  ASSERT_TRUE(WriteCheckpoint(catalog, dir_).ok());
+  ASSERT_TRUE(
+      catalog.AppendRows("items", {{Value(int64_t{3}), Value(0.3), Value("c")}})
+          .ok());
+  ASSERT_TRUE(WriteCheckpoint(catalog, dir_).ok());
+  // Exactly one ckpt-* directory remains (the superseded one was GC'd).
+  size_t checkpoint_dirs = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().filename().string().rfind("ckpt-", 0) == 0) {
+      ++checkpoint_dirs;
+    }
+  }
+  EXPECT_EQ(checkpoint_dirs, 1u);
+  Catalog restored;
+  ASSERT_TRUE(LoadCheckpoint(dir_, &restored).ok());
+  EXPECT_EQ(restored.generation(), catalog.generation());
+  Result<TablePtr> table = restored.GetTable("items");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 3u);
+}
+
+TEST_F(WalTest, CorruptCheckpointIsNotFoundNeverFatal) {
+  Catalog restored;
+  // No checkpoint published at all.
+  EXPECT_TRUE(LoadCheckpoint(dir_, &restored).IsNotFound());
+  // CURRENT pointing at a checkpoint that does not exist.
+  ASSERT_TRUE(AtomicWriteFile(dir_ + "/CURRENT", "ckpt-99\n").ok());
+  EXPECT_TRUE(LoadCheckpoint(dir_, &restored).IsNotFound());
+  // CURRENT trying to escape the checkpoint directory.
+  ASSERT_TRUE(AtomicWriteFile(dir_ + "/CURRENT", "../../etc\n").ok());
+  EXPECT_TRUE(LoadCheckpoint(dir_, &restored).IsNotFound());
+  // A published checkpoint whose meta file was bit-flipped.
+  Catalog catalog = MakeSmallCatalog();
+  ASSERT_TRUE(WriteCheckpoint(catalog, dir_).ok());
+  ASSERT_FALSE(LoadCheckpoint(dir_, &restored).IsNotFound());
+  std::string current = ReadFile(dir_ + "/CURRENT");
+  while (!current.empty() && current.back() == '\n') current.pop_back();
+  const std::string meta_path = dir_ + "/" + current + "/CHECKPOINT";
+  std::string meta = ReadFile(meta_path);
+  ASSERT_FALSE(meta.empty());
+  meta[meta.size() / 2] ^= 0x01;
+  { std::ofstream(meta_path, std::ios::binary | std::ios::trunc) << meta; }
+  EXPECT_TRUE(LoadCheckpoint(dir_, &restored).IsNotFound());
+}
+
+TEST_F(WalTest, ManifestLineCodecEscapesAndRoundTrips) {
+  AttachParams params;
+  params.id = "t one";  // exercises percent-escaping of the space
+  params.generator = "users";
+  params.rows = 500;
+  params.seed = 7;
+  params.weight = 2.5;
+  params.max_queued = 9;
+  params.cache_bytes = 1 << 20;
+  params.disk_bytes = 1 << 22;
+  params.loaddb_dir = "/tmp/has space=and%percent";
+  bool is_attach = false;
+  AttachParams decoded;
+  ASSERT_TRUE(DecodeManifestLine(EncodeAttachLine(params), &is_attach,
+                                 &decoded));
+  EXPECT_TRUE(is_attach);
+  EXPECT_EQ(decoded.id, params.id);
+  EXPECT_EQ(decoded.generator, params.generator);
+  EXPECT_EQ(decoded.loaddb_dir, params.loaddb_dir);
+  EXPECT_EQ(decoded.rows, params.rows);
+  EXPECT_EQ(decoded.seed, params.seed);
+  EXPECT_DOUBLE_EQ(decoded.weight, params.weight);
+  EXPECT_EQ(decoded.max_queued, params.max_queued);
+  EXPECT_EQ(decoded.cache_bytes, params.cache_bytes);
+  EXPECT_EQ(decoded.disk_bytes, params.disk_bytes);
+
+  ASSERT_TRUE(DecodeManifestLine(EncodeDetachLine("t one"), &is_attach,
+                                 &decoded));
+  EXPECT_FALSE(is_attach);
+  EXPECT_EQ(decoded.id, "t one");
+
+  EXPECT_FALSE(DecodeManifestLine("gibberish", &is_attach, &decoded));
+  EXPECT_FALSE(DecodeManifestLine("attach gen=users", &is_attach, &decoded));
+}
+
+TEST_F(WalTest, ManifestReplayTruncatesTornTail) {
+  const std::string path = Path("MANIFEST");
+  {
+    Result<std::unique_ptr<ManifestLog>> manifest =
+        ManifestLog::Open(path, FsyncPolicy::kNever);
+    ASSERT_TRUE(manifest.ok());
+    ASSERT_TRUE((*manifest)->Append("attach id=a gen=users").ok());
+    ASSERT_TRUE((*manifest)->Append("detach id=a").ok());
+  }
+  const uint64_t intact_size = fs::file_size(path);
+  // A crash mid-append leaves a partial line with no trailing newline.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "deadbeef attach id=";
+  }
+  std::vector<std::string> lines;
+  bool torn = false;
+  ASSERT_TRUE(ManifestLog::Replay(path, &lines, &torn).ok());
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "attach id=a gen=users");
+  EXPECT_EQ(lines[1], "detach id=a");
+  EXPECT_EQ(fs::file_size(path), intact_size);
+  // A line whose CRC lies is also a tail cut, even with a newline.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "00000000 attach id=b gen=users\n";
+  }
+  lines.clear();
+  ASSERT_TRUE(ManifestLog::Replay(path, &lines, &torn).ok());
+  EXPECT_TRUE(torn);
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// In-process server recovery: the same wal_dir, a new AcqServer, identical
+// catalog identity and replies.
+
+ServerOptions DurableOptions(const std::string& wal_dir) {
+  ServerOptions options;
+  options.wal_dir = wal_dir;
+  options.fsync = FsyncPolicy::kNever;  // in-process: no machine crashes here
+  options.cache_bytes = 1 << 20;
+  return options;
+}
+
+Status GenUsers(size_t rows, Catalog* catalog) {
+  UsersOptions users;
+  users.users = rows;
+  return GenerateUsers(users, catalog);
+}
+
+std::string Append(AcqServer* server, const std::string& rows_json) {
+  return server->HandleRequestLine(
+      R"({"cmd":"APPEND","table":"users","rows":)" + rows_json + "}");
+}
+
+constexpr char kProbeSubmit[] =
+    R"({"cmd":"SUBMIT","wait":true,"sql":"SELECT * FROM users )"
+    R"(CONSTRAINT COUNT(*) >= 5 WHERE age <= 30 AND income >= 50000;"})";
+
+// Zeroes the only nondeterministic reply fields — wall-clock timings — so
+// the rest of the reply can be compared byte-for-byte.
+std::string NormalizeTimings(std::string reply) {
+  for (const char* key : {"\"elapsed_ms\":", "\"wall_ms\":"}) {
+    size_t pos = 0;
+    while ((pos = reply.find(key, pos)) != std::string::npos) {
+      const size_t begin = pos + std::strlen(key);
+      size_t end = begin;
+      while (end < reply.size() &&
+             (std::isdigit(static_cast<unsigned char>(reply[end])) ||
+              reply[end] == '.' || reply[end] == '-' || reply[end] == 'e' ||
+              reply[end] == '+')) {
+        ++end;
+      }
+      reply.replace(begin, end - begin, "0");
+      pos = begin;
+    }
+  }
+  return reply;
+}
+
+TEST_F(WalTest, ServerRecoversAppendsBitExactly) {
+  std::string stats_before;
+  std::string reply_before;
+  {
+    Catalog catalog;
+    ASSERT_TRUE(GenUsers(300, &catalog).ok());
+    AcqServer server(&catalog, DurableOptions(dir_));
+    EXPECT_NE(Append(&server,
+                     R"([[9001,25,70000.0,0.5,100,"nyc","f","bs","sports"]])")
+                  .find("\"ok\":true"),
+              std::string::npos);
+    EXPECT_NE(Append(&server,
+                     R"([[9002,24,71000.0,0.6,90,"sf","m","ms","music"]])")
+                  .find("\"ok\":true"),
+              std::string::npos);
+    reply_before = server.HandleRequestLine(kProbeSubmit);
+    stats_before = server.HandleRequestLine(R"({"cmd":"STATS"})");
+    // No clean shutdown: the WAL alone must carry both appends. (The
+    // AcqServer destructor checkpoints; bypass that by not relying on it —
+    // checkpoint-or-not, recovery must produce the same catalog.)
+  }
+  Catalog catalog;
+  ASSERT_TRUE(GenUsers(300, &catalog).ok());
+  AcqServer recovered(&catalog, DurableOptions(dir_));
+  const std::string reply_after = recovered.HandleRequestLine(kProbeSubmit);
+  EXPECT_EQ(NormalizeTimings(reply_before), NormalizeTimings(reply_after));
+  // Generation is part of the STATS surface; extract and compare exactly.
+  auto generation_of = [](const std::string& stats) {
+    const size_t pos = stats.find("\"catalog_generation\":");
+    EXPECT_NE(pos, std::string::npos) << stats;
+    return stats.substr(pos, stats.find(',', pos) - pos);
+  };
+  const std::string stats_after =
+      recovered.HandleRequestLine(R"({"cmd":"STATS"})");
+  EXPECT_EQ(generation_of(stats_before), generation_of(stats_after));
+  EXPECT_NE(stats_after.find("\"wal_enabled\":true"), std::string::npos);
+}
+
+TEST_F(WalTest, RejectedAppendLeavesLogByteIdentical) {
+  Catalog catalog;
+  ASSERT_TRUE(GenUsers(100, &catalog).ok());
+  AcqServer server(&catalog, DurableOptions(dir_));
+  ASSERT_NE(Append(&server,
+                   R"([[9001,25,70000.0,0.5,100,"nyc","f","bs","sports"]])")
+                .find("\"ok\":true"),
+            std::string::npos);
+  const std::string log_path = dir_ + "/default/wal.log";
+  const std::string log_before = ReadFile(log_path);
+  ASSERT_FALSE(log_before.empty());
+  const uint64_t generation_before = catalog.generation();
+
+  // Satellite contract: neither an empty batch nor a type-mismatched batch
+  // may log a record or bump the generation.
+  const std::string empty_reply = Append(&server, "[]");
+  EXPECT_NE(empty_reply.find("\"ok\":true"), std::string::npos);
+  const std::string bad_type =
+      Append(&server, R"([["not-an-int",25,70000.0,0.5,1,"a","b","c","d"]])");
+  EXPECT_NE(bad_type.find("\"ok\":false"), std::string::npos);
+  const std::string bad_arity = Append(&server, R"([[1,2]])");
+  EXPECT_NE(bad_arity.find("\"ok\":false"), std::string::npos);
+
+  EXPECT_EQ(ReadFile(log_path), log_before);
+  EXPECT_EQ(catalog.generation(), generation_before);
+}
+
+TEST_F(WalTest, DiskQuotaRejectsAppendWellFormed) {
+  Catalog catalog;
+  ASSERT_TRUE(GenUsers(100, &catalog).ok());
+  ServerOptions options = DurableOptions(dir_);
+  AcqServer server(&catalog, options);
+  // Attach a tenant with a quota so small a single append cannot fit.
+  const std::string attach_reply = server.HandleRequestLine(
+      R"({"cmd":"ATTACH","tenant":"q1","gen":"users","rows":50,)"
+      R"("disk_bytes":64})");
+  ASSERT_NE(attach_reply.find("\"ok\":true"), std::string::npos)
+      << attach_reply;
+  const std::string reply = server.HandleRequestLine(
+      R"({"cmd":"APPEND","tenant":"q1","table":"users","rows":)"
+      R"([[9001,25,70000.0,0.5,100,"nyc","f","bs","sports"]]})");
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("ResourceExhausted"), std::string::npos) << reply;
+  // The rejection surfaces in STATS and TENANTS.
+  const std::string stats = server.HandleRequestLine(
+      R"({"cmd":"STATS","tenant":"q1"})");
+  EXPECT_NE(stats.find("\"wal_quota_rejections\":1"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"disk_limit_bytes\":64"), std::string::npos) << stats;
+  const std::string tenants = server.HandleRequestLine(R"({"cmd":"TENANTS"})");
+  EXPECT_NE(tenants.find("\"disk_limit_bytes\":64"), std::string::npos)
+      << tenants;
+  // And the tenant still answers appends under quota... none fit here, but
+  // reads keep working.
+  const std::string status = server.HandleRequestLine(
+      R"({"cmd":"STATS","tenant":"q1"})");
+  EXPECT_NE(status.find("\"ok\":true"), std::string::npos);
+}
+
+TEST_F(WalTest, AttachDetachSurviveRestartViaManifest) {
+  {
+    Catalog catalog;
+    ASSERT_TRUE(GenUsers(100, &catalog).ok());
+    AcqServer server(&catalog, DurableOptions(dir_));
+    ASSERT_NE(server
+                  .HandleRequestLine(
+                      R"({"cmd":"ATTACH","tenant":"keep","gen":"users",)"
+                      R"("rows":60,"seed":3})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+    ASSERT_NE(server
+                  .HandleRequestLine(
+                      R"({"cmd":"ATTACH","tenant":"drop","gen":"users",)"
+                      R"("rows":40})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+    // An append into the surviving tenant must come back after restart too.
+    ASSERT_NE(server
+                  .HandleRequestLine(
+                      R"({"cmd":"APPEND","tenant":"keep","table":"users",)"
+                      R"("rows":[[9001,25,70000.0,0.5,100,"nyc","f","bs",)"
+                      R"("sports"]]})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+    ASSERT_NE(server
+                  .HandleRequestLine(
+                      R"({"cmd":"DETACH","tenant":"drop"})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+  }
+  Catalog catalog;
+  ASSERT_TRUE(GenUsers(100, &catalog).ok());
+  AcqServer recovered(&catalog, DurableOptions(dir_));
+  const std::string tenants =
+      recovered.HandleRequestLine(R"({"cmd":"TENANTS"})");
+  EXPECT_NE(tenants.find("\"tenant\":\"keep\""), std::string::npos) << tenants;
+  EXPECT_EQ(tenants.find("\"tenant\":\"drop\""), std::string::npos) << tenants;
+  // The recovered "keep" tenant has its appended row: 61 rows total.
+  // The first server shut down cleanly, so "keep" recovered from its
+  // checkpoint (which already folds in the append): same generation as at
+  // crash time, nothing left to replay.
+  const std::string stats = recovered.HandleRequestLine(
+      R"({"cmd":"STATS","tenant":"keep"})");
+  EXPECT_NE(stats.find("\"recovery_checkpoint_loaded\":true"),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"catalog_generation\":4"), std::string::npos)
+      << stats;
+}
+
+TEST_F(WalTest, TornWalTailNeverPreventsServerStartup) {
+  {
+    Catalog catalog;
+    ASSERT_TRUE(GenUsers(100, &catalog).ok());
+    AcqServer server(&catalog, DurableOptions(dir_));
+    ASSERT_NE(Append(&server,
+                     R"([[9001,25,70000.0,0.5,100,"nyc","f","bs","sports"]])")
+                  .find("\"ok\":true"),
+              std::string::npos);
+  }
+  // Vandalize the tail: garbage after the last intact record, as a crash
+  // mid-write would leave. (The destructor checkpointed + trimmed, so write
+  // garbage into the trimmed log.)
+  {
+    std::ofstream out(dir_ + "/default/wal.log",
+                      std::ios::binary | std::ios::app);
+    out << "\x55\x33garbage-partial-record";
+  }
+  Catalog catalog;
+  ASSERT_TRUE(GenUsers(100, &catalog).ok());
+  AcqServer recovered(&catalog, DurableOptions(dir_));
+  const std::string stats = recovered.HandleRequestLine(R"({"cmd":"STATS"})");
+  EXPECT_NE(stats.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(stats.find("\"recovery_torn_tail\":true"), std::string::npos)
+      << stats;
+  // The checkpointed append is still there (via the snapshot).
+  EXPECT_NE(stats.find("\"recovery_checkpoint_loaded\":true"),
+            std::string::npos)
+      << stats;
+}
+
+}  // namespace
+}  // namespace acquire
