@@ -36,6 +36,12 @@
 //                                 (core/fingerprint.h) replays the stored
 //                                 transcript of the completed run instead
 //                                 of searching again.
+//   \set progress <ms>            live per-layer progress lines on stderr
+//                                 while a run searches (0 = every drained
+//                                 layer, negative = off). Defaults to
+//                                 100 ms when stdin is a terminal, off
+//                                 otherwise — stdout transcripts stay
+//                                 byte-identical either way.
 //   \help                         this text
 //   \quit                         exit
 // Anything else is parsed as ACQ SQL (CONSTRAINT / NOREFINE).
@@ -58,6 +64,7 @@
 #include "common/string_util.h"
 #include "core/fingerprint.h"
 #include "core/processor.h"
+#include "core/run_context.h"
 #include "core/report.h"
 #include "exec/materialize.h"
 #include "sql/binder.h"
@@ -146,7 +153,7 @@ class Shell {
              "\\attach <id> gen <kind> [rows] | loaddb <dir>, "
              "\\detach <id>, \\tenant [id], "
              "\\set gamma|delta|batch|max_explored|memory_budget|cache"
-             "|merge_strategy <v>, "
+             "|merge_strategy|progress <v>, "
              "\\quit\n");
       return true;
     }
@@ -450,6 +457,8 @@ class Shell {
         in >> value;
         if (key == "gamma" && value > 0) {
           options_.gamma = value;
+        } else if (key == "progress") {
+          progress_interval_ms_ = value;
         } else if (key == "delta" && value >= 0) {
           options_.delta = value;
         } else if (key == "batch") {
@@ -469,7 +478,7 @@ class Shell {
           EvictCache();
         } else {
           printf("usage: \\set gamma|delta|batch|max_explored|memory_budget"
-                 "|cache|merge_strategy <value>\n");
+                 "|cache|merge_strategy|progress <value>\n");
           return true;
         }
       }
@@ -538,7 +547,33 @@ class Shell {
       return;
     }
     last_task_ = std::make_shared<AcqTask>(std::move(task).value());
+    // Live progress goes to stderr so stdout transcripts (and the replay
+    // cache built from them) stay byte-identical with progress on or off.
+    RunContext progress_ctx;
+    if (progress_interval_ms_ >= 0) {
+      progress_ctx.ArmProgressSink(
+          [](const ProgressSnapshot& s) {
+            if (s.has_best) {
+              fprintf(stderr,
+                      "[progress] layers=%llu explored=%llu best: "
+                      "error=%.4f qscore=%.2f %s (%.0f ms)\n",
+                      static_cast<unsigned long long>(s.layers_drained),
+                      static_cast<unsigned long long>(s.queries_explored),
+                      s.best_error, s.best_qscore,
+                      s.best_description.c_str(), s.elapsed_ms);
+            } else {
+              fprintf(stderr, "[progress] layers=%llu explored=%llu "
+                              "(no candidate yet, %.0f ms)\n",
+                      static_cast<unsigned long long>(s.layers_drained),
+                      static_cast<unsigned long long>(s.queries_explored),
+                      s.elapsed_ms);
+            }
+          },
+          progress_interval_ms_);
+      options_.run_ctx = &progress_ctx;
+    }
     auto outcome = ProcessAcq(*last_task_, options_);
+    options_.run_ctx = nullptr;
     if (!outcome.ok()) {
       Report(outcome.status());
       return;
@@ -636,6 +671,10 @@ class Shell {
   std::unordered_map<std::string, std::string> cache_;
   std::deque<std::string> cache_order_;
   bool interactive_ = isatty(fileno(stdin)) != 0;
+  /// \set progress: stderr progress-line throttle in ms (0 = every drained
+  /// layer, negative = off). On by default only at a terminal, so piped
+  /// transcript comparisons never see an extra stream.
+  double progress_interval_ms_ = interactive_ ? 100.0 : -1.0;
   int exit_code_ = 0;  // sticky 4 once any run ends resource_exhausted
 };
 

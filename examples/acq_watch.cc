@@ -1,0 +1,211 @@
+// Streaming ACQ watcher: submits one ACQ with progress streaming enabled
+// and renders each PROGRESS frame as it arrives — best QScore so far, the
+// current refined query, layers drained, rows touched, and the tenant's
+// governor share — then prints the final report. Optionally stops the run
+// early (the STOP verb) once the answer is good enough, demonstrating the
+// anytime contract: the reply is a well-formed best-so-far report with
+// termination "client_satisfied".
+//
+//   ./build/examples/acq_serve --gen users --rows 50000 &
+//   ./build/examples/acq_watch --sql "SELECT * FROM users CONSTRAINT
+//     COUNT(*) >= 2000 WHERE age <= 30 AND income >= 60000;"
+//
+// Flags:
+//   --host H             server address (default 127.0.0.1)
+//   --port N             server port (default 7411)
+//   --sql "..."          the ACQ to submit (required unless --demo)
+//   --interval-ms N      frame throttle; 0 = one frame per drained layer
+//                        (default 0)
+//   --stop-after-frames N  send STOP after the Nth frame (0 = never)
+//   --stop-at-error E    send STOP once a frame's best error <= E
+//   --demo               self-contained mode for CI: starts an in-process
+//                        server over a generated users catalog, streams a
+//                        run with an early STOP, and verifies the reply is
+//                        a well-formed best-so-far report
+//
+// Exit status: 0 on a well-formed final reply, 1 on any failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/users_gen.h"
+
+using namespace acquire;  // NOLINT — brevity in example code
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "acq_watch: %s\n", message.c_str());
+  return 1;
+}
+
+void PrintFrame(const JsonValue& frame) {
+  std::string line = StringFormat(
+      "[%s] layers=%.0f explored=%.0f tuples=%.0f",
+      frame.GetString("id", "?").c_str(),
+      frame.GetNumber("layers_drained", 0),
+      frame.GetNumber("queries_explored", 0),
+      frame.GetNumber("tuples_scanned", 0));
+  const JsonValue* best = frame.Get("best");
+  if (best != nullptr && best->is_object()) {
+    line += StringFormat(" best: error=%.4f qscore=%.2f %s",
+                         best->GetNumber("error", 0),
+                         best->GetNumber("qscore", 0),
+                         best->GetString("refined", "").c_str());
+  } else {
+    line += " (no candidate yet)";
+  }
+  const JsonValue* governor = frame.Get("governor");
+  if (governor != nullptr && governor->is_object() &&
+      governor->Get("memory_share_bytes") != nullptr) {
+    line += StringFormat(" share=%.0fB slots=%.0f/%.0f",
+                         governor->GetNumber("memory_share_bytes", 0),
+                         governor->GetNumber("active_slots", 0),
+                         governor->GetNumber("slot_limit", 0));
+  }
+  line += StringFormat(" (%.0f ms)", frame.GetNumber("elapsed_ms", 0));
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+}
+
+/// Streams one SUBMIT, optionally STOPping it early from a second
+/// control connection once a frame satisfies the stop rule.
+int Watch(const std::string& host, int port, const std::string& sql,
+          double interval_ms, uint64_t stop_after_frames,
+          double stop_at_error, bool have_stop_error) {
+  LineClient client;
+  Status connected = client.Connect(host, port);
+  if (!connected.ok()) return Fail(connected.ToString());
+
+  JsonValue progress = JsonValue::Object();
+  progress.Set("interval_ms", JsonValue::Number(interval_ms));
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(sql));
+  request.Set("wait", JsonValue::Bool(true));
+  request.Set("progress", progress);
+
+  uint64_t frames = 0;
+  bool stop_sent = false;
+  auto on_progress = [&](const JsonValue& frame) {
+    ++frames;
+    PrintFrame(frame);
+    if (stop_sent) return;
+    const JsonValue* best = frame.Get("best");
+    const bool error_ok =
+        have_stop_error && best != nullptr && best->is_object() &&
+        best->GetNumber("error", 1e300) <= stop_at_error;
+    const bool frames_ok = stop_after_frames > 0 && frames >= stop_after_frames;
+    if (!error_ok && !frames_ok) return;
+    stop_sent = true;
+    // The run is mid-stream on this connection, so STOP travels over a
+    // second one; the server routes it to the session by id.
+    LineClient control;
+    if (!control.Connect(host, port).ok()) return;
+    JsonValue stop = JsonValue::Object();
+    stop.Set("cmd", JsonValue::Str("STOP"));
+    stop.Set("id", JsonValue::Str(frame.GetString("id")));
+    auto acked = control.Call(stop);
+    if (acked.ok()) {
+      std::printf("STOP sent (%s)\n",
+                  acked->GetBool("ok", false) ? "acked" : "rejected");
+    }
+  };
+
+  auto reply = client.CallStreaming(request, on_progress);
+  if (!reply.ok()) return Fail(reply.status().ToString());
+  if (!reply->GetBool("ok", false)) {
+    return Fail("server rejected the run: " + reply->Dump());
+  }
+  const JsonValue* report = reply->Get("report");
+  const std::string termination =
+      report != nullptr && report->is_object()
+          ? report->GetString("termination", "?")
+          : "?";
+  std::printf("final: state=%s termination=%s after %llu frames\n%s\n",
+              reply->GetString("state", "?").c_str(), termination.c_str(),
+              static_cast<unsigned long long>(frames), reply->Dump().c_str());
+  if (stop_sent && termination != "client_satisfied" &&
+      termination != "completed") {
+    // A race where the run finishes before STOP lands is fine; anything
+    // else is a broken early-stop path.
+    return Fail("unexpected termination after STOP");
+  }
+  return 0;
+}
+
+/// CI smoke: in-process server, generated catalog, streamed run with an
+/// early STOP after the second frame.
+int Demo() {
+  Catalog catalog;
+  UsersOptions users;
+  users.users = 40000;
+  Status gen = GenerateUsers(users, &catalog);
+  if (!gen.ok()) return Fail(gen.ToString());
+
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  AcqServer server(&catalog, options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started.ToString());
+
+  // A 3-dim ACQ with batch exploration off drains many small layers, so
+  // frames arrive steadily and the STOP lands mid-search.
+  const std::string sql =
+      "SELECT * FROM users CONSTRAINT COUNT(*) >= 12000 "
+      "WHERE age <= 25 AND income >= 52000 AND engagement >= 4.5;";
+  int rc = Watch("127.0.0.1", server.port(), sql, /*interval_ms=*/0,
+                 /*stop_after_frames=*/2, /*stop_at_error=*/0.0,
+                 /*have_stop_error=*/false);
+  server.Stop();
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7411;
+  std::string sql;
+  double interval_ms = 0.0;
+  uint64_t stop_after_frames = 0;
+  double stop_at_error = 0.0;
+  bool have_stop_error = false;
+  bool demo = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (flag == "--host" && (value = next())) {
+      host = value;
+    } else if (flag == "--port" && (value = next())) {
+      port = std::atoi(value);
+    } else if (flag == "--sql" && (value = next())) {
+      sql = value;
+    } else if (flag == "--interval-ms" && (value = next())) {
+      interval_ms = std::atof(value);
+    } else if (flag == "--stop-after-frames" && (value = next())) {
+      stop_after_frames = static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--stop-at-error" && (value = next())) {
+      stop_at_error = std::atof(value);
+      have_stop_error = true;
+    } else if (flag == "--demo") {
+      demo = true;
+    } else {
+      return Fail("unknown or incomplete flag: " + flag +
+                  " (see the header of acq_watch.cc)");
+    }
+  }
+  if (demo) return Demo();
+  if (sql.empty()) return Fail("--sql is required (or use --demo)");
+  return Watch(host, port, sql, interval_ms, stop_after_frames, stop_at_error,
+               have_stop_error);
+}

@@ -271,6 +271,43 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
     return result.termination != RunTermination::kCompleted;
   };
 
+  // Layer-drain progress hook (RunContext::LayerDrained): counts the layer
+  // and, when a throttled ProgressSink is armed, completes the snapshot with
+  // the best-so-far and the evaluation layer's counters. The fill lambda
+  // only runs for frames that actually emit, so the Describe() rendering
+  // costs nothing on throttle-coalesced drains.
+  auto layer_drained = [&]() {
+    if (ctx == nullptr) return;
+    ctx->LayerDrained([&](ProgressSnapshot* snap) {
+      snap->elapsed_ms = sw.ElapsedMillis();
+      if (best_is_offgrid) {
+        snap->has_best = true;
+        snap->best_error = best_offgrid.error;
+        snap->best_qscore = best_offgrid.qscore;
+        snap->best_aggregate = best_offgrid.aggregate;
+        snap->best_description = best_offgrid.description;
+      } else if (!best_coord.empty() || result.queries_explored > 0) {
+        const GridCoord bc =
+            best_coord.empty() ? GridCoord(task.d(), 0) : best_coord;
+        snap->has_best = true;
+        snap->best_error = best_error;
+        snap->best_qscore = space.QScoreOf(bc);
+        snap->best_aggregate = best_aggregate;
+        snap->best_description = space.Describe(bc);
+      }
+      const EvaluationLayer::ExecStats stats = layer->stats();
+      snap->eval_queries = stats.queries;
+      snap->tuples_scanned = stats.tuples_scanned;
+      snap->prepare_ms = stats.prepare_ms;
+      snap->delta_rows = stats.delta_rows;
+      snap->delta_merges = stats.delta_merges;
+      snap->merge_layers_central = merge_stats.central_layers;
+      snap->merge_layers_tree = merge_stats.tree_layers;
+      snap->merge_layers_radix = merge_stats.radix_layers;
+      snap->merge_layers_sequential = merge_layers_sequential;
+    });
+  };
+
   // Prepare alone can exhaust a tight budget (the materialized matrix is
   // charged there). Still answer the origin — the original query, one box —
   // so the caller gets a meaningful best-so-far instead of an empty report,
@@ -287,6 +324,10 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
   } else if (!batched) {
     Explorer explorer(&space, layer, budget);
     GridCoord coord;
+    // Progress tracks score boundaries separately from the divergence
+    // bookkeeping's last_score: best-first (non-discrete) runs never call
+    // close_layer, but their score changes are still drain points.
+    double progress_score = 0.0;
     for (;;) {
       if (interrupted()) break;
       Stopwatch t_next;
@@ -295,6 +336,10 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
       if (!have) break;
       const double score = generator->CurrentScore();
       if (score > stop_score) break;
+      if (score != progress_score) {
+        if (result.queries_explored > 0) layer_drained();
+        progress_score = score;
+      }
       if (discrete_layers && score != last_score && !close_layer(score)) {
         break;
       }
@@ -385,6 +430,13 @@ Result<AcquireResult> RunAcquire(const AcqTask& task, EvaluationLayer* layer,
       if (ctx != nullptr) {
         ctx->cell_queries.store(batch.explorer().cell_queries(),
                                 std::memory_order_relaxed);
+      }
+      if (running) {
+        // This equi-score layer is fully investigated: a drain point. The
+        // merge publication counters are refreshed first so the frame's
+        // snapshot reflects the layer that just drained.
+        merge_stats = merger.stats();
+        layer_drained();
       }
     }
     total_cell_queries = batch.explorer().cell_queries();

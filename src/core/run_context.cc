@@ -12,6 +12,8 @@ const char* RunTerminationToString(RunTermination t) {
       return "deadline_exceeded";
     case RunTermination::kCancelled:
       return "cancelled";
+    case RunTermination::kClientSatisfied:
+      return "client_satisfied";
     case RunTermination::kResourceExhausted:
       return "resource_exhausted";
   }
@@ -22,6 +24,7 @@ Status TerminationToStatus(RunTermination t) {
   switch (t) {
     case RunTermination::kCompleted:
     case RunTermination::kTruncated:
+    case RunTermination::kClientSatisfied:
       return Status::OK();
     case RunTermination::kDeadlineExceeded:
       return Status::DeadlineExceeded("run deadline exceeded");

@@ -137,6 +137,11 @@ Result<JsonValue> LineClient::CallWithRetry(const JsonValue& request,
 }
 
 Result<std::string> LineClient::CallRaw(const std::string& line) {
+  ACQ_RETURN_IF_ERROR(SendLineRaw(line));
+  return ReadLine();
+}
+
+Status LineClient::SendLineRaw(const std::string& line) {
   if (fd_ < 0) return Status::IOError("client is not connected");
   std::string out = line;
   out.push_back('\n');
@@ -155,6 +160,11 @@ Result<std::string> LineClient::CallRaw(const std::string& line) {
     }
     sent += static_cast<size_t>(n);
   }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) return Status::IOError("client is not connected");
   for (;;) {
     size_t pos = buffer_.find('\n');
     if (pos != std::string::npos) {
@@ -171,6 +181,86 @@ Result<std::string> LineClient::CallRaw(const std::string& line) {
     if (n == 0) return Status::IOError("connection closed by server");
     buffer_.append(chunk, static_cast<size_t>(n));
   }
+}
+
+Result<JsonValue> LineClient::CallStreaming(const JsonValue& request,
+                                            const ProgressCallback& on_progress) {
+  uint64_t frames_seen = 0;
+  return StreamingExchange(request, on_progress, &frames_seen);
+}
+
+Result<JsonValue> LineClient::StreamingExchange(
+    const JsonValue& request, const ProgressCallback& on_progress,
+    uint64_t* frames_seen) {
+  ACQ_RETURN_IF_ERROR(SendLineRaw(request.Dump()));
+  for (;;) {
+    ACQ_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    ACQ_ASSIGN_OR_RETURN(JsonValue parsed, JsonValue::Parse(line));
+    if (parsed.is_object() && parsed.GetBool("progress", false)) {
+      ++*frames_seen;
+      if (on_progress) on_progress(parsed);
+      continue;
+    }
+    return parsed;
+  }
+}
+
+Result<JsonValue> LineClient::CallStreamingWithRetry(
+    const JsonValue& request, const ProgressCallback& on_progress,
+    const RetryOptions& retry) {
+  const int attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
+  double backoff_ms = retry.initial_backoff_ms;
+  uint64_t seed = retry.jitter_seed;
+  if (seed == 0) {
+    seed = 0x9E3779B97F4A7C15ULL ^
+           (reinterpret_cast<uintptr_t>(this) + retries_);
+  }
+  Rng rng(seed);
+  Result<JsonValue> last = Status::IOError("client is not connected");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      double sleep_ms = backoff_ms;
+      if (retry.jitter && backoff_ms > 0.0) {
+        sleep_ms = std::min(
+            retry.max_backoff_ms,
+            rng.NextDouble(std::min(retry.initial_backoff_ms,
+                                    retry.max_backoff_ms),
+                           std::max(retry.initial_backoff_ms,
+                                    backoff_ms * 3.0)));
+        backoff_ms = sleep_ms;
+      }
+      if (sleep_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+      if (!retry.jitter) {
+        backoff_ms = std::min(backoff_ms * retry.backoff_multiplier,
+                              retry.max_backoff_ms);
+      }
+      if (retry.reconnect && !connected() && !host_.empty()) {
+        if (!Connect(host_, port_).ok()) continue;
+      }
+    }
+    uint64_t frames_seen = 0;
+    last = StreamingExchange(request, on_progress, &frames_seen);
+    if (!last.ok()) {
+      Close();
+      // A delivered PROGRESS frame proves the server admitted and started
+      // this very run — its side effects (scans, cache seeding, tenant
+      // accounting) are real. Retrying would execute the ACQ a second time
+      // behind the caller's back, so surface the failure instead.
+      if (frames_seen > 0) return last;
+      continue;
+    }
+    const bool unavailable = last->is_object() &&
+                             !last->GetBool("ok", true) &&
+                             last->GetString("code") == "Unavailable";
+    if (!unavailable) return last;
+    // An Unavailable rejection after frames cannot happen (admission
+    // precedes streaming), so plain retry is safe here.
+  }
+  return last;
 }
 
 }  // namespace acquire

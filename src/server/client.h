@@ -2,6 +2,7 @@
 #define ACQUIRE_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "server/json.h"
@@ -69,11 +70,43 @@ class LineClient {
   /// Raw round trip for protocol tests (e.g. sending malformed JSON).
   Result<std::string> CallRaw(const std::string& line);
 
+  /// Receives each PROGRESS frame ({"progress":true,...}) of a streaming
+  /// exchange, already parsed. Runs on the calling thread between reads.
+  using ProgressCallback = std::function<void(const JsonValue&)>;
+
+  /// Streaming round trip for SUBMITs carrying "progress": sends `request`,
+  /// hands every PROGRESS frame line to `on_progress`, and returns the
+  /// first non-frame line — the terminal reply, which the server guarantees
+  /// is the last line of the exchange. Works for non-streaming requests too
+  /// (zero frames, identical to Call).
+  Result<JsonValue> CallStreaming(const JsonValue& request,
+                                  const ProgressCallback& on_progress);
+
+  /// CallStreaming with CallWithRetry's transient-failure policy, minus one
+  /// crucial case: once a PROGRESS frame has been delivered, the server
+  /// observably started this run — its side effects exist — so a transport
+  /// failure after the first frame is returned to the caller instead of
+  /// retried (a retry would silently run the ACQ a second time).
+  Result<JsonValue> CallStreamingWithRetry(const JsonValue& request,
+                                           const ProgressCallback& on_progress,
+                                           const RetryOptions& retry = {});
+
   /// Cumulative retries performed by CallWithRetry (reconnect attempts
   /// count once per retried call).
   uint64_t retries() const { return retries_; }
 
  private:
+  /// Sends one request line (no framing newline; it is appended here).
+  Status SendLineRaw(const std::string& line);
+  /// Blocks for the next full response line.
+  Result<std::string> ReadLine();
+  /// One streaming exchange; *frames_seen counts delivered PROGRESS frames
+  /// (so retry wrappers can tell "failed before any side effect was
+  /// observed" from "failed mid-stream").
+  Result<JsonValue> StreamingExchange(const JsonValue& request,
+                                      const ProgressCallback& on_progress,
+                                      uint64_t* frames_seen);
+
   int fd_ = -1;
   std::string buffer_;  // bytes received past the last response line
   std::string host_;    // remembered endpoint for reconnects

@@ -78,6 +78,62 @@ JsonValue SessionToJson(const Session& session) {
   return out;
 }
 
+/// One PROGRESS frame as a protocol line. "progress":true is the frame
+/// marker clients key on (the terminal reply carries "ok" instead, never
+/// "progress"), so the two line kinds can never be confused. The governor
+/// object reports the session's *own tenant* admission state — its active
+/// slots, its slot limit, its carved memory share — plus the tenant's
+/// running/queued depth, never the global pool's totals.
+JsonValue ProgressFrameJson(const Session& session,
+                            const ProgressSnapshot& snap,
+                            const std::string& tenant_id,
+                            SessionManager* manager,
+                            ResourceGovernor* governor) {
+  JsonValue frame = JsonValue::Object();
+  frame.Set("progress", JsonValue::Bool(true));
+  frame.Set("id", JsonValue::Str(session.id()));
+  frame.Set("tenant", JsonValue::Str(tenant_id));
+  auto num = [](uint64_t v) {
+    return JsonValue::Number(static_cast<double>(v));
+  };
+  frame.Set("layers_drained", num(snap.layers_drained));
+  frame.Set("queries_explored", num(snap.queries_explored));
+  frame.Set("cell_queries", num(snap.cell_queries));
+  frame.Set("elapsed_ms", JsonValue::Number(snap.elapsed_ms));
+  if (snap.has_best) {
+    JsonValue best = JsonValue::Object();
+    best.Set("qscore", JsonValue::Number(snap.best_qscore));
+    best.Set("aggregate", JsonValue::Number(snap.best_aggregate));
+    best.Set("error", JsonValue::Number(snap.best_error));
+    best.Set("refined", JsonValue::Str(snap.best_description));
+    frame.Set("best", std::move(best));
+  } else {
+    frame.Set("best", JsonValue::Null());
+  }
+  frame.Set("eval_queries", num(snap.eval_queries));
+  frame.Set("tuples_scanned", num(snap.tuples_scanned));
+  frame.Set("prepare_ms", JsonValue::Number(snap.prepare_ms));
+  frame.Set("delta_rows", num(snap.delta_rows));
+  frame.Set("delta_merges", num(snap.delta_merges));
+  JsonValue merges = JsonValue::Object();
+  merges.Set("central", num(snap.merge_layers_central));
+  merges.Set("tree", num(snap.merge_layers_tree));
+  merges.Set("radix", num(snap.merge_layers_radix));
+  merges.Set("sequential", num(snap.merge_layers_sequential));
+  frame.Set("merge_layers", std::move(merges));
+  JsonValue gov = JsonValue::Object();
+  ResourceGovernor::TenantUsage usage;
+  if (governor->Usage(manager, &usage)) {
+    gov.Set("active_slots", num(usage.active_slots));
+    gov.Set("slot_limit", num(usage.slot_limit));
+    gov.Set("memory_share_bytes", num(usage.memory_share_bytes));
+  }
+  gov.Set("running", num(manager->num_running()));
+  gov.Set("queued", num(manager->num_queued()));
+  frame.Set("governor", std::move(gov));
+  return frame;
+}
+
 /// Suppresses SIGPIPE for writes to `fd`, in preference order: per-call
 /// MSG_NOSIGNAL (Linux), per-socket SO_NOSIGPIPE (BSD/macOS), and a
 /// process-wide SIGPIPE ignore as the last resort — a dead peer must
@@ -377,7 +433,14 @@ void AcqServer::ServeConnection(size_t slot, int fd) {
         open = false;
         break;
       }
-      open = SendLine(fd, HandleRequestLine(line));
+      // Streaming SUBMITs push PROGRESS frames through this sink while the
+      // connection thread is blocked inside HandleRequestLine (the protocol
+      // is lockstep, so the run thread is the only writer on `fd` during
+      // that window — frames are whole SendLine calls, never torn).
+      open = SendLine(fd, HandleRequestLine(line, [this, fd](
+                                                     const std::string& f) {
+                        return SendLine(fd, f);
+                      }));
     }
     // A partial line may never see its newline; bound it too so a client
     // streaming newline-free garbage cannot grow the buffer without limit.
@@ -396,7 +459,8 @@ void AcqServer::ServeConnection(size_t slot, int fd) {
   conn_fds_[slot] = -1;
 }
 
-std::string AcqServer::HandleRequestLine(const std::string& line) {
+std::string AcqServer::HandleRequestLine(const std::string& line,
+                                         const LineSink& sink) {
   if (ACQ_FAILPOINT("server.parse")) {
     // Injected decoder fault: the response must still be a well-formed
     // protocol error so the client's retry logic sees a normal rejection.
@@ -411,14 +475,15 @@ std::string AcqServer::HandleRequestLine(const std::string& line) {
                          "request must be a JSON object")
         .Dump();
   }
-  return Dispatch(*parsed).Dump();
+  return Dispatch(*parsed, sink).Dump();
 }
 
-JsonValue AcqServer::Dispatch(const JsonValue& request) {
+JsonValue AcqServer::Dispatch(const JsonValue& request, const LineSink& sink) {
   const std::string cmd = ToUpper(request.GetString("cmd"));
-  if (cmd == "SUBMIT") return HandleSubmit(request);
+  if (cmd == "SUBMIT") return HandleSubmit(request, sink);
   if (cmd == "STATUS") return HandleStatus(request);
   if (cmd == "CANCEL") return HandleCancel(request);
+  if (cmd == "STOP") return HandleStop(request);
   if (cmd == "STATS") return HandleStats(request);
   if (cmd == "FAILPOINT") return HandleFailpoint(request);
   if (cmd == "CACHE") return HandleCache(request);
@@ -429,7 +494,7 @@ JsonValue AcqServer::Dispatch(const JsonValue& request) {
   return ErrorResponse(
       Status::InvalidArgument,
       StringFormat("unknown cmd '%s' "
-                   "(SUBMIT|STATUS|CANCEL|STATS|FAILPOINT|CACHE|APPEND|"
+                   "(SUBMIT|STATUS|CANCEL|STOP|STATS|FAILPOINT|CACHE|APPEND|"
                    "ATTACH|DETACH|TENANTS)",
                    cmd.c_str()));
 }
@@ -450,7 +515,8 @@ Result<TenantPtr> AcqServer::ResolveTenantForSession(
   return default_tenant_;
 }
 
-JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
+JsonValue AcqServer::HandleSubmit(const JsonValue& request,
+                                  const LineSink& sink) {
   Result<TenantPtr> tenant = ResolveTenant(request);
   if (!tenant.ok()) return ErrorResponse(tenant.status());
   SessionManager& manager = (*tenant)->manager();
@@ -545,11 +611,87 @@ JsonValue AcqServer::HandleSubmit(const JsonValue& request) {
   const double timeout_ms =
       request.GetNumber("timeout_ms", options_.default_timeout_ms);
 
-  Result<SessionPtr> submitted = manager.Submit(
-      sql->AsString(), std::move(options), timeout_ms, backend);
+  // Streaming opt-in: "progress":{"interval_ms":N} (integral ms >= 0; 0 =
+  // one frame per drained layer) or the shorthand "progress":true. The
+  // interval is capped — a frame an hour is indistinguishable from no
+  // streaming, so an oversize value is almost certainly a units mistake.
+  constexpr double kMaxProgressIntervalMs = 3600000.0;  // one hour
+  bool streaming = false;
+  double interval_ms = 0.0;
+  if (const JsonValue* progress = request.Get("progress");
+      progress != nullptr) {
+    if (progress->is_bool()) {
+      streaming = progress->AsBool();
+    } else if (progress->is_object()) {
+      streaming = true;
+      if (const JsonValue* interval = progress->Get("interval_ms");
+          interval != nullptr) {
+        if (!interval->is_number()) {
+          return ErrorResponse(Status::InvalidArgument,
+                               "'progress.interval_ms' must be a number");
+        }
+        const double v = interval->AsDouble();
+        if (v < 0.0 || v != std::floor(v)) {
+          return ErrorResponse(
+              Status::InvalidArgument,
+              "'progress.interval_ms' must be a non-negative integral "
+              "millisecond count");
+        }
+        if (v > kMaxProgressIntervalMs) {
+          return ErrorResponse(
+              Status::InvalidArgument,
+              StringFormat("'progress.interval_ms' exceeds the maximum %g ms",
+                           kMaxProgressIntervalMs));
+        }
+        interval_ms = v;
+      }
+    } else {
+      return ErrorResponse(
+          Status::InvalidArgument,
+          "'progress' must be a bool or an object {\"interval_ms\":N}");
+    }
+  }
+  if (streaming) {
+    if (const JsonValue* w = request.Get("wait");
+        w != nullptr && w->is_bool() && !w->AsBool()) {
+      return ErrorResponse(Status::InvalidArgument,
+                           "'progress' streaming implies \"wait\":true "
+                           "(frames precede the terminal reply on this "
+                           "connection)");
+    }
+  }
+
+  SessionProgress progress_opt;
+  if (streaming && sink) {
+    progress_opt.enabled = true;
+    progress_opt.interval_ms = interval_ms;
+    // Runs on the run thread between layers. The frame's governor snapshot
+    // is the tenant's own admission state; the shared_ptr capture keeps the
+    // tenant alive even if it is detached mid-run.
+    progress_opt.callback = [this, sink, tenant = *tenant](
+                                const Session& session,
+                                const ProgressSnapshot& snap) {
+      if (ACQ_FAILPOINT("server.progress_emit")) {
+        // Injected frame drop: the frame vanishes, the run and its final
+        // report are unaffected, and the protocol stream stays well-formed
+        // (frames carry no sequence numbers a gap could corrupt).
+        progress_drops_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (!sink(ProgressFrameJson(session, snap, tenant->id(),
+                                  &tenant->manager(), &governor_)
+                    .Dump())) {
+        progress_drops_.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+  }
+
+  Result<SessionPtr> submitted =
+      manager.Submit(sql->AsString(), std::move(options), timeout_ms, backend,
+                     std::move(progress_opt));
   if (!submitted.ok()) return ErrorResponse(submitted.status());
   const SessionPtr& session = *submitted;
-  if (request.GetBool("wait", false)) session->WaitDone();
+  if (request.GetBool("wait", false) || streaming) session->WaitDone();
   return SessionToJson(*session);
 }
 
@@ -573,6 +715,16 @@ JsonValue AcqServer::HandleCancel(const JsonValue& request) {
   return SessionToJson(**session);
 }
 
+JsonValue AcqServer::HandleStop(const JsonValue& request) {
+  const std::string id = request.GetString("id");
+  Result<TenantPtr> tenant = ResolveTenantForSession(request, id);
+  if (!tenant.ok()) return ErrorResponse(tenant.status());
+  Result<SessionPtr> session = (*tenant)->manager().Stop(id);
+  if (!session.ok()) return ErrorResponse(session.status());
+  if (request.GetBool("wait", false)) (*session)->WaitDone();
+  return SessionToJson(**session);
+}
+
 JsonValue AcqServer::HandleStats(const JsonValue& request) {
   Result<TenantPtr> resolved = ResolveTenant(request);
   if (!resolved.ok()) return ErrorResponse(resolved.status());
@@ -588,8 +740,14 @@ JsonValue AcqServer::HandleStats(const JsonValue& request) {
   set("truncated", counters.truncated);
   set("deadline_exceeded", counters.deadline_exceeded);
   set("cancelled", counters.cancelled);
+  set("client_satisfied", counters.client_satisfied);
   set("resource_exhausted", counters.resource_exhausted);
   set("failed", counters.failed);
+  // Streaming: frames this tenant's runs emitted (throttle-passed layer
+  // drains) and frames the server then dropped (server.progress_emit
+  // failpoint or a dead connection; the drop tally is server-wide).
+  set("progress_frames", counters.progress_frames);
+  set("progress_drops", progress_drops_.load(std::memory_order_relaxed));
   set("queries_explored", counters.queries_explored);
   set("cell_queries", counters.cell_queries);
   set("eval_queries", counters.eval_queries);
@@ -957,6 +1115,15 @@ JsonValue AcqServer::HandleTenants() {
                                static_cast<double>(counters.completed)));
     entry.Set("rejected", JsonValue::Number(
                               static_cast<double>(counters.rejected)));
+    // Streaming/early-stop admission metrics (mirrored per-frame in the
+    // PROGRESS "governor" object): how many of this tenant's runs were
+    // client-stopped and how many frames its runs have emitted.
+    entry.Set("client_satisfied",
+              JsonValue::Number(
+                  static_cast<double>(counters.client_satisfied)));
+    entry.Set("progress_frames",
+              JsonValue::Number(
+                  static_cast<double>(counters.progress_frames)));
     const ResultCacheStats cache = manager.cache().stats();
     entry.Set("cache_entries",
               JsonValue::Number(static_cast<double>(cache.entries)));

@@ -2,6 +2,7 @@
 #define ACQUIRE_SERVER_SERVER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -71,19 +72,41 @@ struct ServerOptions {
 ///            "backend":"auto|direct|cached|parallel|grid|cell_sorted",
 ///            "batch_explore":"auto|on|off",
 ///            "merge_strategy":"auto|sequential|central|tree|radix",
-///            "max_explored":?, "timeout_ms":?, "wait":bool}
+///            "max_explored":?, "timeout_ms":?, "wait":bool,
+///            "progress":{"interval_ms":N} | true}
 ///           -> {"ok":true,"id":"s-1","state":...}; with "wait":true the
 ///           response is the terminal STATUS report instead. With the
 ///           result cache enabled (cache_bytes > 0), a SUBMIT matching a
 ///           completed run is answered from the cache (no slot consumed,
 ///           report byte-identical to the seeding reply) and one matching
 ///           an in-flight run joins it instead of re-running.
+///           "progress" opts into streaming: while the run executes, the
+///           server pushes {"progress":true,"id":...,...} PROGRESS frames
+///           (one JSON object per line; schema in DESIGN.md §11) on this
+///           connection, throttled to at most one per interval_ms
+///           (integral, >= 0; 0 = one frame per drained layer; true is
+///           shorthand for {"interval_ms":0}), before the single terminal
+///           reply. Frames are emitted on the run thread strictly before
+///           the terminal publish, so the final report is always the last
+///           line of the exchange — never interleaved, never torn.
+///           Streaming implies "wait" semantics; "wait":false alongside
+///           "progress" is rejected. Cache-served submissions (admission
+///           hits, followers, negative hits) run nothing and stream
+///           nothing: their reply is the whole exchange.
 ///   STATUS  {"cmd":"STATUS","id":"s-1"} -> state, live progress counters
 ///           and, once terminal, the run report (mode, termination,
 ///           satisfied, answers as runnable SQL, timings).
 ///   CANCEL  {"cmd":"CANCEL","id":"s-1"} -> requests cooperative
 ///           cancellation; the run stops at its next poll with a partial
 ///           report.
+///   STOP    {"cmd":"STOP","id":"s-1"} -> client-driven early stop ("good
+///           enough"): the run stops at its next poll and finishes kDone
+///           with termination "client_satisfied" and a well-formed
+///           best-so-far report (a queued session resolves the same way
+///           with an empty report). Unlike CANCEL the result is a success,
+///           not an error; like CANCEL it accepts "wait":true to return
+///           the terminal report. NotFound for unknown ids; a session
+///           that is already terminal is returned unchanged.
 ///   STATS   {"cmd":"STATS"} -> server-wide counters and admission state.
 ///   FAILPOINT {"cmd":"FAILPOINT"} -> lists fault-injection sites;
 ///           {"cmd":"FAILPOINT","set":"name=spec;..."} arms sites (spec
@@ -115,12 +138,12 @@ struct ServerOptions {
 ///   TENANTS {"cmd":"TENANTS"} -> per-tenant admission/cache/governor
 ///           usage plus the global slot and memory-budget state.
 ///
-/// Multi-tenancy: SUBMIT, STATUS, CANCEL, STATS, CACHE and APPEND accept
-/// an optional "tenant" field routing them to that tenant's catalog and
-/// manager; absent, they address the default tenant (full wire
-/// compatibility with single-tenant clients), except STATUS/CANCEL, which
-/// first resolve the session id across all tenants ("t1-s-3" ids carry
-/// their tenant). Each tenant's result cache is a private partition —
+/// Multi-tenancy: SUBMIT, STATUS, CANCEL, STOP, STATS, CACHE and APPEND
+/// accept an optional "tenant" field routing them to that tenant's catalog
+/// and manager; absent, they address the default tenant (full wire
+/// compatibility with single-tenant clients), except STATUS/CANCEL/STOP,
+/// which first resolve the session id across all tenants ("t1-s-3" ids
+/// carry their tenant). Each tenant's result cache is a private partition —
 /// a reply can never be served across tenant ids.
 ///
 /// Failures are {"ok":false,"code":"InvalidArgument",...,"error":"..."};
@@ -162,11 +185,20 @@ class AcqServer {
   /// The bound port (meaningful after Start; resolves port 0 requests).
   int port() const { return port_; }
 
+  /// Receives PROGRESS frame lines (no trailing newline) while a streaming
+  /// SUBMIT executes. Returning false signals a dead transport; frames are
+  /// then dropped but the run is unaffected. An empty LineSink disables
+  /// streaming for the request (frames have nowhere to go, so the sink is
+  /// simply never armed).
+  using LineSink = std::function<bool(const std::string&)>;
+
   /// Protocol entry without a socket: handles one request line and returns
   /// the response line (no trailing newline). This is exactly what each
   /// connection thread calls per line; tests use it to exercise the
-  /// protocol deterministically.
-  std::string HandleRequestLine(const std::string& line);
+  /// protocol deterministically — passing a `sink` captures the PROGRESS
+  /// frames a streaming SUBMIT pushes before its terminal reply.
+  std::string HandleRequestLine(const std::string& line,
+                                const LineSink& sink = {});
 
   /// The default tenant's manager (wire-compatible single-tenant view).
   SessionManager& sessions() { return default_tenant_->manager(); }
@@ -194,10 +226,11 @@ class AcqServer {
   Result<TenantPtr> ResolveTenantForSession(const JsonValue& request,
                                             const std::string& session_id);
 
-  JsonValue Dispatch(const JsonValue& request);
-  JsonValue HandleSubmit(const JsonValue& request);
+  JsonValue Dispatch(const JsonValue& request, const LineSink& sink);
+  JsonValue HandleSubmit(const JsonValue& request, const LineSink& sink);
   JsonValue HandleStatus(const JsonValue& request);
   JsonValue HandleCancel(const JsonValue& request);
+  JsonValue HandleStop(const JsonValue& request);
   JsonValue HandleStats(const JsonValue& request);
   JsonValue HandleFailpoint(const JsonValue& request);
   JsonValue HandleCache(const JsonValue& request);
@@ -223,6 +256,9 @@ class AcqServer {
   std::atomic<uint64_t> oversize_lines_{0};
   std::atomic<uint64_t> idle_disconnects_{0};
   std::atomic<uint64_t> io_errors_{0};
+  /// PROGRESS frames dropped by the server.progress_emit failpoint or a
+  /// dead sink — the run and its final report are unaffected either way.
+  std::atomic<uint64_t> progress_drops_{0};
 
   std::atomic<bool> stopping_{false};
   std::mutex stop_mu_;

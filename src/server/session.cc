@@ -103,6 +103,15 @@ bool Session::RequestCancel() {
   return true;
 }
 
+bool Session::RequestClientStop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (IsTerminal(state_)) return false;
+  }
+  ctx_.RequestClientStop();
+  return true;
+}
+
 Session::View Session::Snapshot() const {
   View view;
   {
@@ -182,7 +191,8 @@ Status SessionManager::AppendRows(
 Result<SessionPtr> SessionManager::Submit(std::string sql,
                                           AcquireOptions options,
                                           double timeout_ms,
-                                          EvalBackend backend) {
+                                          EvalBackend backend,
+                                          SessionProgress progress) {
   if (ACQ_FAILPOINT("server.admit")) {
     std::lock_guard<std::mutex> clock(counters_mu_);
     ++counters_.rejected;
@@ -342,6 +352,25 @@ Result<SessionPtr> SessionManager::Submit(std::string sql,
         // deadline in the queue finishes immediately as kDeadlineExceeded
         // instead of running.
         if (timeout_ms > 0.0) session->ctx_.SetTimeoutMillis(timeout_ms);
+        // Arm streaming before the session can launch (or even queue): the
+        // sink must cover the run from its first drained layer. The manager
+        // interposes only to tally the frame; emission happens on the run
+        // thread strictly before RunSession's terminal publish, so by the
+        // time WaitDone returns no further frame can be in flight — the
+        // final reply is always the last line of a streaming exchange.
+        if (progress.enabled && progress.callback) {
+          Session* raw = session.get();
+          session->ctx_.ArmProgressSink(
+              [this, raw, cb = std::move(progress.callback)](
+                  const ProgressSnapshot& snap) {
+                {
+                  std::lock_guard<std::mutex> clock(counters_mu_);
+                  ++counters_.progress_frames;
+                }
+                cb(*raw, snap);
+              },
+              progress.interval_ms);
+        }
         sessions_.emplace(session->id(), session);
         if (can_run) {
           ++running_;
@@ -542,6 +571,17 @@ Result<SessionPtr> SessionManager::Cancel(const std::string& id) {
   return session;
 }
 
+Result<SessionPtr> SessionManager::Stop(const std::string& id) {
+  ACQ_ASSIGN_OR_RETURN(SessionPtr session, Find(id));
+  // Followers are deliberately left attached (see the header): stopping a
+  // pure waiter cannot produce a partial answer, and its leader's full
+  // result — which it will receive anyway — dominates any best-so-far.
+  // RequestClientStop on a follower's context is a harmless no-op (nothing
+  // polls it), so no follower special-casing is needed here.
+  session->RequestClientStop();
+  return session;
+}
+
 void SessionManager::Shutdown() {
   std::vector<SessionPtr> to_cancel;
   {
@@ -636,21 +676,28 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
   bool interrupted_in_queue = false;
 
   // A cancel (or manager shutdown) that arrived while queued wins without
-  // running; a deadline that expired in the queue likewise resolves here
-  // with an empty partial report.
+  // running; a STOP or a deadline that expired in the queue likewise
+  // resolves here with an empty partial report (the cancel-beats-stop
+  // precedence matches RunContext::Interruption).
   if (session->ctx_.ShouldStop()) {
     interrupted_in_queue = true;
     const bool was_cancel = session->ctx_.cancel_requested();
+    const bool was_stop =
+        !was_cancel && session->ctx_.client_stop_requested();
     {
       std::lock_guard<std::mutex> clock(counters_mu_);
       if (was_cancel) {
         ++counters_.cancelled;
+      } else if (was_stop) {
+        ++counters_.client_satisfied;
       } else {
         ++counters_.deadline_exceeded;
       }
     }
     if (!was_cancel) {
-      outcome.result.termination = RunTermination::kDeadlineExceeded;
+      outcome.result.termination = was_stop
+                                       ? RunTermination::kClientSatisfied
+                                       : RunTermination::kDeadlineExceeded;
       has_outcome = true;
     }
     state = was_cancel ? SessionState::kCancelled : SessionState::kDone;
@@ -723,6 +770,9 @@ void SessionManager::RunSession(const SessionPtr& session, SessionPtr* next) {
             break;
           case RunTermination::kCancelled:
             ++counters_.cancelled;
+            break;
+          case RunTermination::kClientSatisfied:
+            ++counters_.client_satisfied;
             break;
           case RunTermination::kResourceExhausted:
             ++counters_.resource_exhausted;

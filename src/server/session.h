@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,12 @@ class Session {
   /// Requests cooperative cancellation; the run (if any) observes it at
   /// its next poll. Returns false when the session was already terminal.
   bool RequestCancel();
+
+  /// Client-driven early stop (the STOP verb): the run observes it at its
+  /// next poll and finishes kDone with termination "client_satisfied" and a
+  /// well-formed best-so-far report — unlike RequestCancel, whose report is
+  /// the error-shaped "cancelled". Returns false when already terminal.
+  bool RequestClientStop();
 
   /// Consistent copy for protocol rendering: terminal details (error /
   /// outcome / task for answer rendering) plus live progress counters, which
@@ -111,8 +118,13 @@ struct ServerCounters {
   uint64_t truncated = 0;  // kDone with termination == truncated
   uint64_t deadline_exceeded = 0;
   uint64_t cancelled = 0;
+  uint64_t client_satisfied = 0;  // kDone with termination == client_satisfied
   uint64_t resource_exhausted = 0;  // kDone with termination == resource_exhausted
   uint64_t failed = 0;
+  /// PROGRESS frames emitted by this manager's runs (throttle-passed layer
+  /// drains handed to the session's progress callback; a frame the server
+  /// later drops via the server.progress_emit failpoint still counts here).
+  uint64_t progress_frames = 0;
   /// Per-run ExecStats / result counters folded together across finished
   /// runs — the serving system's cumulative work.
   uint64_t queries_explored = 0;
@@ -172,6 +184,20 @@ class DurabilityHook {
   /// fail the append (it already happened); implementations checkpoint here
   /// when their append interval elapses.
   virtual void CommitApplied(const Catalog& catalog) = 0;
+};
+
+/// Streaming opt-in for one submission (SUBMIT "progress":{...}): when
+/// `enabled`, the manager arms the session context's throttled ProgressSink
+/// before launch, so frames cover the run from its first drained layer. The
+/// callback runs on the run thread between layers — it must be fast and must
+/// not call back into the manager (it may touch the session it is given).
+/// Cache-served submissions (admission hits, in-flight followers, negative
+/// hits) execute nothing and therefore stream nothing: the final reply is
+/// their only frame.
+struct SessionProgress {
+  std::function<void(const Session&, const ProgressSnapshot&)> callback;
+  double interval_ms = 0.0;  // <= 0: one frame per drained layer
+  bool enabled = false;
 };
 
 struct SessionManagerOptions {
@@ -247,10 +273,13 @@ class SessionManager {
   /// Admission: schedules or queues the request, or fails with
   /// kUnavailable when the queue is full. `options.run_ctx` is overwritten
   /// to point at the session's own context. `backend` (when not kAuto)
-  /// overrides the planned task's evaluation backend.
+  /// overrides the planned task's evaluation backend. `progress` (when
+  /// enabled) streams throttled per-layer ProgressSnapshots to its callback
+  /// while the run executes (see SessionProgress).
   Result<SessionPtr> Submit(std::string sql, AcquireOptions options,
                             double timeout_ms,
-                            EvalBackend backend = EvalBackend::kAuto);
+                            EvalBackend backend = EvalBackend::kAuto,
+                            SessionProgress progress = {});
 
   /// NotFound for unknown ids.
   Result<SessionPtr> Find(const std::string& id) const;
@@ -258,6 +287,16 @@ class SessionManager {
   /// Cancels a session by id: a queued session finishes as kCancelled
   /// without running; a running one is interrupted at its next poll.
   Result<SessionPtr> Cancel(const std::string& id);
+
+  /// Client-driven early stop by id ("good enough"): a running session is
+  /// interrupted at its next poll and finishes kDone with termination
+  /// "client_satisfied" and its best-so-far report; a queued one resolves
+  /// the same way with an empty report, without running. Unlike Cancel, an
+  /// in-flight follower is left attached: its leader keeps running and the
+  /// follower still gets the full result (a strictly better answer than any
+  /// partial). NotFound for unknown ids; a terminal session is returned
+  /// unchanged.
+  Result<SessionPtr> Stop(const std::string& id);
 
   /// Cancels every non-terminal session and blocks until no session is
   /// queued or running (pool tasks all returned — nothing leaks).

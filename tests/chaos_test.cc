@@ -50,12 +50,14 @@ Catalog* SharedCatalog() {
 }
 
 // Small, fast ACQs (distinct per client/iteration) so one chaos run cycles
-// through many full SUBMIT->report round trips.
+// through many full SUBMIT->report round trips. Targets sit well above the
+// original aggregates, so every run actually expands — a few layers drain
+// and streaming clients see PROGRESS frames.
 std::string ChaosSql(int client, int iter) {
   return StringFormat(
       "SELECT * FROM users CONSTRAINT COUNT(*) >= %d "
       "WHERE age <= %d AND income >= %d",
-      150 + 20 * client + 3 * (iter % 7), 24 + (client + iter) % 6,
+      700 + 20 * client + 3 * (iter % 7), 24 + (client + iter) % 6,
       55000 + 500 * client);
 }
 
@@ -100,6 +102,7 @@ TEST(ChaosTest, ConcurrentClientsSurviveRandomFaults) {
                       "server.recv=p:0.05;server.send=p:0.05;"
                       "server.parse=p:0.05;server.admit=p:0.05;"
                       "server.pool_enqueue=p:0.05;"
+                      "server.progress_emit=p:0.05;"
                       "explore.arena_grow=p:0.05;"
                       "explore.parallel_merge=p:0.05;"
                       "expand.layer_alloc=p:0.05;"
@@ -112,6 +115,8 @@ TEST(ChaosTest, ConcurrentClientsSurviveRandomFaults) {
   const int iters = IterationsPerClient();
   std::atomic<int> well_formed{0};
   std::atomic<int> transport_gave_up{0};
+  std::atomic<int> frames_seen{0};
+  std::atomic<int> torn_frames{0};
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
@@ -121,13 +126,40 @@ TEST(ChaosTest, ConcurrentClientsSurviveRandomFaults) {
       retry.max_attempts = 6;
       retry.initial_backoff_ms = 1.0;
       retry.max_backoff_ms = 20.0;
+      // Odd clients stream PROGRESS frames (with server.progress_emit
+      // randomly dropping them); even clients use the plain lockstep
+      // path, so both line kinds mix on the same server.
+      const bool streaming = (c % 2) == 1;
       for (int i = 0; i < iters; ++i) {
         JsonValue request = JsonValue::Object();
         request.Set("cmd", JsonValue::Str("SUBMIT"));
         request.Set("sql", JsonValue::Str(ChaosSql(c, i)));
         request.Set("wait", JsonValue::Bool(true));
         request.Set("timeout_ms", JsonValue::Number(30000.0));
-        Result<JsonValue> response = client.CallWithRetry(request, retry);
+        if (streaming) {
+          JsonValue progress = JsonValue::Object();
+          progress.Set("interval_ms", JsonValue::Number(0.0));
+          request.Set("progress", progress);
+        }
+        Result<JsonValue> response =
+            streaming ? client.CallStreamingWithRetry(
+                            request,
+                            [&](const JsonValue& frame) {
+                              // Every frame that reaches the client must be
+                              // whole: parsed (CallStreaming rejects torn
+                              // lines) and schema-complete.
+                              frames_seen.fetch_add(1,
+                                                    std::memory_order_relaxed);
+                              if (!frame.GetBool("progress", false) ||
+                                  frame.GetString("id").empty() ||
+                                  frame.GetNumber("layers_drained", -1.0) <
+                                      1.0) {
+                                torn_frames.fetch_add(
+                                    1, std::memory_order_relaxed);
+                              }
+                            },
+                            retry)
+                      : client.CallWithRetry(request, retry);
         if (!response.ok()) {
           // Every attempt lost to an injected transport fault: acceptable
           // under chaos (the server must still be alive; verified below).
@@ -140,6 +172,10 @@ TEST(ChaosTest, ConcurrentClientsSurviveRandomFaults) {
     });
   }
   for (std::thread& thread : clients) thread.join();
+  // No torn or interleaved frames reached any client, and the streaming
+  // mix actually streamed.
+  EXPECT_EQ(torn_frames.load(), 0);
+  EXPECT_GT(frames_seen.load(), 0);
 
   // The chaos actually exercised the sites, and most calls still got a
   // well-formed answer through the retry layer.

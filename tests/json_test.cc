@@ -125,5 +125,40 @@ TEST(JsonTest, RoundTripThroughDump) {
   EXPECT_EQ(MustParse(v.Dump()).Dump(), v.Dump());
 }
 
+// A representative PROGRESS frame — the streaming protocol's second line
+// kind — survives Parse(Dump) with every field intact, including the
+// exact doubles a client keys its early-stop rules on.
+TEST(JsonTest, ProgressFrameSchemaRoundTrips) {
+  const std::string frame_line =
+      "{\"progress\":true,\"id\":\"s-7\",\"tenant\":\"default\","
+      "\"layers_drained\":12,\"queries_explored\":345,\"cell_queries\":345,"
+      "\"elapsed_ms\":1.25,"
+      "\"best\":{\"qscore\":6.5,\"aggregate\":1203,\"error\":0.0033,"
+      "\"refined\":\"age <= 30 AND income >= 52000\"},"
+      "\"eval_queries\":345,\"tuples_scanned\":98765,\"prepare_ms\":0.5,"
+      "\"delta_rows\":0,\"delta_merges\":0,"
+      "\"merge_layers\":{\"central\":2,\"tree\":1,\"radix\":0,"
+      "\"sequential\":9},"
+      "\"governor\":{\"active_slots\":1,\"slot_limit\":2,"
+      "\"memory_share_bytes\":1048576,\"running\":1,\"queued\":0}}";
+  JsonValue frame = MustParse(frame_line);
+  EXPECT_EQ(frame.Dump(), frame_line);
+  EXPECT_EQ(MustParse(frame.Dump()).Dump(), frame_line);
+  // The marker that separates frames from terminal replies.
+  EXPECT_TRUE(frame.GetBool("progress", false));
+  EXPECT_EQ(frame.Get("ok"), nullptr);
+  const JsonValue* best = frame.Get("best");
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->GetNumber("error", -1.0), 0.0033);
+  const JsonValue* governor = frame.Get("governor");
+  ASSERT_NE(governor, nullptr);
+  EXPECT_EQ(governor->GetNumber("memory_share_bytes", -1.0), 1048576.0);
+  // A frame with no candidate yet carries best:null, still distinct from
+  // "field absent".
+  JsonValue no_best = MustParse("{\"progress\":true,\"best\":null}");
+  ASSERT_NE(no_best.Get("best"), nullptr);
+  EXPECT_TRUE(no_best.Get("best")->is_null());
+}
+
 }  // namespace
 }  // namespace acquire

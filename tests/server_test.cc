@@ -793,6 +793,71 @@ TEST(ServerTest, CancelledLeaderPromotesFollower) {
   EXPECT_EQ(StatsNumber(&server, "cancelled"), 1.0);
 }
 
+TEST(ServerProtocolTest, RejectsMalformedProgressFields) {
+  AcqServer server(SharedCatalog());
+  const char* sql_prefix =
+      "{\"cmd\":\"SUBMIT\",\"sql\":\"SELECT * FROM users CONSTRAINT "
+      "COUNT(*) >= 1 WHERE age <= 30\",";
+  struct Case {
+    const char* progress_tail;  // appended after the shared prefix
+    const char* why;
+  } cases[] = {
+      {"\"progress\":{\"interval_ms\":-1}}", "negative interval"},
+      {"\"progress\":{\"interval_ms\":1.5}}", "non-integral interval"},
+      {"\"progress\":{\"interval_ms\":\"fast\"}}", "non-number interval"},
+      {"\"progress\":{\"interval_ms\":3600001}}", "oversize interval"},
+      {"\"progress\":5}", "progress is neither bool nor object"},
+      {"\"progress\":[true]}", "progress is an array"},
+      {"\"progress\":true,\"wait\":false}", "streaming contradicts wait"},
+  };
+  for (const Case& c : cases) {
+    const std::string line = std::string(sql_prefix) + c.progress_tail;
+    JsonValue response = MustParse(server.HandleRequestLine(line));
+    EXPECT_FALSE(response.GetBool("ok", true)) << c.why << ": " << line;
+    EXPECT_EQ(response.GetString("code"), "InvalidArgument")
+        << c.why << ": " << response.Dump();
+  }
+  // interval_ms 0 is NOT malformed: it means one frame per drained layer.
+  const std::string ok_line =
+      std::string(sql_prefix) +
+      "\"progress\":{\"interval_ms\":0},\"wait\":true}";
+  JsonValue response = MustParse(server.HandleRequestLine(ok_line));
+  EXPECT_TRUE(response.GetBool("ok", false)) << response.Dump();
+}
+
+TEST(ServerProtocolTest, StopOnUnknownAndFinishedSessions) {
+  AcqServer server(SharedCatalog());
+  // Unknown session: NotFound, same contract as CANCEL/STATUS.
+  JsonValue missing =
+      MustParse(server.HandleRequestLine("{\"cmd\":\"STOP\",\"id\":\"s-99\"}"));
+  EXPECT_FALSE(missing.GetBool("ok", true));
+  EXPECT_EQ(missing.GetString("code"), "NotFound");
+
+  // Finished session: STOP is a harmless no-op that returns the terminal
+  // state unchanged — the report stays the completed one.
+  JsonValue submit = JsonValue::Object();
+  submit.Set("cmd", JsonValue::Str("SUBMIT"));
+  submit.Set("sql", JsonValue::Str(
+                        "SELECT * FROM users CONSTRAINT COUNT(*) >= 700 "
+                        "WHERE age <= 30 AND income >= 60000"));
+  submit.Set("wait", JsonValue::Bool(true));
+  JsonValue done = MustParse(server.HandleRequestLine(submit.Dump()));
+  ASSERT_TRUE(done.GetBool("ok", false)) << done.Dump();
+  ASSERT_EQ(done.GetString("state"), "done") << done.Dump();
+  const std::string id = done.GetString("id");
+
+  JsonValue stop = JsonValue::Object();
+  stop.Set("cmd", JsonValue::Str("STOP"));
+  stop.Set("id", JsonValue::Str(id));
+  JsonValue stopped = MustParse(server.HandleRequestLine(stop.Dump()));
+  ASSERT_TRUE(stopped.GetBool("ok", false)) << stopped.Dump();
+  EXPECT_EQ(stopped.GetString("state"), "done");
+  const JsonValue* report = stopped.Get("report");
+  ASSERT_NE(report, nullptr) << stopped.Dump();
+  EXPECT_EQ(report->GetString("termination"), "completed");
+  EXPECT_EQ(StatsNumber(&server, "client_satisfied"), 0.0);
+}
+
 TEST(ServerTest, MultipleRequestsOnOneConnection) {
   AcqServer server(SharedCatalog());
   ASSERT_TRUE(server.Start().ok());

@@ -4,6 +4,7 @@
 // the core isolation guarantee — that a result-cache partition can never
 // serve a reply across tenant ids.
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -353,6 +354,92 @@ TEST(TenantTest, TenantsViewTracksSlotUsage) {
   ASSERT_EQ(tenants->size(), 1u);
   EXPECT_EQ(tenants->AsArray()[0].GetNumber("active_slots", -1.0), 0.0);
   EXPECT_EQ(tenants->AsArray()[0].GetNumber("completed", -1.0), 1.0);
+}
+
+// PROGRESS frames streamed by a tenant flooded with concurrent load must
+// report that tenant's own governed share — its weighted slice of the
+// global memory budget and its own slot counts — never the global pool's
+// totals. The frame numbers must agree with the TENANTS listing.
+TEST(TenantTest, FloodedTenantFramesReportOwnGovernorShare) {
+  ServerOptions options;
+  options.max_running = 2;
+  options.global_memory_budget_bytes = 1 << 20;
+  AcqServer server(SharedCatalog(), options);
+  JsonValue attached = MustParse(
+      server.HandleRequestLine(Attach("acme", 2000, /*weight=*/1.0)));
+  ASSERT_TRUE(attached.GetBool("ok", false)) << attached.Dump();
+  // Two tenants of equal weight: each owns exactly half the global budget.
+  const double own_share = (1 << 20) / 2.0;
+
+  // Flood the default tenant while acme streams, so the governor has live
+  // cross-tenant contention to misreport if it were going to.
+  std::atomic<bool> flooding{true};
+  std::thread flood([&] {
+    while (flooding.load()) {
+      server.HandleRequestLine(Submit(""));
+    }
+  });
+
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", JsonValue::Str("SUBMIT"));
+  request.Set("sql", JsonValue::Str(
+                         "SELECT * FROM users CONSTRAINT COUNT(*) >= 700 "
+                         "WHERE age <= 28 AND income >= 55000"));
+  request.Set("tenant", JsonValue::Str("acme"));
+  request.Set("wait", JsonValue::Bool(true));
+  JsonValue progress = JsonValue::Object();
+  progress.Set("interval_ms", JsonValue::Number(0.0));
+  request.Set("progress", progress);
+
+  std::vector<JsonValue> frames;
+  JsonValue reply = MustParse(server.HandleRequestLine(
+      request.Dump(), [&frames](const std::string& line) {
+        Result<JsonValue> parsed = JsonValue::Parse(line);
+        EXPECT_TRUE(parsed.ok()) << line;
+        if (parsed.ok()) frames.push_back(*parsed);
+        return true;
+      }));
+  flooding.store(false);
+  flood.join();
+  ASSERT_TRUE(reply.GetBool("ok", false)) << reply.Dump();
+  ASSERT_FALSE(frames.empty());
+  for (const JsonValue& frame : frames) {
+    EXPECT_EQ(frame.GetString("tenant"), "acme") << frame.Dump();
+    const JsonValue* governor = frame.Get("governor");
+    ASSERT_NE(governor, nullptr) << frame.Dump();
+    // The tenant's own carved share — half the budget, not the global 1 MiB.
+    EXPECT_EQ(governor->GetNumber("memory_share_bytes", -1.0), own_share)
+        << frame.Dump();
+    // Slot accounting is the tenant's own too: acme has exactly this one
+    // run active, and its limit can never exceed the whole pool.
+    EXPECT_GE(governor->GetNumber("active_slots", -1.0), 1.0)
+        << frame.Dump();
+    EXPECT_LE(governor->GetNumber("active_slots", 1e9),
+              governor->GetNumber("slot_limit", -1.0))
+        << frame.Dump();
+    EXPECT_LE(governor->GetNumber("slot_limit", 1e9), 2.0) << frame.Dump();
+    // Tenant-scoped queue depths, present even while flooded.
+    EXPECT_GE(governor->GetNumber("running", -1.0), 1.0) << frame.Dump();
+    EXPECT_GE(governor->GetNumber("queued", -1.0), 0.0) << frame.Dump();
+  }
+
+  // The TENANTS listing agrees with what the frames reported.
+  JsonValue listing =
+      MustParse(server.HandleRequestLine("{\"cmd\":\"TENANTS\"}"));
+  ASSERT_TRUE(listing.GetBool("ok", false)) << listing.Dump();
+  const JsonValue* tenants = listing.Get("tenants");
+  ASSERT_NE(tenants, nullptr);
+  bool found = false;
+  for (const JsonValue& entry : tenants->AsArray()) {
+    if (entry.GetString("tenant") != "acme") continue;
+    found = true;
+    EXPECT_EQ(entry.GetNumber("memory_share_bytes", -1.0), own_share)
+        << entry.Dump();
+    EXPECT_EQ(entry.GetNumber("progress_frames", -1.0),
+              static_cast<double>(frames.size()))
+        << entry.Dump();
+  }
+  EXPECT_TRUE(found) << listing.Dump();
 }
 
 }  // namespace
